@@ -1,0 +1,101 @@
+//! Criterion benches: one per table/figure of the paper, running a small
+//! trial batch per iteration. These measure the cost of regenerating
+//! each experiment point and double as smoke tests that the full
+//! pipeline stays runnable; the full-scale numbers come from the
+//! `src/bin/*` experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use h2priv_core::attack::AttackConfig;
+use h2priv_core::experiment::run_isidewith_trial;
+use h2priv_core::experiments::{baseline, fig1, fig5, section4d, table1, table2};
+use h2priv_netsim::time::SimDuration;
+use std::cell::Cell;
+
+thread_local! {
+    static SEED: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_seed() -> u64 {
+    SEED.with(|s| {
+        let v = s.get();
+        s.set(v + 1);
+        v
+    })
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    c.bench_function("baseline/one_trial_passive", |b| {
+        b.iter_batched(next_seed, |seed| run_isidewith_trial(seed, None), BatchSize::SmallInput)
+    });
+    c.bench_function("baseline/table_3trials", |b| {
+        b.iter_batched(next_seed, |seed| baseline(3, seed), BatchSize::SmallInput)
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/one_trial_jitter50", |b| {
+        b.iter_batched(
+            next_seed,
+            |seed| {
+                run_isidewith_trial(
+                    seed,
+                    Some(AttackConfig::jitter_only(SimDuration::from_millis(50))),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("table1/rows_2trials", |b| {
+        b.iter_batched(next_seed, |seed| table1(2, seed), BatchSize::SmallInput)
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5/rows_2trials", |b| {
+        b.iter_batched(next_seed, |seed| fig5(2, seed), BatchSize::SmallInput)
+    });
+}
+
+fn bench_fig6_drops(c: &mut Criterion) {
+    c.bench_function("fig6_drops/one_trial_80pct", |b| {
+        b.iter_batched(
+            next_seed,
+            |seed| {
+                run_isidewith_trial(
+                    seed,
+                    Some(AttackConfig::with_drops(0.8, SimDuration::from_secs(6))),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("fig6_drops/rows_2trials", |b| {
+        b.iter_batched(next_seed, |seed| section4d(2, seed, &[0.8]), BatchSize::SmallInput)
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/one_trial_full_attack", |b| {
+        b.iter_batched(
+            next_seed,
+            |seed| run_isidewith_trial(seed, Some(AttackConfig::full_attack())),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("table2/columns_2trials", |b| {
+        b.iter_batched(next_seed, |seed| table2(2, seed), BatchSize::SmallInput)
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1/both_cases", |b| {
+        b.iter_batched(next_seed, fig1, BatchSize::SmallInput)
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baseline, bench_table1, bench_fig5, bench_fig6_drops, bench_table2, bench_fig1
+}
+criterion_main!(tables);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the substrate layers: simulator event loop, TCP
+//! bulk transfer, metric computation, predictor pipeline. These guard
+//! against performance regressions that would make the experiment
+//! binaries impractically slow.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use h2priv_core::experiment::{run_site_trial, TrialOptions};
+use h2priv_core::metrics::degree_of_multiplexing;
+use h2priv_core::predictor::SizeMap;
+use h2priv_web::sites::{blog_site, two_object_site};
+use h2priv_web::ObjectId;
+use std::cell::Cell;
+
+thread_local! {
+    static SEED: Cell<u64> = const { Cell::new(1) };
+}
+
+fn next_seed() -> u64 {
+    SEED.with(|s| {
+        let v = s.get();
+        s.set(v + 1);
+        v
+    })
+}
+
+fn bench_page_load(c: &mut Criterion) {
+    c.bench_function("substrate/blog_page_load", |b| {
+        b.iter_batched(
+            next_seed,
+            |seed| run_site_trial(blog_site(), &TrialOptions::new(seed, None)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("substrate/two_object_transfer", |b| {
+        b.iter_batched(
+            next_seed,
+            |seed| {
+                run_site_trial(
+                    two_object_site(60_000, 50_000, h2priv_netsim::time::SimDuration::ZERO),
+                    &TrialOptions::new(seed, None),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let result = run_site_trial(blog_site(), &TrialOptions::new(7, None));
+    let map = SizeMap::new(vec![("hero".into(), 52_000), ("post".into(), 23_500)], 0.03);
+    c.bench_function("substrate/degree_of_multiplexing", |b| {
+        b.iter(|| degree_of_multiplexing(&result.wire_map, ObjectId(2)))
+    });
+    c.bench_function("substrate/predict_from_trace", |b| b.iter(|| result.predict(&map)));
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(10);
+    targets = bench_page_load, bench_analysis
+}
+criterion_main!(substrate);

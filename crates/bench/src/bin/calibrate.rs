@@ -1,0 +1,125 @@
+//! Calibration tool: prints the key statistics the paper's evaluation
+//! hinges on, with timing diagnostics, so the model constants in
+//! `h2priv-web`/`h2priv-h2` can be tuned against the paper's bands.
+//!
+//! ```sh
+//! cargo run --release -p h2priv-bench --bin calibrate -- [trials]
+//! ```
+
+use h2priv_bench::{banner, trials_arg};
+use h2priv_core::attack::AttackConfig;
+use h2priv_core::experiment::run_isidewith_trial;
+use h2priv_netsim::time::SimDuration;
+
+fn main() {
+    let trials = trials_arg(30);
+
+    banner("baseline (no adversary)");
+    let mut html_degrees = vec![];
+    let mut html_serial = 0;
+    let mut img_degrees = vec![];
+    let mut identified_html = 0;
+    for t in 0..trials {
+        let trial = run_isidewith_trial(500_000 + t as u64, None);
+        let out = trial.html_outcome();
+        html_degrees.push(out.best_degree);
+        if h2priv_core::metrics::is_serialized(out.best_degree) {
+            html_serial += 1;
+        }
+        if out.identified {
+            identified_html += 1;
+        }
+        for o in trial.image_outcomes() {
+            img_degrees.push(o.best_degree);
+        }
+        if t == 0 {
+            // Timing diagnostics from ground truth.
+            let html_log: Vec<_> = trial
+                .result
+                .serve_log
+                .iter()
+                .filter(|s| s.object == trial.iw.html)
+                .collect();
+            println!("  [diag] html serve record: {html_log:?}");
+            let next: Vec<_> = trial
+                .result
+                .serve_log
+                .iter()
+                .filter(|s| s.object.0 >= 6 && s.object.0 <= 8)
+                .map(|s| (s.object, s.requested_at, s.first_byte_at, s.completed_at))
+                .collect();
+            println!("  [diag] first embedded serves: {next:?}");
+        }
+    }
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    println!(
+        "  html: mean degree {:.1}% | serial in {:.0}% of runs (paper: ~98% / 32%) | identified {:.0}%",
+        100.0 * mean(&html_degrees),
+        100.0 * html_serial as f64 / trials as f64,
+        100.0 * identified_html as f64 / trials as f64,
+    );
+    println!(
+        "  images: mean degree {:.1}% (paper: 80-99%)",
+        100.0 * mean(&img_degrees)
+    );
+
+    banner("jitter only (Table I shape)");
+    for jitter_ms in [0u64, 25, 50, 100] {
+        let mut serial = 0;
+        let mut retrans = 0u64;
+        let mut rereq = 0u64;
+        for t in 0..trials {
+            let trial = run_isidewith_trial(
+                600_000 + jitter_ms * 1_000 + t as u64,
+                Some(AttackConfig::jitter_only(SimDuration::from_millis(jitter_ms))),
+            );
+            if h2priv_core::metrics::is_serialized(trial.html_outcome().best_degree) {
+                serial += 1;
+            }
+            retrans += trial.result.total_retransmissions();
+            rereq += trial.result.client.h2_rerequests;
+        }
+        println!(
+            "  jitter {jitter_ms:>3} ms: serial {:>4.0}% | retrans avg {:>6.1} | rereq avg {:>5.1}",
+            100.0 * serial as f64 / trials as f64,
+            retrans as f64 / trials as f64,
+            rereq as f64 / trials as f64,
+        );
+    }
+    println!("  paper: 32/46/54/54 % serial; retrans +0/+33/+130/+194 %");
+
+    banner("full attack (Table II shape)");
+    let mut html_succ = 0;
+    let mut seq_hits = vec![0usize; 8];
+    let mut single_hits = vec![0usize; 8];
+    let mut broken = 0;
+    for t in 0..trials {
+        let trial = run_isidewith_trial(700_000 + t as u64, Some(AttackConfig::full_attack()));
+        if trial.html_outcome().success {
+            html_succ += 1;
+        }
+        for (i, ok) in trial.sequence_success().iter().enumerate() {
+            if *ok {
+                seq_hits[i] += 1;
+            }
+        }
+        for (i, o) in trial.image_outcomes().iter().enumerate() {
+            if o.success {
+                single_hits[i] += 1;
+            }
+        }
+        if trial.result.client.connection_broken {
+            broken += 1;
+        }
+    }
+    println!(
+        "  html success {:.0}% (paper 90%) | broken {:.0}%",
+        100.0 * html_succ as f64 / trials as f64,
+        100.0 * broken as f64 / trials as f64
+    );
+    let fmt = |v: &[usize]| {
+        v.iter().map(|h| format!("{:>3.0}", 100.0 * *h as f64 / trials as f64)).collect::<Vec<_>>().join(" ")
+    };
+    println!("  single-target I1..I8: {} (paper: 100 everywhere)", fmt(&single_hits));
+    println!("  sequence I1..I8:      {} (paper: 90 85 81 80 62 64 78 64)", fmt(&seq_hits));
+}

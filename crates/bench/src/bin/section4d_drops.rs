@@ -1,0 +1,60 @@
+//! Regenerates the **Section IV-D / Fig. 6** experiment — targeted packet
+//! drops forcing an HTTP/2 stream reset (plus a drop-rate sweep showing
+//! the broken-connection cliff).
+//!
+//! ```sh
+//! cargo run --release -p h2priv-bench --bin section4d_drops -- [trials=100]
+//! ```
+
+use h2priv_bench::trials_arg;
+use h2priv_core::experiments::{section4d, section4d_timer_only};
+use h2priv_core::report::{pct, render_table, to_json};
+
+fn main() {
+    let trials = trials_arg(100);
+    eprintln!("Section IV-D: {trials} downloads per drop rate...");
+    let rows = section4d(trials, 31_000, &[0.5, 0.7, 0.8, 0.9, 0.97]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.drop_rate * 100.0),
+                pct(r.pct_success),
+                pct(r.pct_reset_sent),
+                pct(r.pct_broken),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["drop rate (%)", "success (%)", "reset sent (%)", "broken (%)"],
+            &table
+        )
+    );
+    println!("paper: 80% drops for 6 s -> ~90% success; higher rates break the connection.");
+    eprintln!("{}", to_json(&rows));
+
+    eprintln!("timer-only drop window (no early stop on reset)...");
+    let rows2 = section4d_timer_only(trials, 32_000, &[0.8, 0.9, 0.97]);
+    let table: Vec<Vec<String>> = rows2
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.drop_rate * 100.0),
+                pct(r.pct_success),
+                pct(r.pct_reset_sent),
+                pct(r.pct_broken),
+            ]
+        })
+        .collect();
+    println!("\nvariant: fixed 6 s drop window (paper's timer mechanism):");
+    println!(
+        "{}",
+        render_table(
+            &["drop rate (%)", "success (%)", "reset sent (%)", "broken (%)"],
+            &table
+        )
+    );
+    eprintln!("{}", to_json(&rows2));
+}

@@ -1,0 +1,61 @@
+//! Per-trial survey for calibration: `survey [mode] [trials]` where mode
+//! is `full`, `baseline`, or a jitter in ms (e.g. `j50`).
+
+use h2priv_core::attack::{AttackConfig, AttackEvent};
+use h2priv_core::experiment::run_isidewith_trial;
+use h2priv_core::metrics::entities;
+use h2priv_netsim::time::SimDuration;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
+    let trials: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+    for t in 0..trials {
+        let attack = match mode.as_str() {
+            "baseline" => None,
+            "full" => Some(AttackConfig::full_attack()),
+            j => Some(AttackConfig::jitter_only(SimDuration::from_millis(
+                j.trim_start_matches('j').parse().unwrap_or(50),
+            ))),
+        };
+        let trial = run_isidewith_trial(700_000 + t, attack);
+        let h = trial.html_outcome();
+        let seq: usize = trial.sequence_success().iter().filter(|b| **b).count();
+        let single: usize = trial.image_outcomes().iter().filter(|o| o.success).count();
+        let stop = trial
+            .result
+            .attack
+            .events
+            .iter()
+            .find_map(|e| match e {
+                AttackEvent::DropsStopped { at_ms } => Some(*at_ms),
+                _ => None,
+            })
+            .unwrap_or(0);
+        // Who brackets the html's best copy?
+        let ents = entities(&trial.result.wire_map);
+        let mut bracketers: Vec<String> = vec![];
+        if let Some((copy, d)) = trial.result.degree(trial.iw.html).best() {
+            if d > 0.0 {
+                if let Some(e) =
+                    ents.iter().find(|e| e.id.object == trial.iw.html && e.id.copy == copy)
+                {
+                    for o in ents.iter().filter(|o| {
+                        o.id != e.id && o.start < e.end && o.end > e.start
+                    }) {
+                        bracketers.push(format!("o{}c{}", o.id.object.0, o.id.copy));
+                    }
+                }
+            }
+        }
+        println!(
+            "seed {t:>2}: html succ={} deg={:.2} id={} | single={single} seq={seq} | resets={} rereq={} stop@{:.1}s | brack={:?}",
+            h.success,
+            h.best_degree,
+            h.identified,
+            trial.result.client.resets_sent,
+            trial.result.client.h2_rerequests,
+            stop as f64 / 1000.0,
+            bracketers
+        );
+    }
+}

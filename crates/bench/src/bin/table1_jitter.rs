@@ -1,0 +1,41 @@
+//! Regenerates **Table I** — effect of jitter on HTTP/2 multiplexing of
+//! the 6th object (the result HTML).
+//!
+//! ```sh
+//! cargo run --release -p h2priv-bench --bin table1_jitter -- [trials=100]
+//! ```
+
+use h2priv_bench::trials_arg;
+use h2priv_core::experiments::table1;
+use h2priv_core::report::{pct, render_table, to_json};
+
+fn main() {
+    let trials = trials_arg(100);
+    eprintln!("Table I: {trials} downloads per jitter value...");
+    let rows = table1(trials, 11_000);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.jitter_ms.to_string(),
+                pct(r.pct_not_multiplexed),
+                format!("{:.1}", r.retransmissions_avg),
+                pct(r.retrans_increase_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "increase in delay per request (ms)",
+                "object not multiplexed (%)",
+                "retransmissions (avg)",
+                "increase in retransmissions (%)",
+            ],
+            &table
+        )
+    );
+    println!("paper Table I: 0/25/50/100 ms -> 32/46/54/54 % ; retrans +0/+33/+130/+194 %");
+    eprintln!("{}", to_json(&rows));
+}

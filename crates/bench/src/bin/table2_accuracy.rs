@@ -1,0 +1,42 @@
+//! Regenerates **Table II** — prediction accuracy of the full Section V
+//! attack on the isidewith model.
+//!
+//! ```sh
+//! cargo run --release -p h2priv-bench --bin table2_accuracy -- [trials=100]
+//! ```
+
+use h2priv_bench::trials_arg;
+use h2priv_core::experiments::table2;
+use h2priv_core::report::{pct, render_table, to_json};
+
+fn main() {
+    let trials = trials_arg(100);
+    eprintln!("Table II: {trials} attacked downloads...");
+    let cols = table2(trials, 41_000);
+    let table: Vec<Vec<String>> = cols
+        .iter()
+        .map(|c| {
+            vec![
+                c.object.clone(),
+                format!("{:.1}", c.gap_prev_ms),
+                pct(c.pct_single_target),
+                pct(c.pct_all_targets),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "object",
+                "T(req curr)-T(req prev) (ms)",
+                "success % target: one object",
+                "success % target: all objects",
+            ],
+            &table
+        )
+    );
+    println!("paper Table II: single-target 100% everywhere;");
+    println!("all-targets 90/90/85/81/80/62/64/78/64 (HTML, I1..I8).");
+    eprintln!("{}", to_json(&cols));
+}

@@ -1,0 +1,13 @@
+//! Shared helpers for the experiment binaries.
+
+#![warn(missing_docs)]
+
+/// Parses the first CLI argument as a trial count, with a default.
+pub fn trials_arg(default: usize) -> usize {
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

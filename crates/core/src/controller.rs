@@ -1,0 +1,224 @@
+//! Network-controller building blocks — the adversary's `tc` equivalents.
+//!
+//! Three primitives, straight from the paper's Section IV:
+//!
+//! * [`Pacer`] — enforces a minimum release spacing on selected packets
+//!   (the "calculated amount of network jitter" of Section IV-B: first
+//!   request delayed by 0, second by *d*, third by *2d*, ... so that
+//!   inter-arrival spacing is at least *d*).
+//! * [`DropGate`] — drops payload-carrying packets with a configured
+//!   probability while open (the targeted packet drops of Section IV-D).
+//! * throttling is a single [`h2priv_netsim::middlebox::PolicyCtx`] call
+//!   and needs no state; see [`crate::attack::AttackPolicy`].
+
+use h2priv_netsim::rng::SimRng;
+use h2priv_netsim::time::{SimDuration, SimTime};
+
+/// Minimum TCP payload length for a client→server packet to be treated
+/// as request-carrying and therefore paced. Pure ACKs (0 bytes) and
+/// WINDOW_UPDATE-only records (~34 bytes) pass untouched; GET records
+/// and their TCP retransmissions are well above this.
+pub const PACE_MIN_PAYLOAD: u32 = 60;
+
+/// How long the request stream must go quiet before the jitter backlog
+/// drains (the paper's gateway scripts were re-armed between request
+/// bursts; an unbounded backlog would contradict the paper's own
+/// Table II gap measurements).
+pub const JITTER_DRAIN_AFTER: SimDuration = SimDuration::from_millis(450);
+
+/// The paper's jitter generator (Section IV-B): "the first request can
+/// be delayed by 0 ms, second by *d* ms, the third by 2*d* ms, and so
+/// on, to achieve an inter-arrival spacing of *d* ms".
+///
+/// Each admitted request accumulates a further `spacing` of delay, so a
+/// chain of requests is both *spaced* at least `d` apart and *shifted*
+/// relative to its predecessors — the property the attack needs to pull
+/// follow-up requests off the object of interest. The backlog drains
+/// whenever the request stream goes quiet for [`JITTER_DRAIN_AFTER`]
+/// (between page phases), keeping delays bounded as in the paper's own
+/// measurements. FIFO order is always preserved.
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    spacing: Option<SimDuration>,
+    accumulated: SimDuration,
+    last_arrival: Option<SimTime>,
+    last_release: SimTime,
+}
+
+impl Pacer {
+    /// A jitter generator with an optional per-request increment
+    /// (`None` = pass-through).
+    pub fn new(spacing: Option<SimDuration>) -> Pacer {
+        Pacer {
+            spacing,
+            accumulated: SimDuration::ZERO,
+            last_arrival: None,
+            last_release: SimTime::ZERO,
+        }
+    }
+
+    /// Changes the per-request increment (takes effect for later
+    /// packets).
+    pub fn set_spacing(&mut self, spacing: Option<SimDuration>) {
+        self.spacing = spacing;
+    }
+
+    /// The current per-request increment.
+    pub fn spacing(&self) -> Option<SimDuration> {
+        self.spacing
+    }
+
+    /// Admits a request packet at `now`; returns the extra delay to
+    /// impose (zero = forward immediately).
+    pub fn admit(&mut self, now: SimTime) -> SimDuration {
+        let Some(d) = self.spacing else {
+            self.last_arrival = Some(now);
+            self.last_release = self.last_release.max(now);
+            return SimDuration::ZERO;
+        };
+        let idle = self
+            .last_arrival
+            .map(|t| now.saturating_since(t))
+            .unwrap_or(SimDuration::MAX);
+        if idle > JITTER_DRAIN_AFTER {
+            self.accumulated = SimDuration::ZERO;
+        }
+        self.last_arrival = Some(now);
+        self.accumulated = self.accumulated.saturating_add(d);
+        // FIFO behind any backlog, and never closer than d to the
+        // previous release.
+        let release = (now + self.accumulated).max(self.last_release + d);
+        self.last_release = release;
+        release.saturating_since(now)
+    }
+}
+
+/// A probabilistic drop gate for payload-carrying packets.
+#[derive(Debug, Clone)]
+pub struct DropGate {
+    rate: f64,
+    open: bool,
+    dropped: u64,
+    passed: u64,
+}
+
+impl DropGate {
+    /// A closed gate with the given drop probability.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn new(rate: f64) -> DropGate {
+        assert!((0.0..=1.0).contains(&rate), "drop rate out of range");
+        DropGate { rate, open: false, dropped: 0, passed: 0 }
+    }
+
+    /// Starts dropping.
+    pub fn open(&mut self) {
+        self.open = true;
+    }
+
+    /// Stops dropping.
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+
+    /// `true` while dropping.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Decides one packet's fate; `true` = drop.
+    pub fn should_drop(&mut self, rng: &mut SimRng, payload_len: u32) -> bool {
+        if !self.open || payload_len == 0 {
+            if payload_len > 0 {
+                self.passed += 1;
+            }
+            return false;
+        }
+        if rng.chance(self.rate) {
+            self.dropped += 1;
+            true
+        } else {
+            self.passed += 1;
+            false
+        }
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_accumulates_1d_2d_3d_for_bursts() {
+        // Paper Section IV-B: a burst leaves spaced d apart, each
+        // request shifted a further d.
+        let mut p = Pacer::new(Some(SimDuration::from_millis(50)));
+        let t0 = SimTime::from_millis(100);
+        assert_eq!(p.admit(t0), SimDuration::from_millis(50));
+        assert_eq!(p.admit(t0), SimDuration::from_millis(100));
+        assert_eq!(p.admit(t0), SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn jitter_shifts_chained_requests_relative_to_each_other() {
+        // Two requests 200 ms apart (below the drain threshold) are
+        // pulled a further d apart.
+        let mut p = Pacer::new(Some(SimDuration::from_millis(50)));
+        assert_eq!(p.admit(SimTime::from_millis(0)), SimDuration::from_millis(50));
+        assert_eq!(p.admit(SimTime::from_millis(200)), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_backlog_drains_after_idle() {
+        let mut p = Pacer::new(Some(SimDuration::from_millis(50)));
+        for i in 0..5 {
+            let _ = p.admit(SimTime::from_millis(i));
+        }
+        // A long quiet period resets the accumulation.
+        assert_eq!(p.admit(SimTime::from_millis(5_000)), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn jitter_none_passes_everything() {
+        let mut p = Pacer::new(None);
+        for i in 0..10 {
+            assert_eq!(p.admit(SimTime::from_millis(i)), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn jitter_preserves_fifo_across_drain_and_spacing_change() {
+        let mut p = Pacer::new(Some(SimDuration::from_millis(100)));
+        let first = SimTime::from_millis(0) + p.admit(SimTime::from_millis(0));
+        p.set_spacing(Some(SimDuration::from_millis(10)));
+        let second = SimTime::from_millis(1_000) + p.admit(SimTime::from_millis(1_000));
+        assert!(second >= first, "release order must be FIFO");
+    }
+
+    #[test]
+    fn drop_gate_respects_rate_and_state() {
+        let mut g = DropGate::new(0.8);
+        let mut rng = SimRng::new(5);
+        // Closed: nothing dropped.
+        assert!(!g.should_drop(&mut rng, 1_000));
+        g.open();
+        let drops = (0..10_000).filter(|_| g.should_drop(&mut rng, 1_000)).count();
+        assert!((7_500..8_500).contains(&drops), "drops = {drops}");
+        // Pure ACKs always pass.
+        assert!(!g.should_drop(&mut rng, 0));
+        g.close();
+        assert!(!g.should_drop(&mut rng, 1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate out of range")]
+    fn invalid_rate_rejected() {
+        let _ = DropGate::new(1.2);
+    }
+}

@@ -1,0 +1,253 @@
+//! The paper's Section VII defense sketch: **priority randomization**.
+//!
+//! > "the client can opt for a different priority/order of object
+//! > delivery every time, thereby confusing the adversary."
+//!
+//! Implemented as a site transformation: the result page requests the
+//! eight emblem images in a random order *independent of the survey
+//! result*. Sizes still identify which party each image belongs to, but
+//! the position-based ranking inference — the actual secret — collapses
+//! to chance. [`evaluate_defense`] quantifies that.
+
+use crate::attack::AttackConfig;
+use crate::experiment::{run_site_trial, IsideWithTrial, TrialOptions};
+use crate::predictor::{predict_from_trace, SizeMap};
+use h2priv_netsim::rng::SimRng;
+use h2priv_trace::analysis::UnitConfig;
+use h2priv_web::{IsideWith, Party, Site, Trigger};
+use serde::Serialize;
+
+/// Rebuilds an isidewith site so the image burst requests the emblems in
+/// a freshly randomized order (delivery order ⟂ result order), keeping
+/// the measured burst gaps.
+pub fn randomize_image_order(iw: &IsideWith, rng: &mut SimRng) -> Site {
+    let mut order: Vec<_> = iw.images.to_vec();
+    for i in (1..order.len()).rev() {
+        let j = rng.range_u64(0, i as u64) as usize;
+        order.swap(i, j);
+    }
+    let site = iw.site.clone();
+    // The image plan steps are contiguous; rewrite their objects in the
+    // new order, preserving each step's trigger/gap structure.
+    let positions: Vec<usize> = iw
+        .images
+        .iter()
+        .map(|img| site.plan_position(*img).expect("image planned"))
+        .collect();
+    let mut plan = site.plan.clone();
+    for (slot, pos) in positions.iter().enumerate() {
+        plan[*pos].object = order[slot];
+    }
+    // Fix up AfterRequest chains inside the burst so they reference the
+    // new predecessor.
+    for w in positions.windows(2) {
+        let prev_obj = plan[w[0]].object;
+        if let Trigger::AfterRequest { prev, .. } = &mut plan[w[1]].trigger {
+            *prev = prev_obj;
+        }
+    }
+    // Anything after the burst that chained off the old last image.
+    let old_last = iw.images[7];
+    let new_last = plan[*positions.last().expect("eight images")].object;
+    for (i, step) in plan.iter_mut().enumerate() {
+        if positions.contains(&i) {
+            continue;
+        }
+        if let Trigger::AfterRequest { prev, .. } = &mut step.trigger {
+            if *prev == old_last {
+                *prev = new_last;
+            }
+        }
+    }
+    Site::new(site.name.clone(), site.objects().to_vec(), plan)
+}
+
+/// Aggregate defense evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct DefenseReport {
+    /// Mean per-position ranking accuracy with the plain site (the
+    /// attack working as in Table II).
+    pub accuracy_undefended_pct: f64,
+    /// Mean per-position ranking accuracy against priority
+    /// randomization.
+    pub accuracy_defended_pct: f64,
+    /// % of images still *identified by size* under the defense (the
+    /// defense hides the order, not the identities).
+    pub identified_defended_pct: f64,
+    /// Trials per arm.
+    pub trials: usize,
+}
+
+/// Runs `trials` full attacks against both the plain and the defended
+/// site and compares ranking accuracy.
+pub fn evaluate_defense(trials: usize, base_seed: u64) -> DefenseReport {
+    let mut undefended_hits = 0usize;
+    let mut defended_hits = 0usize;
+    let mut defended_identified = 0usize;
+    let positions = 8usize;
+
+    for t in 0..trials {
+        let seed = base_seed + 5_000_000 + t as u64;
+        let mut perm_rng = SimRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let iw = IsideWith::generate(&mut perm_rng);
+
+        // Undefended arm.
+        let opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
+        let result = run_site_trial(iw.site.clone(), &opts);
+        let prediction = result.predict(&SizeMap::isidewith());
+        let trial = IsideWithTrial { iw: iw.clone(), result, prediction };
+        undefended_hits += trial.sequence_success().iter().filter(|b| **b).count();
+
+        // Defended arm: same ground truth, shuffled delivery order.
+        let mut shuffle_rng = SimRng::new(seed ^ 0xDEF5);
+        let defended_site = randomize_image_order(&iw, &mut shuffle_rng);
+        let result = run_site_trial(defended_site, &opts);
+        let prediction =
+            predict_from_trace(&result.trace, &SizeMap::isidewith(), &UnitConfig::default(), None);
+        // Ranking inference: does position i of the *inferred* order
+        // match the true result order? (The adversary does not know the
+        // delivery order was shuffled.)
+        let inferred = prediction.party_sequence();
+        for (i, truth) in iw.result_order.iter().enumerate() {
+            if inferred.get(i) == Some(truth) {
+                defended_hits += 1;
+            }
+        }
+        defended_identified += Party::ALL
+            .iter()
+            .filter(|p| prediction.contains(&p.to_string()))
+            .count();
+    }
+
+    let denom = (trials * positions) as f64;
+    DefenseReport {
+        accuracy_undefended_pct: 100.0 * undefended_hits as f64 / denom,
+        accuracy_defended_pct: 100.0 * defended_hits as f64 / denom,
+        identified_defended_pct: 100.0 * defended_identified as f64 / denom,
+        trials,
+    }
+}
+
+/// Aggregate report for the server-push defense (paper Section VII:
+/// "Several HTTP/2 features such as server push ... can be leveraged
+/// for privacy").
+#[derive(Debug, Clone, Serialize)]
+pub struct PushDefenseReport {
+    /// Mean per-position ranking accuracy without push.
+    pub accuracy_plain_pct: f64,
+    /// Mean per-position ranking accuracy with the emblems pushed in
+    /// canonical (non-result) order.
+    pub accuracy_pushed_pct: f64,
+    /// % of emblem images still identified by size under push.
+    pub identified_pushed_pct: f64,
+    /// Trials per arm.
+    pub trials: usize,
+}
+
+/// Evaluates pushing the 8 emblem images (canonical order) with the
+/// result HTML against the full attack. Pushed objects have no GETs for
+/// the adversary's pacer to hold, and their delivery order no longer
+/// encodes the survey result.
+pub fn evaluate_push_defense(trials: usize, base_seed: u64) -> PushDefenseReport {
+    let mut plain_hits = 0usize;
+    let mut pushed_hits = 0usize;
+    let mut pushed_identified = 0usize;
+    let positions = 8usize;
+
+    for t in 0..trials {
+        let seed = base_seed + 6_000_000 + t as u64;
+        let mut perm_rng = SimRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let iw = IsideWith::generate(&mut perm_rng);
+
+        // Plain arm.
+        let opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
+        let result = run_site_trial(iw.site.clone(), &opts);
+        let prediction = result.predict(&SizeMap::isidewith());
+        let trial = IsideWithTrial { iw: iw.clone(), result, prediction };
+        plain_hits += trial.sequence_success().iter().filter(|b| **b).count();
+
+        // Push arm: emblems pushed with the HTML, canonical order.
+        let mut push_opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
+        let canonical: Vec<_> = Party::ALL.iter().map(|p| iw.image_of(*p)).collect();
+        push_opts.server.push_manifest = vec![(iw.html, canonical)];
+        let result = run_site_trial(iw.site.clone(), &push_opts);
+        let prediction = result.predict(&SizeMap::isidewith());
+        let trial = IsideWithTrial { iw: iw.clone(), result, prediction };
+        pushed_hits += trial.sequence_success().iter().filter(|b| **b).count();
+        pushed_identified += trial
+            .image_outcomes()
+            .iter()
+            .filter(|o| o.identified)
+            .count();
+    }
+
+    let denom = (trials * positions) as f64;
+    PushDefenseReport {
+        accuracy_plain_pct: 100.0 * plain_hits as f64 / denom,
+        accuracy_pushed_pct: 100.0 * pushed_hits as f64 / denom,
+        identified_pushed_pct: 100.0 * pushed_identified as f64 / denom,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_site_keeps_inventory_and_gap_structure() {
+        let mut rng = SimRng::new(1);
+        let iw = IsideWith::generate(&mut rng);
+        let defended = randomize_image_order(&iw, &mut rng);
+        assert_eq!(defended.len(), iw.site.len());
+        // The image burst still requests exactly the 8 emblem objects.
+        let burst: Vec<_> = defended
+            .plan
+            .iter()
+            .filter(|s| iw.images.contains(&s.object))
+            .map(|s| s.object)
+            .collect();
+        assert_eq!(burst.len(), 8);
+        let mut sorted = burst.clone();
+        sorted.sort();
+        let mut expect = iw.images.to_vec();
+        expect.sort();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn shuffle_changes_order_for_some_seed() {
+        let mut rng = SimRng::new(2);
+        let iw = IsideWith::generate(&mut rng);
+        let orders: Vec<Vec<_>> = (0..8)
+            .map(|s| {
+                let mut rng = SimRng::new(s);
+                let site = randomize_image_order(&iw, &mut rng);
+                site.plan
+                    .iter()
+                    .filter(|st| iw.images.contains(&st.object))
+                    .map(|st| st.object)
+                    .collect()
+            })
+            .collect();
+        assert!(orders.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn defended_plan_chains_are_consistent() {
+        let mut rng = SimRng::new(3);
+        let iw = IsideWith::generate(&mut rng);
+        let defended = randomize_image_order(&iw, &mut rng);
+        // Every AfterRequest predecessor must appear earlier in the plan.
+        for (i, step) in defended.plan.iter().enumerate() {
+            if let Trigger::AfterRequest { prev, .. } = step.trigger {
+                let prev_pos = defended
+                    .plan
+                    .iter()
+                    .position(|s| s.object == prev)
+                    .expect("predecessor planned");
+                assert!(prev_pos < i, "step {i} depends on later step {prev_pos}");
+            }
+        }
+    }
+}

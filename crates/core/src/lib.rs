@@ -1,0 +1,66 @@
+//! # h2priv-core
+//!
+//! The primary contribution of *"Depending on HTTP/2 for Privacy? Good
+//! Luck!"* (Mitra et al., DSN 2020), reimplemented over the `h2priv`
+//! simulation stack: an **active network adversary** that breaks
+//! HTTP/2-multiplexing-based privacy by forcing the server to *serialize*
+//! object transmissions, making encrypted object sizes observable again.
+//!
+//! The adversary is a compromised on-path device with three components
+//! (paper Section V):
+//!
+//! * **Traffic monitor** ([`monitor`]) — the tshark stand-in: counts GET
+//!   requests in the client→server record stream
+//!   (`ssl.record.content_type == 23` plus a size heuristic) and detects
+//!   the trigger request.
+//! * **Network controller** ([`controller`]) — the `tc` stand-in: paces
+//!   GET-carrying packets to a minimum spacing (jitter, Section IV-B),
+//!   throttles the path (Section IV-C) and drops server→client data
+//!   packets to force an HTTP/2 stream reset (Section IV-D). The full
+//!   three-phase schedule from Section V lives in [`attack`].
+//! * **Object predictor** ([`predictor`]) — the Python stand-in:
+//!   segments the server→client record stream into transmission units,
+//!   estimates object sizes, and matches them against a pre-compiled
+//!   size map to recover object identities (and, for isidewith.com, the
+//!   user's political-party ranking).
+//!
+//! [`metrics`] implements the paper's privacy metric — the **degree of
+//! multiplexing** (Section II-A) — from ground truth, and [`experiment`]
+//! + [`experiments`] run complete trials and regenerate every table and
+//! figure of the paper's evaluation. See `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for measured-vs-paper numbers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use h2priv_core::attack::AttackConfig;
+//! use h2priv_core::experiment::run_isidewith_trial;
+//!
+//! // One attacked page load (seed 1) with the paper's full 3-phase attack.
+//! let trial = run_isidewith_trial(1, Some(AttackConfig::full_attack()));
+//! let outcome = trial.html_outcome();
+//! println!(
+//!     "HTML degree of multiplexing {:.0}%, identified: {}",
+//!     outcome.best_degree * 100.0,
+//!     outcome.identified
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attack;
+pub mod controller;
+pub mod defense;
+pub mod experiment;
+pub mod experiments;
+pub mod metrics;
+pub mod monitor;
+pub mod partial;
+pub mod predictor;
+pub mod report;
+
+pub use attack::AttackConfig;
+pub use experiment::{run_isidewith_trial, run_site_trial, IsideWithTrial, TrialResult};
+pub use metrics::degree_of_multiplexing;
+pub use predictor::{Prediction, SizeMap};

@@ -1,0 +1,243 @@
+//! The real-time traffic monitor running on the compromised device.
+//!
+//! The paper's adversary "started counting the number of GET requests in
+//! the client→server path" using the tshark filter
+//! `ssl.record.content_type == 23` plus prior knowledge of the request
+//! sequence (Section V). This module implements that counter as an
+//! incremental, in-order TLS record-boundary tracker over the cleartext
+//! parts of transiting packets — no decryption, no ground truth.
+
+use h2priv_netsim::middlebox::PacketView;
+use h2priv_tls::record::{ContentType, RecordHeader, RECORD_HEADER_LEN};
+
+/// Minimum TLS record *body* length for a client→server application-data
+/// record to be counted as a GET. HTTP/2 control frames (SETTINGS,
+/// WINDOW_UPDATE, PING, RST_STREAM) produce records well below this;
+/// HPACK-encoded GETs land well above it.
+pub const DEFAULT_GET_MIN_BODY: u16 = 80;
+
+#[derive(Debug)]
+enum ParseState {
+    /// Accumulating the 5 header bytes.
+    Header { have: usize, buf: [u8; RECORD_HEADER_LEN] },
+    /// Skipping a record body.
+    Body { remaining: usize },
+}
+
+/// Incremental GET counter over one direction's TCP byte stream.
+///
+/// Processes packets in arrival order at the middlebox; retransmitted
+/// (already-seen) segments are skipped, so each GET is counted once no
+/// matter how often TCP resends it.
+#[derive(Debug)]
+pub struct GetCounter {
+    min_body: u16,
+    /// Wire sequence of the next expected in-order byte.
+    next_seq: Option<u32>,
+    state: ParseState,
+    gets: u64,
+    app_records: u64,
+    small_records: u64,
+    skipped_retransmissions: u64,
+}
+
+impl GetCounter {
+    /// Creates a counter with the given GET size threshold.
+    pub fn new(min_body: u16) -> GetCounter {
+        GetCounter {
+            min_body,
+            next_seq: None,
+            state: ParseState::Header { have: 0, buf: [0; RECORD_HEADER_LEN] },
+            gets: 0,
+            app_records: 0,
+            small_records: 0,
+            skipped_retransmissions: 0,
+        }
+    }
+
+    /// GETs counted so far.
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+
+    /// Application-data records of any size seen so far.
+    pub fn app_records(&self) -> u64 {
+        self.app_records
+    }
+
+    /// Small application-data records (control frames: WINDOW_UPDATE,
+    /// RST_STREAM, SETTINGS acks). A burst of these during a quiet, lossy
+    /// phase is the wire signature of the client resetting its streams —
+    /// the signal the paper's Section IV-D adversary waits for.
+    pub fn small_records(&self) -> u64 {
+        self.small_records
+    }
+
+    /// Segments skipped as retransmissions.
+    pub fn skipped_retransmissions(&self) -> u64 {
+        self.skipped_retransmissions
+    }
+
+    /// Feeds one transiting packet. Returns how many *new* GETs were
+    /// recognised in it (the attack trigger fires when the cumulative
+    /// count reaches the target index).
+    pub fn on_packet(&mut self, pkt: &PacketView<'_>) -> u64 {
+        let hdr = pkt.header();
+        if hdr.flags.syn {
+            self.next_seq = Some(hdr.seq.wrapping_add(1));
+            return 0;
+        }
+        if pkt.payload_len() == 0 {
+            return 0;
+        }
+        let Some(expected) = self.next_seq else {
+            // Joined mid-stream: synchronise on the first data segment.
+            self.next_seq = Some(hdr.seq);
+            return self.on_packet(pkt);
+        };
+        if hdr.seq != expected {
+            // Old (retransmitted) or out-of-order-ahead segment. The
+            // client-side path has in-order delivery in this topology, so
+            // anything not matching is a retransmission.
+            self.skipped_retransmissions += 1;
+            return 0;
+        }
+        self.next_seq = Some(expected.wrapping_add(pkt.payload_len()));
+
+        let mut new_gets = 0;
+        let mut bytes = &pkt.payload()[..];
+        while !bytes.is_empty() {
+            match &mut self.state {
+                ParseState::Header { have, buf } => {
+                    let take = (RECORD_HEADER_LEN - *have).min(bytes.len());
+                    buf[*have..*have + take].copy_from_slice(&bytes[..take]);
+                    *have += take;
+                    bytes = &bytes[take..];
+                    if *have == RECORD_HEADER_LEN {
+                        let header = RecordHeader::decode(&buf[..])
+                            .expect("monitor desynchronised from TLS stream");
+                        if header.content_type == ContentType::ApplicationData {
+                            self.app_records += 1;
+                            if header.length >= self.min_body {
+                                self.gets += 1;
+                                new_gets += 1;
+                            } else if header.length <= 40 {
+                                self.small_records += 1;
+                            }
+                        }
+                        self.state = ParseState::Body { remaining: header.length as usize };
+                    }
+                }
+                ParseState::Body { remaining } => {
+                    let take = (*remaining).min(bytes.len());
+                    *remaining -= take;
+                    bytes = &bytes[take..];
+                    if *remaining == 0 {
+                        self.state =
+                            ParseState::Header { have: 0, buf: [0; RECORD_HEADER_LEN] };
+                    }
+                }
+            }
+        }
+        new_gets
+    }
+}
+
+impl Default for GetCounter {
+    fn default() -> Self {
+        GetCounter::new(DEFAULT_GET_MIN_BODY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use h2priv_netsim::middlebox::PacketView;
+    use h2priv_netsim::packet::{FlowId, HostAddr, Packet, TcpFlags, TcpHeader};
+    use h2priv_tls::{RecordSealer, RecordTag};
+
+    fn mk_packet(seq: u32, payload: Bytes, flags: TcpFlags) -> Packet {
+        Packet::new(
+            TcpHeader {
+                flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 },
+                seq,
+                ack: 0,
+                flags,
+                window: 65_535, ts_val: 0, ts_ecr: 0,
+            },
+            payload,
+        )
+    }
+
+    fn feed(counter: &mut GetCounter, pkt: &Packet) -> u64 {
+        counter.on_packet(&PacketView::of(pkt))
+    }
+
+    #[test]
+    fn counts_large_app_records_once() {
+        let mut sealer = RecordSealer::new();
+        let get1 = sealer.seal(ContentType::ApplicationData, &[0u8; 180], RecordTag::NONE);
+        let wu = sealer.seal(ContentType::ApplicationData, &[0u8; 13], RecordTag::NONE);
+        let get2 = sealer.seal(ContentType::ApplicationData, &[0u8; 190], RecordTag::NONE);
+
+        let mut c = GetCounter::default();
+        assert_eq!(feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN)), 0);
+        let mut seq = 100;
+        assert_eq!(feed(&mut c, &mk_packet(seq, get1.clone(), TcpFlags::ACK)), 1);
+        seq += get1.len() as u32;
+        assert_eq!(feed(&mut c, &mk_packet(seq, wu.clone(), TcpFlags::ACK)), 0);
+        seq += wu.len() as u32;
+        assert_eq!(feed(&mut c, &mk_packet(seq, get2.clone(), TcpFlags::ACK)), 1);
+        assert_eq!(c.gets(), 2);
+        assert_eq!(c.app_records(), 3);
+    }
+
+    #[test]
+    fn handshake_records_do_not_count() {
+        let mut sealer = RecordSealer::new();
+        let hello = sealer.seal(ContentType::Handshake, &[0u8; 512], RecordTag::NONE);
+        let mut c = GetCounter::default();
+        feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN));
+        assert_eq!(feed(&mut c, &mk_packet(100, hello, TcpFlags::ACK)), 0);
+        assert_eq!(c.gets(), 0);
+    }
+
+    #[test]
+    fn retransmissions_are_skipped() {
+        let mut sealer = RecordSealer::new();
+        let get = sealer.seal(ContentType::ApplicationData, &[0u8; 200], RecordTag::NONE);
+        let mut c = GetCounter::default();
+        feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN));
+        assert_eq!(feed(&mut c, &mk_packet(100, get.clone(), TcpFlags::ACK)), 1);
+        assert_eq!(feed(&mut c, &mk_packet(100, get.clone(), TcpFlags::ACK)), 0);
+        assert_eq!(c.gets(), 1);
+        assert_eq!(c.skipped_retransmissions(), 1);
+    }
+
+    #[test]
+    fn record_split_across_packets() {
+        let mut sealer = RecordSealer::new();
+        let get = sealer.seal(ContentType::ApplicationData, &[0u8; 200], RecordTag::NONE);
+        // Split inside the 5-byte header: the GET is recognised only
+        // once the header completes, i.e. in the second fragment.
+        let (a, b) = get.split_at(3);
+        let mut c = GetCounter::default();
+        feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN));
+        assert_eq!(feed(&mut c, &mk_packet(100, Bytes::copy_from_slice(a), TcpFlags::ACK)), 0);
+        assert_eq!(
+            feed(&mut c, &mk_packet(100 + a.len() as u32, Bytes::copy_from_slice(b), TcpFlags::ACK)),
+            1
+        );
+    }
+
+    #[test]
+    fn two_gets_coalesced_into_one_segment() {
+        let mut sealer = RecordSealer::new();
+        let mut wire = sealer.seal(ContentType::ApplicationData, &[0u8; 150], RecordTag::NONE).to_vec();
+        wire.extend_from_slice(&sealer.seal(ContentType::ApplicationData, &[0u8; 150], RecordTag::NONE));
+        let mut c = GetCounter::default();
+        feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN));
+        assert_eq!(feed(&mut c, &mk_packet(100, Bytes::from(wire), TcpFlags::ACK)), 2);
+    }
+}

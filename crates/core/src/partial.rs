@@ -1,0 +1,190 @@
+//! Partial-multiplexing identification — the paper's Section VII
+//! extension sketch:
+//!
+//! > "Another possible extension would be to infer the object identity
+//! > even when the object is partly multiplexed. Our preliminary
+//! > experiments suggest that this is indeed possible, however, at the
+//! > cost of employing complex analysis techniques."
+//!
+//! When two or more objects interleave, the segmentation produces one
+//! *merged* transmission unit whose size estimate is (approximately) the
+//! **sum** of the merged objects. This module matches merged units
+//! against small subsets of the size map: a unit that matches
+//! `size(A) + size(B)` within tolerance is evidence that `A` and `B`
+//! were transmitted together — recovering identities (though not their
+//! order) from partly multiplexed traffic.
+
+use crate::predictor::SizeMap;
+use h2priv_trace::analysis::TransmissionUnit;
+use serde::Serialize;
+
+/// One match of a (possibly merged) unit against the size map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PartialMatch {
+    /// Labels of the objects inferred to make up the unit, in map order
+    /// (wire order inside a merged unit is unknown).
+    pub labels: Vec<String>,
+    /// Whether other same-size subsets also matched (identity evidence is
+    /// then ambiguous).
+    pub ambiguous: bool,
+}
+
+/// Configuration for subset matching.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialConfig {
+    /// Relative tolerance on the size sum.
+    pub tolerance: f64,
+    /// Largest subset considered (the search is exhaustive, so keep this
+    /// small; the paper's merged bursts rarely exceed 3 objects).
+    pub max_subset: usize,
+}
+
+impl Default for PartialConfig {
+    fn default() -> Self {
+        PartialConfig { tolerance: 0.03, max_subset: 3 }
+    }
+}
+
+/// Attempts to explain `unit` as a combination of up to
+/// `cfg.max_subset` distinct size-map entries.
+///
+/// Returns `None` when nothing matches; a [`PartialMatch`] with
+/// `ambiguous = true` when several distinct subsets match (identity
+/// cannot be pinned down); singleton subsets reproduce the exact
+/// matcher's behaviour.
+pub fn match_unit(unit: &TransmissionUnit, map: &SizeMap, cfg: &PartialConfig) -> Option<PartialMatch> {
+    let entries = map.entries();
+    let target = unit.estimated_payload as f64;
+    let mut found: Vec<Vec<String>> = Vec::new();
+    // Exhaustive subsets up to max_subset (size map is small: ≤ ~16).
+    let n = entries.len();
+    let mut stack: Vec<usize> = Vec::new();
+    fn recurse(
+        entries: &[(String, u64)],
+        start: usize,
+        stack: &mut Vec<usize>,
+        sum: u64,
+        target: f64,
+        tol: f64,
+        max: usize,
+        found: &mut Vec<Vec<String>>,
+    ) {
+        if !stack.is_empty() {
+            let s = sum as f64;
+            if s >= target * (1.0 - tol) && s <= target * (1.0 + tol) {
+                found.push(stack.iter().map(|i| entries[*i].0.clone()).collect());
+            }
+        }
+        if stack.len() == max {
+            return;
+        }
+        for i in start..entries.len() {
+            stack.push(i);
+            recurse(entries, i + 1, stack, sum + entries[i].1, target, tol, max, found);
+            stack.pop();
+        }
+    }
+    recurse(entries, 0, &mut stack, 0, target, cfg.tolerance, cfg.max_subset, &mut found);
+    let _ = n;
+    // Prefer the smallest subset; ambiguity = another subset of the same
+    // cardinality also matches.
+    found.sort_by_key(Vec::len);
+    let best = found.first()?.clone();
+    let ambiguous = found.iter().filter(|f| f.len() == best.len()).count() > 1;
+    Some(PartialMatch { labels: best, ambiguous })
+}
+
+/// Runs partial matching over every unidentified unit of a prediction.
+/// Exactly-identified units are passed through as unambiguous singletons.
+pub fn explain_units(
+    units: &[crate::predictor::IdentifiedUnit],
+    map: &SizeMap,
+    cfg: &PartialConfig,
+) -> Vec<(TransmissionUnit, Option<PartialMatch>)> {
+    units
+        .iter()
+        .map(|u| {
+            let m = match &u.label {
+                Some(label) => {
+                    Some(PartialMatch { labels: vec![label.clone()], ambiguous: false })
+                }
+                None => match_unit(&u.unit, map, cfg),
+            };
+            (u.unit, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_netsim::time::SimTime;
+
+    fn unit(est: u64) -> TransmissionUnit {
+        TransmissionUnit {
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(1),
+            estimated_payload: est,
+            records: 1,
+        }
+    }
+
+    fn map() -> SizeMap {
+        SizeMap::new(
+            vec![
+                ("a".into(), 5_000),
+                ("b".into(), 8_000),
+                ("c".into(), 12_000),
+                ("d".into(), 20_000),
+            ],
+            0.03,
+        )
+    }
+
+    #[test]
+    fn single_object_matches_like_exact() {
+        let m = match_unit(&unit(8_100), &map(), &PartialConfig::default()).unwrap();
+        assert_eq!(m.labels, vec!["b"]);
+        assert!(!m.ambiguous);
+    }
+
+    #[test]
+    fn merged_pair_is_decomposed() {
+        // a + c = 17 000
+        let m = match_unit(&unit(17_000), &map(), &PartialConfig::default()).unwrap();
+        assert_eq!(m.labels, vec!["a", "c"]);
+        assert!(!m.ambiguous);
+    }
+
+    #[test]
+    fn merged_triple_is_decomposed() {
+        // a + b + c = 25 000 (and {a,d} = 25 000 too -> ambiguous pair wins)
+        let m = match_unit(&unit(25_000), &map(), &PartialConfig::default()).unwrap();
+        // smallest subset preferred: {a, d} (pair) over {a, b, c} (triple)
+        assert_eq!(m.labels, vec!["a", "d"]);
+    }
+
+    #[test]
+    fn ambiguity_is_flagged() {
+        let map = SizeMap::new(
+            vec![("x".into(), 6_000), ("y".into(), 7_000), ("p".into(), 5_000), ("q".into(), 8_000)],
+            0.01,
+        );
+        // 13 000 = x+y = p+q -> ambiguous
+        let m = match_unit(&unit(13_000), &map, &PartialConfig::default()).unwrap();
+        assert!(m.ambiguous);
+        assert_eq!(m.labels.len(), 2);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        assert!(match_unit(&unit(1_000), &map(), &PartialConfig::default()).is_none());
+        assert!(match_unit(&unit(100_000), &map(), &PartialConfig::default()).is_none());
+    }
+
+    #[test]
+    fn max_subset_limits_search() {
+        let cfg = PartialConfig { max_subset: 1, ..PartialConfig::default() };
+        assert!(match_unit(&unit(17_000), &map(), &cfg).is_none(), "pairs disabled");
+    }
+}

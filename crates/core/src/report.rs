@@ -1,0 +1,96 @@
+//! Plain-text table rendering and JSON export for experiment results.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Renders an ASCII table with a header row.
+///
+/// # Panics
+/// Panics if a row's length differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (cell, w) in cells.iter().zip(&widths) {
+            let _ = write!(s, " {cell:>w$} |", w = w);
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out
+}
+
+/// Formats a float with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Serializes any result set to pretty JSON (for EXPERIMENTS.md tooling).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("results are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["col", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with('+'));
+        assert!(lines[1].contains("col"));
+        assert!(lines[4].contains("12345"));
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        assert!(to_json(&R { x: 7 }).contains("\"x\": 7"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Endpoint behaviour configuration.
+
+use h2priv_netsim::packet::HostAddr;
+use h2priv_netsim::time::SimDuration;
+use h2priv_tcp::TcpConfig;
+
+/// How the server schedules concurrent responses onto the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxPolicy {
+    /// Full HTTP/2 multiplexing: every request gets its own simulated
+    /// worker thread, and queued frames drain round-robin across streams.
+    /// This is the configuration the paper attacks.
+    Concurrent,
+    /// One response at a time, in request order — reproduces HTTP/1.1
+    /// head-of-line behaviour (and is what the paper's adversary forces
+    /// the server into).
+    Serial,
+}
+
+/// Server-side configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Scheduling policy.
+    pub mux: MuxPolicy,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Own address (must match the topology).
+    pub addr: HostAddr,
+    /// The client's address (single-connection model).
+    pub client_addr: HostAddr,
+    /// Stop feeding frames into TCP while more than this many bytes are
+    /// written but untransmitted. Keeping the TCP buffer shallow is what
+    /// lets `RST_STREAM` actually cancel queued object segments (paper
+    /// Section IV-D: "the server ... flushes the corresponding object
+    /// segments from its queue").
+    pub send_watermark: u64,
+    /// Serve every received GET, including duplicates of an object
+    /// already being served (the paper's observed behaviour under
+    /// re-requested GETs, Fig. 4). Disabling deduplicates by object.
+    pub serve_duplicates: bool,
+    /// Server-push manifest: when a GET for the first object arrives,
+    /// the listed children are pushed on server-initiated streams (the
+    /// paper's Section VII suggestion — pushed objects have no GETs for
+    /// the adversary to pace). Empty = push disabled.
+    pub push_manifest: Vec<(h2priv_web::ObjectId, Vec<h2priv_web::ObjectId>)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mux: MuxPolicy::Concurrent,
+            tcp: TcpConfig::default().with_iss(700_000),
+            addr: HostAddr(2),
+            client_addr: HostAddr(1),
+            send_watermark: 32 * 1024,
+            serve_duplicates: true,
+            push_manifest: Vec::new(),
+        }
+    }
+}
+
+/// Client re-request behaviour (the browser retrying an unanswered GET on
+/// a new stream).
+#[derive(Debug, Clone, Copy)]
+pub struct RerequestConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Base wait for the first response byte before retrying.
+    pub timeout: SimDuration,
+    /// Multiplier applied per attempt (and after a stream reset).
+    pub backoff: f64,
+    /// Maximum GET attempts per object before giving up (further recovery
+    /// is left to the stall/reset path).
+    pub max_attempts: u32,
+}
+
+impl Default for RerequestConfig {
+    fn default() -> Self {
+        RerequestConfig {
+            enabled: true,
+            timeout: SimDuration::from_millis(1_200),
+            backoff: 2.0,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Client stall/reset behaviour (RST_STREAM on a lossy channel).
+#[derive(Debug, Clone, Copy)]
+pub struct ResetConfig {
+    /// No progress on an object for this long ⇒ RST all its streams.
+    pub stall_timeout: SimDuration,
+    /// Wait after the reset before re-requesting the object.
+    pub backoff: SimDuration,
+    /// After a reset, all re-request timeouts are scaled by this factor
+    /// (the paper: "the client's TCP stack also increases the timeout for
+    /// fast-retransmits" — modelled at the layer that owns our timers).
+    pub post_reset_timeout_scale: f64,
+    /// Give up on an object after this many resets.
+    pub max_resets_per_object: u32,
+}
+
+impl Default for ResetConfig {
+    fn default() -> Self {
+        ResetConfig {
+            stall_timeout: SimDuration::from_millis(4_500),
+            backoff: SimDuration::from_millis(2_600),
+            post_reset_timeout_scale: 2.0,
+            max_resets_per_object: 3,
+        }
+    }
+}
+
+/// Client-side configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Own address (must match the topology).
+    pub addr: HostAddr,
+    /// The server's address.
+    pub server_addr: HostAddr,
+    /// `:authority` used in requests.
+    pub authority: String,
+    /// Multiplicative jitter (spread) applied to request-pipeline gaps,
+    /// modelling natural browser timing variation.
+    pub gap_jitter: f64,
+    /// Multiplicative jitter (spread) applied to content-discovery gaps
+    /// (preload scanning, script execution) — parse and execution times
+    /// vary far more than request pipelining.
+    pub discovery_jitter: f64,
+    /// Re-request behaviour.
+    pub rerequest: RerequestConfig,
+    /// Stall/reset behaviour.
+    pub reset: ResetConfig,
+    /// Give HTML documents browser-style priority on recovery: their
+    /// re-requests and post-reset re-issues use half the usual waits, so
+    /// the navigation document is refetched before subresources.
+    pub document_priority: bool,
+    /// Connection-level receive window the client grants the server.
+    pub conn_window: u64,
+    /// Send a connection WINDOW_UPDATE after consuming this many bytes.
+    pub window_update_threshold: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            tcp: TcpConfig::default().with_iss(41_000),
+            addr: HostAddr(1),
+            server_addr: HostAddr(2),
+            authority: "www.isidewith.com".into(),
+            gap_jitter: 0.15,
+            discovery_jitter: 0.85,
+            rerequest: RerequestConfig::default(),
+            reset: ResetConfig::default(),
+            document_priority: true,
+            // Firefox grants a very large connection-level window
+            // (~12.5 MB) precisely so that connection flow control never
+            // throttles a page load.
+            conn_window: 12 * 1024 * 1024,
+            window_update_threshold: 256 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = ServerConfig::default();
+        assert_eq!(s.mux, MuxPolicy::Concurrent);
+        assert!(s.serve_duplicates);
+        let c = ClientConfig::default();
+        assert!(c.rerequest.enabled);
+        assert!(c.conn_window > c.window_update_threshold);
+        assert!(c.reset.stall_timeout > c.rerequest.timeout);
+    }
+}

@@ -1,0 +1,200 @@
+//! Connection-level machinery shared by both endpoints: the frame output
+//! scheduler (round-robin across streams — the mechanism that interleaves
+//! object segments on the wire) and connection-level flow control.
+
+use crate::frame::Frame;
+use crate::stream::StreamId;
+use h2priv_tls::RecordTag;
+use std::collections::{HashMap, VecDeque};
+
+/// RFC 7540 initial connection flow-control window.
+pub const INITIAL_CONNECTION_WINDOW: u64 = 65_535;
+
+/// A frame queued for transmission, with its ground-truth label.
+#[derive(Debug, Clone)]
+pub struct QueuedFrame {
+    /// The frame.
+    pub frame: Frame,
+    /// Ground-truth tag recorded in the TLS wire map when sealed.
+    pub tag: RecordTag,
+}
+
+/// Per-stream frame queues drained round-robin.
+///
+/// This is where HTTP/2 multiplexing becomes *wire* interleaving: when
+/// several worker threads have queued DATA, one frame per stream is
+/// released in rotation. It is also where `RST_STREAM` takes effect:
+/// [`OutputScheduler::clear_stream`] drops everything still queued for a
+/// stream (paper Section IV-D).
+#[derive(Debug, Default)]
+pub struct OutputScheduler {
+    queues: HashMap<StreamId, VecDeque<QueuedFrame>>,
+    /// Round-robin rotation of streams with queued frames.
+    rotation: VecDeque<StreamId>,
+}
+
+impl OutputScheduler {
+    /// An empty scheduler.
+    pub fn new() -> OutputScheduler {
+        OutputScheduler::default()
+    }
+
+    /// Queues `frame` on its stream.
+    pub fn enqueue(&mut self, frame: Frame, tag: RecordTag) {
+        let stream = frame.stream_id();
+        let q = self.queues.entry(stream).or_default();
+        if q.is_empty() && !self.rotation.contains(&stream) {
+            self.rotation.push_back(stream);
+        }
+        q.push_back(QueuedFrame { frame, tag });
+    }
+
+    /// Removes every queued frame of `stream`; returns how many DATA
+    /// payload bytes were flushed.
+    pub fn clear_stream(&mut self, stream: StreamId) -> u64 {
+        let mut flushed = 0;
+        if let Some(q) = self.queues.remove(&stream) {
+            for qf in q {
+                if let Frame::Data { len, .. } = qf.frame {
+                    flushed += len as u64;
+                }
+            }
+        }
+        self.rotation.retain(|s| *s != stream);
+        flushed
+    }
+
+    /// Pops the next frame in round-robin order. DATA frames are only
+    /// eligible if they fit in `conn_window` bytes of connection-level
+    /// send window; control frames always pass. Returns `None` when
+    /// nothing is eligible.
+    pub fn pop_next(&mut self, conn_window: u64) -> Option<QueuedFrame> {
+        let mut tried = 0;
+        let total = self.rotation.len();
+        while tried < total {
+            let stream = *self.rotation.front().expect("rotation non-empty");
+            let q = self.queues.get_mut(&stream).expect("queue exists");
+            let eligible = match q.front().expect("queue non-empty").frame {
+                Frame::Data { len, .. } => len as u64 <= conn_window,
+                _ => true,
+            };
+            if eligible {
+                let qf = q.pop_front().expect("non-empty");
+                self.rotation.pop_front();
+                if q.is_empty() {
+                    self.queues.remove(&stream);
+                } else {
+                    self.rotation.push_back(stream);
+                }
+                return Some(qf);
+            }
+            // Blocked by flow control: rotate and try the next stream.
+            self.rotation.rotate_left(1);
+            tried += 1;
+        }
+        None
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Total queued DATA payload bytes (for tests and watermarks).
+    pub fn queued_data_bytes(&self) -> u64 {
+        self.queues
+            .values()
+            .flatten()
+            .map(|qf| match qf.frame {
+                Frame::Data { len, .. } => len as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Streams currently holding queued frames.
+    pub fn active_streams(&self) -> Vec<StreamId> {
+        let mut v: Vec<StreamId> = self.queues.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_tls::RecordTag;
+
+    fn data(stream: u32, len: u32) -> Frame {
+        Frame::Data { stream: StreamId(stream), len, end_stream: false }
+    }
+
+    #[test]
+    fn round_robin_alternates_streams() {
+        let mut s = OutputScheduler::new();
+        for i in 0..3 {
+            s.enqueue(data(1, 100 + i), RecordTag::NONE);
+            s.enqueue(data(3, 200 + i), RecordTag::NONE);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop_next(u64::MAX))
+            .map(|qf| qf.frame.stream_id().0)
+            .collect();
+        assert_eq!(order, vec![1, 3, 1, 3, 1, 3]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_stream_drains_fifo() {
+        let mut s = OutputScheduler::new();
+        for len in [10, 20, 30] {
+            s.enqueue(data(5, len), RecordTag::NONE);
+        }
+        let lens: Vec<u32> = std::iter::from_fn(|| s.pop_next(u64::MAX))
+            .map(|qf| match qf.frame {
+                Frame::Data { len, .. } => len,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lens, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn clear_stream_flushes_only_that_stream() {
+        let mut s = OutputScheduler::new();
+        s.enqueue(data(1, 1000), RecordTag::NONE);
+        s.enqueue(data(3, 500), RecordTag::NONE);
+        s.enqueue(data(3, 500), RecordTag::NONE);
+        assert_eq!(s.clear_stream(StreamId(3)), 1000);
+        let remaining: Vec<u32> = std::iter::from_fn(|| s.pop_next(u64::MAX))
+            .map(|qf| qf.frame.stream_id().0)
+            .collect();
+        assert_eq!(remaining, vec![1]);
+    }
+
+    #[test]
+    fn flow_control_blocks_data_but_not_control() {
+        let mut s = OutputScheduler::new();
+        s.enqueue(data(1, 5_000), RecordTag::NONE);
+        s.enqueue(
+            Frame::WindowUpdate { stream: StreamId(0), increment: 100 },
+            RecordTag::NONE,
+        );
+        // Window too small for the DATA frame: the control frame on
+        // stream 0 must still come out.
+        let first = s.pop_next(1_000).expect("control frame eligible");
+        assert!(matches!(first.frame, Frame::WindowUpdate { .. }));
+        assert!(s.pop_next(1_000).is_none(), "DATA must stay blocked");
+        let second = s.pop_next(5_000).expect("window now fits");
+        assert!(matches!(second.frame, Frame::Data { .. }));
+    }
+
+    #[test]
+    fn queued_data_bytes_counts_only_data() {
+        let mut s = OutputScheduler::new();
+        s.enqueue(data(1, 100), RecordTag::NONE);
+        s.enqueue(Frame::Ping { ack: false }, RecordTag::NONE);
+        s.enqueue(data(3, 50), RecordTag::NONE);
+        assert_eq!(s.queued_data_bytes(), 150);
+        assert_eq!(s.active_streams(), vec![StreamId(0), StreamId(1), StreamId(3)]);
+    }
+}

@@ -1,0 +1,469 @@
+//! HTTP/2 frame types and their wire encoding (RFC 7540 §4).
+//!
+//! Every frame is `9-byte header + payload`. DATA payloads are synthetic
+//! (zero bytes of the right length): the simulation cares about *sizes on
+//! the wire*, not content. Everything else round-trips exactly.
+
+use crate::stream::StreamId;
+use bytes::{BufMut, Bytes, BytesMut};
+use core::fmt;
+
+/// Length of the fixed frame header.
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// Frame type codes (RFC 7540 §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameType {
+    /// DATA(0x0)
+    Data = 0x0,
+    /// HEADERS(0x1)
+    Headers = 0x1,
+    /// PUSH_PROMISE(0x5)
+    PushPromise = 0x5,
+    /// PRIORITY(0x2)
+    Priority = 0x2,
+    /// RST_STREAM(0x3)
+    RstStream = 0x3,
+    /// SETTINGS(0x4)
+    Settings = 0x4,
+    /// PING(0x6)
+    Ping = 0x6,
+    /// GOAWAY(0x7)
+    GoAway = 0x7,
+    /// WINDOW_UPDATE(0x8)
+    WindowUpdate = 0x8,
+}
+
+impl FrameType {
+    fn from_byte(b: u8) -> Option<FrameType> {
+        Some(match b {
+            0x0 => FrameType::Data,
+            0x1 => FrameType::Headers,
+            0x5 => FrameType::PushPromise,
+            0x2 => FrameType::Priority,
+            0x3 => FrameType::RstStream,
+            0x4 => FrameType::Settings,
+            0x6 => FrameType::Ping,
+            0x7 => FrameType::GoAway,
+            0x8 => FrameType::WindowUpdate,
+            _ => return None,
+        })
+    }
+}
+
+/// HTTP/2 error codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum ErrorCode {
+    /// Graceful shutdown.
+    NoError = 0x0,
+    /// Protocol error detected.
+    ProtocolError = 0x1,
+    /// The endpoint is no longer interested in the stream — what a
+    /// browser sends when it gives up on a stalled resource.
+    Cancel = 0x8,
+    /// Stream refused before processing.
+    RefusedStream = 0x7,
+    /// The endpoint detected excessive load.
+    EnhanceYourCalm = 0xb,
+}
+
+impl ErrorCode {
+    fn from_u32(v: u32) -> ErrorCode {
+        match v {
+            0x1 => ErrorCode::ProtocolError,
+            0x7 => ErrorCode::RefusedStream,
+            0x8 => ErrorCode::Cancel,
+            0xb => ErrorCode::EnhanceYourCalm,
+            _ => ErrorCode::NoError,
+        }
+    }
+}
+
+const FLAG_END_STREAM: u8 = 0x1;
+const FLAG_ACK: u8 = 0x1;
+const FLAG_END_HEADERS: u8 = 0x4;
+
+/// One HTTP/2 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// DATA: `len` synthetic payload bytes on `stream`.
+    Data {
+        /// Carrying stream.
+        stream: StreamId,
+        /// Payload length in bytes.
+        len: u32,
+        /// END_STREAM flag.
+        end_stream: bool,
+    },
+    /// HEADERS with an HPACK block (always carries END_HEADERS here; no
+    /// CONTINUATION in the model).
+    Headers {
+        /// Carrying stream.
+        stream: StreamId,
+        /// Encoded header block.
+        block: Bytes,
+        /// END_STREAM flag.
+        end_stream: bool,
+    },
+    /// PRIORITY (exclusive bit folded into `dependency`'s high bit).
+    Priority {
+        /// Prioritised stream.
+        stream: StreamId,
+        /// Stream this one depends on.
+        dependency: u32,
+        /// Weight (0-255 encoding 1-256).
+        weight: u8,
+    },
+    /// RST_STREAM.
+    RstStream {
+        /// Stream being reset.
+        stream: StreamId,
+        /// Reason.
+        error: ErrorCode,
+    },
+    /// SETTINGS (identifier/value pairs) or its ACK.
+    Settings {
+        /// ACK flag (an ACK carries no parameters).
+        ack: bool,
+        /// Parameter pairs.
+        params: Vec<(u16, u32)>,
+    },
+    /// PING or its ACK.
+    Ping {
+        /// ACK flag.
+        ack: bool,
+    },
+    /// GOAWAY.
+    GoAway {
+        /// Highest processed stream.
+        last_stream: StreamId,
+        /// Reason.
+        error: ErrorCode,
+    },
+    /// WINDOW_UPDATE.
+    WindowUpdate {
+        /// Stream (0 = connection window).
+        stream: StreamId,
+        /// Window increment in bytes.
+        increment: u32,
+    },
+    /// PUSH_PROMISE: the server announces it will push the resource
+    /// described by `block` on `promised` (an even, server-initiated
+    /// stream), associated with the client's request stream `stream`.
+    PushPromise {
+        /// The client-initiated stream the promise rides on.
+        stream: StreamId,
+        /// The reserved server-initiated stream.
+        promised: StreamId,
+        /// HPACK block of the pushed request's headers.
+        block: Bytes,
+    },
+}
+
+impl Frame {
+    /// The frame's stream id (0 for connection-level frames).
+    pub fn stream_id(&self) -> StreamId {
+        match self {
+            Frame::Data { stream, .. }
+            | Frame::Headers { stream, .. }
+            | Frame::Priority { stream, .. }
+            | Frame::RstStream { stream, .. }
+            | Frame::PushPromise { stream, .. }
+            | Frame::WindowUpdate { stream, .. } => *stream,
+            Frame::Settings { .. } | Frame::Ping { .. } | Frame::GoAway { .. } => {
+                StreamId::CONNECTION
+            }
+        }
+    }
+
+    /// The frame's type code.
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Frame::Data { .. } => FrameType::Data,
+            Frame::Headers { .. } => FrameType::Headers,
+            Frame::Priority { .. } => FrameType::Priority,
+            Frame::RstStream { .. } => FrameType::RstStream,
+            Frame::Settings { .. } => FrameType::Settings,
+            Frame::Ping { .. } => FrameType::Ping,
+            Frame::GoAway { .. } => FrameType::GoAway,
+            Frame::WindowUpdate { .. } => FrameType::WindowUpdate,
+            Frame::PushPromise { .. } => FrameType::PushPromise,
+        }
+    }
+
+    /// Serializes the frame (header + payload).
+    pub fn encode(&self) -> Bytes {
+        let (ty, flags, payload): (FrameType, u8, Bytes) = match self {
+            Frame::Data { len, end_stream, .. } => (
+                FrameType::Data,
+                if *end_stream { FLAG_END_STREAM } else { 0 },
+                Bytes::from(vec![0u8; *len as usize]),
+            ),
+            Frame::Headers { block, end_stream, .. } => (
+                FrameType::Headers,
+                FLAG_END_HEADERS | if *end_stream { FLAG_END_STREAM } else { 0 },
+                block.clone(),
+            ),
+            Frame::Priority { dependency, weight, .. } => {
+                let mut b = BytesMut::with_capacity(5);
+                b.put_u32(*dependency);
+                b.put_u8(*weight);
+                (FrameType::Priority, 0, b.freeze())
+            }
+            Frame::RstStream { error, .. } => {
+                let mut b = BytesMut::with_capacity(4);
+                b.put_u32(*error as u32);
+                (FrameType::RstStream, 0, b.freeze())
+            }
+            Frame::Settings { ack, params } => {
+                let mut b = BytesMut::with_capacity(params.len() * 6);
+                if !ack {
+                    for (id, val) in params {
+                        b.put_u16(*id);
+                        b.put_u32(*val);
+                    }
+                }
+                (FrameType::Settings, if *ack { FLAG_ACK } else { 0 }, b.freeze())
+            }
+            Frame::Ping { ack } => (
+                FrameType::Ping,
+                if *ack { FLAG_ACK } else { 0 },
+                Bytes::from_static(&[0u8; 8]),
+            ),
+            Frame::GoAway { last_stream, error } => {
+                let mut b = BytesMut::with_capacity(8);
+                b.put_u32(last_stream.0);
+                b.put_u32(*error as u32);
+                (FrameType::GoAway, 0, b.freeze())
+            }
+            Frame::WindowUpdate { increment, .. } => {
+                let mut b = BytesMut::with_capacity(4);
+                b.put_u32(*increment);
+                (FrameType::WindowUpdate, 0, b.freeze())
+            }
+            Frame::PushPromise { promised, block, .. } => {
+                let mut b = BytesMut::with_capacity(4 + block.len());
+                b.put_u32(promised.0 & 0x7fff_ffff);
+                b.extend_from_slice(block);
+                (FrameType::PushPromise, FLAG_END_HEADERS, b.freeze())
+            }
+        };
+        let mut out = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
+        let len = payload.len() as u32;
+        out.put_u8((len >> 16) as u8);
+        out.put_u8((len >> 8) as u8);
+        out.put_u8(len as u8);
+        out.put_u8(ty as u8);
+        out.put_u8(flags);
+        out.put_u32(self.stream_id().0 & 0x7fff_ffff);
+        out.extend_from_slice(&payload);
+        out.freeze()
+    }
+
+    /// Parses one complete frame from `bytes`.
+    ///
+    /// Returns the frame and the number of bytes consumed, or `None` if
+    /// `bytes` does not hold a complete, well-formed frame.
+    pub fn decode(bytes: &[u8]) -> Option<(Frame, usize)> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return None;
+        }
+        let len =
+            ((bytes[0] as usize) << 16) | ((bytes[1] as usize) << 8) | bytes[2] as usize;
+        let ty = FrameType::from_byte(bytes[3])?;
+        let flags = bytes[4];
+        let stream = StreamId(u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) & 0x7fff_ffff);
+        let total = FRAME_HEADER_LEN + len;
+        if bytes.len() < total {
+            return None;
+        }
+        let payload = &bytes[FRAME_HEADER_LEN..total];
+        let frame = match ty {
+            FrameType::Data => Frame::Data {
+                stream,
+                len: len as u32,
+                end_stream: flags & FLAG_END_STREAM != 0,
+            },
+            FrameType::Headers => Frame::Headers {
+                stream,
+                block: Bytes::copy_from_slice(payload),
+                end_stream: flags & FLAG_END_STREAM != 0,
+            },
+            FrameType::Priority => {
+                if payload.len() != 5 {
+                    return None;
+                }
+                Frame::Priority {
+                    stream,
+                    dependency: u32::from_be_bytes(payload[0..4].try_into().ok()?),
+                    weight: payload[4],
+                }
+            }
+            FrameType::RstStream => {
+                if payload.len() != 4 {
+                    return None;
+                }
+                Frame::RstStream {
+                    stream,
+                    error: ErrorCode::from_u32(u32::from_be_bytes(payload.try_into().ok()?)),
+                }
+            }
+            FrameType::Settings => {
+                let ack = flags & FLAG_ACK != 0;
+                if payload.len() % 6 != 0 {
+                    return None;
+                }
+                let params = payload
+                    .chunks_exact(6)
+                    .map(|c| {
+                        (
+                            u16::from_be_bytes([c[0], c[1]]),
+                            u32::from_be_bytes([c[2], c[3], c[4], c[5]]),
+                        )
+                    })
+                    .collect();
+                Frame::Settings { ack, params }
+            }
+            FrameType::Ping => Frame::Ping { ack: flags & FLAG_ACK != 0 },
+            FrameType::GoAway => {
+                if payload.len() < 8 {
+                    return None;
+                }
+                Frame::GoAway {
+                    last_stream: StreamId(
+                        u32::from_be_bytes(payload[0..4].try_into().ok()?) & 0x7fff_ffff,
+                    ),
+                    error: ErrorCode::from_u32(u32::from_be_bytes(payload[4..8].try_into().ok()?)),
+                }
+            }
+            FrameType::WindowUpdate => {
+                if payload.len() != 4 {
+                    return None;
+                }
+                Frame::WindowUpdate {
+                    stream,
+                    increment: u32::from_be_bytes(payload.try_into().ok()?),
+                }
+            }
+            FrameType::PushPromise => {
+                if payload.len() < 4 {
+                    return None;
+                }
+                Frame::PushPromise {
+                    stream,
+                    promised: StreamId(
+                        u32::from_be_bytes(payload[0..4].try_into().ok()?) & 0x7fff_ffff,
+                    ),
+                    block: Bytes::copy_from_slice(&payload[4..]),
+                }
+            }
+        };
+        Some((frame, total))
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Frame::Data { stream, len, end_stream } => {
+                write!(f, "DATA[{stream} len={len}{}]", if *end_stream { " ES" } else { "" })
+            }
+            Frame::Headers { stream, block, end_stream } => write!(
+                f,
+                "HEADERS[{stream} len={}{}]",
+                block.len(),
+                if *end_stream { " ES" } else { "" }
+            ),
+            Frame::Priority { stream, .. } => write!(f, "PRIORITY[{stream}]"),
+            Frame::RstStream { stream, error } => write!(f, "RST_STREAM[{stream} {error:?}]"),
+            Frame::Settings { ack, .. } => write!(f, "SETTINGS[ack={ack}]"),
+            Frame::Ping { ack } => write!(f, "PING[ack={ack}]"),
+            Frame::GoAway { last_stream, .. } => write!(f, "GOAWAY[last={last_stream}]"),
+            Frame::WindowUpdate { stream, increment } => {
+                write!(f, "WINDOW_UPDATE[{stream} +{increment}]")
+            }
+            Frame::PushPromise { stream, promised, .. } => {
+                write!(f, "PUSH_PROMISE[{stream} -> {promised}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(f: Frame) {
+        let enc = f.encode();
+        let (dec, used) = Frame::decode(&enc).expect("decodes");
+        assert_eq!(used, enc.len());
+        assert_eq!(dec, f);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(Frame::Data { stream: StreamId(5), len: 1234, end_stream: true });
+        roundtrip(Frame::Headers {
+            stream: StreamId(1),
+            block: Bytes::from_static(b"\x82\x87hello"),
+            end_stream: false,
+        });
+        roundtrip(Frame::Priority { stream: StreamId(3), dependency: 0x8000_0001, weight: 200 });
+        roundtrip(Frame::RstStream { stream: StreamId(7), error: ErrorCode::Cancel });
+        roundtrip(Frame::Settings { ack: false, params: vec![(3, 100), (4, 65_535)] });
+        roundtrip(Frame::Settings { ack: true, params: vec![] });
+        roundtrip(Frame::Ping { ack: true });
+        roundtrip(Frame::GoAway { last_stream: StreamId(9), error: ErrorCode::NoError });
+        roundtrip(Frame::WindowUpdate { stream: StreamId(0), increment: 1 << 20 });
+        roundtrip(Frame::PushPromise {
+            stream: StreamId(5),
+            promised: StreamId(2),
+            block: Bytes::from_static(b"\x82\x87promise"),
+        });
+    }
+
+    #[test]
+    fn decode_partial_returns_none() {
+        let enc = Frame::Data { stream: StreamId(1), len: 100, end_stream: false }.encode();
+        assert!(Frame::decode(&enc[..enc.len() - 1]).is_none());
+        assert!(Frame::decode(&enc[..4]).is_none());
+    }
+
+    #[test]
+    fn decode_consumes_exact_length_with_trailing_bytes() {
+        let enc = Frame::Ping { ack: false }.encode();
+        let mut buf = enc.to_vec();
+        buf.extend_from_slice(&[1, 2, 3]);
+        let (f, used) = Frame::decode(&buf).unwrap();
+        assert_eq!(f, Frame::Ping { ack: false });
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn data_wire_size_is_header_plus_len() {
+        let enc = Frame::Data { stream: StreamId(1), len: 2048, end_stream: false }.encode();
+        assert_eq!(enc.len(), FRAME_HEADER_LEN + 2048);
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut enc = Frame::Ping { ack: false }.encode().to_vec();
+        enc[3] = 0x9; // CONTINUATION unsupported in the model
+        assert!(Frame::decode(&enc).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn data_roundtrip_any_len(len in 0u32..20_000, stream in 1u32..1_000, es: bool) {
+            roundtrip(Frame::Data { stream: StreamId(stream), len, end_stream: es });
+        }
+
+        #[test]
+        fn settings_roundtrip(params in proptest::collection::vec((any::<u16>(), any::<u32>()), 0..8)) {
+            roundtrip(Frame::Settings { ack: false, params });
+        }
+    }
+}

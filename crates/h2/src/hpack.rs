@@ -1,0 +1,348 @@
+//! A minimal HPACK (RFC 7541) implementation: static table + literal
+//! fields, no dynamic table, no Huffman coding.
+//!
+//! Real header compression only matters here because it determines the
+//! *sizes* of request/response HEADERS records on the wire — the paper's
+//! traffic monitor distinguishes GET-carrying records from HTTP/2 control
+//! records purely by TLS record length. A stateless HPACK produces
+//! realistic (slightly conservative) sizes while keeping the codec
+//! exactly invertible.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// The subset of the RFC 7541 static table this codec uses. Index = 1 +
+/// position in this slice (HPACK indices are 1-based).
+const STATIC_TABLE: &[(&str, &str)] = &[
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+];
+
+/// Encodes an HPACK integer with an `n`-bit prefix into `out`, with
+/// `mask` providing the pattern bits above the prefix.
+fn encode_int(out: &mut BytesMut, mask: u8, n: u8, mut value: usize) {
+    let limit = (1usize << n) - 1;
+    if value < limit {
+        out.put_u8(mask | value as u8);
+        return;
+    }
+    out.put_u8(mask | limit as u8);
+    value -= limit;
+    while value >= 128 {
+        out.put_u8((value % 128) as u8 | 0x80);
+        value /= 128;
+    }
+    out.put_u8(value as u8);
+}
+
+/// Decodes an HPACK integer with an `n`-bit prefix. Returns (value,
+/// bytes consumed).
+fn decode_int(buf: &[u8], n: u8) -> Option<(usize, usize)> {
+    let limit = (1usize << n) - 1;
+    let first = *buf.first()? as usize & limit;
+    if first < limit {
+        return Some((first, 1));
+    }
+    let mut value = limit;
+    let mut shift = 0u32;
+    for (i, b) in buf.iter().enumerate().skip(1) {
+        value += ((*b & 0x7f) as usize) << shift;
+        shift += 7;
+        if b & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        if shift > 28 {
+            return None; // absurd integer: corrupt block
+        }
+    }
+    None
+}
+
+fn encode_string(out: &mut BytesMut, s: &str) {
+    encode_int(out, 0x00, 7, s.len()); // H bit clear: raw bytes
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_string(buf: &[u8]) -> Option<(String, usize)> {
+    let huffman = *buf.first()? & 0x80 != 0;
+    if huffman {
+        return None; // not produced by this encoder
+    }
+    let (len, used) = decode_int(buf, 7)?;
+    let end = used + len;
+    if buf.len() < end {
+        return None;
+    }
+    let s = String::from_utf8(buf[used..end].to_vec()).ok()?;
+    Some((s, end))
+}
+
+fn find_exact(name: &str, value: &str) -> Option<usize> {
+    STATIC_TABLE.iter().position(|(n, v)| *n == name && *v == value).map(|i| i + 1)
+}
+
+fn find_name(name: &str) -> Option<usize> {
+    STATIC_TABLE.iter().position(|(n, _)| *n == name).map(|i| i + 1)
+}
+
+/// Encodes a header list into an HPACK block (stateless; never updates a
+/// dynamic table).
+pub fn encode(headers: &[(&str, &str)]) -> Bytes {
+    let mut out = BytesMut::new();
+    for (name, value) in headers {
+        if let Some(idx) = find_exact(name, value) {
+            // Indexed field: '1' + 7-bit index.
+            encode_int(&mut out, 0x80, 7, idx);
+        } else if let Some(idx) = find_name(name) {
+            // Literal without indexing, indexed name: '0000' + 4-bit index.
+            encode_int(&mut out, 0x00, 4, idx);
+            encode_string(&mut out, value);
+        } else {
+            // Literal without indexing, new name.
+            out.put_u8(0x00);
+            encode_string(&mut out, name);
+            encode_string(&mut out, value);
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes an HPACK block produced by [`encode`].
+///
+/// Returns `None` on malformed input (including encodings this codec
+/// never produces, e.g. dynamic-table references).
+pub fn decode(block: &[u8]) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut buf = block;
+    while !buf.is_empty() {
+        let b = buf[0];
+        if b & 0x80 != 0 {
+            // Indexed field.
+            let (idx, used) = decode_int(buf, 7)?;
+            if idx == 0 || idx > STATIC_TABLE.len() {
+                return None;
+            }
+            let (n, v) = STATIC_TABLE[idx - 1];
+            out.push((n.to_string(), v.to_string()));
+            buf = &buf[used..];
+        } else if b & 0xf0 == 0x00 {
+            // Literal without indexing.
+            let (idx, used) = decode_int(buf, 4)?;
+            buf = &buf[used..];
+            let name = if idx == 0 {
+                let (n, used) = decode_string(buf)?;
+                buf = &buf[used..];
+                n
+            } else {
+                if idx > STATIC_TABLE.len() {
+                    return None;
+                }
+                STATIC_TABLE[idx - 1].0.to_string()
+            };
+            let (value, used) = decode_string(buf)?;
+            buf = &buf[used..];
+            out.push((name, value));
+        } else {
+            return None; // encodings we never produce
+        }
+    }
+    Some(out)
+}
+
+/// A parsed GET request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `:authority` pseudo-header.
+    pub authority: String,
+    /// `:path` pseudo-header.
+    pub path: String,
+}
+
+/// Encodes a Firefox-like GET request header block.
+pub fn encode_request(authority: &str, path: &str) -> Bytes {
+    encode(&[
+        (":method", "GET"),
+        (":scheme", "https"),
+        (":authority", authority),
+        (":path", path),
+        ("accept-encoding", "gzip, deflate"),
+        ("user-agent", "Mozilla/5.0 (X11; Linux x86_64; rv:74.0) Gecko/20100101 Firefox/74.0"),
+    ])
+}
+
+/// Parses a request block produced by [`encode_request`].
+pub fn decode_request(block: &[u8]) -> Option<Request> {
+    let headers = decode(block)?;
+    let get = |k: &str| headers.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+    if get(":method")? != "GET" {
+        return None;
+    }
+    Some(Request { authority: get(":authority")?, path: get(":path")? })
+}
+
+/// Encodes a 200 response header block with a content length.
+pub fn encode_response(content_length: u64, content_type: &str) -> Bytes {
+    let cl = content_length.to_string();
+    encode(&[
+        (":status", "200"),
+        ("content-type", content_type),
+        ("content-length", &cl),
+        ("server", "nginx/1.16.1"),
+        ("cache-control", "no-cache"),
+    ])
+}
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// `:status` code.
+    pub status: u16,
+    /// `content-length` if present.
+    pub content_length: Option<u64>,
+}
+
+/// Parses a response block produced by [`encode_response`].
+pub fn decode_response(block: &[u8]) -> Option<Response> {
+    let headers = decode(block)?;
+    let get = |k: &str| headers.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+    Some(Response {
+        status: get(":status")?.parse().ok()?,
+        content_length: get("content-length").and_then(|v| v.parse().ok()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integer_codec_boundaries() {
+        let mut b = BytesMut::new();
+        encode_int(&mut b, 0x80, 7, 126);
+        assert_eq!(&b[..], &[0x80 | 126]);
+        let mut b = BytesMut::new();
+        encode_int(&mut b, 0x80, 7, 127);
+        assert_eq!(&b[..], &[0xff, 0x00]);
+        let mut b = BytesMut::new();
+        // 1337 with a 4-bit prefix: 15, then 1322 = 0x2a | 0x80, 0x0a.
+        encode_int(&mut b, 0x00, 4, 1337);
+        assert_eq!(&b[..], &[0x0f, 0xaa, 0x0a]);
+        assert_eq!(decode_int(&[0x0f, 0xaa, 0x0a], 4), Some((1337, 3)));
+        // RFC 7541 C.1.2 (5-bit prefix).
+        let mut b = BytesMut::new();
+        encode_int(&mut b, 0x00, 5, 1337);
+        assert_eq!(&b[..], &[0x1f, 0x9a, 0x0a]);
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let block = encode_request("www.isidewith.com", "/results/2020");
+        let req = decode_request(&block).expect("decodes");
+        assert_eq!(req.authority, "www.isidewith.com");
+        assert_eq!(req.path, "/results/2020");
+        // Realistic GET size: comfortably bigger than control frames.
+        assert!(block.len() > 60 && block.len() < 300, "block len {}", block.len());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let block = encode_response(9_500, "text/html");
+        let resp = decode_response(&block).expect("decodes");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_length, Some(9_500));
+    }
+
+    #[test]
+    fn exact_static_match_is_one_byte() {
+        let block = encode(&[(":method", "GET")]);
+        assert_eq!(block.len(), 1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(&[0x40, 0xff]), None); // incremental indexing unsupported
+        assert_eq!(decode(&[0x00, 0x85, 0x01]), None); // Huffman flag set
+    }
+
+    proptest! {
+        #[test]
+        fn int_roundtrip(v in 0usize..10_000_000, n in 1u8..8) {
+            let mut b = BytesMut::new();
+            encode_int(&mut b, 0, n, v);
+            prop_assert_eq!(decode_int(&b, n), Some((v, b.len())));
+        }
+
+        #[test]
+        fn header_roundtrip(path in "[a-z0-9/._-]{1,64}", val in "[ -~]{0,48}") {
+            let hs = vec![
+                (":method", "GET"),
+                (":path", path.as_str()),
+                ("x-custom-header", val.as_str()),
+            ];
+            let block = encode(&hs);
+            let dec = decode(&block).expect("roundtrip");
+            let expect: Vec<(String, String)> =
+                hs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+            prop_assert_eq!(dec, expect);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! HTTP/2 stream identifiers and the stream state machine (RFC 7540 §5.1).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An HTTP/2 stream identifier. Client-initiated streams are odd;
+/// stream 0 is the connection itself.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The connection control stream.
+    pub const CONNECTION: StreamId = StreamId(0);
+
+    /// `true` for client-initiated stream ids.
+    pub fn is_client_initiated(self) -> bool {
+        self.0 % 2 == 1
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Allocates successive client stream ids (1, 3, 5, ...).
+#[derive(Debug, Clone)]
+pub struct StreamIdAllocator {
+    next: u32,
+}
+
+impl StreamIdAllocator {
+    /// A fresh client-side allocator.
+    pub fn client() -> StreamIdAllocator {
+        StreamIdAllocator { next: 1 }
+    }
+
+    /// A fresh server-side allocator (even ids, for pushed streams).
+    pub fn server_push() -> StreamIdAllocator {
+        StreamIdAllocator { next: 2 }
+    }
+
+    /// Returns the next id.
+    pub fn next_id(&mut self) -> StreamId {
+        let id = StreamId(self.next);
+        self.next += 2;
+        id
+    }
+}
+
+/// Stream lifecycle states (condensed RFC 7540 §5.1 set, receiver view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// No frames exchanged yet.
+    Idle,
+    /// Request sent/received, response not finished.
+    Open,
+    /// We sent END_STREAM, peer has not.
+    HalfClosedLocal,
+    /// Peer sent END_STREAM, we have not.
+    HalfClosedRemote,
+    /// Fully closed (END_STREAM both ways or RST_STREAM).
+    Closed,
+}
+
+impl StreamState {
+    /// Transition on sending END_STREAM.
+    pub fn on_local_end(self) -> StreamState {
+        match self {
+            StreamState::Idle | StreamState::Open => StreamState::HalfClosedLocal,
+            StreamState::HalfClosedRemote => StreamState::Closed,
+            s => s,
+        }
+    }
+
+    /// Transition on receiving END_STREAM.
+    pub fn on_remote_end(self) -> StreamState {
+        match self {
+            StreamState::Idle | StreamState::Open => StreamState::HalfClosedRemote,
+            StreamState::HalfClosedLocal => StreamState::Closed,
+            s => s,
+        }
+    }
+
+    /// Transition on RST_STREAM (either direction).
+    pub fn on_reset(self) -> StreamState {
+        StreamState::Closed
+    }
+
+    /// `true` if more frames may arrive from the peer.
+    pub fn peer_may_send(self) -> bool {
+        matches!(self, StreamState::Idle | StreamState::Open | StreamState::HalfClosedLocal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_yields_odd_ids() {
+        let mut a = StreamIdAllocator::client();
+        let ids: Vec<u32> = (0..4).map(|_| a.next_id().0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7]);
+        assert!(StreamId(3).is_client_initiated());
+        assert!(!StreamId(2).is_client_initiated());
+    }
+
+    #[test]
+    fn push_allocator_yields_even_ids() {
+        let mut a = StreamIdAllocator::server_push();
+        let ids: Vec<u32> = (0..3).map(|_| a.next_id().0).collect();
+        assert_eq!(ids, vec![2, 4, 6]);
+        assert!(ids.iter().all(|i| !StreamId(*i).is_client_initiated()));
+    }
+
+    #[test]
+    fn full_lifecycle_request_response() {
+        // Client view: send request with END_STREAM, then receive
+        // response END_STREAM.
+        let s = StreamState::Idle;
+        let s = s.on_local_end();
+        assert_eq!(s, StreamState::HalfClosedLocal);
+        assert!(s.peer_may_send());
+        let s = s.on_remote_end();
+        assert_eq!(s, StreamState::Closed);
+        assert!(!s.peer_may_send());
+    }
+
+    #[test]
+    fn reset_closes_from_any_state() {
+        for s in [
+            StreamState::Idle,
+            StreamState::Open,
+            StreamState::HalfClosedLocal,
+            StreamState::HalfClosedRemote,
+            StreamState::Closed,
+        ] {
+            assert_eq!(s.on_reset(), StreamState::Closed);
+        }
+    }
+}

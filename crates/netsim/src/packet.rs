@@ -1,0 +1,245 @@
+//! Wire packets and their cleartext headers.
+//!
+//! The simulator carries TCP/IP-shaped packets. Only the parts of a packet
+//! that a real on-path eavesdropper could read are modelled as structured
+//! fields ([`TcpHeader`], sizes); the payload is an opaque byte buffer that
+//! in a real deployment would be TLS ciphertext. Higher layers (the
+//! `h2priv-tls` crate) additionally keep the 5-byte TLS record headers in
+//! the clear inside the payload, exactly as TLS 1.2 does on the wire.
+
+use bytes::Bytes;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Bytes of link + network + transport header overhead per packet on the
+/// wire (14 Ethernet + 20 IPv4 + 20 TCP, ignoring options).
+pub const WIRE_OVERHEAD: u32 = 54;
+
+/// A host address in the simulated network.
+///
+/// Addresses are small integers; the topology builder assigns them. Display
+/// renders them as `h<N>` for readable traces.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HostAddr(pub u16);
+
+impl fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A TCP flow 4-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowId {
+    /// Source host.
+    pub src: HostAddr,
+    /// Destination host.
+    pub dst: HostAddr,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+}
+
+impl FlowId {
+    /// The flow in the opposite direction (for matching replies).
+    pub fn reversed(self) -> FlowId {
+        FlowId { src: self.dst, dst: self.src, sport: self.dport, dport: self.sport }
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}->{}:{}", self.src, self.sport, self.dst, self.dport)
+    }
+}
+
+/// TCP header flags. A plain struct of bools is used instead of a bitflags
+/// type because only five flags are ever needed and pattern-matching on
+/// named fields keeps call sites readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// Synchronize sequence numbers (connection open).
+    pub syn: bool,
+    /// Acknowledgement field significant.
+    pub ack: bool,
+    /// No more data from sender (connection close).
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+    /// Push function.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// Flags for a pure ACK segment.
+    pub const ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    /// Flags for an initial SYN.
+    pub const SYN: TcpFlags =
+        TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    /// Flags for a SYN-ACK.
+    pub const SYN_ACK: TcpFlags =
+        TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    /// Flags for a FIN-ACK.
+    pub const FIN_ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    /// Flags for an RST.
+    pub const RST: TcpFlags =
+        TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (set, name) in [
+            (self.syn, "SYN"),
+            (self.ack, "ACK"),
+            (self.fin, "FIN"),
+            (self.rst, "RST"),
+            (self.psh, "PSH"),
+        ] {
+            if set {
+                if any {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// The cleartext TCP/IP header of a packet, visible to any on-path device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// The flow 4-tuple.
+    pub flow: FlowId,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgement number (valid when `flags.ack`).
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub window: u32,
+    /// RFC 7323 timestamp value (sender clock, ns; 0 = unset). Lets the
+    /// peer measure RTT robustly even across retransmissions — without
+    /// it, long adversarial holds would cause endless spurious RTOs that
+    /// real stacks do not exhibit.
+    pub ts_val: u64,
+    /// RFC 7323 timestamp echo reply (0 = unset).
+    pub ts_ecr: u64,
+}
+
+/// Direction of travel relative to the client/server path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Client towards server (requests).
+    ClientToServer,
+    /// Server towards client (responses).
+    ServerToClient,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::ClientToServer => Direction::ServerToClient,
+            Direction::ServerToClient => Direction::ClientToServer,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::ClientToServer => write!(f, "c->s"),
+            Direction::ServerToClient => write!(f, "s->c"),
+        }
+    }
+}
+
+/// A unique per-simulation packet identifier, assigned at send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+/// A packet on the simulated wire.
+///
+/// `payload` holds the TCP payload bytes — for post-handshake traffic this
+/// is the TLS record stream. An eavesdropper sees everything in this struct
+/// (ciphertext included); confidentiality comes from the payload *content*
+/// being unintelligible, which the adversary crates respect by only parsing
+/// TLS record headers out of it.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id (assigned by the simulator when first sent).
+    pub id: PacketId,
+    /// Cleartext TCP/IP header.
+    pub header: TcpHeader,
+    /// TCP payload bytes.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet; the id is a placeholder until the simulator assigns
+    /// one at send time.
+    pub fn new(header: TcpHeader, payload: Bytes) -> Packet {
+        Packet { id: PacketId(0), header, payload }
+    }
+
+    /// Payload length in bytes (what tshark calls `tcp.len`).
+    pub fn payload_len(&self) -> u32 {
+        self.payload.len() as u32
+    }
+
+    /// Total size on the wire including link/network/transport overhead.
+    pub fn wire_size(&self) -> u32 {
+        self.payload_len() + WIRE_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowId {
+        FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40000, dport: 443 }
+    }
+
+    #[test]
+    fn flow_reversal_is_involutive() {
+        let f = flow();
+        assert_eq!(f.reversed().reversed(), f);
+        assert_eq!(f.reversed().src, HostAddr(2));
+        assert_eq!(f.reversed().dport, 40000);
+    }
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let p = Packet::new(
+            TcpHeader { flow: flow(), seq: 0, ack: 0, flags: TcpFlags::ACK, window: 65535 , ts_val: 0, ts_ecr: 0,},
+            Bytes::from(vec![0u8; 100]),
+        );
+        assert_eq!(p.payload_len(), 100);
+        assert_eq!(p.wire_size(), 100 + WIRE_OVERHEAD);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+    }
+
+    #[test]
+    fn direction_reverses() {
+        assert_eq!(Direction::ClientToServer.reversed(), Direction::ServerToClient);
+        assert_eq!(Direction::ServerToClient.reversed(), Direction::ClientToServer);
+    }
+}

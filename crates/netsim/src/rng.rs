@@ -1,0 +1,152 @@
+//! Deterministic random number generation for the simulation.
+//!
+//! One [`SimRng`] lives in the simulator and is threaded through every
+//! callback via the context types, so a single `u64` seed reproduces an
+//! entire run bit-for-bit. This is essential for the experiment harness:
+//! the paper reports percentages over 100 downloads per configuration, and
+//! we want each of those trials to be independently re-runnable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulation's random source: a seeded [`SmallRng`] with convenience
+/// draws used across the stack (jittered delays, loss decisions, service
+/// time variation).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. The same seed always produces the
+    /// same stream.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; used to give subsystems
+    /// their own streams so adding draws in one place does not perturb
+    /// another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen())
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range inverted");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// A multiplicative jitter factor in `[1-spread, 1+spread]`.
+    ///
+    /// Used for "natural variation" of service times and browser gaps;
+    /// `spread` is clamped to `[0, 1)`.
+    pub fn jitter_factor(&mut self, spread: f64) -> f64 {
+        let s = spread.clamp(0.0, 0.999);
+        1.0 - s + 2.0 * s * self.inner.gen::<f64>()
+    }
+
+    /// A draw from an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not finite or negative.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean >= 0.0, "invalid mean");
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.range_u64(0, u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.range_u64(0, u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches_p() {
+        let mut r = SimRng::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.8)).count();
+        assert!((7_500..8_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn jitter_factor_bounds() {
+        let mut r = SimRng::new(5);
+        for _ in 0..1_000 {
+            let f = r.jitter_factor(0.3);
+            assert!((0.7..=1.3).contains(&f), "factor out of range: {f}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::new(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(10.0)).sum();
+        let mean = sum / n as f64;
+        assert!((9.0..11.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn fork_decouples_streams() {
+        let mut a = SimRng::new(21);
+        let mut fork1 = a.fork();
+        let after_fork: Vec<u64> = (0..8).map(|_| a.range_u64(0, u64::MAX)).collect();
+
+        // Re-create and draw from the fork differently; parent stream unchanged.
+        let mut b = SimRng::new(21);
+        let mut fork2 = b.fork();
+        for _ in 0..100 {
+            let _ = fork2.uniform(); // extra draws on the fork
+        }
+        let after_fork2: Vec<u64> = (0..8).map(|_| b.range_u64(0, u64::MAX)).collect();
+        assert_eq!(after_fork, after_fork2);
+        let _ = fork1.uniform();
+    }
+}

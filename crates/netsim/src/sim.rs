@@ -1,0 +1,415 @@
+//! The simulator driver: owns the clock, the event queue, the nodes and
+//! the links, and dispatches events until the simulation goes idle or a
+//! deadline is reached.
+
+use crate::capture::{CaptureEvent, CapturePoint, CaptureSink};
+use crate::event::{EventKind, EventQueue};
+use crate::link::{self, LinkConfig, LinkId, LinkStats, Links, SubmitOutcome};
+use crate::node::{Ctx, Node, NodeId};
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Everything a node can reach through its [`Ctx`]: links, event queue,
+/// RNG, capture sink. Kept separate from the node storage so that a node
+/// can be mutably borrowed while the world is mutated.
+pub(crate) struct World {
+    pub queue: EventQueue,
+    pub links: Links,
+    pub rng: SimRng,
+    pub cancelled_timers: HashSet<u64>,
+    pub next_timer_id: u64,
+    pub next_packet_id: u64,
+    pub stats: SimStats,
+    pub sink: Option<Rc<RefCell<dyn CaptureSink>>>,
+}
+
+impl World {
+    /// Hands `pkt` to `link` at time `now`, scheduling whatever follow-up
+    /// events the link model requires.
+    pub fn submit(&mut self, now: SimTime, link_id: LinkId, pkt: Packet) {
+        let draw = self.rng.uniform();
+        let link = self.links.get_mut(link_id);
+        let (outcome, returned) = link.submit(pkt, draw);
+        match outcome {
+            SubmitOutcome::StartTx(tx) => {
+                self.queue.push(now + tx, EventKind::LinkTxComplete { link: link_id });
+            }
+            SubmitOutcome::Queued => {}
+            SubmitOutcome::DeliverAfter(delay) => {
+                let pkt = returned.expect("unconstrained submit returns packet");
+                self.queue.push(now + delay, EventKind::LinkDeliver { link: link_id, pkt });
+            }
+            SubmitOutcome::DroppedLoss | SubmitOutcome::DroppedQueue => {
+                self.stats.packets_dropped += 1;
+                let pkt = returned.expect("drop returns packet");
+                self.capture(
+                    CapturePoint::LinkDrop(link_id),
+                    CaptureEvent {
+                        time: now,
+                        direction: None,
+                        packet: pkt,
+                        dropped_by_policy: false,
+                    },
+                );
+            }
+        }
+    }
+
+    pub fn capture(&mut self, point: CapturePoint, ev: CaptureEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(point, &ev);
+        }
+    }
+}
+
+trait AnyNode: Node {
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<N: Node + 'static> AnyNode for N {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Simulator {
+    now: SimTime,
+    started: bool,
+    nodes: Vec<Option<Box<dyn AnyNode>>>,
+    world: World,
+}
+
+impl Simulator {
+    /// Creates an empty simulator whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            now: SimTime::ZERO,
+            started: false,
+            nodes: Vec::new(),
+            world: World {
+                queue: EventQueue::new(),
+                links: Links::new(),
+                rng: SimRng::new(seed),
+                cancelled_timers: HashSet::new(),
+                next_timer_id: 0,
+                next_packet_id: 0,
+                stats: SimStats::default(),
+                sink: None,
+            },
+        }
+    }
+
+    /// Attaches a capture sink; replaces any previous one.
+    pub fn set_capture_sink(&mut self, sink: Rc<RefCell<dyn CaptureSink>>) {
+        self.world.sink = Some(sink);
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node<N: Node + 'static>(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Box::new(node)));
+        id
+    }
+
+    /// Creates a duplex link pair between `a` and `b` with identical
+    /// configuration; returns `(a_to_b, b_to_a)`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        self.world.links.pair(a, b, cfg)
+    }
+
+    /// Creates a single unidirectional link.
+    pub fn connect_oneway(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> LinkId {
+        self.world.links.add(from, to, cfg)
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if `id` is invalid, the node is currently being dispatched,
+    /// or `N` is not its concrete type.
+    pub fn node_ref<N: Node + 'static>(&self, id: NodeId) -> &N {
+        self.nodes[id.0]
+            .as_deref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<N>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Same conditions as [`Simulator::node_ref`].
+    pub fn node_mut<N: Node + 'static>(&mut self, id: NodeId) -> &mut N {
+        self.nodes[id.0]
+            .as_deref_mut()
+            .expect("node is being dispatched")
+            .as_any_mut()
+            .downcast_mut::<N>()
+            .expect("node type mismatch")
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The RNG (e.g. to fork seeds for per-trial structures).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.rng
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.world.stats
+    }
+
+    /// Per-link statistics.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.world.links.stats(link)
+    }
+
+    /// Calls every node's `on_start` exactly once. Invoked automatically by
+    /// the run methods; callable explicitly when a test wants to step
+    /// manually afterwards.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn AnyNode, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut node = self.nodes[id.0].take().expect("node re-entrancy");
+        let mut ctx = Ctx { now: self.now, node: id, world: &mut self.world };
+        let r = f(node.as_mut(), &mut ctx);
+        self.nodes[id.0] = Some(node);
+        r
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some(ev) = self.world.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.world.stats.events += 1;
+        match ev.kind {
+            EventKind::NodeTimer { node, timer } => {
+                if self.world.cancelled_timers.remove(&timer.0) {
+                    return true;
+                }
+                self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
+            }
+            EventKind::LinkTxComplete { link } => {
+                let (pkt, next_tx) = self.world.links.get_mut(link).tx_complete();
+                let cfg = self.world.links.get(link).cfg;
+                self.world
+                    .queue
+                    .push(link::delivery_time(self.now, &cfg), EventKind::LinkDeliver { link, pkt });
+                if let Some(tx) = next_tx {
+                    self.world.queue.push(self.now + tx, EventKind::LinkTxComplete { link });
+                }
+            }
+            EventKind::LinkDeliver { link, pkt } => {
+                let to = self.world.links.target_of(link);
+                let stats = &mut self.world.links.get_mut(link).stats;
+                stats.delivered += 1;
+                stats.bytes_delivered += pkt.wire_size() as u64;
+                self.world.stats.packets_delivered += 1;
+                self.with_node(to, |n, ctx| n.on_packet(ctx, link, pkt));
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or the next event is later than
+    /// `deadline`; the clock ends at `min(deadline, last event time)`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start();
+        while let Some(t) = self.world.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(self.now).min(deadline).max(self.now);
+    }
+
+    /// Runs until the event queue drains, but never past `deadline`
+    /// (a safety net against livelocked models).
+    pub fn run_until_idle(&mut self, deadline: SimTime) {
+        self.start();
+        while let Some(t) = self.world.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Number of pending events (for tests).
+    pub fn pending_events(&self) -> usize {
+        self.world.queue.len()
+    }
+}
+
+impl core::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.world.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{shared, CountingSink};
+    use crate::packet::{FlowId, HostAddr, TcpFlags, TcpHeader};
+    use crate::time::SimDuration;
+    use bytes::Bytes;
+
+    struct Blaster {
+        out: Option<LinkId>,
+        count: u32,
+        payload: usize,
+    }
+    struct Sink {
+        received: Vec<(SimTime, u32)>,
+    }
+
+    impl Node for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.out = Some(ctx.egress_links()[0]);
+            ctx.schedule(SimDuration::ZERO);
+        }
+        fn on_packet(&mut self, _c: &mut Ctx<'_>, _f: LinkId, _p: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: crate::node::TimerId) {
+            let link = self.out.unwrap();
+            for i in 0..self.count {
+                let pkt = Packet::new(
+                    TcpHeader {
+                        flow: FlowId {
+                            src: HostAddr(0),
+                            dst: HostAddr(1),
+                            sport: 1,
+                            dport: 2,
+                        },
+                        seq: i,
+                        ack: 0,
+                        flags: TcpFlags::ACK,
+                        window: 0, ts_val: 0, ts_ecr: 0,
+                    },
+                    Bytes::from(vec![0u8; self.payload]),
+                );
+                ctx.send(link, pkt);
+            }
+        }
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _f: LinkId, p: Packet) {
+            self.received.push((ctx.now(), p.header.seq));
+        }
+        fn on_timer(&mut self, _c: &mut Ctx<'_>, _t: crate::node::TimerId) {}
+    }
+
+    fn build(count: u32, payload: usize, cfg: LinkConfig) -> (Simulator, NodeId) {
+        let mut sim = Simulator::new(99);
+        let b = sim.add_node(Blaster { out: None, count, payload });
+        let s = sim.add_node(Sink { received: vec![] });
+        sim.connect(b, s, cfg);
+        (sim, s)
+    }
+
+    #[test]
+    fn serialization_spaces_back_to_back_packets() {
+        // 1 Mbps: a 125-byte wire packet takes exactly 1 ms to serialize.
+        let cfg = LinkConfig {
+            bandwidth: Some(crate::units::Bandwidth::mbps(1)),
+            delay: SimDuration::from_millis(10),
+            queue_bytes: 1 << 20,
+            loss: 0.0,
+        };
+        let (mut sim, s) = build(3, 125 - 54, cfg);
+        sim.run_until_idle(SimTime::from_secs(5));
+        let recv = &sim.node_ref::<Sink>(s).received;
+        assert_eq!(recv.len(), 3);
+        // First packet: 1 ms tx + 10 ms prop = 11 ms; then 1 ms apart.
+        assert_eq!(recv[0].0, SimTime::from_millis(11));
+        assert_eq!(recv[1].0, SimTime::from_millis(12));
+        assert_eq!(recv[2].0, SimTime::from_millis(13));
+        // FIFO order preserved.
+        assert_eq!(recv.iter().map(|r| r.1).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let cfg = LinkConfig::lan().with_loss(1.0);
+        let (mut sim, s) = build(5, 100, cfg);
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert!(sim.node_ref::<Sink>(s).received.is_empty());
+        assert_eq!(sim.stats().packets_dropped, 5);
+    }
+
+    #[test]
+    fn capture_sink_sees_drops() {
+        let sink = shared(CountingSink::default());
+        let cfg = LinkConfig::lan().with_loss(1.0);
+        let (mut sim, _) = build(4, 100, cfg);
+        sim.set_capture_sink(sink.clone());
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(sink.borrow().drops, 4);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let cfg = LinkConfig {
+            bandwidth: Some(crate::units::Bandwidth::mbps(1)),
+            delay: SimDuration::from_millis(100),
+            queue_bytes: 1 << 20,
+            loss: 0.0,
+        };
+        let (mut sim, s) = build(1, 100, cfg);
+        sim.run_until_idle(SimTime::from_millis(50));
+        assert!(sim.node_ref::<Sink>(s).received.is_empty());
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(sim.node_ref::<Sink>(s).received.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mk = || {
+            let cfg = LinkConfig::lan().with_loss(0.3);
+            let (mut sim, s) = build(50, 500, cfg);
+            sim.run_until_idle(SimTime::from_secs(1));
+            sim.node_ref::<Sink>(s).received.clone()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

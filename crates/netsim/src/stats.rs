@@ -1,0 +1,41 @@
+//! Whole-simulation counters.
+
+/// Aggregate counters maintained by the simulator core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched.
+    pub events: u64,
+    /// Packets delivered to any node.
+    pub packets_delivered: u64,
+    /// Packets dropped by any link (loss or queue overflow).
+    pub packets_dropped: u64,
+}
+
+impl SimStats {
+    /// Fraction of submitted packets that were dropped, in `[0, 1]`.
+    /// Returns 0 when nothing was transmitted.
+    pub fn drop_ratio(&self) -> f64 {
+        let total = self.packets_delivered + self.packets_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.packets_dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_ratio_handles_zero() {
+        assert_eq!(SimStats::default().drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn drop_ratio_computes() {
+        let s = SimStats { events: 0, packets_delivered: 75, packets_dropped: 25 };
+        assert!((s.drop_ratio() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Topology builders.
+//!
+//! The paper's setup is always a three-node path:
+//! `client — compromised gateway (middlebox) — server`.
+//! [`PathTopology::build`] wires that up and returns all the ids needed to
+//! inspect the pieces after a run.
+
+use crate::link::{LinkConfig, LinkId};
+use crate::middlebox::{Middlebox, MiddleboxPolicy};
+use crate::node::{Node, NodeId};
+use crate::packet::HostAddr;
+use crate::sim::Simulator;
+use crate::time::SimDuration;
+
+/// Link configuration for the two halves of the client—middlebox—server
+/// path, plus the host addresses.
+#[derive(Debug, Clone)]
+pub struct PathConfig {
+    /// Client ↔ middlebox (both directions share this config).
+    pub client_link: LinkConfig,
+    /// Middlebox ↔ server (both directions share this config).
+    pub server_link: LinkConfig,
+    /// Address assigned to the client host.
+    pub client_addr: HostAddr,
+    /// Address assigned to the server host.
+    pub server_addr: HostAddr,
+}
+
+impl Default for PathConfig {
+    /// A LAN client behind a 1 Gbps gateway talking to a server ~10 ms
+    /// away (≈20 ms RTT) over a WAN with a small natural loss rate,
+    /// echoing the paper's lab-gateway setup (their baseline
+    /// retransmission count is nonzero, Table I).
+    fn default() -> Self {
+        PathConfig {
+            client_link: LinkConfig::lan(),
+            server_link: LinkConfig::wan(SimDuration::from_millis(10)).with_loss(0.003),
+            client_addr: HostAddr(1),
+            server_addr: HostAddr(2),
+        }
+    }
+}
+
+/// Ids of everything on a built client—middlebox—server path.
+#[derive(Debug, Clone, Copy)]
+pub struct PathTopology {
+    /// The client node.
+    pub client: NodeId,
+    /// The middlebox node (a [`Middlebox`]).
+    pub middlebox: NodeId,
+    /// The server node.
+    pub server: NodeId,
+    /// Link client → middlebox.
+    pub client_to_mbox: LinkId,
+    /// Link middlebox → client.
+    pub mbox_to_client: LinkId,
+    /// Link middlebox → server.
+    pub mbox_to_server: LinkId,
+    /// Link server → middlebox.
+    pub server_to_mbox: LinkId,
+}
+
+impl PathTopology {
+    /// Adds the three nodes and four links to `sim` and wires the
+    /// middlebox ports.
+    pub fn build<C, S>(
+        sim: &mut Simulator,
+        client: C,
+        policy: Box<dyn MiddleboxPolicy>,
+        server: S,
+        cfg: &PathConfig,
+    ) -> PathTopology
+    where
+        C: Node + 'static,
+        S: Node + 'static,
+    {
+        let client_id = sim.add_node(client);
+        let mbox_id = sim.add_node(Middlebox::new(policy));
+        let server_id = sim.add_node(server);
+        let (c2m, m2c) = sim.connect(client_id, mbox_id, cfg.client_link);
+        let (m2s, s2m) = sim.connect(mbox_id, server_id, cfg.server_link);
+        sim.node_mut::<Middlebox>(mbox_id).set_ports(m2c, m2s, c2m, s2m);
+        PathTopology {
+            client: client_id,
+            middlebox: mbox_id,
+            server: server_id,
+            client_to_mbox: c2m,
+            mbox_to_client: m2c,
+            mbox_to_server: m2s,
+            server_to_mbox: s2m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middlebox::Passthrough;
+    use crate::node::Ctx;
+    use crate::packet::Packet;
+    use crate::node::TimerId;
+
+    struct Dummy;
+    impl Node for Dummy {
+        fn on_packet(&mut self, _c: &mut Ctx<'_>, _f: LinkId, _p: Packet) {}
+        fn on_timer(&mut self, _c: &mut Ctx<'_>, _t: TimerId) {}
+    }
+
+    #[test]
+    fn build_wires_three_nodes_and_four_links() {
+        let mut sim = Simulator::new(0);
+        let topo = PathTopology::build(
+            &mut sim,
+            Dummy,
+            Box::new(Passthrough),
+            Dummy,
+            &PathConfig::default(),
+        );
+        assert_ne!(topo.client, topo.server);
+        assert_ne!(topo.client, topo.middlebox);
+        // Links have distinct ids.
+        let ids =
+            [topo.client_to_mbox, topo.mbox_to_client, topo.mbox_to_server, topo.server_to_mbox];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(ids[i], ids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_has_wan_rtt() {
+        let cfg = PathConfig::default();
+        // Two traversals of each one-way delay ≈ 20.2 ms RTT.
+        let rtt = (cfg.client_link.delay + cfg.server_link.delay) * 2;
+        assert_eq!(rtt.as_millis(), 20);
+    }
+}

@@ -1,0 +1,178 @@
+//! Physical units used by the link model: bandwidth and byte counts.
+
+use crate::time::SimDuration;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A link bandwidth, stored as bits per second.
+///
+/// The paper's adversary throttles the path through values between
+/// 1000 Mbps and 1 Mbps (Fig. 5); [`Bandwidth::mbps`] is the natural
+/// constructor for those sweeps.
+///
+/// # Example
+/// ```
+/// use h2priv_netsim::units::Bandwidth;
+/// let bw = Bandwidth::mbps(800);
+/// assert_eq!(bw.bits_per_sec(), 800_000_000);
+/// // 1500 bytes at 800 Mbps = 15 microseconds
+/// assert_eq!(bw.transmit_time(1500).as_micros(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Creates a bandwidth of `bps` bits per second.
+    ///
+    /// # Panics
+    /// Panics if `bps` is zero; use `Option<Bandwidth>` with `None` to model
+    /// an unconstrained link instead.
+    pub fn bps(bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth of `kbps` kilobits per second.
+    pub fn kbps(kbps: u64) -> Self {
+        Self::bps(kbps * 1_000)
+    }
+
+    /// Creates a bandwidth of `mbps` megabits per second.
+    pub fn mbps(mbps: u64) -> Self {
+        Self::bps(mbps * 1_000_000)
+    }
+
+    /// Creates a bandwidth of `gbps` gigabits per second.
+    pub fn gbps(gbps: u64) -> Self {
+        Self::bps(gbps * 1_000_000_000)
+    }
+
+    /// The raw bits-per-second value.
+    pub const fn bits_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// The time needed to serialize `bytes` bytes onto the wire at this rate.
+    pub fn transmit_time(self, bytes: u32) -> SimDuration {
+        // nanos = bytes * 8 * 1e9 / bps; compute in u128 to avoid overflow.
+        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.0 as u128;
+        SimDuration::from_nanos(nanos as u64)
+    }
+
+    /// The bandwidth-delay product for a given round-trip delay, in bytes.
+    ///
+    /// The paper (Section IV-C) relies on the BDP shrinking when the
+    /// adversary throttles the path, which in turn shrinks the TCP window.
+    pub fn bandwidth_delay_product(self, rtt: SimDuration) -> u64 {
+        ((self.0 as u128 * rtt.as_nanos() as u128) / (8 * 1_000_000_000)) as u64
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 && self.0 % 1_000_000_000 == 0 {
+            write!(f, "{}Gbps", self.0 / 1_000_000_000)
+        } else if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+            write!(f, "{}Mbps", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}kbps", self.0 / 1_000)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+/// A count of bytes, with human-readable construction and display.
+///
+/// # Example
+/// ```
+/// use h2priv_netsim::units::ByteCount;
+/// assert_eq!(ByteCount::kib(9).get() + ByteCount::new(308).get(), 9_524);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteCount(u64);
+
+impl ByteCount {
+    /// A zero byte count.
+    pub const ZERO: ByteCount = ByteCount(0);
+
+    /// Creates a count of exactly `n` bytes.
+    pub const fn new(n: u64) -> Self {
+        ByteCount(n)
+    }
+
+    /// Creates a count of `n` kibibytes (1024 bytes each).
+    pub const fn kib(n: u64) -> Self {
+        ByteCount(n * 1024)
+    }
+
+    /// Creates a count of `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        ByteCount(n * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for ByteCount {
+    fn from(n: u64) -> Self {
+        ByteCount(n)
+    }
+}
+
+impl fmt::Display for ByteCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.2}MiB", self.0 as f64 / (1024.0 * 1024.0))
+        } else if self.0 >= 1024 {
+            write!(f, "{:.2}KiB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_time_scales_inversely_with_bandwidth() {
+        let fast = Bandwidth::gbps(1);
+        let slow = Bandwidth::mbps(1);
+        let b = 1_500;
+        assert_eq!(fast.transmit_time(b).as_nanos() * 1000, slow.transmit_time(b).as_nanos());
+    }
+
+    #[test]
+    fn transmit_time_exact() {
+        // 1 Mbps, 125 bytes = 1000 bits => 1 ms
+        assert_eq!(Bandwidth::mbps(1).transmit_time(125), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn bdp_matches_hand_computation() {
+        // 800 Mbps * 40 ms RTT = 4,000,000 bytes
+        let bdp = Bandwidth::mbps(800).bandwidth_delay_product(SimDuration::from_millis(40));
+        assert_eq!(bdp, 4_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::bps(0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bandwidth::gbps(1).to_string(), "1Gbps");
+        assert_eq!(Bandwidth::mbps(800).to_string(), "800Mbps");
+        assert_eq!(Bandwidth::kbps(64).to_string(), "64kbps");
+        assert_eq!(ByteCount::kib(9).to_string(), "9.00KiB");
+    }
+}

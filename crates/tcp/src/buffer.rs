@@ -1,0 +1,158 @@
+//! The retransmittable send buffer.
+//!
+//! Holds written-but-not-yet-acknowledged application bytes, addressed by
+//! absolute stream offset, so the sender can (re)read any unacked range.
+
+use bytes::{Bytes, BytesMut};
+use std::collections::VecDeque;
+
+/// A byte buffer addressed by absolute stream offsets.
+#[derive(Debug, Default)]
+pub(crate) struct SendBuffer {
+    /// Stream offset of the first byte currently held.
+    base: u64,
+    chunks: VecDeque<Bytes>,
+    len: u64,
+}
+
+impl SendBuffer {
+    pub fn new() -> SendBuffer {
+        SendBuffer::default()
+    }
+
+    /// Appends application data at the end of the stream.
+    pub fn push(&mut self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        self.len += data.len() as u64;
+        self.chunks.push_back(data);
+    }
+
+    /// One past the last buffered offset (== total bytes ever written).
+    pub fn end_offset(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// Reads up to `max` bytes starting at absolute `offset`.
+    ///
+    /// # Panics
+    /// Panics if `offset` is below the released watermark or at/past the
+    /// end of written data.
+    pub fn read(&self, offset: u64, max: usize) -> Bytes {
+        assert!(offset >= self.base, "offset {offset} below buffer base {}", self.base);
+        assert!(offset < self.end_offset(), "offset {offset} past end {}", self.end_offset());
+        let mut skip = (offset - self.base) as usize;
+        let want = max.min((self.end_offset() - offset) as usize);
+        let mut out = BytesMut::with_capacity(want);
+        for chunk in &self.chunks {
+            if skip >= chunk.len() {
+                skip -= chunk.len();
+                continue;
+            }
+            let avail = &chunk[skip..];
+            skip = 0;
+            let take = avail.len().min(want - out.len());
+            out.extend_from_slice(&avail[..take]);
+            if out.len() == want {
+                break;
+            }
+        }
+        out.freeze()
+    }
+
+    /// Discards all bytes below absolute offset `upto` (clamped to the
+    /// written range); they have been acknowledged.
+    pub fn release(&mut self, upto: u64) {
+        let upto = upto.min(self.end_offset());
+        while self.base < upto {
+            let Some(front) = self.chunks.front_mut() else { break };
+            let drop = ((upto - self.base) as usize).min(front.len());
+            if drop == front.len() {
+                self.base += front.len() as u64;
+                self.len -= front.len() as u64;
+                self.chunks.pop_front();
+            } else {
+                let _ = front.split_to(drop);
+                self.base += drop as u64;
+                self.len -= drop as u64;
+            }
+        }
+        self.base = self.base.max(upto.min(self.end_offset()));
+    }
+
+    /// Bytes currently held (written minus released).
+    #[allow(dead_code)] // used by tests; kept for API completeness
+    pub fn buffered(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn push_and_read_across_chunks() {
+        let mut sb = SendBuffer::new();
+        sb.push(b("hello "));
+        sb.push(b("world"));
+        assert_eq!(sb.end_offset(), 11);
+        assert_eq!(sb.read(0, 11), b("hello world"));
+        assert_eq!(sb.read(3, 5), b("lo wo"));
+        assert_eq!(sb.read(6, 100), b("world"));
+    }
+
+    #[test]
+    fn release_partial_chunk() {
+        let mut sb = SendBuffer::new();
+        sb.push(b("abcdef"));
+        sb.release(2);
+        assert_eq!(sb.buffered(), 4);
+        assert_eq!(sb.read(2, 4), b("cdef"));
+        sb.release(6);
+        assert_eq!(sb.buffered(), 0);
+        assert_eq!(sb.end_offset(), 6);
+    }
+
+    #[test]
+    fn release_whole_chunks_then_push_more() {
+        let mut sb = SendBuffer::new();
+        sb.push(b("one"));
+        sb.push(b("two"));
+        sb.release(6);
+        sb.push(b("three"));
+        assert_eq!(sb.end_offset(), 11);
+        assert_eq!(sb.read(6, 5), b("three"));
+    }
+
+    #[test]
+    fn release_beyond_end_clamps() {
+        let mut sb = SendBuffer::new();
+        sb.push(b("xy"));
+        sb.release(100);
+        assert_eq!(sb.buffered(), 0);
+        assert_eq!(sb.end_offset(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below buffer base")]
+    fn read_released_panics() {
+        let mut sb = SendBuffer::new();
+        sb.push(b("abcd"));
+        sb.release(2);
+        let _ = sb.read(1, 1);
+    }
+
+    #[test]
+    fn empty_push_is_noop() {
+        let mut sb = SendBuffer::new();
+        sb.push(Bytes::new());
+        assert_eq!(sb.end_offset(), 0);
+        assert_eq!(sb.buffered(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Tunables of the TCP state machine.
+
+use h2priv_netsim::time::SimDuration;
+
+/// Configuration for one [`crate::TcpConnection`].
+///
+/// Defaults mirror a contemporary Linux stack at the scale of this
+/// simulation: MSS 1460, initial window 10 segments, min RTO 200 ms.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment (payload) size in bytes.
+    pub mss: u32,
+    /// Initial congestion window, in segments (RFC 6928 uses 10).
+    pub initial_cwnd_segments: u32,
+    /// Receive window advertised to the peer, in bytes.
+    pub recv_window: u32,
+    /// Initial retransmission timeout before any RTT sample exists.
+    pub rto_initial: SimDuration,
+    /// Lower bound for the RTO.
+    pub rto_min: SimDuration,
+    /// Upper bound for the RTO.
+    pub rto_max: SimDuration,
+    /// Consecutive RTO expiries on the same datum before the connection
+    /// aborts ("broken connection" in the paper's terminology).
+    pub max_rto_retries: u32,
+    /// Number of duplicate ACKs that triggers a fast retransmit.
+    pub dup_ack_threshold: u32,
+    /// Initial send sequence number (deterministic by default; vary per
+    /// connection if multiple flows share a trace).
+    pub iss: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            initial_cwnd_segments: 10,
+            recv_window: 1 << 20, // 1 MiB
+            rto_initial: SimDuration::from_millis(1_000),
+            rto_min: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(60),
+            max_rto_retries: 8,
+            dup_ack_threshold: 3,
+            iss: 1_000,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Initial congestion window in bytes.
+    pub fn initial_cwnd(&self) -> u64 {
+        self.mss as u64 * self.initial_cwnd_segments as u64
+    }
+
+    /// Returns `self` with a different ISS (useful when many connections
+    /// must be distinguishable in one capture).
+    pub fn with_iss(mut self, iss: u32) -> TcpConfig {
+        self.iss = iss;
+        self
+    }
+
+    /// Returns `self` with a different MSS.
+    ///
+    /// # Panics
+    /// Panics if `mss` is zero.
+    pub fn with_mss(mut self, mss: u32) -> TcpConfig {
+        assert!(mss > 0, "mss must be positive");
+        self.mss = mss;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_initial_cwnd_is_ten_segments() {
+        let c = TcpConfig::default();
+        assert_eq!(c.initial_cwnd(), 14_600);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = TcpConfig::default().with_iss(7).with_mss(500);
+        assert_eq!(c.iss, 7);
+        assert_eq!(c.mss, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "mss must be positive")]
+    fn zero_mss_rejected() {
+        let _ = TcpConfig::default().with_mss(0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Congestion control.
+//!
+//! A pluggable [`CongestionController`] trait with the Reno implementation
+//! used throughout the reproduction (the paper's testbed predates
+//! widespread BBR deployment, and the mechanisms it exploits — slow
+//! start, AIMD, fast recovery — are Reno/NewReno behaviours).
+
+use core::fmt;
+
+/// Events the connection reports to the controller, and the queries it
+/// makes. All quantities are in bytes.
+pub trait CongestionController: fmt::Debug {
+    /// The current congestion window.
+    fn cwnd(&self) -> u64;
+
+    /// The slow-start threshold.
+    fn ssthresh(&self) -> u64;
+
+    /// `bytes` of new data were cumulatively acknowledged.
+    fn on_ack(&mut self, bytes: u64);
+
+    /// A fast retransmit fired with `flight` bytes outstanding; enter fast
+    /// recovery.
+    fn on_fast_retransmit(&mut self, flight: u64);
+
+    /// A duplicate ACK arrived while in fast recovery (window inflation).
+    fn on_dup_ack_in_recovery(&mut self);
+
+    /// The ACK that ends fast recovery arrived (window deflation).
+    fn on_recovery_exit(&mut self);
+
+    /// A retransmission timeout fired with `flight` bytes outstanding.
+    fn on_timeout(&mut self, flight: u64);
+
+    /// `true` while in fast recovery.
+    fn in_recovery(&self) -> bool;
+}
+
+/// Reno congestion control (RFC 5681) with simplified NewReno-style fast
+/// recovery.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    in_recovery: bool,
+    /// Fractional-segment accumulator for congestion avoidance.
+    ca_acc: u64,
+}
+
+impl Reno {
+    /// Creates a Reno controller.
+    pub fn new(mss: u32, initial_cwnd: u64) -> Reno {
+        Reno {
+            mss: mss as u64,
+            cwnd: initial_cwnd,
+            ssthresh: u64::MAX / 2,
+            in_recovery: false,
+            ca_acc: 0,
+        }
+    }
+
+    fn floor(&self) -> u64 {
+        self.mss
+    }
+}
+
+impl CongestionController for Reno {
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, bytes: u64) {
+        if self.in_recovery {
+            return; // window managed by inflation/deflation during recovery
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start: grow by min(acked, MSS) per ACK (RFC 3465 L=1).
+            self.cwnd += bytes.min(self.mss);
+        } else {
+            // Congestion avoidance: +1 MSS per cwnd of acked data.
+            self.ca_acc += bytes;
+            if self.ca_acc >= self.cwnd {
+                self.ca_acc -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.in_recovery = true;
+        self.ca_acc = 0;
+    }
+
+    fn on_dup_ack_in_recovery(&mut self) {
+        if self.in_recovery {
+            self.cwnd += self.mss;
+        }
+    }
+
+    fn on_recovery_exit(&mut self) {
+        if self.in_recovery {
+            self.in_recovery = false;
+            self.cwnd = self.ssthresh.max(self.floor());
+        }
+    }
+
+    fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.floor();
+        self.in_recovery = false;
+        self.ca_acc = 0;
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1000;
+
+    fn reno() -> Reno {
+        Reno::new(MSS, 10_000)
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut r = reno();
+        // Ack a full window in MSS chunks: cwnd should double.
+        for _ in 0..10 {
+            r.on_ack(MSS as u64);
+        }
+        assert_eq!(r.cwnd(), 20_000);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut r = reno();
+        r.on_timeout(10_000); // ssthresh = 5000, cwnd = 1000
+        assert_eq!(r.ssthresh(), 5_000);
+        assert_eq!(r.cwnd(), 1_000);
+        // Grow back through slow start to ssthresh.
+        for _ in 0..4 {
+            r.on_ack(MSS as u64);
+        }
+        assert_eq!(r.cwnd(), 5_000);
+        // Now avoidance: one full window of ACKs adds one MSS.
+        let before = r.cwnd();
+        let mut acked = 0;
+        while acked < before {
+            r.on_ack(MSS as u64);
+            acked += MSS as u64;
+        }
+        assert_eq!(r.cwnd(), before + MSS as u64);
+    }
+
+    #[test]
+    fn fast_retransmit_halves_and_inflates() {
+        let mut r = reno();
+        r.on_fast_retransmit(10_000);
+        assert!(r.in_recovery());
+        assert_eq!(r.ssthresh(), 5_000);
+        assert_eq!(r.cwnd(), 5_000 + 3_000);
+        r.on_dup_ack_in_recovery();
+        assert_eq!(r.cwnd(), 9_000);
+        r.on_recovery_exit();
+        assert!(!r.in_recovery());
+        assert_eq!(r.cwnd(), 5_000);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut r = reno();
+        r.on_timeout(20_000);
+        assert_eq!(r.cwnd(), MSS as u64);
+        assert_eq!(r.ssthresh(), 10_000);
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut r = reno();
+        r.on_timeout(100);
+        assert_eq!(r.ssthresh(), 2 * MSS as u64);
+    }
+
+    #[test]
+    fn acks_during_recovery_do_not_grow_window() {
+        let mut r = reno();
+        r.on_fast_retransmit(10_000);
+        let w = r.cwnd();
+        r.on_ack(5 * MSS as u64);
+        assert_eq!(r.cwnd(), w);
+    }
+}

@@ -1,0 +1,1022 @@
+//! The TCP connection state machine.
+//!
+//! Sans-I/O: the connection produces outgoing segments through
+//! [`TcpConnection::poll_segment`] and application-visible events through
+//! [`TcpConnection::poll_event`]; the host glue (in `h2priv-h2`) moves
+//! segments across the simulated network and calls
+//! [`TcpConnection::on_segment`] / [`TcpConnection::on_timer`].
+//!
+//! Implemented behaviours (all load-bearing for the paper's attack):
+//! three-way handshake, cumulative ACKs, out-of-order reassembly with
+//! duplicate ACK generation, Reno congestion control with fast
+//! retransmit/fast recovery, RTO with exponential backoff and go-back-N
+//! recovery, connection abort after repeated RTO expiry ("broken
+//! connection"), and graceful FIN teardown.
+
+use crate::buffer::SendBuffer;
+use crate::config::TcpConfig;
+use crate::congestion::{CongestionController, Reno};
+use crate::rtt::RttEstimator;
+use crate::seq;
+use crate::stats::TcpStats;
+use bytes::Bytes;
+use h2priv_netsim::packet::{FlowId, TcpFlags, TcpHeader};
+use h2priv_netsim::time::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Connection lifecycle states (condensed RFC 793 set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// No connection yet (client before `open`).
+    Closed,
+    /// Passive open, waiting for a SYN.
+    Listen,
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// SYN received, SYN-ACK sent, awaiting ACK.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// We sent a FIN and are draining.
+    FinWait,
+    /// Peer sent a FIN; we may still send.
+    CloseWait,
+    /// Both sides finished.
+    Done,
+    /// Torn down by RST or retry exhaustion.
+    Aborted,
+}
+
+/// Why a connection aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The RTO expired more than `max_rto_retries` times in a row —
+    /// the "broken connection" outcome the paper reports for drop rates
+    /// above 80 % and for excessive jitter.
+    RetriesExceeded,
+    /// The peer sent RST.
+    PeerReset,
+    /// Local application called [`TcpConnection::abort`].
+    LocalAbort,
+}
+
+/// Events surfaced to the application layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Handshake completed.
+    Connected,
+    /// In-order payload bytes.
+    Data(Bytes),
+    /// Peer sent FIN (no more data will arrive).
+    PeerFin,
+    /// Connection fully closed.
+    Closed,
+    /// Connection aborted.
+    Aborted(AbortReason),
+}
+
+/// A Reno-style TCP connection endpoint. See the crate docs for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct TcpConnection {
+    cfg: TcpConfig,
+    /// Flow from our perspective (src = this endpoint).
+    flow: FlowId,
+    state: TcpState,
+
+    // ---- send side ----
+    iss: u32,
+    /// Wire sequence of stream offset 0 (ISS + 1; SYN consumes one).
+    snd_base: u32,
+    /// Lowest unacknowledged stream offset.
+    snd_una: u64,
+    /// Next stream offset to transmit.
+    snd_nxt: u64,
+    /// Highest offset ever transmitted (for retransmission accounting).
+    high_water: u64,
+    send_buf: SendBuffer,
+    fin_queued: bool,
+    fin_sent: bool,
+    fin_acked: bool,
+    cc: Reno,
+    rtt: RttEstimator,
+    rto_deadline: Option<SimTime>,
+    rto_backoffs: u32,
+    dup_acks: u32,
+    /// Fast-recovery exit point (snd_nxt at loss detection).
+    recover: u64,
+    /// Current virtual time, refreshed at every public entry point, so
+    /// internal helpers can stamp RFC 7323 timestamps.
+    clock: SimTime,
+    /// Latest timestamp value received from the peer (echoed back).
+    ts_recent: u64,
+    peer_rwnd: u64,
+
+    // ---- receive side ----
+    /// Wire sequence of peer stream offset 0 (IRS + 1), once known.
+    rcv_base: Option<u32>,
+    /// Next expected peer stream offset.
+    rcv_nxt: u64,
+    /// Out-of-order segments keyed by stream offset.
+    ooo: BTreeMap<u64, Bytes>,
+    /// Peer FIN position in stream-offset space, once seen.
+    peer_fin_at: Option<u64>,
+    peer_fin_done: bool,
+
+    out: VecDeque<(TcpHeader, Bytes)>,
+    events: VecDeque<TcpEvent>,
+    stats: TcpStats,
+}
+
+impl TcpConnection {
+    /// Creates the active-open (client) side. Call
+    /// [`TcpConnection::open`] to start the handshake.
+    pub fn client(flow: FlowId, cfg: TcpConfig) -> TcpConnection {
+        Self::new(flow, cfg, TcpState::Closed)
+    }
+
+    /// Creates the passive-open (server) side; it waits in `Listen` for a
+    /// SYN on its flow.
+    pub fn server(flow: FlowId, cfg: TcpConfig) -> TcpConnection {
+        Self::new(flow, cfg, TcpState::Listen)
+    }
+
+    fn new(flow: FlowId, cfg: TcpConfig, state: TcpState) -> TcpConnection {
+        let iss = cfg.iss;
+        let rtt = RttEstimator::new(cfg.rto_initial, cfg.rto_min, cfg.rto_max);
+        let cc = Reno::new(cfg.mss, cfg.initial_cwnd());
+        TcpConnection {
+            flow,
+            state,
+            iss,
+            snd_base: iss.wrapping_add(1),
+            snd_una: 0,
+            snd_nxt: 0,
+            high_water: 0,
+            send_buf: SendBuffer::new(),
+            fin_queued: false,
+            fin_sent: false,
+            fin_acked: false,
+            cc,
+            rtt,
+            rto_deadline: None,
+            rto_backoffs: 0,
+            dup_acks: 0,
+            recover: 0,
+            clock: SimTime::ZERO,
+            ts_recent: 0,
+            peer_rwnd: u32::MAX as u64,
+            rcv_base: None,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            peer_fin_at: None,
+            peer_fin_done: false,
+            out: VecDeque::new(),
+            events: VecDeque::new(),
+            stats: TcpStats::default(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// Starts the three-way handshake (client side).
+    ///
+    /// # Panics
+    /// Panics unless the connection is in [`TcpState::Closed`].
+    pub fn open(&mut self, now: SimTime) {
+        assert_eq!(self.state, TcpState::Closed, "open() on non-closed connection");
+        self.clock = now;
+        self.state = TcpState::SynSent;
+        let hdr = TcpHeader {
+            flow: self.flow,
+            seq: self.iss,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: self.cfg.recv_window,
+            ts_val: self.ts_now(),
+            ts_ecr: 0,
+        };
+        self.out.push_back((hdr, Bytes::new()));
+        self.arm_rto(now);
+    }
+
+    /// Queues application data for transmission. Ignored after close or
+    /// abort.
+    pub fn write(&mut self, data: Bytes) {
+        if self.fin_queued || matches!(self.state, TcpState::Aborted | TcpState::Done) {
+            return;
+        }
+        self.send_buf.push(data);
+    }
+
+    /// Requests a graceful close once all queued data is sent.
+    pub fn close(&mut self) {
+        self.fin_queued = true;
+    }
+
+    /// Aborts immediately, emitting an RST to the peer.
+    pub fn abort(&mut self) {
+        if matches!(self.state, TcpState::Aborted | TcpState::Done) {
+            return;
+        }
+        let hdr = self.mk_header(TcpFlags::RST, self.wire_seq(self.snd_nxt));
+        self.out.push_back((hdr, Bytes::new()));
+        self.enter_abort(AbortReason::LocalAbort);
+    }
+
+    /// Feeds one received segment into the state machine.
+    pub fn on_segment(&mut self, now: SimTime, hdr: &TcpHeader, payload: Bytes) {
+        debug_assert_eq!(hdr.flow, self.flow.reversed(), "segment routed to wrong connection");
+        if matches!(self.state, TcpState::Aborted | TcpState::Done) {
+            return;
+        }
+        self.clock = now;
+        // RFC 7323: remember the peer's timestamp for echoing.
+        if hdr.ts_val > 0 {
+            self.ts_recent = hdr.ts_val;
+        }
+        if hdr.flags.rst {
+            self.enter_abort(AbortReason::PeerReset);
+            return;
+        }
+        self.peer_rwnd = hdr.window as u64;
+
+        match self.state {
+            TcpState::Listen => {
+                if hdr.flags.syn {
+                    self.rcv_base = Some(hdr.seq.wrapping_add(1));
+                    self.rcv_nxt = 0;
+                    self.state = TcpState::SynReceived;
+                    self.send_syn_ack();
+                    self.arm_rto(now);
+                }
+            }
+            TcpState::SynSent => {
+                if hdr.flags.syn && hdr.flags.ack && hdr.ack == self.iss.wrapping_add(1) {
+                    self.rcv_base = Some(hdr.seq.wrapping_add(1));
+                    self.rcv_nxt = 0;
+                    self.state = TcpState::Established;
+                    self.rto_backoffs = 0;
+                    self.rto_deadline = None;
+                    self.events.push_back(TcpEvent::Connected);
+                    self.push_ack(false);
+                }
+            }
+            TcpState::SynReceived => {
+                if hdr.flags.syn && !hdr.flags.ack {
+                    // Retransmitted SYN: repeat our SYN-ACK.
+                    self.send_syn_ack();
+                    return;
+                }
+                if hdr.flags.ack && hdr.ack == self.iss.wrapping_add(1) {
+                    self.state = TcpState::Established;
+                    self.rto_backoffs = 0;
+                    self.rto_deadline = None;
+                    self.events.push_back(TcpEvent::Connected);
+                    // Fall through to normal processing for piggybacked data.
+                    self.process_established(now, hdr, payload);
+                }
+            }
+            TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
+                self.process_established(now, hdr, payload);
+            }
+            TcpState::Closed | TcpState::Done | TcpState::Aborted => {}
+        }
+    }
+
+    /// Drives time-based behaviour; call whenever
+    /// [`TcpConnection::next_timeout`] has been reached.
+    pub fn on_timer(&mut self, now: SimTime) {
+        self.clock = now;
+        let Some(deadline) = self.rto_deadline else { return };
+        if now < deadline {
+            return;
+        }
+        self.stats.rto_events += 1;
+        self.rto_backoffs += 1;
+        if self.rto_backoffs > self.cfg.max_rto_retries {
+            self.enter_abort(AbortReason::RetriesExceeded);
+            return;
+        }
+        match self.state {
+            TcpState::SynSent => {
+                let hdr = TcpHeader {
+                    flow: self.flow,
+                    seq: self.iss,
+                    ack: 0,
+                    flags: TcpFlags::SYN,
+                    window: self.cfg.recv_window, ts_val: 0, ts_ecr: 0,
+                };
+                self.out.push_back((hdr, Bytes::new()));
+                self.arm_rto(now);
+            }
+            TcpState::SynReceived => {
+                self.send_syn_ack();
+                self.arm_rto(now);
+            }
+            _ => {
+                if self.bytes_in_flight() == 0 {
+                    self.rto_deadline = None;
+                    return;
+                }
+                // Timeout loss recovery: collapse the window and go back
+                // to the first unacked byte (go-back-N without SACK).
+                self.cc.on_timeout(self.bytes_in_flight());
+                self.dup_acks = 0;
+                self.snd_nxt = self.snd_una;
+                if self.fin_sent && self.snd_una >= self.data_end() {
+                    self.fin_sent = false; // FIN itself needs resending
+                }
+                self.arm_rto(now);
+            }
+        }
+    }
+
+    /// Next outgoing segment, if the window and state allow one.
+    /// Call in a loop until it returns `None`.
+    pub fn poll_segment(&mut self, now: SimTime) -> Option<(TcpHeader, Bytes)> {
+        self.clock = now;
+        if let Some(seg) = self.out.pop_front() {
+            return Some(seg);
+        }
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait
+        ) {
+            return None;
+        }
+        let window = self.cc.cwnd().min(self.peer_rwnd.max(self.cfg.mss as u64));
+        let in_flight = self.bytes_in_flight();
+        let data_end = self.data_end();
+        if self.snd_nxt < data_end && in_flight < window {
+            let available = (data_end - self.snd_nxt) as usize;
+            let len = available.min(self.cfg.mss as usize);
+            let payload = self.send_buf.read(self.snd_nxt, len);
+            let seq_wire = self.wire_seq(self.snd_nxt);
+            let is_retx = self.snd_nxt < self.high_water;
+            self.snd_nxt += payload.len() as u64;
+            if is_retx {
+                self.stats.timeout_retransmits += 1;
+            } else {
+                self.high_water = self.snd_nxt;
+                self.stats.segments_sent += 1;
+                self.stats.bytes_sent += payload.len() as u64;
+            }
+            if self.rto_deadline.is_none() {
+                self.arm_rto(now);
+            }
+            let mut flags = TcpFlags::ACK;
+            flags.psh = self.snd_nxt == data_end;
+            let hdr = self.mk_header(flags, seq_wire);
+            return Some((hdr, payload));
+        }
+        // FIN once all data is out.
+        if self.fin_queued && !self.fin_sent && self.snd_nxt == data_end {
+            self.fin_sent = true;
+            let seq_wire = self.wire_seq(self.snd_nxt);
+            self.snd_nxt += 1; // FIN consumes one sequence number
+            self.high_water = self.high_water.max(self.snd_nxt);
+            if self.state == TcpState::Established {
+                self.state = TcpState::FinWait;
+            } else if self.state == TcpState::CloseWait {
+                // we already got peer FIN; after ours is acked we are Done
+            }
+            if self.rto_deadline.is_none() {
+                self.arm_rto(now);
+            }
+            let hdr = self.mk_header(TcpFlags::FIN_ACK, seq_wire);
+            return Some((hdr, Bytes::new()));
+        }
+        None
+    }
+
+    /// Next application event, if any.
+    pub fn poll_event(&mut self) -> Option<TcpEvent> {
+        self.events.pop_front()
+    }
+
+    /// The earliest time at which [`TcpConnection::on_timer`] needs to be
+    /// called, if a timer is armed.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &TcpStats {
+        &self.stats
+    }
+
+    /// Bytes transmitted but not yet acknowledged.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Bytes written by the application but not yet transmitted.
+    pub fn bytes_unsent(&self) -> u64 {
+        self.data_end() - self.snd_nxt.min(self.data_end())
+    }
+
+    /// The current congestion window in bytes (for tests and reports).
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd()
+    }
+
+    /// The flow this endpoint sends on.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn data_end(&self) -> u64 {
+        self.send_buf.end_offset()
+    }
+
+    fn wire_seq(&self, offset: u64) -> u32 {
+        seq::wrap(self.snd_base, offset)
+    }
+
+    fn ts_now(&self) -> u64 {
+        self.clock.as_nanos().max(1)
+    }
+
+    fn mk_header(&self, flags: TcpFlags, seq_wire: u32) -> TcpHeader {
+        let ack = match self.rcv_base {
+            Some(base) => seq::wrap(base, self.rcv_nxt),
+            None => 0,
+        };
+        TcpHeader {
+            flow: self.flow,
+            seq: seq_wire,
+            ack,
+            flags,
+            window: self.cfg.recv_window,
+            ts_val: self.ts_now(),
+            ts_ecr: self.ts_recent,
+        }
+    }
+
+    fn send_syn_ack(&mut self) {
+        let mut flags = TcpFlags::SYN_ACK;
+        flags.psh = false;
+        let hdr = TcpHeader {
+            flow: self.flow,
+            seq: self.iss,
+            ack: self
+                .rcv_base
+                .map(|b| seq::wrap(b, self.rcv_nxt))
+                .expect("SYN-ACK requires peer ISS"),
+            flags,
+            window: self.cfg.recv_window, ts_val: 0, ts_ecr: 0,
+        };
+        self.out.push_back((hdr, Bytes::new()));
+    }
+
+    fn push_ack(&mut self, dup: bool) {
+        let hdr = self.mk_header(TcpFlags::ACK, self.wire_seq(self.snd_nxt));
+        self.stats.acks_sent += 1;
+        if dup {
+            self.stats.dup_acks_sent += 1;
+        }
+        self.out.push_back((hdr, Bytes::new()));
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rtt.rto_backed_off(self.rto_backoffs));
+    }
+
+    fn enter_abort(&mut self, reason: AbortReason) {
+        self.state = TcpState::Aborted;
+        self.rto_deadline = None;
+        self.events.push_back(TcpEvent::Aborted(reason));
+    }
+
+    fn process_established(&mut self, now: SimTime, hdr: &TcpHeader, payload: Bytes) {
+        if hdr.flags.ack {
+            self.process_ack(now, hdr, payload.is_empty());
+        }
+        if !payload.is_empty() {
+            self.process_data(hdr, payload.clone());
+        }
+        if hdr.flags.fin {
+            self.process_fin(hdr, payload.len() as u64);
+        }
+        self.maybe_finish();
+    }
+
+    fn process_ack(&mut self, now: SimTime, hdr: &TcpHeader, empty_payload: bool) {
+        let ack_off = seq::unwrap(self.snd_base, hdr.ack);
+        if ack_off > self.snd_nxt.max(self.high_water) {
+            return; // acknowledges data we never sent; ignore
+        }
+        if ack_off > self.snd_una {
+            let newly = ack_off - self.snd_una;
+            self.snd_una = ack_off;
+            self.snd_nxt = self.snd_nxt.max(self.snd_una);
+            self.stats.bytes_acked += newly;
+            self.send_buf.release(self.snd_una.min(self.data_end()));
+            self.rto_backoffs = 0;
+            if self.fin_sent && self.snd_una >= self.data_end() + 1 {
+                self.fin_acked = true;
+            }
+            // RFC 7323 timestamp sample: valid even when the covered
+            // range was retransmitted, because the echo identifies the
+            // exact segment copy that triggered this ACK.
+            if hdr.ts_ecr > 0 {
+                self.rtt.on_sample(now.saturating_since(SimTime::from_nanos(hdr.ts_ecr)));
+            }
+            if self.cc.in_recovery() {
+                if self.snd_una >= self.recover {
+                    self.cc.on_recovery_exit();
+                    self.dup_acks = 0;
+                } else {
+                    // Partial ACK (NewReno): retransmit the next hole.
+                    self.retransmit_front(true);
+                }
+            } else {
+                self.dup_acks = 0;
+                self.cc.on_ack(newly);
+            }
+            if self.bytes_in_flight() == 0 && self.bytes_unsent() == 0 {
+                self.rto_deadline = None;
+            } else {
+                self.arm_rto(now);
+            }
+        } else if ack_off == self.snd_una
+            && self.bytes_in_flight() > 0
+            && empty_payload
+            && !hdr.flags.syn
+            && !hdr.flags.fin
+        {
+            self.dup_acks += 1;
+            self.stats.dup_acks_received += 1;
+            if self.cc.in_recovery() {
+                self.cc.on_dup_ack_in_recovery();
+            } else if self.dup_acks == self.cfg.dup_ack_threshold {
+                self.recover = self.snd_nxt;
+                self.cc.on_fast_retransmit(self.bytes_in_flight());
+                self.retransmit_front(false);
+                self.arm_rto(now);
+            }
+        }
+    }
+
+    /// Re-emits the segment at `snd_una` ahead of everything else.
+    fn retransmit_front(&mut self, from_partial_ack: bool) {
+        let data_end = self.data_end();
+        if self.snd_una < data_end {
+            let len = ((data_end - self.snd_una) as usize).min(self.cfg.mss as usize);
+            let payload = self.send_buf.read(self.snd_una, len);
+            let mut flags = TcpFlags::ACK;
+            flags.psh = true;
+            let hdr = self.mk_header(flags, self.wire_seq(self.snd_una));
+            self.stats.fast_retransmits += 1;
+            let _ = from_partial_ack;
+            self.out.push_back((hdr, payload));
+        } else if self.fin_sent && !self.fin_acked {
+            let hdr = self.mk_header(TcpFlags::FIN_ACK, self.wire_seq(data_end));
+            self.stats.fast_retransmits += 1;
+            self.out.push_back((hdr, Bytes::new()));
+        }
+    }
+
+    fn process_data(&mut self, hdr: &TcpHeader, payload: Bytes) {
+        let Some(rcv_base) = self.rcv_base else { return };
+        self.stats.segments_received += 1;
+        let seg_off = seq::unwrap(rcv_base, hdr.seq);
+        let len = payload.len() as u64;
+        if seg_off + len <= self.rcv_nxt {
+            // Entirely old: re-ACK so the sender can advance.
+            self.push_ack(true);
+            return;
+        }
+        let (off, data) = if seg_off < self.rcv_nxt {
+            let skip = (self.rcv_nxt - seg_off) as usize;
+            (self.rcv_nxt, payload.slice(skip..))
+        } else {
+            (seg_off, payload)
+        };
+        if off == self.rcv_nxt {
+            self.deliver(data);
+            self.drain_ooo();
+            self.push_ack(false);
+        } else {
+            self.stats.out_of_order_segments += 1;
+            self.ooo.entry(off).or_insert(data);
+            self.push_ack(true);
+        }
+    }
+
+    fn deliver(&mut self, data: Bytes) {
+        self.rcv_nxt += data.len() as u64;
+        self.stats.bytes_delivered += data.len() as u64;
+        self.events.push_back(TcpEvent::Data(data));
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some((&off, _)) = self.ooo.iter().next() {
+            if off > self.rcv_nxt {
+                break;
+            }
+            let (off, data) = self.ooo.pop_first().expect("checked non-empty");
+            let len = data.len() as u64;
+            if off + len <= self.rcv_nxt {
+                continue; // fully duplicate
+            }
+            let skip = (self.rcv_nxt - off) as usize;
+            self.deliver(data.slice(skip..));
+        }
+    }
+
+    fn process_fin(&mut self, hdr: &TcpHeader, payload_len: u64) {
+        let Some(rcv_base) = self.rcv_base else { return };
+        let fin_off = seq::unwrap(rcv_base, hdr.seq) + payload_len;
+        self.peer_fin_at = Some(fin_off);
+        self.try_consume_fin();
+        // ACK the FIN (or dup-ACK if data is still missing).
+        self.push_ack(!self.peer_fin_done);
+    }
+
+    fn try_consume_fin(&mut self) {
+        if self.peer_fin_done {
+            return;
+        }
+        if let Some(fin_off) = self.peer_fin_at {
+            if self.rcv_nxt == fin_off {
+                self.rcv_nxt += 1;
+                self.peer_fin_done = true;
+                self.events.push_back(TcpEvent::PeerFin);
+                if self.state == TcpState::Established {
+                    self.state = TcpState::CloseWait;
+                }
+            }
+        }
+    }
+
+    fn maybe_finish(&mut self) {
+        self.try_consume_fin();
+        if self.fin_acked && self.peer_fin_done && self.state != TcpState::Done {
+            self.state = TcpState::Done;
+            self.rto_deadline = None;
+            self.events.push_back(TcpEvent::Closed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_netsim::packet::HostAddr;
+    use h2priv_netsim::time::SimDuration;
+
+    fn flow() -> FlowId {
+        FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 }
+    }
+
+    /// A deterministic two-endpoint harness with a scriptable wire.
+    struct Pipe {
+        client: TcpConnection,
+        server: TcpConnection,
+        now: SimTime,
+        /// Packets in flight in each direction: (deliver_at, hdr, payload).
+        c2s: Vec<(SimTime, TcpHeader, Bytes)>,
+        s2c: Vec<(SimTime, TcpHeader, Bytes)>,
+        one_way: SimDuration,
+        /// Scripted per-direction drop pattern: drop the i-th *data*
+        /// transmission (client→server counts all segments).
+        drop_c2s: Vec<u64>,
+        drop_s2c: Vec<u64>,
+        sent_c2s: u64,
+        sent_s2c: u64,
+    }
+
+    impl Pipe {
+        fn new() -> Pipe {
+            let cfg_c = TcpConfig::default().with_iss(100);
+            let cfg_s = TcpConfig::default().with_iss(5_000);
+            Pipe {
+                client: TcpConnection::client(flow(), cfg_c),
+                server: TcpConnection::server(flow().reversed(), cfg_s),
+                now: SimTime::ZERO,
+                c2s: vec![],
+                s2c: vec![],
+                one_way: SimDuration::from_millis(10),
+                drop_c2s: vec![],
+                drop_s2c: vec![],
+                sent_c2s: 0,
+                sent_s2c: 0,
+            }
+        }
+
+        fn pump_polls(&mut self) {
+            loop {
+                let mut quiet = true;
+                while let Some((h, p)) = self.client.poll_segment(self.now) {
+                    self.sent_c2s += 1;
+                    if !self.drop_c2s.contains(&self.sent_c2s) {
+                        self.c2s.push((self.now + self.one_way, h, p));
+                    }
+                    quiet = false;
+                }
+                while let Some((h, p)) = self.server.poll_segment(self.now) {
+                    self.sent_s2c += 1;
+                    if !self.drop_s2c.contains(&self.sent_s2c) {
+                        self.s2c.push((self.now + self.one_way, h, p));
+                    }
+                    quiet = false;
+                }
+                if quiet {
+                    break;
+                }
+            }
+        }
+
+        /// Advances virtual time to the next interesting instant and
+        /// processes everything due. Returns false when nothing is
+        /// pending anywhere.
+        fn tick(&mut self) -> bool {
+            self.pump_polls();
+            let mut candidates: Vec<SimTime> = vec![];
+            candidates.extend(self.c2s.iter().map(|e| e.0));
+            candidates.extend(self.s2c.iter().map(|e| e.0));
+            candidates.extend(self.client.next_timeout());
+            candidates.extend(self.server.next_timeout());
+            let Some(&next) = candidates.iter().min() else {
+                return false;
+            };
+            self.now = self.now.max(next);
+
+            let due_c2s: Vec<_> = {
+                let mut due: Vec<_> = Vec::new();
+                self.c2s.retain(|e| {
+                    if e.0 <= next {
+                        due.push(e.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due
+            };
+            for (_, h, p) in due_c2s {
+                self.server.on_segment(self.now, &h, p);
+            }
+            let due_s2c: Vec<_> = {
+                let mut due: Vec<_> = Vec::new();
+                self.s2c.retain(|e| {
+                    if e.0 <= next {
+                        due.push(e.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due
+            };
+            for (_, h, p) in due_s2c {
+                self.client.on_segment(self.now, &h, p);
+            }
+            if self.client.next_timeout().is_some_and(|t| t <= self.now) {
+                self.client.on_timer(self.now);
+            }
+            if self.server.next_timeout().is_some_and(|t| t <= self.now) {
+                self.server.on_timer(self.now);
+            }
+            self.pump_polls();
+            true
+        }
+
+        fn run(&mut self, max_ticks: u32) {
+            self.client.open(self.now);
+            for _ in 0..max_ticks {
+                if !self.tick() {
+                    break;
+                }
+            }
+        }
+
+        fn drain_events(conn: &mut TcpConnection) -> Vec<TcpEvent> {
+            std::iter::from_fn(|| conn.poll_event()).collect()
+        }
+
+        fn received_bytes(conn: &mut TcpConnection) -> Vec<u8> {
+            let mut out = vec![];
+            for ev in Self::drain_events(conn) {
+                if let TcpEvent::Data(d) = ev {
+                    out.extend_from_slice(&d);
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn handshake_completes() {
+        let mut p = Pipe::new();
+        p.run(10);
+        let ce = Pipe::drain_events(&mut p.client);
+        let se = Pipe::drain_events(&mut p.server);
+        assert!(ce.contains(&TcpEvent::Connected));
+        assert!(se.contains(&TcpEvent::Connected));
+        assert_eq!(p.client.state(), TcpState::Established);
+        assert_eq!(p.server.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn small_transfer_round_trips() {
+        let mut p = Pipe::new();
+        p.client.write(Bytes::from_static(b"GET /index.html"));
+        p.run(50);
+        assert_eq!(Pipe::received_bytes(&mut p.server), b"GET /index.html");
+    }
+
+    #[test]
+    fn bulk_transfer_spans_many_segments() {
+        let mut p = Pipe::new();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        p.server.write(Bytes::from(data.clone()));
+        p.run(2_000);
+        let got = Pipe::received_bytes(&mut p.client);
+        assert_eq!(got.len(), data.len());
+        assert_eq!(got, data);
+        assert!(p.server.stats().segments_sent >= 68); // 100k / 1460
+        assert_eq!(p.server.stats().retransmits(), 0);
+    }
+
+    #[test]
+    fn dropped_segment_recovers_by_fast_retransmit() {
+        let mut p = Pipe::new();
+        let data: Vec<u8> = (0..60_000u32).map(|i| (i % 253) as u8).collect();
+        p.server.write(Bytes::from(data.clone()));
+        // Drop one mid-stream data segment from the server (segment #5
+        // counting every s2c transmission incl. handshake).
+        p.drop_s2c = vec![5];
+        p.run(4_000);
+        let got = Pipe::received_bytes(&mut p.client);
+        assert_eq!(got, data);
+        assert!(p.server.stats().fast_retransmits >= 1, "expected a fast retransmit");
+        assert!(p.client.stats().dup_acks_sent >= 3);
+    }
+
+    #[test]
+    fn total_blackhole_aborts_after_retries() {
+        let mut p = Pipe::new();
+        let data: Vec<u8> = vec![7; 20_000];
+        p.server.write(Bytes::from(data));
+        // Drop every server transmission after the handshake completes.
+        p.drop_s2c = (3..400).collect();
+        p.run(10_000);
+        let events = Pipe::drain_events(&mut p.server);
+        assert!(
+            events.contains(&TcpEvent::Aborted(AbortReason::RetriesExceeded)),
+            "server should give up, got {events:?}"
+        );
+        assert!(p.server.stats().rto_events >= 8);
+    }
+
+    #[test]
+    fn rto_backoff_grows_exponentially() {
+        let mut p = Pipe::new();
+        p.server.write(Bytes::from(vec![1u8; 5_000]));
+        p.drop_s2c = (3..200).collect();
+        p.client.open(p.now);
+        let mut rto_times: Vec<SimTime> = vec![];
+        for _ in 0..5_000 {
+            let before = p.server.stats().rto_events;
+            if !p.tick() {
+                break;
+            }
+            if p.server.stats().rto_events > before {
+                rto_times.push(p.now);
+            }
+        }
+        assert!(rto_times.len() >= 4, "expected several RTOs, got {}", rto_times.len());
+        let gaps: Vec<u64> =
+            rto_times.windows(2).map(|w| (w[1] - w[0]).as_millis().max(1)).collect();
+        for w in gaps.windows(2) {
+            assert!(
+                w[1] >= w[0] * 3 / 2,
+                "backoff not growing: gaps {gaps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reordering_produces_dup_acks_but_no_data_loss() {
+        // Deliver segments 2..5 before segment 1 by dropping nothing but
+        // using the ooo path: we simulate by manual segment injection.
+        let mut p = Pipe::new();
+        p.run(10); // handshake only
+        let mss = 1460usize;
+        let data: Vec<u8> = (0..mss * 4).map(|i| (i % 250) as u8).collect();
+        p.server.write(Bytes::from(data.clone()));
+        // Pull all four segments out of the server directly.
+        let mut segs = vec![];
+        while let Some(s) = p.server.poll_segment(p.now) {
+            segs.push(s);
+        }
+        assert_eq!(segs.len(), 4);
+        // Deliver out of order: 2, 3, 4, then 1.
+        let (first, rest) = segs.split_first().unwrap();
+        for (h, d) in rest {
+            p.client.on_segment(p.now, h, d.clone());
+        }
+        p.client.on_segment(p.now, &first.0, first.1.clone());
+        let got = Pipe::received_bytes(&mut p.client);
+        assert_eq!(got, data);
+        assert_eq!(p.client.stats().out_of_order_segments, 3);
+        assert!(p.client.stats().dup_acks_sent >= 3);
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let mut p = Pipe::new();
+        p.client.write(Bytes::from_static(b"req"));
+        p.client.close();
+        p.run(100);
+        // Server saw data + FIN.
+        let sev = Pipe::drain_events(&mut p.server);
+        assert!(sev.iter().any(|e| matches!(e, TcpEvent::PeerFin)));
+        // Now server closes too.
+        p.server.close();
+        for _ in 0..100 {
+            if !p.tick() {
+                break;
+            }
+        }
+        assert_eq!(p.client.state(), TcpState::Done);
+        assert_eq!(p.server.state(), TcpState::Done);
+    }
+
+    #[test]
+    fn abort_sends_rst_and_peer_sees_reset() {
+        let mut p = Pipe::new();
+        p.run(10);
+        p.client.abort();
+        for _ in 0..20 {
+            if !p.tick() {
+                break;
+            }
+        }
+        let sev = Pipe::drain_events(&mut p.server);
+        assert!(sev.contains(&TcpEvent::Aborted(AbortReason::PeerReset)), "{sev:?}");
+    }
+
+    #[test]
+    fn cwnd_grows_during_bulk_transfer() {
+        let mut p = Pipe::new();
+        let initial = p.server.cwnd();
+        p.server.write(Bytes::from(vec![0u8; 200_000]));
+        p.run(3_000);
+        assert!(p.server.cwnd() > initial * 2, "cwnd should have grown in slow start");
+    }
+
+    #[test]
+    fn write_after_close_is_ignored() {
+        let mut p = Pipe::new();
+        p.client.close();
+        p.client.write(Bytes::from_static(b"late"));
+        p.run(60);
+        assert!(Pipe::received_bytes(&mut p.server).is_empty());
+    }
+
+    #[test]
+    fn segments_carry_monotone_nonoverlapping_payload() {
+        let mut p = Pipe::new();
+        p.server.write(Bytes::from(vec![9u8; 30_000]));
+        p.client.open(p.now);
+        let mut covered: Vec<(u64, u64)> = vec![];
+        for _ in 0..2_000 {
+            p.pump_polls();
+            // intercept fresh transmissions without disturbing delivery
+            for (_, h, d) in &p.s2c {
+                if !d.is_empty() {
+                    let off = seq::unwrap(p.server.snd_base, h.seq);
+                    covered.push((off, off + d.len() as u64));
+                }
+            }
+            if !p.tick() {
+                break;
+            }
+        }
+        covered.sort();
+        covered.dedup();
+        // In a lossless run every byte range is sent exactly once.
+        let mut expect = 0;
+        for (start, end) in covered {
+            assert_eq!(start, expect, "gap or overlap in transmitted stream");
+            expect = end;
+        }
+        assert_eq!(expect, 30_000);
+    }
+}

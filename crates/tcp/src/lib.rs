@@ -1,0 +1,70 @@
+//! # h2priv-tcp
+//!
+//! A sans-I/O, Reno-style TCP implementation used as the transport
+//! substrate of the `h2priv` workspace (reproduction of *"Depending on
+//! HTTP/2 for Privacy? Good Luck!"*, DSN 2020).
+//!
+//! The paper's adversary works by perturbing exactly the dynamics this
+//! crate implements:
+//!
+//! * **Reordering → dup-ACKs → fast retransmit** (paper Section IV-B):
+//!   holding a GET request back at the middlebox lets later segments
+//!   arrive first; the receiver answers with duplicate ACKs and the
+//!   sender fast-retransmits after three of them.
+//! * **Bandwidth ↓ → BDP ↓ → congestion window ↓** (Section IV-C):
+//!   throttling fills the bottleneck queue, losses shrink `cwnd`, and the
+//!   number of outstanding (and hence retransmittable) packets falls.
+//! * **Sustained loss → RTO backoff → stalled / broken connections**
+//!   (Section IV-D): 80 % targeted drops force retransmission timeouts
+//!   whose exponential backoff quiets the wire long enough for the HTTP/2
+//!   layer to reset streams; beyond that the connection aborts.
+//!
+//! The state machine is *sans-I/O*: it never touches the network itself.
+//! Feed it segments with [`TcpConnection::on_segment`], pump its clock
+//! with [`TcpConnection::on_timer`], and drain outgoing segments with
+//! [`TcpConnection::poll_segment`] and application events with
+//! [`TcpConnection::poll_event`]. The `h2priv-h2` crate glues it to the
+//! `h2priv-netsim` event loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use h2priv_tcp::{TcpConfig, TcpConnection, TcpEvent};
+//! use h2priv_netsim::packet::{FlowId, HostAddr};
+//! use h2priv_netsim::time::SimTime;
+//! use bytes::Bytes;
+//!
+//! let flow = FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40000, dport: 443 };
+//! let mut client = TcpConnection::client(flow, TcpConfig::default());
+//! let mut server = TcpConnection::server(flow.reversed(), TcpConfig::default());
+//!
+//! let t0 = SimTime::ZERO;
+//! client.open(t0);
+//! // Run the handshake over a lossless, zero-latency "wire".
+//! let mut guard = 0;
+//! loop {
+//!     let mut quiet = true;
+//!     while let Some((h, p)) = client.poll_segment(t0) { server.on_segment(t0, &h, p); quiet = false; }
+//!     while let Some((h, p)) = server.poll_segment(t0) { client.on_segment(t0, &h, p); quiet = false; }
+//!     if quiet { break; }
+//!     guard += 1; assert!(guard < 32);
+//! }
+//! assert!(matches!(client.poll_event(), Some(TcpEvent::Connected)));
+//! client.write(Bytes::from_static(b"GET /"));
+//! # let _ = server.poll_event();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod buffer;
+pub mod config;
+pub mod congestion;
+pub mod connection;
+pub mod rtt;
+pub mod seq;
+pub mod stats;
+
+pub use config::TcpConfig;
+pub use connection::{AbortReason, TcpConnection, TcpEvent, TcpState};
+pub use stats::TcpStats;

@@ -1,0 +1,130 @@
+//! Round-trip-time estimation and retransmission-timeout computation
+//! (RFC 6298).
+
+use h2priv_netsim::time::SimDuration;
+
+/// Smoothed RTT estimator with RFC 6298 constants
+/// (`SRTT`, `RTTVAR`, `RTO = SRTT + 4·RTTVAR`).
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto_min: SimDuration,
+    rto_max: SimDuration,
+    rto_initial: SimDuration,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO bounds.
+    pub fn new(rto_initial: SimDuration, rto_min: SimDuration, rto_max: SimDuration) -> Self {
+        RttEstimator { srtt: None, rttvar: SimDuration::ZERO, rto_min, rto_max, rto_initial }
+    }
+
+    /// Incorporates a new RTT sample. Samples from retransmitted segments
+    /// must not be fed in (Karn's algorithm) — that filtering is the
+    /// caller's job.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                // First measurement: SRTT = R, RTTVAR = R/2.
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|
+                let delta = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3) / 4 + delta / 4;
+                // SRTT = 7/8·SRTT + 1/8·R
+                self.srtt = Some((srtt * 7) / 8 + rtt / 8);
+            }
+        }
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The current retransmission timeout (before exponential backoff).
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => self.rto_initial,
+            Some(srtt) => {
+                let var4 = self.rttvar * 4;
+                // Granularity floor of 1 ms stands in for the clock tick G.
+                let g = SimDuration::from_millis(1);
+                (srtt + var4.max(g)).clamp(self.rto_min, self.rto_max)
+            }
+        }
+    }
+
+    /// The RTO after `backoffs` consecutive expirations (doubling each
+    /// time, capped at the configured maximum).
+    pub fn rto_backed_off(&self, backoffs: u32) -> SimDuration {
+        let mut rto = self.rto();
+        for _ in 0..backoffs.min(16) {
+            rto = (rto * 2).min(self.rto_max);
+        }
+        rto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_millis(1_000),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_is_configured_value() {
+        assert_eq!(est().rto(), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_converge_and_clamp_to_min() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(20));
+        }
+        // Variance decays towards zero, RTO clamps at the 200 ms floor.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+        let srtt = e.srtt().unwrap();
+        assert!((19..=21).contains(&srtt.as_millis()), "srtt = {srtt}");
+    }
+
+    #[test]
+    fn variance_reacts_to_spikes() {
+        let mut e = est();
+        for _ in 0..20 {
+            e.on_sample(SimDuration::from_millis(20));
+        }
+        let calm = e.rto();
+        e.on_sample(SimDuration::from_millis(500));
+        assert!(e.rto() > calm);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100)); // RTO 300 ms
+        assert_eq!(e.rto_backed_off(0), SimDuration::from_millis(300));
+        assert_eq!(e.rto_backed_off(1), SimDuration::from_millis(600));
+        assert_eq!(e.rto_backed_off(2), SimDuration::from_millis(1_200));
+        assert_eq!(e.rto_backed_off(30), SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,78 @@
+//! 32-bit TCP sequence-number arithmetic.
+//!
+//! Wire sequence numbers wrap modulo 2³²; internally the connection works
+//! with monotone 64-bit *stream offsets* (0 = first payload byte). These
+//! helpers convert between the two. A single simulated connection
+//! transfers far less than 4 GiB, so unwrapping is exact under the
+//! documented precondition.
+
+/// Wraps a stream offset into wire sequence space.
+///
+/// `base` is the sequence number of offset 0 (for the data stream this is
+/// `ISS + 1`, because the SYN consumes one sequence number).
+pub fn wrap(base: u32, offset: u64) -> u32 {
+    base.wrapping_add(offset as u32)
+}
+
+/// Recovers a stream offset from a wire sequence number.
+///
+/// Exact when the true offset is below 2³² (single-connection transfers
+/// in this simulation are megabytes, so this always holds).
+pub fn unwrap(base: u32, wire: u32) -> u64 {
+    wire.wrapping_sub(base) as u64
+}
+
+/// `true` if sequence `a` is strictly before `b` in wrapped 32-bit space
+/// (RFC 793 comparison: the signed distance is negative).
+pub fn before(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `true` if sequence `a` is at-or-before `b` in wrapped space.
+pub fn before_eq(a: u32, b: u32) -> bool {
+    a == b || before(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_unwrap_simple() {
+        assert_eq!(wrap(1000, 0), 1000);
+        assert_eq!(wrap(1000, 24), 1024);
+        assert_eq!(unwrap(1000, 1024), 24);
+    }
+
+    #[test]
+    fn wraps_around_u32_boundary() {
+        let base = u32::MAX - 10;
+        assert_eq!(wrap(base, 20), 9);
+        assert_eq!(unwrap(base, 9), 20);
+    }
+
+    #[test]
+    fn before_handles_wraparound() {
+        assert!(before(u32::MAX - 5, 5));
+        assert!(!before(5, u32::MAX - 5));
+        assert!(before(0, 1));
+        assert!(!before(1, 0));
+        assert!(!before(7, 7));
+        assert!(before_eq(7, 7));
+    }
+
+    proptest! {
+        #[test]
+        fn wrap_unwrap_roundtrip(base: u32, offset in 0u64..u32::MAX as u64) {
+            prop_assert_eq!(unwrap(base, wrap(base, offset)), offset);
+        }
+
+        #[test]
+        fn before_is_antisymmetric_for_close_values(a: u32, d in 1u32..(1 << 30)) {
+            let b = a.wrapping_add(d);
+            prop_assert!(before(a, b));
+            prop_assert!(!before(b, a));
+        }
+    }
+}

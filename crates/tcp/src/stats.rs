@@ -1,0 +1,51 @@
+//! Per-connection counters.
+//!
+//! The paper's Table I and Fig. 5 report *retransmission* counts; these
+//! counters are where that measurement comes from on the simulated stack.
+
+/// Counters maintained by a [`crate::TcpConnection`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Data segments transmitted (first transmissions only).
+    pub segments_sent: u64,
+    /// Data segments retransmitted via fast retransmit.
+    pub fast_retransmits: u64,
+    /// Data segments retransmitted after an RTO.
+    pub timeout_retransmits: u64,
+    /// Pure ACK segments sent.
+    pub acks_sent: u64,
+    /// Duplicate ACKs sent (out-of-order data seen).
+    pub dup_acks_sent: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks_received: u64,
+    /// RTO expiry events.
+    pub rto_events: u64,
+    /// Payload bytes sent (first transmissions).
+    pub bytes_sent: u64,
+    /// Payload bytes cumulatively acknowledged by the peer.
+    pub bytes_acked: u64,
+    /// Payload bytes delivered to the application in order.
+    pub bytes_delivered: u64,
+    /// Segments received (with payload).
+    pub segments_received: u64,
+    /// Out-of-order segments buffered.
+    pub out_of_order_segments: u64,
+}
+
+impl TcpStats {
+    /// Total retransmitted segments (fast + timeout).
+    pub fn retransmits(&self) -> u64 {
+        self.fast_retransmits + self.timeout_retransmits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retransmits_sums_both_kinds() {
+        let s = TcpStats { fast_retransmits: 3, timeout_retransmits: 2, ..Default::default() };
+        assert_eq!(s.retransmits(), 5);
+    }
+}

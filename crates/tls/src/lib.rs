@@ -1,0 +1,52 @@
+//! # h2priv-tls
+//!
+//! A TLS 1.2-style *record layer model* for the `h2priv` reproduction of
+//! *"Depending on HTTP/2 for Privacy? Good Luck!"* (DSN 2020).
+//!
+//! The paper's adversary never breaks encryption; it only uses what TLS
+//! leaves in the clear on the wire:
+//!
+//! * the 5-byte record header — in particular the **content type**
+//!   (`ssl.record.content_type == 23` is the tshark filter the paper uses
+//!   to count GET requests), and the record **length**;
+//! * packet sizes and timing.
+//!
+//! Accordingly this crate does no real cryptography. [`RecordSealer`]
+//! wraps plaintext into records with realistic size overhead (5-byte
+//! header + 16-byte AEAD tag) and [`RecordOpener`] re-parses the byte
+//! stream on the receiving side. Confidentiality is modelled by
+//! convention: adversary code (in `h2priv-core`/`h2priv-trace`) only ever
+//! parses record *headers* out of the stream.
+//!
+//! Because experiments need ground truth ("which wire bytes belonged to
+//! which object?", needed for the paper's *degree of multiplexing*
+//! metric), the sealer also maintains a [`WireMap`]: a list of
+//! `[start, end)` TCP-stream-offset spans annotated with a [`RecordTag`].
+//! This is out-of-band instrumentation, never visible to the adversary.
+//!
+//! ## Example
+//!
+//! ```
+//! use h2priv_tls::{ContentType, RecordOpener, RecordSealer, RecordTag};
+//!
+//! let mut sealer = RecordSealer::new();
+//! let wire = sealer.seal(ContentType::ApplicationData, &[0u8; 100], RecordTag::NONE);
+//! assert_eq!(wire.len(), 100 + 5 + 16); // header + AEAD tag
+//!
+//! let mut opener = RecordOpener::new();
+//! opener.push(&wire);
+//! let rec = opener.poll_record().expect("one record");
+//! assert_eq!(rec.content_type, ContentType::ApplicationData);
+//! assert_eq!(rec.plaintext.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod record;
+pub mod session;
+pub mod wire_map;
+
+pub use record::{ContentType, RecordHeader, MAX_RECORD_PLAINTEXT, RECORD_HEADER_LEN, RECORD_OVERHEAD, AEAD_TAG_LEN};
+pub use session::{OpenedRecord, RecordOpener, RecordSealer};
+pub use wire_map::{RecordTag, TrafficClass, WireMap, WireSpan};

@@ -1,0 +1,148 @@
+//! TLS record framing: the 5-byte cleartext header and size constants.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Length of the cleartext record header (type + version + length).
+pub const RECORD_HEADER_LEN: usize = 5;
+
+/// AEAD authentication tag length (AES-GCM).
+pub const AEAD_TAG_LEN: usize = 16;
+
+/// Total per-record size overhead on the wire.
+pub const RECORD_OVERHEAD: usize = RECORD_HEADER_LEN + AEAD_TAG_LEN;
+
+/// Maximum plaintext bytes per record (RFC 5246 §6.2.1).
+pub const MAX_RECORD_PLAINTEXT: usize = 16_384;
+
+/// TLS wire version carried in every record header (TLS 1.2 = 0x0303).
+pub const WIRE_VERSION: u16 = 0x0303;
+
+/// TLS record content types (the field the paper's tshark filter keys on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ContentType {
+    /// change_cipher_spec(20)
+    ChangeCipherSpec = 20,
+    /// alert(21)
+    Alert = 21,
+    /// handshake(22)
+    Handshake = 22,
+    /// application_data(23) — HTTP/2 frames travel in these.
+    ApplicationData = 23,
+}
+
+impl ContentType {
+    /// Parses a content-type byte.
+    pub fn from_byte(b: u8) -> Option<ContentType> {
+        match b {
+            20 => Some(ContentType::ChangeCipherSpec),
+            21 => Some(ContentType::Alert),
+            22 => Some(ContentType::Handshake),
+            23 => Some(ContentType::ApplicationData),
+            _ => None,
+        }
+    }
+
+    /// The wire byte.
+    pub fn as_byte(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for ContentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ContentType::ChangeCipherSpec => "change_cipher_spec",
+            ContentType::Alert => "alert",
+            ContentType::Handshake => "handshake",
+            ContentType::ApplicationData => "application_data",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The cleartext 5-byte header of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordHeader {
+    /// Record content type.
+    pub content_type: ContentType,
+    /// Protocol version (always [`WIRE_VERSION`] here).
+    pub version: u16,
+    /// Length of the record body (ciphertext) in bytes.
+    pub length: u16,
+}
+
+impl RecordHeader {
+    /// Encodes into the 5 wire bytes.
+    pub fn encode(&self) -> [u8; RECORD_HEADER_LEN] {
+        [
+            self.content_type.as_byte(),
+            (self.version >> 8) as u8,
+            (self.version & 0xff) as u8,
+            (self.length >> 8) as u8,
+            (self.length & 0xff) as u8,
+        ]
+    }
+
+    /// Decodes from wire bytes. Returns `None` on an unknown content type
+    /// (which in this simulation indicates stream desynchronisation).
+    pub fn decode(bytes: &[u8]) -> Option<RecordHeader> {
+        if bytes.len() < RECORD_HEADER_LEN {
+            return None;
+        }
+        let content_type = ContentType::from_byte(bytes[0])?;
+        let version = u16::from_be_bytes([bytes[1], bytes[2]]);
+        let length = u16::from_be_bytes([bytes[3], bytes[4]]);
+        Some(RecordHeader { content_type, version, length })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = RecordHeader {
+            content_type: ContentType::ApplicationData,
+            version: WIRE_VERSION,
+            length: 1234,
+        };
+        let enc = h.encode();
+        assert_eq!(enc[0], 23);
+        assert_eq!(RecordHeader::decode(&enc), Some(h));
+    }
+
+    #[test]
+    fn decode_rejects_short_and_garbage() {
+        assert_eq!(RecordHeader::decode(&[23, 3]), None);
+        assert_eq!(RecordHeader::decode(&[99, 3, 3, 0, 0]), None);
+    }
+
+    #[test]
+    fn content_type_bytes() {
+        for ct in [
+            ContentType::ChangeCipherSpec,
+            ContentType::Alert,
+            ContentType::Handshake,
+            ContentType::ApplicationData,
+        ] {
+            assert_eq!(ContentType::from_byte(ct.as_byte()), Some(ct));
+        }
+        assert_eq!(ContentType::from_byte(0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn header_roundtrip_any_length(len: u16) {
+            let h = RecordHeader {
+                content_type: ContentType::Handshake,
+                version: WIRE_VERSION,
+                length: len,
+            };
+            prop_assert_eq!(RecordHeader::decode(&h.encode()), Some(h));
+        }
+    }
+}

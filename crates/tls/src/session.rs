@@ -1,0 +1,242 @@
+//! Sealing and opening of the record stream.
+//!
+//! [`RecordSealer`] turns plaintext messages into the on-wire byte stream
+//! (splitting at the 16 KiB record limit and adding header + AEAD tag
+//! overhead) while building the ground-truth [`WireMap`].
+//! [`RecordOpener`] incrementally re-parses the stream on the receiving
+//! side — the same reassembly an endpoint's TLS stack performs.
+
+use crate::record::{
+    ContentType, RecordHeader, AEAD_TAG_LEN, MAX_RECORD_PLAINTEXT, RECORD_HEADER_LEN, WIRE_VERSION,
+};
+use crate::wire_map::{RecordTag, WireMap, WireSpan};
+use bytes::{Bytes, BytesMut};
+
+/// Encrypt-direction half of a session: plaintext in, wire bytes out.
+#[derive(Debug, Default)]
+pub struct RecordSealer {
+    wire_offset: u64,
+    map: WireMap,
+    records_sealed: u64,
+}
+
+impl RecordSealer {
+    /// Creates a sealer at stream offset zero.
+    pub fn new() -> RecordSealer {
+        RecordSealer::default()
+    }
+
+    /// Seals one message, fragmenting into records of at most 16 KiB
+    /// plaintext. Returns the wire bytes to hand to TCP.
+    pub fn seal(&mut self, ct: ContentType, plaintext: &[u8], tag: RecordTag) -> Bytes {
+        let mut out = BytesMut::with_capacity(plaintext.len() + RECORD_HEADER_LEN + AEAD_TAG_LEN);
+        let mut rest = plaintext;
+        loop {
+            let take = rest.len().min(MAX_RECORD_PLAINTEXT - AEAD_TAG_LEN);
+            let body_len = take + AEAD_TAG_LEN;
+            let header =
+                RecordHeader { content_type: ct, version: WIRE_VERSION, length: body_len as u16 };
+            out.extend_from_slice(&header.encode());
+            out.extend_from_slice(&rest[..take]);
+            // The AEAD tag: opaque bytes on the wire (zeros here — no
+            // real cryptography in the model).
+            out.extend_from_slice(&[0u8; AEAD_TAG_LEN]);
+            let total = (RECORD_HEADER_LEN + body_len) as u64;
+            self.map.push(WireSpan {
+                start: self.wire_offset,
+                end: self.wire_offset + total,
+                tag,
+            });
+            self.wire_offset += total;
+            self.records_sealed += 1;
+            rest = &rest[take..];
+            if rest.is_empty() {
+                break;
+            }
+        }
+        out.freeze()
+    }
+
+    /// Current TCP stream offset (bytes emitted so far).
+    pub fn wire_offset(&self) -> u64 {
+        self.wire_offset
+    }
+
+    /// Records sealed so far.
+    pub fn records_sealed(&self) -> u64 {
+        self.records_sealed
+    }
+
+    /// The ground-truth map built so far.
+    pub fn wire_map(&self) -> &WireMap {
+        &self.map
+    }
+
+    /// Consumes the sealer, returning its ground-truth map.
+    pub fn into_wire_map(self) -> WireMap {
+        self.map
+    }
+}
+
+/// One record recovered from the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenedRecord {
+    /// The content type from the cleartext header.
+    pub content_type: ContentType,
+    /// The recovered plaintext (body minus AEAD tag).
+    pub plaintext: Bytes,
+}
+
+/// Decrypt-direction half: wire bytes in, records out.
+#[derive(Debug, Default)]
+pub struct RecordOpener {
+    buf: BytesMut,
+}
+
+impl RecordOpener {
+    /// Creates an empty opener.
+    pub fn new() -> RecordOpener {
+        RecordOpener::default()
+    }
+
+    /// Appends received stream bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Extracts the next complete record, if the buffer holds one.
+    ///
+    /// # Panics
+    /// Panics if the stream is corrupt (unknown content type or a body
+    /// shorter than the AEAD tag) — in this simulation that indicates a
+    /// bug, not an attack, so failing fast is correct.
+    pub fn poll_record(&mut self) -> Option<OpenedRecord> {
+        if self.buf.len() < RECORD_HEADER_LEN {
+            return None;
+        }
+        let header = RecordHeader::decode(&self.buf[..RECORD_HEADER_LEN])
+            .expect("corrupt TLS stream: bad record header");
+        let body_len = header.length as usize;
+        assert!(body_len >= AEAD_TAG_LEN, "corrupt TLS stream: body shorter than AEAD tag");
+        if self.buf.len() < RECORD_HEADER_LEN + body_len {
+            return None;
+        }
+        let mut rec = self.buf.split_to(RECORD_HEADER_LEN + body_len);
+        let _ = rec.split_to(RECORD_HEADER_LEN);
+        let plaintext = rec.split_to(body_len - AEAD_TAG_LEN).freeze();
+        Some(OpenedRecord { content_type: header.content_type, plaintext })
+    }
+
+    /// Bytes buffered but not yet forming a complete record.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seal_open_roundtrip_single() {
+        let mut s = RecordSealer::new();
+        let msg: Vec<u8> = (0..200u8).collect();
+        let wire = s.seal(ContentType::Handshake, &msg, RecordTag::NONE);
+        let mut o = RecordOpener::new();
+        o.push(&wire);
+        let rec = o.poll_record().unwrap();
+        assert_eq!(rec.content_type, ContentType::Handshake);
+        assert_eq!(&rec.plaintext[..], &msg[..]);
+        assert!(o.poll_record().is_none());
+        assert_eq!(o.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn large_message_fragments_at_record_limit() {
+        let mut s = RecordSealer::new();
+        let msg = vec![7u8; 40_000];
+        let wire = s.seal(ContentType::ApplicationData, &msg, RecordTag::NONE);
+        assert!(s.records_sealed() >= 3);
+        let mut o = RecordOpener::new();
+        o.push(&wire);
+        let mut total = 0;
+        while let Some(rec) = o.poll_record() {
+            assert!(rec.plaintext.len() <= MAX_RECORD_PLAINTEXT);
+            total += rec.plaintext.len();
+        }
+        assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn opener_handles_byte_by_byte_arrival() {
+        let mut s = RecordSealer::new();
+        let wire = s.seal(ContentType::ApplicationData, b"hello records", RecordTag::NONE);
+        let mut o = RecordOpener::new();
+        let mut got = None;
+        for b in wire.iter() {
+            o.push(&[*b]);
+            if let Some(r) = o.poll_record() {
+                got = Some(r);
+            }
+        }
+        assert_eq!(&got.unwrap().plaintext[..], b"hello records");
+    }
+
+    #[test]
+    fn wire_map_tracks_offsets_exactly() {
+        let mut s = RecordSealer::new();
+        let t1 = RecordTag { stream_id: 1, object_id: 10, copy: 0, class: crate::TrafficClass::ObjectData };
+        let t2 = RecordTag { stream_id: 3, object_id: 11, copy: 0, class: crate::TrafficClass::ObjectData };
+        let w1 = s.seal(ContentType::ApplicationData, &[0u8; 100], t1);
+        let w2 = s.seal(ContentType::ApplicationData, &[0u8; 50], t2);
+        let map = s.wire_map();
+        assert_eq!(map.spans().len(), 2);
+        assert_eq!(map.spans()[0].start, 0);
+        assert_eq!(map.spans()[0].end, w1.len() as u64);
+        assert_eq!(map.spans()[1].start, w1.len() as u64);
+        assert_eq!(map.spans()[1].end, (w1.len() + w2.len()) as u64);
+        assert_eq!(map.tag_at(3).unwrap().object_id, 10);
+        assert_eq!(map.tag_at(w1.len() as u64).unwrap().object_id, 11);
+    }
+
+    #[test]
+    fn multiple_records_in_one_push() {
+        let mut s = RecordSealer::new();
+        let mut wire = BytesMut::new();
+        for i in 0..5u8 {
+            wire.extend_from_slice(&s.seal(
+                ContentType::ApplicationData,
+                &vec![i; 10 * (i as usize + 1)],
+                RecordTag::NONE,
+            ));
+        }
+        let mut o = RecordOpener::new();
+        o.push(&wire);
+        let lens: Vec<usize> =
+            std::iter::from_fn(|| o.poll_record()).map(|r| r.plaintext.len()).collect();
+        assert_eq!(lens, vec![10, 20, 30, 40, 50]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_sizes(sizes in proptest::collection::vec(0usize..20_000, 1..8)) {
+            let mut s = RecordSealer::new();
+            let mut o = RecordOpener::new();
+            let mut expected_total = 0;
+            for (i, size) in sizes.iter().enumerate() {
+                let payload = vec![(i % 251) as u8; *size];
+                // Zero-length messages still produce a record (tag-only).
+                let wire = s.seal(ContentType::ApplicationData, &payload, RecordTag::NONE);
+                o.push(&wire);
+                expected_total += size;
+            }
+            let mut got_total = 0;
+            while let Some(rec) = o.poll_record() {
+                got_total += rec.plaintext.len();
+            }
+            prop_assert_eq!(got_total, expected_total);
+            prop_assert_eq!(o.pending_bytes(), 0);
+        }
+    }
+}

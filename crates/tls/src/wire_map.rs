@@ -1,0 +1,190 @@
+//! Ground-truth annotation of wire bytes.
+//!
+//! The paper's central metric — the **degree of multiplexing** of an
+//! object (Section II-A) — needs to know which TCP-stream bytes carry
+//! which object. In a real capture the authors knew this from controlled
+//! experiments; here the sealer records it exactly. The map is
+//! out-of-band instrumentation: adversary code never reads it (it is only
+//! joined with traces by the metrics module).
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse classification of a record for experiment accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// TLS handshake records.
+    Handshake,
+    /// HTTP/2 connection-control frames (SETTINGS, WINDOW_UPDATE, PING,
+    /// RST_STREAM, GOAWAY...).
+    Control,
+    /// Request HEADERS.
+    Request,
+    /// Response HEADERS.
+    ResponseHeaders,
+    /// Response DATA (object bytes) — the spans the degree-of-multiplexing
+    /// metric is computed over.
+    ObjectData,
+}
+
+/// Ground-truth label attached to a sealed record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RecordTag {
+    /// HTTP/2 stream id carrying the record (0 for connection-level).
+    pub stream_id: u32,
+    /// Object identifier within the site model (`u32::MAX` = none).
+    pub object_id: u32,
+    /// Which served copy of the object this is (0 = first; >0 = copies
+    /// triggered by re-requests, the paper's "retransmitted objects").
+    pub copy: u16,
+    /// Traffic class.
+    pub class: TrafficClass,
+}
+
+impl RecordTag {
+    /// A tag for traffic not attributable to any object.
+    pub const NONE: RecordTag = RecordTag {
+        stream_id: 0,
+        object_id: u32::MAX,
+        copy: 0,
+        class: TrafficClass::Control,
+    };
+
+    /// `true` if this tag denotes object payload bytes.
+    pub fn is_object_data(&self) -> bool {
+        self.class == TrafficClass::ObjectData && self.object_id != u32::MAX
+    }
+}
+
+/// One annotated span of the TCP byte stream: `[start, end)` in stream
+/// offsets (the sealer's output byte count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// First byte offset (inclusive).
+    pub start: u64,
+    /// One-past-last byte offset.
+    pub end: u64,
+    /// Ground-truth label.
+    pub tag: RecordTag,
+}
+
+impl WireSpan {
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` if the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The ordered list of annotated spans for one direction of one
+/// connection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WireMap {
+    spans: Vec<WireSpan>,
+}
+
+impl WireMap {
+    /// Creates an empty map.
+    pub fn new() -> WireMap {
+        WireMap::default()
+    }
+
+    /// Appends a span; `start` must not precede the previous span's end.
+    pub fn push(&mut self, span: WireSpan) {
+        if let Some(last) = self.spans.last() {
+            debug_assert!(span.start >= last.end, "wire map spans must be ordered");
+        }
+        self.spans.push(span);
+    }
+
+    /// All spans in stream order.
+    pub fn spans(&self) -> &[WireSpan] {
+        &self.spans
+    }
+
+    /// The tag covering stream offset `off`, if any.
+    pub fn tag_at(&self, off: u64) -> Option<RecordTag> {
+        // Binary search over ordered, non-overlapping spans.
+        let idx = self.spans.partition_point(|s| s.end <= off);
+        self.spans.get(idx).filter(|s| s.start <= off && off < s.end).map(|s| s.tag)
+    }
+
+    /// Total object-data bytes attributed to `object_id` (all copies).
+    pub fn object_bytes(&self, object_id: u32) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.tag.is_object_data() && s.tag.object_id == object_id)
+            .map(WireSpan::len)
+            .sum()
+    }
+
+    /// Iterates over spans belonging to a specific (object, copy) pair.
+    pub fn object_copy_spans(
+        &self,
+        object_id: u32,
+        copy: u16,
+    ) -> impl Iterator<Item = &WireSpan> + '_ {
+        self.spans.iter().filter(move |s| {
+            s.tag.is_object_data() && s.tag.object_id == object_id && s.tag.copy == copy
+        })
+    }
+
+    /// The copies of `object_id` present in the map, sorted.
+    pub fn copies_of(&self, object_id: u32) -> Vec<u16> {
+        let mut v: Vec<u16> = self
+            .spans
+            .iter()
+            .filter(|s| s.tag.is_object_data() && s.tag.object_id == object_id)
+            .map(|s| s.tag.copy)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(obj: u32, copy: u16) -> RecordTag {
+        RecordTag { stream_id: 1, object_id: obj, copy, class: TrafficClass::ObjectData }
+    }
+
+    #[test]
+    fn tag_at_finds_covering_span() {
+        let mut m = WireMap::new();
+        m.push(WireSpan { start: 0, end: 10, tag: tag(1, 0) });
+        m.push(WireSpan { start: 10, end: 30, tag: tag(2, 0) });
+        m.push(WireSpan { start: 40, end: 50, tag: tag(3, 0) });
+        assert_eq!(m.tag_at(0).unwrap().object_id, 1);
+        assert_eq!(m.tag_at(9).unwrap().object_id, 1);
+        assert_eq!(m.tag_at(10).unwrap().object_id, 2);
+        assert_eq!(m.tag_at(35), None); // hole
+        assert_eq!(m.tag_at(49).unwrap().object_id, 3);
+        assert_eq!(m.tag_at(50), None);
+    }
+
+    #[test]
+    fn object_bytes_sums_across_spans_and_copies() {
+        let mut m = WireMap::new();
+        m.push(WireSpan { start: 0, end: 10, tag: tag(1, 0) });
+        m.push(WireSpan { start: 10, end: 20, tag: tag(2, 0) });
+        m.push(WireSpan { start: 20, end: 35, tag: tag(1, 1) });
+        assert_eq!(m.object_bytes(1), 25);
+        assert_eq!(m.object_bytes(2), 10);
+        assert_eq!(m.copies_of(1), vec![0, 1]);
+        assert_eq!(m.object_copy_spans(1, 1).count(), 1);
+    }
+
+    #[test]
+    fn none_tag_is_not_object_data() {
+        assert!(!RecordTag::NONE.is_object_data());
+        let mut m = WireMap::new();
+        m.push(WireSpan { start: 0, end: 5, tag: RecordTag::NONE });
+        assert_eq!(m.object_bytes(u32::MAX), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The capture sink attached to the simulator.
+
+use crate::record::PacketRecord;
+use h2priv_netsim::capture::{CaptureEvent, CapturePoint, CaptureSink};
+use h2priv_netsim::packet::Direction;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A completed capture: every packet that transited the middlebox, in
+/// time order.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// Captured packets in capture order.
+    pub packets: Vec<PacketRecord>,
+}
+
+impl Trace {
+    /// Packets travelling in `dir`.
+    pub fn in_direction(&self, dir: Direction) -> impl Iterator<Item = &PacketRecord> + '_ {
+        self.packets.iter().filter(move |p| p.direction == dir)
+    }
+
+    /// Packets with a TCP payload in `dir` (tshark: `tcp.len > 0`).
+    pub fn data_packets(&self, dir: Direction) -> impl Iterator<Item = &PacketRecord> + '_ {
+        self.in_direction(dir).filter(|p| p.tcp_len() > 0)
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// `true` when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+/// Capture sink collecting middlebox transits into a [`Trace`].
+///
+/// Only [`CapturePoint::Middlebox`] events are recorded — the adversary's
+/// vantage point. Link drops and deliveries elsewhere on the path are
+/// invisible to it, as in reality.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    trace: Trace,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> TraceCollector {
+        TraceCollector::default()
+    }
+
+    /// Read access to the trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the collector, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl CaptureSink for TraceCollector {
+    fn record(&mut self, point: CapturePoint, event: &CaptureEvent) {
+        if point != CapturePoint::Middlebox {
+            return;
+        }
+        let dir = event.direction.expect("middlebox events carry a direction");
+        self.trace.packets.push(PacketRecord::from_packet(
+            event.time,
+            dir,
+            &event.packet,
+            event.dropped_by_policy,
+        ));
+    }
+}
+
+/// A shareable trace collector handle: attach one clone to the simulator
+/// with [`h2priv_netsim::sim::Simulator::set_capture_sink`] and keep the
+/// other to read the trace after the run.
+pub type SharedTrace = Rc<RefCell<TraceCollector>>;
+
+/// Creates a [`SharedTrace`].
+pub fn shared_trace() -> SharedTrace {
+    Rc::new(RefCell::new(TraceCollector::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use h2priv_netsim::packet::{FlowId, HostAddr, Packet, TcpFlags, TcpHeader};
+    use h2priv_netsim::time::SimTime;
+
+    fn ev(dir: Direction, len: usize) -> CaptureEvent {
+        CaptureEvent {
+            time: SimTime::ZERO,
+            direction: Some(dir),
+            packet: Packet::new(
+                TcpHeader {
+                    flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 1, dport: 443 },
+                    seq: 0,
+                    ack: 0,
+                    flags: TcpFlags::ACK,
+                    window: 0, ts_val: 0, ts_ecr: 0,
+                },
+                Bytes::from(vec![0u8; len]),
+            ),
+            dropped_by_policy: false,
+        }
+    }
+
+    #[test]
+    fn collects_only_middlebox_events() {
+        let mut c = TraceCollector::new();
+        c.record(CapturePoint::Middlebox, &ev(Direction::ClientToServer, 10));
+        c.record(
+            CapturePoint::LinkDrop(h2priv_netsim::link::LinkId::from_raw(0)),
+            &ev(Direction::ClientToServer, 10),
+        );
+        c.record(CapturePoint::Middlebox, &ev(Direction::ServerToClient, 0));
+        let t = c.trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.in_direction(Direction::ClientToServer).count(), 1);
+        assert_eq!(t.data_packets(Direction::ServerToClient).count(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Trace export/import: a pcap-like interchange format (JSON lines) so
+//! captures can be archived, diffed, and re-analysed offline — the
+//! workflow the paper's tshark captures supported.
+//!
+//! Only eavesdropper-visible fields are serialized; payload bytes are
+//! included (they are ciphertext-equivalent on a real wire).
+
+use crate::capture::Trace;
+use crate::record::PacketRecord;
+use bytes::Bytes;
+use h2priv_netsim::packet::{Direction, TcpHeader};
+use h2priv_netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// One serialized packet record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WireLine {
+    t_ns: u64,
+    dir: Direction,
+    header: TcpHeader,
+    #[serde(with = "hex_bytes")]
+    payload: Vec<u8>,
+    dropped: bool,
+}
+
+mod hex_bytes {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(bytes: &[u8], s: S) -> Result<S::Ok, S::Error> {
+        let mut out = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            out.push_str(&format!("{b:02x}"));
+        }
+        s.serialize_str(&out)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<u8>, D::Error> {
+        let s = String::deserialize(d)?;
+        if s.len() % 2 != 0 {
+            return Err(serde::de::Error::custom("odd hex length"));
+        }
+        (0..s.len())
+            .step_by(2)
+            .map(|i| {
+                u8::from_str_radix(&s[i..i + 2], 16)
+                    .map_err(|_| serde::de::Error::custom("bad hex"))
+            })
+            .collect()
+    }
+}
+
+/// Writes a trace as JSON lines (one packet per line).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    for p in &trace.packets {
+        let line = WireLine {
+            t_ns: p.time.as_nanos(),
+            dir: p.direction,
+            header: p.header,
+            payload: p.payload.to_vec(),
+            dropped: p.dropped_by_policy,
+        };
+        serde_json::to_writer(&mut w, &line)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+/// Returns an error on I/O failure or malformed lines.
+pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Trace> {
+    let mut packets = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let wl: WireLine = serde_json::from_str(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        packets.push(PacketRecord {
+            time: SimTime::from_nanos(wl.t_ns),
+            direction: wl.dir,
+            header: wl.header,
+            payload: Bytes::from(wl.payload),
+            dropped_by_policy: wl.dropped,
+        });
+    }
+    Ok(Trace { packets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_netsim::packet::{FlowId, HostAddr, TcpFlags};
+
+    fn sample() -> Trace {
+        let mk = |seq: u32, len: usize, dir: Direction| PacketRecord {
+            time: SimTime::from_micros(seq as u64 * 10),
+            direction: dir,
+            header: TcpHeader {
+                flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 },
+                seq,
+                ack: 7,
+                flags: TcpFlags::ACK,
+                window: 65_535,
+                ts_val: 42,
+                ts_ecr: 21,
+            },
+            payload: Bytes::from(vec![seq as u8; len]),
+            dropped_by_policy: seq % 3 == 0,
+        };
+        Trace {
+            packets: vec![
+                mk(0, 0, Direction::ClientToServer),
+                mk(1, 100, Direction::ServerToClient),
+                mk(2, 1460, Direction::ServerToClient),
+                mk(3, 7, Direction::ClientToServer),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.packets.len(), t.packets.len());
+        for (a, b) in t.packets.iter().zip(&back.packets) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.direction, b.direction);
+            assert_eq!(a.header, b.header);
+            assert_eq!(a.payload, b.payload);
+            assert_eq!(a.dropped_by_policy, b.dropped_by_policy);
+        }
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.packets.len(), t.packets.len());
+    }
+
+    #[test]
+    fn corrupt_line_is_an_error_not_a_panic() {
+        let err = read_trace(std::io::BufReader::new(&b"not json\n"[..]));
+        assert!(err.is_err());
+    }
+}

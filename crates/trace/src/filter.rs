@@ -1,0 +1,491 @@
+//! A small tshark-style display-filter language.
+//!
+//! Supports the fields the paper's adversary actually uses, most notably
+//! `ssl.record.content_type == 23` (Section IV-D quotes this filter for
+//! counting forwarded GET requests):
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `tcp.len` | TCP payload length |
+//! | `tcp.seq`, `tcp.ack`, `tcp.window` | header fields |
+//! | `tcp.flags.syn/ack/fin/rst/psh` | 0 or 1 |
+//! | `frame.len` | total wire size |
+//! | `dir` | `c2s` or `s2c` |
+//! | `ssl.record.content_type` | types of TLS records starting in the packet |
+//! | `ssl.record.length` | body lengths of those records |
+//!
+//! Operators: `== != < <= > >=`, combinators `and`/`or`/`not` (or
+//! `&&`/`||`/`!`), parentheses. Multi-valued fields match if *any* value
+//! satisfies the comparison (tshark semantics).
+//!
+//! Per-packet TLS parsing is heuristic (records that *start* at the
+//! packet's first payload byte are walked); the attack code uses full
+//! [`crate::reassembly`] where exactness matters.
+
+use crate::record::PacketRecord;
+use core::fmt;
+use h2priv_netsim::packet::Direction;
+use h2priv_tls::record::{RecordHeader, RECORD_HEADER_LEN};
+
+/// Parse error for filter expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFilterError {
+    msg: String,
+    at: usize,
+}
+
+impl fmt::Display for ParseFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter parse error at token {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseFilterError {}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Filterable packet fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// `tcp.len`
+    TcpLen,
+    /// `tcp.seq`
+    TcpSeq,
+    /// `tcp.ack`
+    TcpAck,
+    /// `tcp.window`
+    TcpWindow,
+    /// `tcp.flags.syn`
+    FlagSyn,
+    /// `tcp.flags.ack`
+    FlagAck,
+    /// `tcp.flags.fin`
+    FlagFin,
+    /// `tcp.flags.rst`
+    FlagRst,
+    /// `tcp.flags.psh`
+    FlagPsh,
+    /// `frame.len`
+    FrameLen,
+    /// `dir` (`c2s` = 0, `s2c` = 1)
+    Dir,
+    /// `ssl.record.content_type` (multi-valued)
+    TlsContentType,
+    /// `ssl.record.length` (multi-valued)
+    TlsRecordLen,
+}
+
+impl Field {
+    fn by_name(name: &str) -> Option<Field> {
+        Some(match name {
+            "tcp.len" => Field::TcpLen,
+            "tcp.seq" => Field::TcpSeq,
+            "tcp.ack" => Field::TcpAck,
+            "tcp.window" => Field::TcpWindow,
+            "tcp.flags.syn" => Field::FlagSyn,
+            "tcp.flags.ack" => Field::FlagAck,
+            "tcp.flags.fin" => Field::FlagFin,
+            "tcp.flags.rst" => Field::FlagRst,
+            "tcp.flags.psh" => Field::FlagPsh,
+            "frame.len" => Field::FrameLen,
+            "dir" => Field::Dir,
+            "ssl.record.content_type" | "tls.record.content_type" => Field::TlsContentType,
+            "ssl.record.length" | "tls.record.length" => Field::TlsRecordLen,
+            _ => return None,
+        })
+    }
+
+    /// The field's values for a packet (flags are 0/1; TLS fields may be
+    /// empty or multi-valued).
+    fn values(self, p: &PacketRecord) -> Vec<u64> {
+        match self {
+            Field::TcpLen => vec![p.tcp_len() as u64],
+            Field::TcpSeq => vec![p.header.seq as u64],
+            Field::TcpAck => vec![p.header.ack as u64],
+            Field::TcpWindow => vec![p.header.window as u64],
+            Field::FlagSyn => vec![p.header.flags.syn as u64],
+            Field::FlagAck => vec![p.header.flags.ack as u64],
+            Field::FlagFin => vec![p.header.flags.fin as u64],
+            Field::FlagRst => vec![p.header.flags.rst as u64],
+            Field::FlagPsh => vec![p.header.flags.psh as u64],
+            Field::FrameLen => vec![p.wire_len() as u64],
+            Field::Dir => vec![match p.direction {
+                Direction::ClientToServer => 0,
+                Direction::ServerToClient => 1,
+            }],
+            Field::TlsContentType => walk_records(p).iter().map(|h| h.0 as u64).collect(),
+            Field::TlsRecordLen => walk_records(p).iter().map(|h| h.1 as u64).collect(),
+        }
+    }
+}
+
+/// Walks TLS records that start at the beginning of the packet payload.
+fn walk_records(p: &PacketRecord) -> Vec<(u8, u16)> {
+    let mut out = Vec::new();
+    let mut buf = &p.payload[..];
+    while buf.len() >= RECORD_HEADER_LEN {
+        let Some(hdr) = RecordHeader::decode(buf) else { break };
+        out.push((hdr.content_type.as_byte(), hdr.length));
+        let total = RECORD_HEADER_LEN + hdr.length as usize;
+        if buf.len() < total {
+            break; // record continues in a later packet
+        }
+        buf = &buf[total..];
+    }
+    out
+}
+
+/// A parsed filter expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterExpr {
+    /// Field comparison.
+    Cmp {
+        /// Field to test.
+        field: Field,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: u64,
+    },
+    /// Logical conjunction.
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    /// Logical disjunction.
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    /// Logical negation.
+    Not(Box<FilterExpr>),
+}
+
+impl FilterExpr {
+    /// Parses a filter string.
+    ///
+    /// # Errors
+    /// Returns a [`ParseFilterError`] describing the first offending
+    /// token.
+    pub fn parse(input: &str) -> Result<FilterExpr, ParseFilterError> {
+        let tokens = tokenize(input)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let expr = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return Err(ParseFilterError { msg: "trailing tokens".into(), at: p.pos });
+        }
+        Ok(expr)
+    }
+
+    /// Evaluates the filter against one packet.
+    pub fn matches(&self, p: &PacketRecord) -> bool {
+        match self {
+            FilterExpr::Cmp { field, op, value } => {
+                field.values(p).iter().any(|v| op.eval(*v, *value))
+            }
+            FilterExpr::And(a, b) => a.matches(p) && b.matches(p),
+            FilterExpr::Or(a, b) => a.matches(p) || b.matches(p),
+            FilterExpr::Not(e) => !e.matches(p),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    Op(CmpOp),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseFilterError> {
+    let mut out = Vec::new();
+    let b = input.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '=' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op(CmpOp::Eq));
+                i += 2;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op(CmpOp::Ne));
+                i += 2;
+            }
+            '!' => {
+                out.push(Token::Not);
+                i += 1;
+            }
+            '<' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op(CmpOp::Le));
+                i += 2;
+            }
+            '<' => {
+                out.push(Token::Op(CmpOp::Lt));
+                i += 1;
+            }
+            '>' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op(CmpOp::Ge));
+                i += 2;
+            }
+            '>' => {
+                out.push(Token::Op(CmpOp::Gt));
+                i += 1;
+            }
+            '&' if b.get(i + 1) == Some(&b'&') => {
+                out.push(Token::And);
+                i += 2;
+            }
+            '|' if b.get(i + 1) == Some(&b'|') => {
+                out.push(Token::Or);
+                i += 2;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = input[start..i]
+                    .parse()
+                    .map_err(|_| ParseFilterError { msg: "bad number".into(), at: out.len() })?;
+                out.push(Token::Number(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'.' || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                match &input[start..i] {
+                    "and" => out.push(Token::And),
+                    "or" => out.push(Token::Or),
+                    "not" => out.push(Token::Not),
+                    "c2s" => out.push(Token::Number(0)),
+                    "s2c" => out.push(Token::Number(1)),
+                    ident => out.push(Token::Ident(ident.to_string())),
+                }
+            }
+            _ => {
+                return Err(ParseFilterError {
+                    msg: format!("unexpected character '{c}'"),
+                    at: out.len(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> ParseFilterError {
+        ParseFilterError { msg: msg.into(), at: self.pos }
+    }
+
+    fn parse_or(&mut self) -> Result<FilterExpr, ParseFilterError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = FilterExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<FilterExpr, ParseFilterError> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some(&Token::And) {
+            self.bump();
+            let right = self.parse_unary()?;
+            left = FilterExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<FilterExpr, ParseFilterError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.bump();
+                Ok(FilterExpr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.parse_or()?;
+                if self.bump() != Some(Token::RParen) {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(Token::Ident(_)) => self.parse_cmp(),
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<FilterExpr, ParseFilterError> {
+        let Some(Token::Ident(name)) = self.bump() else {
+            return Err(self.err("expected field name"));
+        };
+        let field = Field::by_name(&name)
+            .ok_or_else(|| self.err(&format!("unknown field '{name}'")))?;
+        let Some(Token::Op(op)) = self.bump() else {
+            return Err(self.err("expected comparison operator"));
+        };
+        let Some(Token::Number(value)) = self.bump() else {
+            return Err(self.err("expected numeric value"));
+        };
+        Ok(FilterExpr::Cmp { field, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use h2priv_netsim::packet::{FlowId, HostAddr, Packet, TcpFlags, TcpHeader};
+    use h2priv_netsim::time::SimTime;
+    use h2priv_tls::{ContentType, RecordSealer, RecordTag};
+
+    fn pkt(dir: Direction, payload: Bytes, flags: TcpFlags) -> PacketRecord {
+        PacketRecord::from_packet(
+            SimTime::ZERO,
+            dir,
+            &Packet::new(
+                TcpHeader {
+                    flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 1, dport: 443 },
+                    seq: 100,
+                    ack: 0,
+                    flags,
+                    window: 65_535, ts_val: 0, ts_ecr: 0,
+                },
+                payload,
+            ),
+            false,
+        )
+    }
+
+    fn app_data_pkt(len: usize) -> PacketRecord {
+        let mut s = RecordSealer::new();
+        let wire = s.seal(ContentType::ApplicationData, &vec![0u8; len], RecordTag::NONE);
+        pkt(Direction::ClientToServer, wire, TcpFlags::ACK)
+    }
+
+    #[test]
+    fn the_papers_filter_matches_app_data() {
+        let f = FilterExpr::parse("ssl.record.content_type == 23").unwrap();
+        assert!(f.matches(&app_data_pkt(80)));
+        let handshake = {
+            let mut s = RecordSealer::new();
+            let wire = s.seal(ContentType::Handshake, &[0u8; 200], RecordTag::NONE);
+            pkt(Direction::ClientToServer, wire, TcpFlags::ACK)
+        };
+        assert!(!f.matches(&handshake));
+        assert!(!f.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::ACK)));
+    }
+
+    #[test]
+    fn get_counting_filter_with_size_band() {
+        let f = FilterExpr::parse(
+            "ssl.record.content_type == 23 and tcp.len >= 60 and dir == c2s",
+        )
+        .unwrap();
+        assert!(f.matches(&app_data_pkt(100)));
+        assert!(!f.matches(&app_data_pkt(10)), "small control record must not count");
+        let mut s2c = app_data_pkt(100);
+        s2c.direction = Direction::ServerToClient;
+        assert!(!f.matches(&s2c));
+    }
+
+    #[test]
+    fn flags_and_parens_and_not() {
+        let f = FilterExpr::parse("(tcp.flags.syn == 1 and tcp.flags.ack == 0) or tcp.flags.rst == 1")
+            .unwrap();
+        assert!(f.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::SYN)));
+        assert!(!f.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::SYN_ACK)));
+        assert!(f.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::RST)));
+        let n = FilterExpr::parse("not tcp.len > 0").unwrap();
+        assert!(n.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::ACK)));
+    }
+
+    #[test]
+    fn multivalued_record_fields() {
+        // Two records in one packet: 23 then 22.
+        let mut s = RecordSealer::new();
+        let mut wire = s
+            .seal(ContentType::ApplicationData, &[0u8; 50], RecordTag::NONE)
+            .to_vec();
+        wire.extend_from_slice(&s.seal(ContentType::Handshake, &[0u8; 60], RecordTag::NONE));
+        let p = pkt(Direction::ClientToServer, Bytes::from(wire), TcpFlags::ACK);
+        assert!(FilterExpr::parse("ssl.record.content_type == 22").unwrap().matches(&p));
+        assert!(FilterExpr::parse("ssl.record.content_type == 23").unwrap().matches(&p));
+        assert!(!FilterExpr::parse("ssl.record.content_type == 21").unwrap().matches(&p));
+        assert!(FilterExpr::parse("ssl.record.length >= 76").unwrap().matches(&p));
+    }
+
+    #[test]
+    fn symbolic_operators() {
+        let f = FilterExpr::parse("tcp.len > 0 && !(dir == s2c) || frame.len <= 54").unwrap();
+        assert!(f.matches(&app_data_pkt(10)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(FilterExpr::parse("nonsense.field == 1").is_err());
+        assert!(FilterExpr::parse("tcp.len ==").is_err());
+        assert!(FilterExpr::parse("tcp.len == 1 extra").is_err());
+        assert!(FilterExpr::parse("(tcp.len == 1").is_err());
+        assert!(FilterExpr::parse("tcp.len @ 1").is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # h2priv-trace
+//!
+//! The adversary's measurement toolbox — a functional stand-in for the
+//! tshark-based traffic monitor of *"Depending on HTTP/2 for Privacy?
+//! Good Luck!"* (DSN 2020).
+//!
+//! * [`capture::TraceCollector`] taps the simulated wire at the
+//!   compromised middlebox (via the `h2priv-netsim` capture hook) and
+//!   stores [`record::PacketRecord`]s: timestamps, cleartext TCP/IP
+//!   headers, sizes, and raw (ciphertext) payload bytes — exactly what a
+//!   real gateway running tshark records.
+//! * [`filter`] implements a small display-filter language so attack code
+//!   can say things like `ssl.record.content_type == 23 and tcp.len > 60`
+//!   — the very filter the paper quotes for counting GET requests.
+//! * [`reassembly`] rebuilds each direction's TCP byte stream from
+//!   segments (deduplicating retransmissions — and counting them, which
+//!   is the measurement behind Table I and Fig. 5) and parses the
+//!   cleartext TLS record headers out of it.
+//! * [`analysis`] segments the server→client record sequence into
+//!   transmission units using the paper's delimiter insight (Fig. 1) plus
+//!   inter-record idle gaps, producing the size estimates the prediction
+//!   module consumes.
+//!
+//! Only eavesdropper-visible information is ever used: nothing in this
+//! crate touches `h2priv-tls`'s ground-truth wire maps.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod capture;
+pub mod export;
+pub mod filter;
+pub mod record;
+pub mod reassembly;
+
+pub use analysis::{TransmissionUnit, UnitConfig};
+pub use capture::{SharedTrace, Trace, TraceCollector};
+pub use filter::FilterExpr;
+pub use record::PacketRecord;
+pub use reassembly::{SeenRecord, StreamView};

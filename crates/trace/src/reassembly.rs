@@ -1,0 +1,323 @@
+//! TCP stream reassembly and TLS record extraction from a capture —
+//! what tshark's "follow stream" + SSL dissector do for the paper's
+//! adversary.
+//!
+//! Besides the record sequence, reassembly yields the adversary-visible
+//! **retransmission count** (segments whose byte range was already seen),
+//! the measurement behind the paper's Table I and Fig. 5.
+
+use crate::capture::Trace;
+use h2priv_netsim::packet::Direction;
+use h2priv_netsim::time::SimTime;
+use h2priv_tls::record::{RecordHeader, AEAD_TAG_LEN, RECORD_HEADER_LEN};
+use std::collections::BTreeMap;
+
+/// One TLS record observed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeenRecord {
+    /// Content type byte (23 = application data).
+    pub content_type: u8,
+    /// Ciphertext body length from the cleartext header.
+    pub body_len: u16,
+    /// Plaintext length (body minus AEAD tag) — the adversary knows the
+    /// tag size from the negotiated cipher suite.
+    pub plaintext_len: u16,
+    /// Offset of the record header in the TCP stream.
+    pub stream_offset: u64,
+    /// When the monitor had seen the record's last byte.
+    pub completed_at: SimTime,
+}
+
+impl SeenRecord {
+    /// `true` for application-data records (the paper's
+    /// `ssl.record.content_type == 23`).
+    pub fn is_app_data(&self) -> bool {
+        self.content_type == 23
+    }
+}
+
+/// The reassembled view of one direction of the connection.
+#[derive(Debug, Clone, Default)]
+pub struct StreamView {
+    /// Records in stream order.
+    pub records: Vec<SeenRecord>,
+    /// Data segments carrying only already-seen bytes (wire-visible
+    /// retransmissions).
+    pub retransmitted_segments: u64,
+    /// Total payload bytes observed, duplicates included.
+    pub total_payload_bytes: u64,
+    /// Distinct stream bytes observed.
+    pub unique_bytes: u64,
+    /// Whether record parsing desynchronised (corrupt header seen).
+    pub desynced: bool,
+    /// End of the contiguous stream prefix at capture end.
+    pub contiguous_end: u64,
+    /// Offset at which record parsing stopped.
+    pub parse_ptr: u64,
+}
+
+impl StreamView {
+    /// Application-data records only.
+    pub fn app_records(&self) -> impl Iterator<Item = &SeenRecord> + '_ {
+        self.records.iter().filter(|r| r.is_app_data())
+    }
+}
+
+/// Reassembles direction `dir` of the (single) connection in `trace`.
+///
+/// `include_policy_dropped` controls whether packets the adversary itself
+/// dropped count towards the stream (they transit the monitor but never
+/// reach the receiver; the paper's analysis excludes them, so the default
+/// used by the attack code is `false`).
+pub fn reassemble(trace: &Trace, dir: Direction, include_policy_dropped: bool) -> StreamView {
+    let mut view = StreamView::default();
+    // Initial sequence number: from the SYN if captured, else the first
+    // data segment.
+    let mut base: Option<u32> = None;
+    for p in trace.in_direction(dir) {
+        if p.header.flags.syn {
+            base = Some(p.header.seq.wrapping_add(1));
+            break;
+        }
+    }
+
+    let mut assembled: Vec<u8> = Vec::new();
+    // Covered intervals (start -> end), non-overlapping, merged.
+    let mut covered: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut parse_ptr: u64 = 0;
+    let mut desynced = false;
+
+    for p in trace.in_direction(dir) {
+        if p.payload.is_empty() {
+            continue;
+        }
+        if p.dropped_by_policy && !include_policy_dropped {
+            continue;
+        }
+        let base = *base.get_or_insert(p.header.seq);
+        let off = p.header.seq.wrapping_sub(base) as u64;
+        let len = p.payload.len() as u64;
+        view.total_payload_bytes += len;
+
+        // Compute newly covered bytes.
+        let new_bytes = insert_interval(&mut covered, off, off + len);
+        view.unique_bytes += new_bytes;
+        if new_bytes == 0 {
+            view.retransmitted_segments += 1;
+            continue;
+        }
+        if new_bytes < len {
+            // Partial overlap still indicates a retransmission event.
+            view.retransmitted_segments += 1;
+        }
+        // Copy payload into the assembly buffer.
+        let end = (off + len) as usize;
+        if assembled.len() < end {
+            assembled.resize(end, 0);
+        }
+        assembled[off as usize..end].copy_from_slice(&p.payload);
+
+        // Advance the contiguous prefix.
+        let contiguous_end = contiguous_prefix(&covered);
+
+        // Parse as many complete records as the prefix now holds.
+        if desynced {
+            continue;
+        }
+        while parse_ptr + RECORD_HEADER_LEN as u64 <= contiguous_end {
+            let hdr_bytes = &assembled[parse_ptr as usize..parse_ptr as usize + RECORD_HEADER_LEN];
+            let Some(hdr) = RecordHeader::decode(hdr_bytes) else {
+                desynced = true; // corrupt stream: stop, keep what we have
+                break;
+            };
+            let total = RECORD_HEADER_LEN as u64 + hdr.length as u64;
+            if parse_ptr + total > contiguous_end {
+                break;
+            }
+            view.records.push(SeenRecord {
+                content_type: hdr.content_type.as_byte(),
+                body_len: hdr.length,
+                plaintext_len: hdr.length.saturating_sub(AEAD_TAG_LEN as u16),
+                stream_offset: parse_ptr,
+                completed_at: p.time,
+            });
+            parse_ptr += total;
+        }
+        view.contiguous_end = contiguous_end;
+    }
+    view.desynced = desynced;
+    view.parse_ptr = parse_ptr;
+    view
+}
+
+/// Inserts `[start, end)` into the interval map, merging as needed.
+/// Returns the number of newly covered bytes.
+fn insert_interval(map: &mut BTreeMap<u64, u64>, start: u64, end: u64) -> u64 {
+    if start >= end {
+        return 0;
+    }
+    let mut new_start = start;
+    let mut new_end = end;
+    let mut newly = end - start;
+    // Absorb any overlapping/adjacent intervals.
+    let overlapping: Vec<(u64, u64)> = map
+        .range(..=new_end)
+        .filter(|(_, &e)| e >= new_start)
+        .map(|(&s, &e)| (s, e))
+        .collect();
+    for (s, e) in overlapping {
+        newly -= overlap_len(new_start.max(s), new_end.min(e), s, e);
+        new_start = new_start.min(s);
+        new_end = new_end.max(e);
+        map.remove(&s);
+    }
+    map.insert(new_start, new_end);
+    newly
+}
+
+fn overlap_len(a: u64, b: u64, s: u64, e: u64) -> u64 {
+    let lo = a.max(s);
+    let hi = b.min(e);
+    hi.saturating_sub(lo)
+}
+
+fn contiguous_prefix(map: &BTreeMap<u64, u64>) -> u64 {
+    match map.first_key_value() {
+        Some((&0, &end)) => end,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PacketRecord;
+    use bytes::Bytes;
+    use h2priv_netsim::packet::{FlowId, HostAddr, TcpFlags, TcpHeader};
+    use h2priv_tls::{ContentType, RecordSealer, RecordTag};
+
+    fn seg(seq: u32, payload: &[u8], t_ms: u64, syn: bool) -> PacketRecord {
+        PacketRecord {
+            time: SimTime::from_millis(t_ms),
+            direction: Direction::ServerToClient,
+            header: TcpHeader {
+                flow: FlowId { src: HostAddr(2), dst: HostAddr(1), sport: 443, dport: 40_000 },
+                seq,
+                ack: 0,
+                flags: if syn { TcpFlags::SYN_ACK } else { TcpFlags::ACK },
+                window: 65_535, ts_val: 0, ts_ecr: 0,
+            },
+            payload: Bytes::copy_from_slice(payload),
+            dropped_by_policy: false,
+        }
+    }
+
+    fn trace_of(packets: Vec<PacketRecord>) -> Trace {
+        Trace { packets }
+    }
+
+    #[test]
+    fn parses_records_split_across_segments() {
+        let mut sealer = RecordSealer::new();
+        let wire = sealer.seal(ContentType::ApplicationData, &[1u8; 3_000], RecordTag::NONE);
+        // ISN 99, so stream offset 0 = seq 100.
+        let mut packets = vec![seg(99, &[], 0, true)];
+        for (i, chunk) in wire.chunks(1_460).enumerate() {
+            packets.push(seg(100 + (i as u32) * 1_460, chunk, 1 + i as u64, false));
+        }
+        let view = reassemble(&trace_of(packets), Direction::ServerToClient, false);
+        assert_eq!(view.records.len(), 1);
+        assert_eq!(view.records[0].plaintext_len, 3_000);
+        assert_eq!(view.records[0].completed_at, SimTime::from_millis(3));
+        assert_eq!(view.retransmitted_segments, 0);
+        assert_eq!(view.unique_bytes, wire.len() as u64);
+    }
+
+    #[test]
+    fn counts_retransmissions_and_dedupes() {
+        let mut sealer = RecordSealer::new();
+        let wire = sealer.seal(ContentType::ApplicationData, &[0u8; 500], RecordTag::NONE);
+        let packets = vec![
+            seg(99, &[], 0, true),
+            seg(100, &wire, 1, false),
+            seg(100, &wire, 5, false), // full retransmission
+        ];
+        let view = reassemble(&trace_of(packets), Direction::ServerToClient, false);
+        assert_eq!(view.records.len(), 1);
+        assert_eq!(view.retransmitted_segments, 1);
+        assert_eq!(view.total_payload_bytes, 2 * wire.len() as u64);
+        assert_eq!(view.unique_bytes, wire.len() as u64);
+    }
+
+    #[test]
+    fn out_of_order_segments_still_parse() {
+        let mut sealer = RecordSealer::new();
+        let wire = sealer.seal(ContentType::ApplicationData, &[7u8; 2_000], RecordTag::NONE);
+        let (a, b) = wire.split_at(1_000);
+        let packets = vec![
+            seg(99, &[], 0, true),
+            seg(1_100, b, 1, false), // arrives first
+            seg(100, a, 2, false),
+        ];
+        let view = reassemble(&trace_of(packets), Direction::ServerToClient, false);
+        assert_eq!(view.records.len(), 1);
+        assert_eq!(view.records[0].completed_at, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn policy_dropped_packets_are_excluded_by_default() {
+        let mut sealer = RecordSealer::new();
+        let wire = sealer.seal(ContentType::ApplicationData, &[0u8; 100], RecordTag::NONE);
+        let mut p = seg(100, &wire, 1, false);
+        p.dropped_by_policy = true;
+        let packets = vec![seg(99, &[], 0, true), p];
+        let view = reassemble(&trace_of(packets), Direction::ServerToClient, false);
+        assert!(view.records.is_empty());
+        let view = reassemble(&trace_of(packets_clone(&sealer, wire)), Direction::ServerToClient, true);
+        // helper below re-creates the same packets with the flag set
+        assert_eq!(view.records.len(), 1);
+    }
+
+    fn packets_clone(_s: &RecordSealer, wire: Bytes) -> Vec<PacketRecord> {
+        let mut p = seg(100, &wire, 1, false);
+        p.dropped_by_policy = true;
+        vec![seg(99, &[], 0, true), p]
+    }
+
+    #[test]
+    fn multiple_records_sequence() {
+        let mut sealer = RecordSealer::new();
+        let mut stream = Vec::new();
+        for size in [100usize, 2_000, 50] {
+            stream.extend_from_slice(&sealer.seal(
+                ContentType::ApplicationData,
+                &vec![0u8; size],
+                RecordTag::NONE,
+            ));
+        }
+        let packets: Vec<PacketRecord> = std::iter::once(seg(99, &[], 0, true))
+            .chain(
+                stream
+                    .chunks(1_460)
+                    .enumerate()
+                    .map(|(i, c)| seg(100 + (i as u32) * 1_460, c, 1 + i as u64, false)),
+            )
+            .collect();
+        let view = reassemble(&trace_of(packets), Direction::ServerToClient, false);
+        let lens: Vec<u16> = view.records.iter().map(|r| r.plaintext_len).collect();
+        assert_eq!(lens, vec![100, 2_000, 50]);
+        // Offsets are strictly increasing.
+        assert!(view.records.windows(2).all(|w| w[0].stream_offset < w[1].stream_offset));
+    }
+
+    #[test]
+    fn interval_insertion_merges() {
+        let mut m = BTreeMap::new();
+        assert_eq!(insert_interval(&mut m, 0, 10), 10);
+        assert_eq!(insert_interval(&mut m, 20, 30), 10);
+        assert_eq!(insert_interval(&mut m, 5, 25), 10); // fills the gap
+        assert_eq!(m.len(), 1);
+        assert_eq!(contiguous_prefix(&m), 30);
+        assert_eq!(insert_interval(&mut m, 0, 30), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # h2priv-web
+//!
+//! Website and browser workload models for the `h2priv` reproduction of
+//! *"Depending on HTTP/2 for Privacy? Good Luck!"* (DSN 2020).
+//!
+//! A [`site::Site`] is an inventory of [`object::WebObject`]s plus a
+//! dependency-driven request plan: each object's GET is triggered at page
+//! start, a fixed gap after another request, after the first response
+//! bytes of a parent (preload scanning), or after a parent completes
+//! (script execution). The `h2priv-h2` client walks this plan like a
+//! browser.
+//!
+//! [`isidewith`] models the paper's target, `www.isidewith.com`: a
+//! dynamic result HTML of ≈9500 bytes (the 6th object a client downloads)
+//! with 47 embedded objects, 8 of which are political-party emblem images
+//! of 5–16 KB requested in the survey-result order with the inter-request
+//! gaps the paper measured (Table II).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod isidewith;
+pub mod object;
+pub mod site;
+pub mod sites;
+
+pub use isidewith::{IsideWith, Party, PARTY_IMAGE_SIZES};
+pub use object::{MediaType, ObjectId, ServiceProfile, WebObject};
+pub use site::{PlanStep, Site, Trigger};

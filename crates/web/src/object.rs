@@ -1,0 +1,185 @@
+//! Web objects and their server-side service behaviour.
+
+use core::fmt;
+use h2priv_netsim::rng::SimRng;
+use h2priv_netsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifies an object within one [`crate::Site`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Object media type (affects nothing but labels and default profiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MediaType {
+    /// HTML documents.
+    Html,
+    /// JavaScript.
+    Js,
+    /// Stylesheets.
+    Css,
+    /// Images.
+    Image,
+    /// JSON API responses.
+    Json,
+    /// Web fonts.
+    Font,
+}
+
+/// How the simulated server produces an object's bytes.
+///
+/// A worker thread waits `first_byte` (uniform in the configured range —
+/// backend latency for dynamic content, disk/cache for static), then
+/// emits the response as `chunk_size`-byte DATA chunks spread evenly over
+/// an *emission window* drawn from the `emission` range. These timings
+/// are what create (or destroy) the transmission overlap that HTTP/2
+/// multiplexing exposes: responses whose emission windows overlap get
+/// interleaved by the connection's round-robin frame scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Minimum time-to-first-byte.
+    pub first_byte_min: SimDuration,
+    /// Maximum time-to-first-byte.
+    pub first_byte_max: SimDuration,
+    /// Minimum emission window (first to last chunk).
+    pub emission_min: SimDuration,
+    /// Maximum emission window.
+    pub emission_max: SimDuration,
+    /// DATA chunk size in bytes.
+    pub chunk_size: u32,
+}
+
+impl ServiceProfile {
+    /// Dynamically generated HTML (slow, highly variable first byte;
+    /// paced generation) — the profile of the isidewith survey-result
+    /// page. The wide first-byte range is what makes the page *sometimes*
+    /// miss the embedded-asset burst and transmit serialized by chance
+    /// (the paper's 32 % baseline, Table I row 1).
+    pub fn dynamic_html() -> ServiceProfile {
+        ServiceProfile {
+            first_byte_min: SimDuration::from_millis(120),
+            first_byte_max: SimDuration::from_millis(380),
+            emission_min: SimDuration::from_millis(80),
+            emission_max: SimDuration::from_millis(200),
+            chunk_size: 2_048,
+        }
+    }
+
+    /// Static asset served from cache/disk (fast first byte, quick
+    /// chunk emission). Service times sit mostly below the attack's
+    /// phase-3 pacing (80 ms), which is what lets the adversary's
+    /// request spacing serialize transmissions — as on the paper's real
+    /// target server.
+    /// Static assets are emitted almost instantly once the first byte is
+    /// ready (as on a real file server); wire-level interleaving of
+    /// concurrent responses then comes from the connection's round-robin
+    /// frame scheduler and TCP window dynamics, not from emission pacing.
+    pub fn static_asset() -> ServiceProfile {
+        ServiceProfile {
+            first_byte_min: SimDuration::from_millis(5),
+            first_byte_max: SimDuration::from_millis(15),
+            emission_min: SimDuration::from_millis(15),
+            emission_max: SimDuration::from_millis(40),
+            chunk_size: 2_048,
+        }
+    }
+
+    /// Backend API response (very slow first byte, slow generation).
+    /// The quiz page's survey-submission call uses this profile; its
+    /// long, variable transmission window is what usually blankets the
+    /// result HTML at baseline (degree ≈98 %) yet sometimes ends early
+    /// enough to leave it serialized.
+    pub fn api_json() -> ServiceProfile {
+        ServiceProfile {
+            first_byte_min: SimDuration::from_millis(100),
+            first_byte_max: SimDuration::from_millis(500),
+            emission_min: SimDuration::from_millis(200),
+            emission_max: SimDuration::from_millis(700),
+            chunk_size: 2_048,
+        }
+    }
+
+    /// Draws a first-byte delay.
+    pub fn draw_first_byte(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_nanos(
+            rng.range_u64(self.first_byte_min.as_nanos(), self.first_byte_max.as_nanos()),
+        )
+    }
+
+    /// Draws an emission window and returns the per-chunk interval for
+    /// an object of `size` bytes.
+    pub fn draw_chunk_interval(&self, rng: &mut SimRng, size: u64) -> SimDuration {
+        let emission = SimDuration::from_nanos(
+            rng.range_u64(self.emission_min.as_nanos(), self.emission_max.as_nanos()),
+        );
+        let chunks = size.div_ceil(self.chunk_size as u64).max(1);
+        emission / chunks
+    }
+
+    /// Expected service duration for `size` bytes (midpoint estimate) —
+    /// useful for choosing attack pacing.
+    pub fn expected_duration(&self, _size: u64) -> SimDuration {
+        let fb = (self.first_byte_min + self.first_byte_max) / 2;
+        let em = (self.emission_min + self.emission_max) / 2;
+        fb + em
+    }
+}
+
+/// One addressable resource on a site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebObject {
+    /// Object identifier (index into the site's inventory).
+    pub id: ObjectId,
+    /// Request path (e.g. `/results/2020.html`).
+    pub path: String,
+    /// Media type.
+    pub media: MediaType,
+    /// Response body size in bytes.
+    pub size: u64,
+    /// How the server produces it.
+    pub service: ServiceProfile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_stay_in_range() {
+        let p = ServiceProfile::dynamic_html();
+        let mut rng = SimRng::new(3);
+        for _ in 0..200 {
+            let fb = p.draw_first_byte(&mut rng);
+            assert!(fb >= p.first_byte_min && fb <= p.first_byte_max);
+            // Per-chunk interval times chunk count stays within the
+            // emission window.
+            let iv = p.draw_chunk_interval(&mut rng, 9_500);
+            let chunks = 9_500u64.div_ceil(p.chunk_size as u64);
+            let total = iv * chunks;
+            assert!(total <= p.emission_max, "emission too long: {total}");
+        }
+    }
+
+    #[test]
+    fn emission_window_is_size_independent() {
+        let p = ServiceProfile::static_asset();
+        let mut rng = SimRng::new(4);
+        // A large asset emits with proportionally tighter chunk spacing.
+        let small = p.draw_chunk_interval(&mut rng, 4_000);
+        let large = p.draw_chunk_interval(&mut rng, 64_000);
+        assert!(large < small);
+        let html = ServiceProfile::dynamic_html().expected_duration(9_500);
+        assert!(
+            html >= SimDuration::from_millis(200) && html <= SimDuration::from_millis(500),
+            "unexpected html duration {html}"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Sites: object inventories plus dependency-driven request plans.
+
+use crate::object::{ObjectId, WebObject};
+use h2priv_netsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What causes the browser to issue an object's GET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// `gap` after page-load start (navigation).
+    AtStart {
+        /// Delay from page-load start.
+        gap: SimDuration,
+    },
+    /// `gap` after the GET for `prev` was issued (browser request
+    /// pipeline; this is what the paper's Table II inter-request gaps
+    /// measure).
+    AfterRequest {
+        /// The preceding request.
+        prev: ObjectId,
+        /// Gap between the two GETs.
+        gap: SimDuration,
+    },
+    /// `gap` after the first response bytes of `parent` arrived
+    /// (preload-scanner discovery).
+    AfterFirstByte {
+        /// The object whose first bytes reveal this one.
+        parent: ObjectId,
+        /// Delay after the first byte.
+        gap: SimDuration,
+    },
+    /// `gap` after `parent` finished downloading (script execution — the
+    /// isidewith result page's JS requests the 8 emblem images this way).
+    AfterComplete {
+        /// The object whose completion reveals this one.
+        parent: ObjectId,
+        /// Delay after completion.
+        gap: SimDuration,
+    },
+}
+
+/// One step of the request plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// Which object to request.
+    pub object: ObjectId,
+    /// When to request it.
+    pub trigger: Trigger,
+}
+
+/// A website: inventory + request plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable name.
+    pub name: String,
+    objects: Vec<WebObject>,
+    /// The request plan in intended issue order.
+    pub plan: Vec<PlanStep>,
+    #[serde(skip)]
+    by_path: HashMap<String, ObjectId>,
+}
+
+impl Site {
+    /// Builds a site, validating that the plan only references inventory
+    /// objects and that object ids equal their inventory index.
+    ///
+    /// # Panics
+    /// Panics on a malformed inventory or plan (these are programmer
+    /// errors in workload definitions).
+    pub fn new(name: impl Into<String>, objects: Vec<WebObject>, plan: Vec<PlanStep>) -> Site {
+        for (i, o) in objects.iter().enumerate() {
+            assert_eq!(o.id.0 as usize, i, "object id must equal inventory index");
+            assert!(o.size > 0, "object {} has zero size", o.path);
+        }
+        let exists = |id: ObjectId| {
+            assert!(
+                (id.0 as usize) < objects.len(),
+                "plan references unknown object {id}"
+            )
+        };
+        for step in &plan {
+            exists(step.object);
+            match step.trigger {
+                Trigger::AtStart { .. } => {}
+                Trigger::AfterRequest { prev, .. } => exists(prev),
+                Trigger::AfterFirstByte { parent, .. } => exists(parent),
+                Trigger::AfterComplete { parent, .. } => exists(parent),
+            }
+        }
+        let by_path = objects.iter().map(|o| (o.path.clone(), o.id)).collect();
+        Site { name: name.into(), objects, plan, by_path }
+    }
+
+    /// The object with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn object(&self, id: ObjectId) -> &WebObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Looks an object up by request path.
+    pub fn by_path(&self, path: &str) -> Option<&WebObject> {
+        self.by_path.get(path).map(|id| self.object(*id))
+    }
+
+    /// All objects in id order.
+    pub fn objects(&self) -> &[WebObject] {
+        &self.objects
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` if the site has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The position of `object` in the request plan (0-based), if planned.
+    pub fn plan_position(&self, object: ObjectId) -> Option<usize> {
+        self.plan.iter().position(|s| s.object == object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{MediaType, ServiceProfile};
+
+    fn obj(id: u32, path: &str, size: u64) -> WebObject {
+        WebObject {
+            id: ObjectId(id),
+            path: path.into(),
+            media: MediaType::Image,
+            size,
+            service: ServiceProfile::static_asset(),
+        }
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let site = Site::new(
+            "t",
+            vec![obj(0, "/a", 10), obj(1, "/b", 20)],
+            vec![
+                PlanStep { object: ObjectId(0), trigger: Trigger::AtStart { gap: SimDuration::ZERO } },
+                PlanStep {
+                    object: ObjectId(1),
+                    trigger: Trigger::AfterRequest { prev: ObjectId(0), gap: SimDuration::from_millis(5) },
+                },
+            ],
+        );
+        assert_eq!(site.len(), 2);
+        assert_eq!(site.by_path("/b").unwrap().id, ObjectId(1));
+        assert_eq!(site.by_path("/missing"), None);
+        assert_eq!(site.plan_position(ObjectId(1)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan references unknown object")]
+    fn plan_referencing_missing_object_panics() {
+        let _ = Site::new(
+            "t",
+            vec![obj(0, "/a", 10)],
+            vec![PlanStep { object: ObjectId(3), trigger: Trigger::AtStart { gap: SimDuration::ZERO } }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "object id must equal inventory index")]
+    fn misnumbered_inventory_panics() {
+        let _ = Site::new("t", vec![obj(5, "/a", 10)], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero size")]
+    fn zero_size_object_panics() {
+        let _ = Site::new("t", vec![obj(0, "/a", 0)], vec![]);
+    }
+}

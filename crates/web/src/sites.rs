@@ -1,0 +1,88 @@
+//! Auxiliary synthetic sites used by examples, tests and the Fig. 1–3
+//! scenario benches.
+
+use crate::object::{MediaType, ObjectId, ServiceProfile, WebObject};
+use crate::site::{PlanStep, Site, Trigger};
+use h2priv_netsim::time::SimDuration;
+
+/// A two-object site reproducing the paper's Fig. 1/2/3 setting: the
+/// client requests `O1` and then `O2` a configurable `gap` later.
+///
+/// With `gap` ≈ 0 the server multiplexes the two objects (Fig. 1 case 2 /
+/// Fig. 3); with `gap` larger than `O1`'s service time the transfer is
+/// serial (Fig. 1 case 1 / Fig. 4 after the adversary's spacing).
+pub fn two_object_site(o1_size: u64, o2_size: u64, gap: SimDuration) -> Site {
+    let objects = vec![
+        WebObject {
+            id: ObjectId(0),
+            path: "/o1".into(),
+            media: MediaType::Image,
+            size: o1_size,
+            service: ServiceProfile::static_asset(),
+        },
+        WebObject {
+            id: ObjectId(1),
+            path: "/o2".into(),
+            media: MediaType::Image,
+            size: o2_size,
+            service: ServiceProfile::static_asset(),
+        },
+    ];
+    let plan = vec![
+        PlanStep { object: ObjectId(0), trigger: Trigger::AtStart { gap: SimDuration::ZERO } },
+        PlanStep { object: ObjectId(1), trigger: Trigger::AfterRequest { prev: ObjectId(0), gap } },
+    ];
+    Site::new("two-object-demo", objects, plan)
+}
+
+/// A small blog-like site (HTML + stylesheet + two images + a script),
+/// used by the quickstart example and client tests.
+pub fn blog_site() -> Site {
+    let mk = |id: u32, path: &str, media: MediaType, size: u64, service: ServiceProfile| WebObject {
+        id: ObjectId(id),
+        path: path.into(),
+        media,
+        size,
+        service,
+    };
+    let objects = vec![
+        mk(0, "/index.html", MediaType::Html, 14_200, ServiceProfile::dynamic_html()),
+        mk(1, "/style.css", MediaType::Css, 8_400, ServiceProfile::static_asset()),
+        mk(2, "/hero.jpg", MediaType::Image, 52_000, ServiceProfile::static_asset()),
+        mk(3, "/post.jpg", MediaType::Image, 23_500, ServiceProfile::static_asset()),
+        mk(4, "/app.js", MediaType::Js, 31_000, ServiceProfile::static_asset()),
+    ];
+    let ms = SimDuration::from_millis;
+    let plan = vec![
+        PlanStep { object: ObjectId(0), trigger: Trigger::AtStart { gap: SimDuration::ZERO } },
+        PlanStep { object: ObjectId(1), trigger: Trigger::AfterFirstByte { parent: ObjectId(0), gap: ms(10) } },
+        PlanStep { object: ObjectId(2), trigger: Trigger::AfterRequest { prev: ObjectId(1), gap: ms(3) } },
+        PlanStep { object: ObjectId(3), trigger: Trigger::AfterRequest { prev: ObjectId(2), gap: ms(2) } },
+        PlanStep { object: ObjectId(4), trigger: Trigger::AfterRequest { prev: ObjectId(3), gap: ms(5) } },
+    ];
+    Site::new("blog.example", objects, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_object_site_shape() {
+        let s = two_object_site(9_500, 7_200, SimDuration::from_millis(100));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.object(ObjectId(0)).size, 9_500);
+        match s.plan[1].trigger {
+            Trigger::AfterRequest { gap, .. } => assert_eq!(gap, SimDuration::from_millis(100)),
+            other => panic!("unexpected trigger {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blog_site_is_well_formed() {
+        let s = blog_site();
+        assert_eq!(s.len(), 5);
+        assert!(s.by_path("/index.html").is_some());
+        assert_eq!(s.plan.len(), 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for site models: plan causality, trigger integrity,
+//! and isidewith ground-truth invariants across random trials.
+
+use h2priv_netsim::rng::SimRng;
+use h2priv_web::{IsideWith, Party, Trigger};
+use proptest::prelude::*;
+
+/// Every dependency in a plan must point at an earlier step, so a
+/// browser walking the plan never deadlocks.
+fn assert_causal(site: &h2priv_web::Site) {
+    for (i, step) in site.plan.iter().enumerate() {
+        let dep = match step.trigger {
+            Trigger::AtStart { .. } => None,
+            Trigger::AfterRequest { prev, .. } => Some(prev),
+            Trigger::AfterFirstByte { parent, .. } => Some(parent),
+            Trigger::AfterComplete { parent, .. } => Some(parent),
+        };
+        if let Some(dep) = dep {
+            let pos = site
+                .plan
+                .iter()
+                .position(|s| s.object == dep)
+                .unwrap_or_else(|| panic!("step {i} depends on unplanned {dep}"));
+            assert!(pos < i, "step {i} depends on later step {pos}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated isidewith trial is well-formed: causal plan, every
+    /// object planned exactly once, ground truth a permutation, sizes in
+    /// the paper's band.
+    #[test]
+    fn isidewith_trials_are_well_formed(seed: u64) {
+        let mut rng = SimRng::new(seed);
+        let iw = IsideWith::generate(&mut rng);
+        assert_causal(&iw.site);
+        // Each object appears in the plan exactly once.
+        let mut planned: Vec<u32> = iw.site.plan.iter().map(|s| s.object.0).collect();
+        planned.sort_unstable();
+        let expect: Vec<u32> = (0..iw.site.len() as u32).collect();
+        prop_assert_eq!(planned, expect);
+        // Ground truth permutation.
+        let mut parties = iw.result_order.to_vec();
+        parties.sort_by_key(|p| p.index());
+        prop_assert_eq!(parties, Party::ALL.to_vec());
+        // Image sizes in the 5–16 KB band, request order matches truth.
+        for (img, party) in iw.images.iter().zip(iw.result_order) {
+            let o = iw.site.object(*img);
+            prop_assert!((5_000..=16_000).contains(&o.size));
+            prop_assert_eq!(*img, iw.image_of(party));
+        }
+    }
+
+    /// The HTML is always the 6th planned request, regardless of the
+    /// permutation (the attack's trigger index depends on it).
+    #[test]
+    fn html_is_always_the_sixth_request(seed: u64) {
+        let mut rng = SimRng::new(seed);
+        let iw = IsideWith::generate(&mut rng);
+        prop_assert_eq!(iw.site.plan_position(iw.html), Some(5));
+    }
+
+    /// Two-object demo sites respect the requested gap and sizes.
+    #[test]
+    fn two_object_site_parameters(o1 in 1u64..1_000_000, o2 in 1u64..1_000_000, gap_ms in 0u64..5_000) {
+        let site = h2priv_web::sites::two_object_site(
+            o1,
+            o2,
+            h2priv_netsim::time::SimDuration::from_millis(gap_ms),
+        );
+        assert_causal(&site);
+        prop_assert_eq!(site.object(h2priv_web::ObjectId(0)).size, o1);
+        prop_assert_eq!(site.object(h2priv_web::ObjectId(1)).size, o2);
+    }
+}
+
+#[test]
+fn adversary_size_map_is_collision_free_at_tolerance() {
+    // The predictor's ±3% matching must be unambiguous over the whole
+    // map (all 8 emblems + the HTML).
+    let mut sizes: Vec<u64> = IsideWith::adversary_size_map().iter().map(|(_, s)| *s).collect();
+    sizes.push(h2priv_web::isidewith::RESULT_HTML_SIZE);
+    for (i, a) in sizes.iter().enumerate() {
+        for b in sizes.iter().skip(i + 1) {
+            let ratio = *a.max(b) as f64 / *a.min(b) as f64;
+            assert!(ratio > 1.061, "sizes {a} and {b} are confusable at 3% tolerance");
+        }
+    }
+}
+
+#[test]
+fn embedded_asset_sizes_do_not_shadow_objects_of_interest() {
+    // No plain embedded asset may fall within 3% of an emblem or the
+    // HTML, or the predictor would hallucinate parties (this bit us
+    // during calibration; see DESIGN.md).
+    let iw = IsideWith::with_result_order(Party::ALL);
+    let mut interest: Vec<u64> = IsideWith::adversary_size_map().iter().map(|(_, s)| *s).collect();
+    interest.push(h2priv_web::isidewith::RESULT_HTML_SIZE);
+    for obj in iw.site.objects() {
+        if iw.objects_of_interest().contains(&obj.id) {
+            continue;
+        }
+        for s in &interest {
+            let ratio = obj.size.max(*s) as f64 / obj.size.min(*s) as f64;
+            assert!(
+                ratio > 1.035,
+                "asset {} ({} B) is confusable with an object of interest ({} B)",
+                obj.path,
+                obj.size,
+                s
+            );
+        }
+    }
+}

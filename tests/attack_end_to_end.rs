@@ -1,0 +1,96 @@
+//! End-to-end attack tests: the full Section V adversary against the
+//! isidewith model, checked against ground truth.
+
+use h2priv_core::attack::AttackConfig;
+use h2priv_core::experiment::run_isidewith_trial;
+
+#[test]
+fn full_attack_serializes_and_identifies_the_html_most_of_the_time() {
+    let total = 10;
+    let mut success = 0;
+    for seed in 0..total {
+        let trial = run_isidewith_trial(1_000 + seed, Some(AttackConfig::full_attack()));
+        if trial.html_outcome().success {
+            success += 1;
+        }
+    }
+    // Paper: ~90%. Allow slack for the small sample.
+    assert!(
+        success >= total * 6 / 10,
+        "full attack should usually break the HTML's privacy ({success}/{total})"
+    );
+}
+
+#[test]
+fn passive_eavesdropper_rarely_breaks_the_html() {
+    let total = 10;
+    let mut success = 0;
+    for seed in 0..total {
+        let trial = run_isidewith_trial(2_000 + seed, None);
+        if trial.html_outcome().success {
+            success += 1;
+        }
+    }
+    assert!(
+        success <= total / 2,
+        "multiplexing should protect the HTML from a passive adversary ({success}/{total})"
+    );
+}
+
+#[test]
+fn full_attack_beats_passive_on_ranking_inference() {
+    let total = 8;
+    let mut attacked_positions = 0usize;
+    let mut passive_positions = 0usize;
+    for seed in 0..total {
+        let attacked = run_isidewith_trial(3_000 + seed, Some(AttackConfig::full_attack()));
+        attacked_positions += attacked.sequence_success().iter().filter(|b| **b).count();
+        let passive = run_isidewith_trial(3_000 + seed, None);
+        passive_positions += passive.sequence_success().iter().filter(|b| **b).count();
+    }
+    assert!(
+        attacked_positions > passive_positions,
+        "attack should infer more ranking positions ({attacked_positions} vs {passive_positions})"
+    );
+}
+
+#[test]
+fn attack_timeline_is_ordered() {
+    use h2priv_core::attack::AttackEvent;
+    let trial = run_isidewith_trial(4_000, Some(AttackConfig::full_attack()));
+    let evs = &trial.result.attack.events;
+    let time_of = |pred: fn(&AttackEvent) -> Option<u64>| evs.iter().find_map(pred);
+    let trigger = time_of(|e| match e {
+        AttackEvent::Trigger { at_ms } => Some(*at_ms),
+        _ => None,
+    })
+    .expect("trigger");
+    let drops_started = time_of(|e| match e {
+        AttackEvent::DropsStarted { at_ms } => Some(*at_ms),
+        _ => None,
+    })
+    .expect("drops started");
+    let drops_stopped = time_of(|e| match e {
+        AttackEvent::DropsStopped { at_ms } => Some(*at_ms),
+        _ => None,
+    })
+    .expect("drops stopped");
+    assert!(trigger <= drops_started);
+    // The drop window ends either at the 6 s timer or earlier, when the
+    // monitor detects the client's stream reset (paper Section IV-D:
+    // "until the client sends stream reset").
+    let window = drops_stopped - drops_started;
+    assert!(
+        (2_000..=6_100).contains(&window),
+        "drop window was {window} ms"
+    );
+}
+
+#[test]
+fn attack_results_are_reproducible() {
+    let a = run_isidewith_trial(5_000, Some(AttackConfig::full_attack()));
+    let b = run_isidewith_trial(5_000, Some(AttackConfig::full_attack()));
+    assert_eq!(a.sequence_success(), b.sequence_success());
+    assert_eq!(a.predicted_order(), b.predicted_order());
+    assert_eq!(a.result.attack.events, b.result.attack.events);
+}

@@ -1,0 +1,108 @@
+//! Statistical shape tests: small-batch versions of the paper's
+//! evaluation, asserting the qualitative trends (who wins, direction of
+//! effects) rather than exact percentages.
+
+use h2priv_core::experiments::{baseline, fig5, section4d, table1, table2};
+
+const TRIALS: usize = 12; // small but stable batches; full runs live in h2priv-bench
+
+#[test]
+fn table1_shape_jitter_helps_then_plateaus_and_retransmissions_grow() {
+    let rows = table1(TRIALS, 42);
+    assert_eq!(rows.len(), 4);
+    // Non-multiplexed fraction does not decrease with jitter (0 -> 50 ms).
+    assert!(
+        rows[2].pct_not_multiplexed >= rows[0].pct_not_multiplexed,
+        "jitter should help serialize: {rows:?}"
+    );
+    // Retransmissions grow monotonically with jitter.
+    assert!(
+        rows[3].retransmissions_avg >= rows[1].retransmissions_avg,
+        "retransmissions should grow with jitter: {rows:?}"
+    );
+    assert!(rows[0].retrans_increase_pct.abs() < 1e-9, "baseline row is the reference");
+}
+
+#[test]
+fn fig5_shape_bandwidth_sweep() {
+    let rows = fig5(TRIALS, 43);
+    assert_eq!(rows.len(), 5);
+    // Our substrate's deviation from the paper is documented in
+    // EXPERIMENTS.md: with a conforming (RFC 7323) TCP the jitter phase
+    // does not cause the fast-retransmit storm the authors measured, so
+    // retransmissions do not *fall* with throttling. What must hold:
+    // extreme throttling (1 Mbps) pushes the path into queue-overflow
+    // retransmissions, far above the unthrottled level...
+    let first = rows.first().expect("1000 Mbps row");
+    let last = rows.last().expect("1 Mbps row");
+    assert!(
+        last.retransmissions_avg > 3.0 * first.retransmissions_avg.max(1.0),
+        "1 Mbps should show heavy queueing retransmissions: {rows:?}"
+    );
+    // ...while the attack's success neither collapses nor becomes
+    // perfect anywhere in the sweep (the serialization is service-time
+    // driven, not bandwidth driven).
+    for r in &rows {
+        assert!(
+            (10.0..=95.0).contains(&r.pct_success),
+            "success out of plausible band: {rows:?}"
+        );
+    }
+    // Success at the 1 Mbps extreme must not exceed the best
+    // high-bandwidth point (the paper's right-side decline).
+    let peak = rows.iter().map(|r| r.pct_success).fold(0.0f64, f64::max);
+    assert!(last.pct_success <= peak, "no decline at extreme throttling: {rows:?}");
+}
+
+#[test]
+fn section4d_shape_drops_reach_high_success_until_connection_breaks() {
+    let rows = section4d(TRIALS, 44, &[0.8, 0.97]);
+    let at80 = &rows[0];
+    let extreme = &rows[1];
+    assert!(
+        at80.pct_success >= 50.0,
+        "80% drops should usually succeed: {rows:?}"
+    );
+    assert!(
+        at80.pct_reset_sent >= 50.0,
+        "80% drops should force stream resets: {rows:?}"
+    );
+    // More drops should not reduce breakage.
+    assert!(
+        extreme.pct_broken >= at80.pct_broken,
+        "extreme drops should break connections at least as often: {rows:?}"
+    );
+}
+
+#[test]
+fn table2_shape_single_target_beats_sequence_inference() {
+    let cols = table2(TRIALS, 45);
+    assert_eq!(cols.len(), 9);
+    let avg_single: f64 =
+        cols.iter().map(|c| c.pct_single_target).sum::<f64>() / cols.len() as f64;
+    let avg_all: f64 = cols.iter().map(|c| c.pct_all_targets).sum::<f64>() / cols.len() as f64;
+    assert!(
+        avg_single >= avg_all,
+        "single-target must dominate sequence inference: single {avg_single:.1}% vs all {avg_all:.1}%"
+    );
+    assert!(avg_single >= 60.0, "single-target success should be high: {cols:?}");
+    // Image gaps within the burst are sub-3ms on average except I1.
+    for c in &cols[2..] {
+        assert!(c.gap_prev_ms < 120.0, "burst gap too large: {c:?}");
+    }
+}
+
+#[test]
+fn baseline_shape_objects_are_heavily_multiplexed() {
+    let rows = baseline(TRIALS, 46);
+    assert_eq!(rows.len(), 9);
+    let html = &rows[0];
+    assert!(
+        html.mean_degree_pct >= 40.0,
+        "HTML should be heavily multiplexed at baseline: {rows:?}"
+    );
+    // Images: the burst overlaps heavily.
+    let avg_img: f64 =
+        rows[1..].iter().map(|r| r.mean_degree_pct).sum::<f64>() / 8.0;
+    assert!(avg_img >= 50.0, "images should be heavily multiplexed: avg {avg_img:.1}%");
+}

@@ -1,0 +1,151 @@
+//! Scenario tests for the paper's mechanism figures (Figs. 1–4, 6):
+//! each test reproduces one figure's storyline end-to-end.
+
+use h2priv_core::attack::{AttackConfig, AttackEvent};
+use h2priv_core::experiment::{run_isidewith_trial, run_site_trial, TrialOptions};
+use h2priv_core::metrics::degree_of_multiplexing;
+use h2priv_core::predictor::SizeMap;
+use h2priv_netsim::time::SimDuration;
+use h2priv_web::sites::two_object_site;
+use h2priv_web::ObjectId;
+
+/// Fig. 1 case 1: serial transmission lets the eavesdropper estimate
+/// both object sizes from the encrypted trace.
+#[test]
+fn fig1_serial_sizes_are_estimable() {
+    let site = two_object_site(9_500, 7_200, SimDuration::from_millis(700));
+    let result = run_site_trial(site, &TrialOptions::new(101, None));
+    let map = SizeMap::new(vec![("o1".into(), 9_500), ("o2".into(), 7_200)], 0.03);
+    let prediction = result.predict(&map);
+    assert!(prediction.contains("o1"), "O1 should be identified: {:?}", prediction.units);
+    assert!(prediction.contains("o2"), "O2 should be identified: {:?}", prediction.units);
+}
+
+/// Fig. 1 case 2: multiplexed transmission defeats size estimation.
+#[test]
+fn fig1_multiplexed_sizes_are_not_estimable() {
+    let mut hits = 0;
+    let total = 8;
+    for seed in 0..total {
+        let site = two_object_site(9_500, 7_200, SimDuration::ZERO);
+        let result = run_site_trial(site, &TrialOptions::new(200 + seed, None));
+        let map = SizeMap::new(vec![("o1".into(), 9_500), ("o2".into(), 7_200)], 0.03);
+        let prediction = result.predict(&map);
+        if prediction.contains("o1") && prediction.contains("o2") {
+            hits += 1;
+        }
+    }
+    assert!(
+        hits <= total / 2,
+        "multiplexing should usually defeat size estimation, but {hits}/{total} succeeded"
+    );
+}
+
+/// Figs. 2–3: with near-zero inter-request time the server interleaves;
+/// spacing the requests past the service time serializes.
+#[test]
+fn fig2_fig3_request_spacing_controls_multiplexing() {
+    let multiplexed = {
+        let site = two_object_site(30_000, 24_000, SimDuration::ZERO);
+        let result = run_site_trial(site, &TrialOptions::new(301, None));
+        degree_of_multiplexing(&result.wire_map, ObjectId(0)).best().unwrap().1
+    };
+    let serialized = {
+        let site = two_object_site(30_000, 24_000, SimDuration::from_millis(900));
+        let result = run_site_trial(site, &TrialOptions::new(301, None));
+        degree_of_multiplexing(&result.wire_map, ObjectId(0)).best().unwrap().1
+    };
+    assert!(multiplexed > 0.5, "zero gap should multiplex heavily, got {multiplexed}");
+    assert_eq!(serialized, 0.0, "a 900 ms gap must fully serialize");
+}
+
+/// Fig. 4: holding requests back long enough triggers client
+/// re-requests, and the server serves duplicate copies that intensify
+/// multiplexing.
+#[test]
+fn fig4_excessive_jitter_causes_duplicate_copies() {
+    // Very aggressive pacing: 400 ms between GET-carrying packets.
+    let attack = AttackConfig::jitter_only(SimDuration::from_millis(400));
+    let mut saw_rerequest = false;
+    let mut saw_duplicate_copy = false;
+    for seed in 0..6 {
+        let trial = run_isidewith_trial(400 + seed, Some(attack.clone()));
+        if trial.result.client.h2_rerequests > 0 {
+            saw_rerequest = true;
+        }
+        let duplicated = trial
+            .iw
+            .site
+            .objects()
+            .iter()
+            .any(|o| trial.result.wire_map.copies_of(o.id.0).len() > 1);
+        if duplicated {
+            saw_duplicate_copy = true;
+        }
+        if saw_rerequest && saw_duplicate_copy {
+            break;
+        }
+    }
+    assert!(saw_rerequest, "400 ms pacing should trigger app-layer re-requests");
+    assert!(saw_duplicate_copy, "re-requests should lead to duplicate served copies");
+}
+
+/// Fig. 6 / Section IV-D storyline: drops start at the trigger GET, the
+/// client eventually resets streams, drops stop after the window, and
+/// the re-served HTML comes out serialized.
+#[test]
+fn fig6_drop_phase_forces_reset_and_serial_reserve() {
+    let mut successes = 0;
+    let total = 5;
+    for seed in 0..total {
+        let trial = run_isidewith_trial(
+            600 + seed,
+            Some(AttackConfig::with_drops(0.8, SimDuration::from_secs(6))),
+        );
+        let events = &trial.result.attack.events;
+        assert!(
+            events.iter().any(|e| matches!(e, AttackEvent::DropsStarted { .. })),
+            "drop phase should start: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, AttackEvent::DropsStopped { .. })),
+            "drop phase should stop: {events:?}"
+        );
+        if trial.result.client.resets_sent > 0 && trial.html_outcome().best_degree == 0.0 {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= total - 2,
+        "drops should usually force a reset and a serialized re-serve ({successes}/{total})"
+    );
+}
+
+/// The attack trigger fires on the 6th GET, which is the result HTML.
+#[test]
+fn trigger_fires_on_the_html_request() {
+    let trial = run_isidewith_trial(700, Some(AttackConfig::full_attack()));
+    let trigger_at = trial
+        .result
+        .attack
+        .events
+        .iter()
+        .find_map(|e| match e {
+            AttackEvent::Trigger { at_ms } => Some(*at_ms),
+            _ => None,
+        })
+        .expect("trigger fired");
+    // The HTML's first GET should be at (or just before) the trigger.
+    let html_req = trial
+        .result
+        .client
+        .requests
+        .iter()
+        .find(|r| r.object == trial.iw.html && r.attempt == 0)
+        .expect("html requested");
+    let issued_ms = html_req.issued_at.as_millis();
+    assert!(
+        trigger_at >= issued_ms && trigger_at <= issued_ms + 1_000,
+        "trigger at {trigger_at} ms vs html GET at {issued_ms} ms"
+    );
+}
