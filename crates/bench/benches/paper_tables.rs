@@ -1,10 +1,10 @@
-//! Criterion benches: one per table/figure of the paper, running a small
-//! trial batch per iteration. These measure the cost of regenerating
+//! Timing benches (built with `--features criterion`): one per
+//! table/figure of the paper, running a small trial batch per iteration. These measure the cost of regenerating
 //! each experiment point and double as smoke tests that the full
 //! pipeline stays runnable; the full-scale numbers come from the
 //! `src/bin/*` experiment binaries.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use h2priv_bench::timing::{BatchSize, Harness};
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::run_isidewith_trial;
 use h2priv_core::experiments::{baseline, fig1, fig5, section4d, table1, table2};
@@ -23,16 +23,20 @@ fn next_seed() -> u64 {
     })
 }
 
-fn bench_baseline(c: &mut Criterion) {
+fn bench_baseline(c: &mut Harness) {
     c.bench_function("baseline/one_trial_passive", |b| {
-        b.iter_batched(next_seed, |seed| run_isidewith_trial(seed, None), BatchSize::SmallInput)
+        b.iter_batched(
+            next_seed,
+            |seed| run_isidewith_trial(seed, None),
+            BatchSize::SmallInput,
+        )
     });
     c.bench_function("baseline/table_3trials", |b| {
         b.iter_batched(next_seed, |seed| baseline(3, seed), BatchSize::SmallInput)
     });
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(c: &mut Harness) {
     c.bench_function("table1/one_trial_jitter50", |b| {
         b.iter_batched(
             next_seed,
@@ -50,13 +54,13 @@ fn bench_table1(c: &mut Criterion) {
     });
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5(c: &mut Harness) {
     c.bench_function("fig5/rows_2trials", |b| {
         b.iter_batched(next_seed, |seed| fig5(2, seed), BatchSize::SmallInput)
     });
 }
 
-fn bench_fig6_drops(c: &mut Criterion) {
+fn bench_fig6_drops(c: &mut Harness) {
     c.bench_function("fig6_drops/one_trial_80pct", |b| {
         b.iter_batched(
             next_seed,
@@ -70,11 +74,15 @@ fn bench_fig6_drops(c: &mut Criterion) {
         )
     });
     c.bench_function("fig6_drops/rows_2trials", |b| {
-        b.iter_batched(next_seed, |seed| section4d(2, seed, &[0.8]), BatchSize::SmallInput)
+        b.iter_batched(
+            next_seed,
+            |seed| section4d(2, seed, &[0.8]),
+            BatchSize::SmallInput,
+        )
     });
 }
 
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(c: &mut Harness) {
     c.bench_function("table2/one_trial_full_attack", |b| {
         b.iter_batched(
             next_seed,
@@ -87,15 +95,18 @@ fn bench_table2(c: &mut Criterion) {
     });
 }
 
-fn bench_fig1(c: &mut Criterion) {
+fn bench_fig1(c: &mut Harness) {
     c.bench_function("fig1/both_cases", |b| {
         b.iter_batched(next_seed, fig1, BatchSize::SmallInput)
     });
 }
 
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets = bench_baseline, bench_table1, bench_fig5, bench_fig6_drops, bench_table2, bench_fig1
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+    bench_baseline(&mut h);
+    bench_table1(&mut h);
+    bench_fig5(&mut h);
+    bench_fig6_drops(&mut h);
+    bench_table2(&mut h);
+    bench_fig1(&mut h);
 }
-criterion_main!(tables);

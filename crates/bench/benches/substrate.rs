@@ -3,7 +3,7 @@
 //! against performance regressions that would make the experiment
 //! binaries impractically slow.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use h2priv_bench::timing::{BatchSize, Harness};
 use h2priv_core::experiment::{run_site_trial, TrialOptions};
 use h2priv_core::metrics::degree_of_multiplexing;
 use h2priv_core::predictor::SizeMap;
@@ -23,7 +23,7 @@ fn next_seed() -> u64 {
     })
 }
 
-fn bench_page_load(c: &mut Criterion) {
+fn bench_page_load(c: &mut Harness) {
     c.bench_function("substrate/blog_page_load", |b| {
         b.iter_batched(
             next_seed,
@@ -45,18 +45,19 @@ fn bench_page_load(c: &mut Criterion) {
     });
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis(c: &mut Harness) {
     let result = run_site_trial(blog_site(), &TrialOptions::new(7, None));
     let map = SizeMap::new(vec![("hero".into(), 52_000), ("post".into(), 23_500)], 0.03);
     c.bench_function("substrate/degree_of_multiplexing", |b| {
         b.iter(|| degree_of_multiplexing(&result.wire_map, ObjectId(2)))
     });
-    c.bench_function("substrate/predict_from_trace", |b| b.iter(|| result.predict(&map)));
+    c.bench_function("substrate/predict_from_trace", |b| {
+        b.iter(|| result.predict(&map))
+    });
 }
 
-criterion_group! {
-    name = substrate;
-    config = Criterion::default().sample_size(10);
-    targets = bench_page_load, bench_analysis
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+    bench_page_load(&mut h);
+    bench_analysis(&mut h);
 }
-criterion_main!(substrate);

@@ -26,12 +26,7 @@ fn run(trials: usize, base: u64, f: impl Fn(&mut TrialOptions)) -> (f64, f64, f6
             serial += 1;
         }
         rereq += trial.result.client.h2_rerequests;
-        copies += trial
-            .result
-            .serve_log
-            .iter()
-            .filter(|s| s.copy > 0)
-            .count() as u64;
+        copies += trial.result.serve_log.iter().filter(|s| s.copy > 0).count() as u64;
     }
     (
         100.0 * serial as f64 / trials as f64,
@@ -53,13 +48,17 @@ fn main() {
     let attack = Some(AttackConfig::jitter_only(SimDuration::from_millis(200)));
     let a = attack.clone();
     let (_, rereq, copies) = run(trials, 83_000, move |o| o.attack = a.clone());
-    println!("  serve_duplicates=on : re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}");
+    println!(
+        "  serve_duplicates=on : re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}"
+    );
     let a = attack.clone();
     let (_, rereq, copies) = run(trials, 84_000, move |o| {
         o.attack = a.clone();
         o.server.serve_duplicates = false;
     });
-    println!("  serve_duplicates=off: re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}");
+    println!(
+        "  serve_duplicates=off: re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}"
+    );
 
     banner("client re-request timeout under 200 ms jitter");
     for timeout_ms in [600u64, 1_200, 2_400, 4_800] {

@@ -17,12 +17,23 @@ fn main() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![r.object.clone(), pct(r.mean_degree_pct), pct(r.pct_not_multiplexed)]
+            vec![
+                r.object.clone(),
+                pct(r.mean_degree_pct),
+                pct(r.pct_not_multiplexed),
+            ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["object", "mean degree of multiplexing (%)", "serialized by chance (%)"], &table)
+        render_table(
+            &[
+                "object",
+                "mean degree of multiplexing (%)",
+                "serialized by chance (%)"
+            ],
+            &table
+        )
     );
     println!("paper: HTML degree ~98%, images 80-99%; HTML serialized by chance in 32% of runs.");
     eprintln!("{}", to_json(&rows));

@@ -51,7 +51,13 @@ fn main() {
             println!("  [diag] first embedded serves: {next:?}");
         }
     }
-    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     println!(
         "  html: mean degree {:.1}% | serial in {:.0}% of runs (paper: ~98% / 32%) | identified {:.0}%",
         100.0 * mean(&html_degrees),
@@ -71,7 +77,9 @@ fn main() {
         for t in 0..trials {
             let trial = run_isidewith_trial(
                 600_000 + jitter_ms * 1_000 + t as u64,
-                Some(AttackConfig::jitter_only(SimDuration::from_millis(jitter_ms))),
+                Some(AttackConfig::jitter_only(SimDuration::from_millis(
+                    jitter_ms,
+                ))),
             );
             if h2priv_core::metrics::is_serialized(trial.html_outcome().best_degree) {
                 serial += 1;
@@ -118,8 +126,17 @@ fn main() {
         100.0 * broken as f64 / trials as f64
     );
     let fmt = |v: &[usize]| {
-        v.iter().map(|h| format!("{:>3.0}", 100.0 * *h as f64 / trials as f64)).collect::<Vec<_>>().join(" ")
+        v.iter()
+            .map(|h| format!("{:>3.0}", 100.0 * *h as f64 / trials as f64))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
-    println!("  single-target I1..I8: {} (paper: 100 everywhere)", fmt(&single_hits));
-    println!("  sequence I1..I8:      {} (paper: 90 85 81 80 62 64 78 64)", fmt(&seq_hits));
+    println!(
+        "  single-target I1..I8: {} (paper: 100 everywhere)",
+        fmt(&single_hits)
+    );
+    println!(
+        "  sequence I1..I8:      {} (paper: 90 85 81 80 62 64 78 64)",
+        fmt(&seq_hits)
+    );
 }

@@ -9,7 +9,10 @@ use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::run_isidewith_trial;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let trial = run_isidewith_trial(seed, Some(AttackConfig::full_attack()));
 
     println!("attack events: {:?}", trial.result.attack.events);
@@ -42,8 +45,12 @@ fn main() {
                     "copy{} req@{:.2}s fb@{} done@{} killed={}",
                     s.copy,
                     s.requested_at.as_secs_f64(),
-                    s.first_byte_at.map(|t| format!("{:.2}s", t.as_secs_f64())).unwrap_or("-".into()),
-                    s.completed_at.map(|t| format!("{:.2}s", t.as_secs_f64())).unwrap_or("-".into()),
+                    s.first_byte_at
+                        .map(|t| format!("{:.2}s", t.as_secs_f64()))
+                        .unwrap_or("-".into()),
+                    s.completed_at
+                        .map(|t| format!("{:.2}s", t.as_secs_f64()))
+                        .unwrap_or("-".into()),
                     s.killed
                 )
             })
@@ -61,8 +68,18 @@ fn main() {
             Direction::ServerToClient,
             false,
         );
-        let last_pkt = trial.result.trace.packets.last().map(|p| p.time.as_secs_f64()).unwrap_or(0.0);
-        let last_rec = view.records.last().map(|r| r.completed_at.as_secs_f64()).unwrap_or(0.0);
+        let last_pkt = trial
+            .result
+            .trace
+            .packets
+            .last()
+            .map(|p| p.time.as_secs_f64())
+            .unwrap_or(0.0);
+        let last_rec = view
+            .records
+            .last()
+            .map(|r| r.completed_at.as_secs_f64())
+            .unwrap_or(0.0);
         println!(
             "\n-- s2c reassembly: records={} retx_segs={} unique={} desynced={} contiguous_end={} parse_ptr={} last_pkt@{last_pkt:.2}s last_rec@{last_rec:.2}s",
             view.records.len(), view.retransmitted_segments, view.unique_bytes,
@@ -74,26 +91,59 @@ fn main() {
         use h2priv_core::metrics::entities;
         let ents = entities(&trial.result.wire_map);
         for e in ents.iter().filter(|e| e.id.object == trial.iw.html) {
-            println!("\n-- html copy{} offsets [{}, {}) bytes={}", e.id.copy, e.start, e.end, e.bytes);
-            for o in ents.iter().filter(|o| o.id != e.id && o.start < e.end && o.end > e.start) {
-                println!("     overlapped by obj{} copy{} [{}, {}) bytes={}", o.id.object.0, o.id.copy, o.start, o.end, o.bytes);
+            println!(
+                "\n-- html copy{} offsets [{}, {}) bytes={}",
+                e.id.copy, e.start, e.end, e.bytes
+            );
+            for o in ents
+                .iter()
+                .filter(|o| o.id != e.id && o.start < e.end && o.end > e.start)
+            {
+                println!(
+                    "     overlapped by obj{} copy{} [{}, {}) bytes={}",
+                    o.id.object.0, o.id.copy, o.start, o.end, o.bytes
+                );
             }
         }
     }
     println!("\n-- server diag: {:?}", trial.result.server_diag);
-    println!("-- blocked log (first/last 6): {:?}", trial.result.server_diag2.iter().take(6).collect::<Vec<_>>());
-    println!("--                        tail: {:?}", trial.result.server_diag2.iter().rev().take(6).collect::<Vec<_>>());
+    println!(
+        "-- blocked log (first/last 6): {:?}",
+        trial.result.server_diag2.iter().take(6).collect::<Vec<_>>()
+    );
+    println!(
+        "--                        tail: {:?}",
+        trial
+            .result
+            .server_diag2
+            .iter()
+            .rev()
+            .take(6)
+            .collect::<Vec<_>>()
+    );
     println!("\n-- client request records (objects of interest) --");
     for (obj, label) in &interest {
-        for r in trial.result.client.requests.iter().filter(|r| r.object == *obj) {
+        for r in trial
+            .result
+            .client
+            .requests
+            .iter()
+            .filter(|r| r.object == *obj)
+        {
             println!(
                 "  {label:<24} a{} {} iss@{:.2}s hdr@{} data@{} done@{} reset={}",
                 r.attempt,
                 r.stream,
                 r.issued_at.as_secs_f64(),
-                r.headers_at.map(|t| format!("{:.2}", t.as_secs_f64())).unwrap_or("-".into()),
-                r.first_data_at.map(|t| format!("{:.2}", t.as_secs_f64())).unwrap_or("-".into()),
-                r.completed_at.map(|t| format!("{:.2}", t.as_secs_f64())).unwrap_or("-".into()),
+                r.headers_at
+                    .map(|t| format!("{:.2}", t.as_secs_f64()))
+                    .unwrap_or("-".into()),
+                r.first_data_at
+                    .map(|t| format!("{:.2}", t.as_secs_f64()))
+                    .unwrap_or("-".into()),
+                r.completed_at
+                    .map(|t| format!("{:.2}", t.as_secs_f64()))
+                    .unwrap_or("-".into()),
                 r.reset
             );
         }
@@ -110,8 +160,23 @@ fn main() {
         );
     }
 
-    println!("\npredicted order: {:?}", trial.predicted_order().iter().map(|p| p.to_string()).collect::<Vec<_>>());
-    println!("truth order:     {:?}", trial.iw.result_order.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+    println!(
+        "\npredicted order: {:?}",
+        trial
+            .predicted_order()
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "truth order:     {:?}",
+        trial
+            .iw
+            .result_order
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+    );
     println!("sequence success: {:?}", trial.sequence_success());
     println!("html outcome: {:?}", trial.html_outcome());
 }

@@ -34,7 +34,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["inter-request gap (ms)", "O1 mean degree of multiplexing (%)", "O1 serialized (%)"],
+            &[
+                "inter-request gap (ms)",
+                "O1 mean degree of multiplexing (%)",
+                "O1 serialized (%)"
+            ],
             &rows
         )
     );

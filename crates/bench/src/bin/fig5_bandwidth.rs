@@ -27,7 +27,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["bandwidth (Mbps)", "retransmissions (avg)", "success (%)", "broken (%)"],
+            &[
+                "bandwidth (Mbps)",
+                "retransmissions (avg)",
+                "success (%)",
+                "broken (%)"
+            ],
             &table
         )
     );

@@ -28,7 +28,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["drop rate (%)", "success (%)", "reset sent (%)", "broken (%)"],
+            &[
+                "drop rate (%)",
+                "success (%)",
+                "reset sent (%)",
+                "broken (%)"
+            ],
             &table
         )
     );
@@ -52,7 +57,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["drop rate (%)", "success (%)", "reset sent (%)", "broken (%)"],
+            &[
+                "drop rate (%)",
+                "success (%)",
+                "reset sent (%)",
+                "broken (%)"
+            ],
             &table
         )
     );

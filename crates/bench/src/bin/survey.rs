@@ -8,7 +8,10 @@ use h2priv_netsim::time::SimDuration;
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
-    let trials: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let trials: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     for t in 0..trials {
         let attack = match mode.as_str() {
             "baseline" => None,
@@ -36,12 +39,14 @@ fn main() {
         let mut bracketers: Vec<String> = vec![];
         if let Some((copy, d)) = trial.result.degree(trial.iw.html).best() {
             if d > 0.0 {
-                if let Some(e) =
-                    ents.iter().find(|e| e.id.object == trial.iw.html && e.id.copy == copy)
+                if let Some(e) = ents
+                    .iter()
+                    .find(|e| e.id.object == trial.iw.html && e.id.copy == copy)
                 {
-                    for o in ents.iter().filter(|o| {
-                        o.id != e.id && o.start < e.end && o.end > e.start
-                    }) {
+                    for o in ents
+                        .iter()
+                        .filter(|o| o.id != e.id && o.start < e.end && o.end > e.start)
+                    {
                         bracketers.push(format!("o{}c{}", o.id.object.0, o.id.copy));
                     }
                 }

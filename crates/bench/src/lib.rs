@@ -2,9 +2,14 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 /// Parses the first CLI argument as a trial count, with a default.
 pub fn trials_arg(default: usize) -> usize {
-    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Prints a section banner.

@@ -1,0 +1,159 @@
+//! A minimal timing harness for the `benches/` targets, replacing the
+//! Criterion dependency. It keeps the slice of Criterion's API the bench
+//! files use (`bench_function`, `iter`, `iter_batched`) so the benches
+//! read the same, and reports per-iteration wall-clock statistics.
+//!
+//! This is a smoke-and-trend harness, not a statistics engine: each
+//! benchmark runs a fixed number of samples and prints min/mean/max.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Batch-size hint, accepted for source compatibility with the old
+/// Criterion call sites. The harness times one call per sample either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold; time routine calls individually.
+    SmallInput,
+    /// Accepted for compatibility; treated the same as `SmallInput`.
+    LargeInput,
+}
+
+/// Times one benchmark routine; handed to the closure given to
+/// [`Harness::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    /// Nanoseconds per timed sample, filled by `iter`/`iter_batched`.
+    pub times_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` value per sample; setup cost
+    /// is excluded from the measurement.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Runs named benchmarks and prints their timing summaries.
+pub struct Harness {
+    samples: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness { samples: 10 }
+    }
+}
+
+impl Harness {
+    /// A harness with the default sample count (10).
+    pub fn new() -> Harness {
+        Harness::default()
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, samples: usize) -> Harness {
+        assert!(samples > 0, "sample_size must be positive");
+        self.samples = samples;
+        self
+    }
+
+    /// Runs one named benchmark and prints `name  min/mean/max`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            times_ns: Vec::new(),
+        };
+        f(&mut b);
+        assert!(
+            !b.times_ns.is_empty(),
+            "benchmark {name} never called iter/iter_batched"
+        );
+        let min = *b.times_ns.iter().min().expect("non-empty");
+        let max = *b.times_ns.iter().max().expect("non-empty");
+        let mean = b.times_ns.iter().sum::<u64>() / b.times_ns.len() as u64;
+        println!(
+            "{name:<40} min {:>12}  mean {:>12}  max {:>12}  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            b.times_ns.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let mut h = Harness::new().sample_size(5);
+        let mut calls = 0u32;
+        h.bench_function("t", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 5 timed + 1 warm-up.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut h = Harness::new().sample_size(4);
+        let mut setups = 0u32;
+        h.bench_function("t", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(900), "900 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -23,7 +23,7 @@ use h2priv_netsim::middlebox::{MiddleboxPolicy, PacketView, PolicyCtx, Verdict};
 use h2priv_netsim::packet::Direction;
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_netsim::units::Bandwidth;
-use serde::Serialize;
+use h2priv_util::json::{Json, ToJson};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -74,7 +74,11 @@ impl AttackConfig {
     /// Jitter only (Table I rows): pace GETs to `spacing`.
     pub fn jitter_only(spacing: SimDuration) -> AttackConfig {
         AttackConfig {
-            spacing: if spacing.is_zero() { None } else { Some(spacing) },
+            spacing: if spacing.is_zero() {
+                None
+            } else {
+                Some(spacing)
+            },
             throttle: None,
             drop_rate: 0.0,
             drop_duration: SimDuration::ZERO,
@@ -119,7 +123,7 @@ impl AttackConfig {
 }
 
 /// Timeline events logged by the policy (for tests and reports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackEvent {
     /// The trigger GET transited.
     Trigger {
@@ -148,6 +152,32 @@ pub enum AttackEvent {
         /// New spacing in milliseconds.
         to_ms: u64,
     },
+}
+
+impl ToJson for AttackEvent {
+    fn to_json(&self) -> Json {
+        let (tag, fields) = match self {
+            AttackEvent::Trigger { at_ms } => ("Trigger", vec![("at_ms", at_ms.to_json())]),
+            AttackEvent::ThrottleApplied { at_ms } => {
+                ("ThrottleApplied", vec![("at_ms", at_ms.to_json())])
+            }
+            AttackEvent::DropsStarted { at_ms } => {
+                ("DropsStarted", vec![("at_ms", at_ms.to_json())])
+            }
+            AttackEvent::DropsStopped { at_ms } => {
+                ("DropsStopped", vec![("at_ms", at_ms.to_json())])
+            }
+            AttackEvent::SpacingChanged { at_ms, to_ms } => (
+                "SpacingChanged",
+                vec![("at_ms", at_ms.to_json()), ("to_ms", to_ms.to_json())],
+            ),
+        };
+        let inner = fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        Json::Obj(vec![(tag.to_string(), Json::Obj(inner))])
+    }
 }
 
 /// Observable adversary state shared between the policy (inside the
@@ -204,18 +234,27 @@ impl AttackPolicy {
     fn fire_trigger(&mut self, ctx: &mut PolicyCtx<'_, '_>, now: SimTime) {
         self.triggered = true;
         let at_ms = now.as_millis();
-        self.state.borrow_mut().events.push(AttackEvent::Trigger { at_ms });
+        self.state
+            .borrow_mut()
+            .events
+            .push(AttackEvent::Trigger { at_ms });
         if let Some(bw) = self.cfg.throttle {
             ctx.set_bandwidth(Direction::ClientToServer, Some(bw));
             ctx.set_bandwidth(Direction::ServerToClient, Some(bw));
-            self.state.borrow_mut().events.push(AttackEvent::ThrottleApplied { at_ms });
+            self.state
+                .borrow_mut()
+                .events
+                .push(AttackEvent::ThrottleApplied { at_ms });
         }
         if self.cfg.drop_rate > 0.0 && !self.cfg.drop_duration.is_zero() {
             self.drops.open();
             self.drops_started_at = Some(now);
             self.small_record_times.clear();
             ctx.schedule_token(self.cfg.drop_duration, TOKEN_STOP_DROPS);
-            self.state.borrow_mut().events.push(AttackEvent::DropsStarted { at_ms });
+            self.state
+                .borrow_mut()
+                .events
+                .push(AttackEvent::DropsStarted { at_ms });
         }
     }
 
@@ -229,7 +268,10 @@ impl AttackPolicy {
         st.events.push(AttackEvent::DropsStopped { at_ms });
         if let Some(spacing) = self.cfg.spacing_after_drops {
             self.pacer.set_spacing(Some(spacing));
-            st.events.push(AttackEvent::SpacingChanged { at_ms, to_ms: spacing.as_millis() });
+            st.events.push(AttackEvent::SpacingChanged {
+                at_ms,
+                to_ms: spacing.as_millis(),
+            });
         }
     }
 }

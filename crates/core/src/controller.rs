@@ -109,7 +109,12 @@ impl DropGate {
     /// Panics if `rate` is outside `[0, 1]`.
     pub fn new(rate: f64) -> DropGate {
         assert!((0.0..=1.0).contains(&rate), "drop rate out of range");
-        DropGate { rate, open: false, dropped: 0, passed: 0 }
+        DropGate {
+            rate,
+            open: false,
+            dropped: 0,
+            passed: 0,
+        }
     }
 
     /// Starts dropping.
@@ -170,8 +175,14 @@ mod tests {
         // Two requests 200 ms apart (below the drain threshold) are
         // pulled a further d apart.
         let mut p = Pacer::new(Some(SimDuration::from_millis(50)));
-        assert_eq!(p.admit(SimTime::from_millis(0)), SimDuration::from_millis(50));
-        assert_eq!(p.admit(SimTime::from_millis(200)), SimDuration::from_millis(100));
+        assert_eq!(
+            p.admit(SimTime::from_millis(0)),
+            SimDuration::from_millis(50)
+        );
+        assert_eq!(
+            p.admit(SimTime::from_millis(200)),
+            SimDuration::from_millis(100)
+        );
     }
 
     #[test]
@@ -181,7 +192,10 @@ mod tests {
             let _ = p.admit(SimTime::from_millis(i));
         }
         // A long quiet period resets the accumulation.
-        assert_eq!(p.admit(SimTime::from_millis(5_000)), SimDuration::from_millis(50));
+        assert_eq!(
+            p.admit(SimTime::from_millis(5_000)),
+            SimDuration::from_millis(50)
+        );
     }
 
     #[test]
@@ -208,7 +222,9 @@ mod tests {
         // Closed: nothing dropped.
         assert!(!g.should_drop(&mut rng, 1_000));
         g.open();
-        let drops = (0..10_000).filter(|_| g.should_drop(&mut rng, 1_000)).count();
+        let drops = (0..10_000)
+            .filter(|_| g.should_drop(&mut rng, 1_000))
+            .count();
         assert!((7_500..8_500).contains(&drops), "drops = {drops}");
         // Pure ACKs always pass.
         assert!(!g.should_drop(&mut rng, 0));

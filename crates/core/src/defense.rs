@@ -14,8 +14,8 @@ use crate::experiment::{run_site_trial, IsideWithTrial, TrialOptions};
 use crate::predictor::{predict_from_trace, SizeMap};
 use h2priv_netsim::rng::SimRng;
 use h2priv_trace::analysis::UnitConfig;
+use h2priv_util::impl_to_json;
 use h2priv_web::{IsideWith, Party, Site, Trigger};
-use serde::Serialize;
 
 /// Rebuilds an isidewith site so the image burst requests the emblems in
 /// a freshly randomized order (delivery order ⟂ result order), keeping
@@ -63,7 +63,7 @@ pub fn randomize_image_order(iw: &IsideWith, rng: &mut SimRng) -> Site {
 }
 
 /// Aggregate defense evaluation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DefenseReport {
     /// Mean per-position ranking accuracy with the plain site (the
     /// attack working as in Table II).
@@ -77,6 +77,20 @@ pub struct DefenseReport {
     /// Trials per arm.
     pub trials: usize,
 }
+
+impl_to_json!(struct PushDefenseReport {
+    accuracy_plain_pct,
+    accuracy_pushed_pct,
+    identified_pushed_pct,
+    trials,
+});
+
+impl_to_json!(struct DefenseReport {
+    accuracy_undefended_pct,
+    accuracy_defended_pct,
+    identified_defended_pct,
+    trials,
+});
 
 /// Runs `trials` full attacks against both the plain and the defended
 /// site and compares ranking accuracy.
@@ -95,15 +109,23 @@ pub fn evaluate_defense(trials: usize, base_seed: u64) -> DefenseReport {
         let opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
         let result = run_site_trial(iw.site.clone(), &opts);
         let prediction = result.predict(&SizeMap::isidewith());
-        let trial = IsideWithTrial { iw: iw.clone(), result, prediction };
+        let trial = IsideWithTrial {
+            iw: iw.clone(),
+            result,
+            prediction,
+        };
         undefended_hits += trial.sequence_success().iter().filter(|b| **b).count();
 
         // Defended arm: same ground truth, shuffled delivery order.
         let mut shuffle_rng = SimRng::new(seed ^ 0xDEF5);
         let defended_site = randomize_image_order(&iw, &mut shuffle_rng);
         let result = run_site_trial(defended_site, &opts);
-        let prediction =
-            predict_from_trace(&result.trace, &SizeMap::isidewith(), &UnitConfig::default(), None);
+        let prediction = predict_from_trace(
+            &result.trace,
+            &SizeMap::isidewith(),
+            &UnitConfig::default(),
+            None,
+        );
         // Ranking inference: does position i of the *inferred* order
         // match the true result order? (The adversary does not know the
         // delivery order was shuffled.)
@@ -131,7 +153,7 @@ pub fn evaluate_defense(trials: usize, base_seed: u64) -> DefenseReport {
 /// Aggregate report for the server-push defense (paper Section VII:
 /// "Several HTTP/2 features such as server push ... can be leveraged
 /// for privacy").
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PushDefenseReport {
     /// Mean per-position ranking accuracy without push.
     pub accuracy_plain_pct: f64,
@@ -163,7 +185,11 @@ pub fn evaluate_push_defense(trials: usize, base_seed: u64) -> PushDefenseReport
         let opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
         let result = run_site_trial(iw.site.clone(), &opts);
         let prediction = result.predict(&SizeMap::isidewith());
-        let trial = IsideWithTrial { iw: iw.clone(), result, prediction };
+        let trial = IsideWithTrial {
+            iw: iw.clone(),
+            result,
+            prediction,
+        };
         plain_hits += trial.sequence_success().iter().filter(|b| **b).count();
 
         // Push arm: emblems pushed with the HTML, canonical order.
@@ -172,7 +198,11 @@ pub fn evaluate_push_defense(trials: usize, base_seed: u64) -> PushDefenseReport
         push_opts.server.push_manifest = vec![(iw.html, canonical)];
         let result = run_site_trial(iw.site.clone(), &push_opts);
         let prediction = result.predict(&SizeMap::isidewith());
-        let trial = IsideWithTrial { iw: iw.clone(), result, prediction };
+        let trial = IsideWithTrial {
+            iw: iw.clone(),
+            result,
+            prediction,
+        };
         pushed_hits += trial.sequence_success().iter().filter(|b| **b).count();
         pushed_identified += trial
             .image_outcomes()

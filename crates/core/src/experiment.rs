@@ -4,13 +4,13 @@
 //! adversary's capture, and the attack timeline.
 
 use crate::attack::{AttackConfig, AttackEvent, AttackPolicy};
-use h2priv_netsim::time::SimTime as AttackTime;
-use h2priv_netsim::time::SimTime;
 use crate::metrics::{degree_of_multiplexing, is_serialized, ObjectMux};
 use crate::predictor::{predict_from_trace, Prediction, SizeMap, HTML_LABEL};
 use h2priv_h2::{ClientConfig, ClientNode, ClientReport, ServeRecord, ServerConfig, ServerNode};
 use h2priv_netsim::middlebox::{Middlebox, MiddleboxPolicy, MiddleboxStats, Passthrough};
 use h2priv_netsim::prelude::*;
+use h2priv_netsim::time::SimTime as AttackTime;
+use h2priv_netsim::time::SimTime;
 use h2priv_tcp::TcpStats;
 use h2priv_tls::WireMap;
 use h2priv_trace::analysis::UnitConfig;
@@ -312,11 +312,19 @@ pub fn run_isidewith_trial(seed: u64, attack: Option<AttackConfig>) -> IsideWith
 pub fn run_isidewith_trial_with(opts: TrialOptions) -> IsideWithTrial {
     // Derive the volunteer's survey result from the seed but on an
     // independent stream, so attack configs do not perturb it.
-    let mut perm_rng = SimRng::new(opts.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+    let mut perm_rng = SimRng::new(
+        opts.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1),
+    );
     let iw = IsideWith::generate(&mut perm_rng);
     let result = run_site_trial(iw.site.clone(), &opts);
     let prediction = result.predict(&SizeMap::isidewith());
-    IsideWithTrial { iw, result, prediction }
+    IsideWithTrial {
+        iw,
+        result,
+        prediction,
+    }
 }
 
 #[cfg(test)]
@@ -329,7 +337,10 @@ mod tests {
         assert!(trial.result.client.page_completed_at.is_some());
         assert!(!trial.result.trace.is_empty());
         assert!(trial.result.mbox_stats.forwarded > 100);
-        assert_eq!(trial.result.attack.gets_seen, 0, "passive baseline has no monitor");
+        assert_eq!(
+            trial.result.attack.gets_seen, 0,
+            "passive baseline has no monitor"
+        );
         // Every object served exactly once.
         assert_eq!(trial.result.serve_log.len(), trial.iw.site.len());
     }
@@ -358,7 +369,10 @@ mod tests {
 
     #[test]
     fn monitor_counts_gets_during_attack() {
-        let trial = run_isidewith_trial(5, Some(AttackConfig::jitter_only(SimDuration::from_millis(25))));
+        let trial = run_isidewith_trial(
+            5,
+            Some(AttackConfig::jitter_only(SimDuration::from_millis(25))),
+        );
         // 53 objects, so at least 53 GETs must transit.
         assert!(
             trial.result.attack.gets_seen >= 53,

@@ -12,12 +12,12 @@ use crate::metrics::degree_of_multiplexing;
 use crate::predictor::{SizeMap, HTML_LABEL};
 use h2priv_netsim::time::SimDuration;
 use h2priv_netsim::units::Bandwidth;
+use h2priv_util::impl_to_json;
 use h2priv_web::sites::two_object_site;
 use h2priv_web::ObjectId;
-use serde::Serialize;
 
 /// A Table I row: effect of jitter on multiplexing of the 6th object.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Added inter-request spacing (ms).
     pub jitter_ms: u64,
@@ -34,6 +34,15 @@ pub struct Table1Row {
     /// Trials run.
     pub trials: usize,
 }
+
+impl_to_json!(struct Table1Row {
+    jitter_ms,
+    pct_not_multiplexed,
+    retransmissions_avg,
+    retrans_increase_pct,
+    rerequests_avg,
+    trials,
+});
 
 /// Regenerates Table I (jitter ∈ {0, 25, 50, 100} ms).
 pub fn table1(trials: usize, base_seed: u64) -> Vec<Table1Row> {
@@ -69,7 +78,7 @@ pub fn table1(trials: usize, base_seed: u64) -> Vec<Table1Row> {
 }
 
 /// A Fig. 5 point: effect of bandwidth limitation (with 50 ms jitter).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Row {
     /// Bandwidth limit (Mbps).
     pub bandwidth_mbps: u64,
@@ -84,6 +93,8 @@ pub struct Fig5Row {
     /// Trials run.
     pub trials: usize,
 }
+
+impl_to_json!(struct Fig5Row { bandwidth_mbps, pct_success, retransmissions_avg, pct_broken, trials });
 
 /// Regenerates Fig. 5 (bandwidth ∈ {1000, 800, 500, 100, 1} Mbps).
 pub fn fig5(trials: usize, base_seed: u64) -> Vec<Fig5Row> {
@@ -121,7 +132,7 @@ pub fn fig5(trials: usize, base_seed: u64) -> Vec<Fig5Row> {
 }
 
 /// A Section IV-D / Fig. 6 point: targeted drops forcing a stream reset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DropRow {
     /// Drop rate applied to server→client data packets.
     pub drop_rate: f64,
@@ -134,6 +145,8 @@ pub struct DropRow {
     /// Trials run.
     pub trials: usize,
 }
+
+impl_to_json!(struct DropRow { drop_rate, pct_success, pct_reset_sent, pct_broken, trials });
 
 /// Regenerates the Section IV-D experiment (80 % drops, plus a sweep
 /// showing that higher rates break the connection).
@@ -186,7 +199,7 @@ fn section4d_with(
 }
 
 /// A Table II column: per-object accuracy of the full attack.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Column {
     /// Object label ("HTML", "I1".."I8").
     pub object: String,
@@ -201,6 +214,8 @@ pub struct Table2Column {
     /// Trials run.
     pub trials: usize,
 }
+
+impl_to_json!(struct Table2Column { object, gap_prev_ms, pct_single_target, pct_all_targets, trials });
 
 /// Regenerates Table II with the full Section V attack.
 pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
@@ -231,8 +246,13 @@ pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
             }
         }
         // Measured inter-request gaps (first attempts, client-side).
-        let firsts: Vec<_> =
-            trial.result.client.requests.iter().filter(|r| r.attempt == 0).collect();
+        let firsts: Vec<_> = trial
+            .result
+            .client
+            .requests
+            .iter()
+            .filter(|r| r.attempt == 0)
+            .collect();
         let mut interest = vec![trial.iw.html];
         interest.extend_from_slice(&trial.iw.images);
         for (slot, obj) in interest.iter().enumerate() {
@@ -248,14 +268,17 @@ pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
         }
     }
 
-    let labels =
-        ["HTML", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"];
+    let labels = ["HTML", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"];
     labels
         .iter()
         .enumerate()
         .map(|(i, label)| Table2Column {
             object: (*label).to_string(),
-            gap_prev_ms: if gap_counts[i] > 0 { gap_sums[i] / gap_counts[i] as f64 } else { 0.0 },
+            gap_prev_ms: if gap_counts[i] > 0 {
+                gap_sums[i] / gap_counts[i] as f64
+            } else {
+                0.0
+            },
             pct_single_target: 100.0 * single[i] as f64 / trials as f64,
             pct_all_targets: 100.0 * sequence[i] as f64 / trials as f64,
             trials,
@@ -264,7 +287,7 @@ pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
 }
 
 /// Baseline multiplexing statistics without any adversary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineRow {
     /// Object label.
     pub object: String,
@@ -275,6 +298,8 @@ pub struct BaselineRow {
     /// Trials run.
     pub trials: usize,
 }
+
+impl_to_json!(struct BaselineRow { object, mean_degree_pct, pct_not_multiplexed, trials });
 
 /// Regenerates the paper's baseline claims: HTML degree ≈98 %, images
 /// 80–99 %, 6th object unmultiplexed in ≈32 % of unattacked jittered
@@ -298,8 +323,15 @@ pub fn baseline(trials: usize, base_seed: u64) -> Vec<BaselineRow> {
         .enumerate()
         .map(|(i, label)| {
             let v = &degrees[i];
-            let mean = if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
-            let zero = v.iter().filter(|d| crate::metrics::is_serialized(**d)).count();
+            let mean = if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            };
+            let zero = v
+                .iter()
+                .filter(|d| crate::metrics::is_serialized(**d))
+                .count();
             BaselineRow {
                 object: (*label).to_string(),
                 mean_degree_pct: 100.0 * mean,
@@ -312,7 +344,7 @@ pub fn baseline(trials: usize, base_seed: u64) -> Vec<BaselineRow> {
 
 /// Fig. 1 demonstration: size estimation on serial vs multiplexed
 /// two-object transfers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Row {
     /// Scenario label.
     pub scenario: String,
@@ -324,23 +356,27 @@ pub struct Fig1Row {
     pub both_identified: bool,
 }
 
+impl_to_json!(struct Fig1Row { scenario, truth, estimates, both_identified });
+
 /// Regenerates the Fig. 1 demonstration.
 pub fn fig1(base_seed: u64) -> Vec<Fig1Row> {
     let o1 = 9_500u64;
     let o2 = 7_200u64;
-    let map = SizeMap::new(
-        vec![("o1".to_string(), o1), ("o2".to_string(), o2)],
-        0.03,
-    );
+    let map = SizeMap::new(vec![("o1".to_string(), o1), ("o2".to_string(), o2)], 0.03);
     let mut rows = Vec::new();
-    for (label, gap_ms) in [("multiplexed (IAT ~ 0)", 0u64), ("serial (IAT > service time)", 700)]
-    {
+    for (label, gap_ms) in [
+        ("multiplexed (IAT ~ 0)", 0u64),
+        ("serial (IAT > service time)", 700),
+    ] {
         let site = two_object_site(o1, o2, SimDuration::from_millis(gap_ms));
         let opts = TrialOptions::new(base_seed + gap_ms, None);
         let result = run_site_trial(site, &opts);
         let prediction = result.predict(&map);
-        let estimates: Vec<u64> =
-            prediction.units.iter().map(|u| u.unit.estimated_payload).collect();
+        let estimates: Vec<u64> = prediction
+            .units
+            .iter()
+            .map(|u| u.unit.estimated_payload)
+            .collect();
         rows.push(Fig1Row {
             scenario: label.to_string(),
             truth: (o1, o2),

@@ -17,8 +17,8 @@
 //! trace; [`ObjectMux::best`] reports the copy that came closest.
 
 use h2priv_tls::WireMap;
+use h2priv_util::impl_to_json;
 use h2priv_web::ObjectId;
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Measurement tolerance below which a transmission counts as fully
@@ -34,7 +34,7 @@ pub fn is_serialized(degree: f64) -> bool {
 }
 
 /// A transmission entity: one served copy of one object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EntityId {
     /// The object.
     pub object: ObjectId,
@@ -42,8 +42,10 @@ pub struct EntityId {
     pub copy: u16,
 }
 
+impl_to_json!(struct EntityId { object, copy });
+
 /// One entity's extent on the wire.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Entity {
     /// Identity.
     pub id: EntityId,
@@ -57,13 +59,18 @@ pub struct Entity {
     pub bytes: u64,
 }
 
+impl_to_json!(struct Entity { id, spans, start, end, bytes });
+
 /// All transmission entities in a wire map, in first-byte order.
 pub fn entities(map: &WireMap) -> Vec<Entity> {
     let mut by_id: HashMap<(u32, u16), Entity> = HashMap::new();
     for span in map.spans().iter().filter(|s| s.tag.is_object_data()) {
         let key = (span.tag.object_id, span.tag.copy);
         let e = by_id.entry(key).or_insert_with(|| Entity {
-            id: EntityId { object: ObjectId(span.tag.object_id), copy: span.tag.copy },
+            id: EntityId {
+                object: ObjectId(span.tag.object_id),
+                copy: span.tag.copy,
+            },
             spans: Vec::new(),
             start: span.start,
             end: span.end,
@@ -88,8 +95,11 @@ pub fn degree_of_multiplexing_entity(map: &WireMap, target: EntityId) -> Option<
         return None;
     }
     // Other entities' windows.
-    let windows: Vec<(u64, u64)> =
-        all.iter().filter(|e| e.id != target).map(|e| (e.start, e.end)).collect();
+    let windows: Vec<(u64, u64)> = all
+        .iter()
+        .filter(|e| e.id != target)
+        .map(|e| (e.start, e.end))
+        .collect();
     let mut interleaved = 0u64;
     for &(s, e) in &t.spans {
         interleaved += covered_len(s, e, &windows);
@@ -129,7 +139,7 @@ fn covered_len(s: u64, e: u64, windows: &[(u64, u64)]) -> u64 {
 }
 
 /// Per-object multiplexing summary across all served copies.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ObjectMux {
     /// The object.
     pub object: ObjectId,
@@ -137,6 +147,8 @@ pub struct ObjectMux {
     /// served (missing copies sent no data).
     pub per_copy: Vec<(u16, f64)>,
 }
+
+impl_to_json!(struct ObjectMux { object, per_copy });
 
 impl ObjectMux {
     /// The copy with the lowest degree (the adversary only needs *one*
@@ -173,13 +185,22 @@ mod tests {
     use h2priv_tls::{RecordTag, TrafficClass, WireSpan as Span};
 
     fn tag(obj: u32, copy: u16) -> RecordTag {
-        RecordTag { stream_id: 1, object_id: obj, copy, class: TrafficClass::ObjectData }
+        RecordTag {
+            stream_id: 1,
+            object_id: obj,
+            copy,
+            class: TrafficClass::ObjectData,
+        }
     }
 
     fn map(spans: &[(u64, u64, u32, u16)]) -> WireMap {
         let mut m = WireMap::new();
         for &(s, e, o, c) in spans {
-            m.push(Span { start: s, end: e, tag: tag(o, c) });
+            m.push(Span {
+                start: s,
+                end: e,
+                tag: tag(o, c),
+            });
         }
         m
     }
@@ -214,7 +235,12 @@ mod tests {
     #[test]
     fn partially_overlapping_tail() {
         // O1 occupies [0, 100); O2 occupies [80, 180).
-        let m = map(&[(0, 80, 1, 0), (80, 90, 2, 0), (90, 100, 1, 0), (100, 180, 2, 0)]);
+        let m = map(&[
+            (0, 80, 1, 0),
+            (80, 90, 2, 0),
+            (90, 100, 1, 0),
+            (100, 180, 2, 0),
+        ]);
         // O1's bytes inside O2's window [80, 180): the [90, 100) span —
         // 10 of O1's 90 bytes.
         let d1 = degree_of_multiplexing(&m, ObjectId(1)).best().unwrap().1;

@@ -19,7 +19,10 @@ pub const DEFAULT_GET_MIN_BODY: u16 = 80;
 #[derive(Debug)]
 enum ParseState {
     /// Accumulating the 5 header bytes.
-    Header { have: usize, buf: [u8; RECORD_HEADER_LEN] },
+    Header {
+        have: usize,
+        buf: [u8; RECORD_HEADER_LEN],
+    },
     /// Skipping a record body.
     Body { remaining: usize },
 }
@@ -47,7 +50,10 @@ impl GetCounter {
         GetCounter {
             min_body,
             next_seq: None,
-            state: ParseState::Header { have: 0, buf: [0; RECORD_HEADER_LEN] },
+            state: ParseState::Header {
+                have: 0,
+                buf: [0; RECORD_HEADER_LEN],
+            },
             gets: 0,
             app_records: 0,
             small_records: 0,
@@ -125,7 +131,9 @@ impl GetCounter {
                                 self.small_records += 1;
                             }
                         }
-                        self.state = ParseState::Body { remaining: header.length as usize };
+                        self.state = ParseState::Body {
+                            remaining: header.length as usize,
+                        };
                     }
                 }
                 ParseState::Body { remaining } => {
@@ -133,8 +141,10 @@ impl GetCounter {
                     *remaining -= take;
                     bytes = &bytes[take..];
                     if *remaining == 0 {
-                        self.state =
-                            ParseState::Header { have: 0, buf: [0; RECORD_HEADER_LEN] };
+                        self.state = ParseState::Header {
+                            have: 0,
+                            buf: [0; RECORD_HEADER_LEN],
+                        };
                     }
                 }
             }
@@ -152,19 +162,26 @@ impl Default for GetCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use h2priv_netsim::middlebox::PacketView;
     use h2priv_netsim::packet::{FlowId, HostAddr, Packet, TcpFlags, TcpHeader};
     use h2priv_tls::{RecordSealer, RecordTag};
+    use h2priv_util::bytes::Bytes;
 
     fn mk_packet(seq: u32, payload: Bytes, flags: TcpFlags) -> Packet {
         Packet::new(
             TcpHeader {
-                flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 },
+                flow: FlowId {
+                    src: HostAddr(1),
+                    dst: HostAddr(2),
+                    sport: 40_000,
+                    dport: 443,
+                },
                 seq,
                 ack: 0,
                 flags,
-                window: 65_535, ts_val: 0, ts_ecr: 0,
+                window: 65_535,
+                ts_val: 0,
+                ts_ecr: 0,
             },
             payload,
         )
@@ -184,11 +201,17 @@ mod tests {
         let mut c = GetCounter::default();
         assert_eq!(feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN)), 0);
         let mut seq = 100;
-        assert_eq!(feed(&mut c, &mk_packet(seq, get1.clone(), TcpFlags::ACK)), 1);
+        assert_eq!(
+            feed(&mut c, &mk_packet(seq, get1.clone(), TcpFlags::ACK)),
+            1
+        );
         seq += get1.len() as u32;
         assert_eq!(feed(&mut c, &mk_packet(seq, wu.clone(), TcpFlags::ACK)), 0);
         seq += wu.len() as u32;
-        assert_eq!(feed(&mut c, &mk_packet(seq, get2.clone(), TcpFlags::ACK)), 1);
+        assert_eq!(
+            feed(&mut c, &mk_packet(seq, get2.clone(), TcpFlags::ACK)),
+            1
+        );
         assert_eq!(c.gets(), 2);
         assert_eq!(c.app_records(), 3);
     }
@@ -224,9 +247,22 @@ mod tests {
         let (a, b) = get.split_at(3);
         let mut c = GetCounter::default();
         feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN));
-        assert_eq!(feed(&mut c, &mk_packet(100, Bytes::copy_from_slice(a), TcpFlags::ACK)), 0);
         assert_eq!(
-            feed(&mut c, &mk_packet(100 + a.len() as u32, Bytes::copy_from_slice(b), TcpFlags::ACK)),
+            feed(
+                &mut c,
+                &mk_packet(100, Bytes::copy_from_slice(a), TcpFlags::ACK)
+            ),
+            0
+        );
+        assert_eq!(
+            feed(
+                &mut c,
+                &mk_packet(
+                    100 + a.len() as u32,
+                    Bytes::copy_from_slice(b),
+                    TcpFlags::ACK
+                )
+            ),
             1
         );
     }
@@ -234,10 +270,19 @@ mod tests {
     #[test]
     fn two_gets_coalesced_into_one_segment() {
         let mut sealer = RecordSealer::new();
-        let mut wire = sealer.seal(ContentType::ApplicationData, &[0u8; 150], RecordTag::NONE).to_vec();
-        wire.extend_from_slice(&sealer.seal(ContentType::ApplicationData, &[0u8; 150], RecordTag::NONE));
+        let mut wire = sealer
+            .seal(ContentType::ApplicationData, &[0u8; 150], RecordTag::NONE)
+            .to_vec();
+        wire.extend_from_slice(&sealer.seal(
+            ContentType::ApplicationData,
+            &[0u8; 150],
+            RecordTag::NONE,
+        ));
         let mut c = GetCounter::default();
         feed(&mut c, &mk_packet(99, Bytes::new(), TcpFlags::SYN));
-        assert_eq!(feed(&mut c, &mk_packet(100, Bytes::from(wire), TcpFlags::ACK)), 2);
+        assert_eq!(
+            feed(&mut c, &mk_packet(100, Bytes::from(wire), TcpFlags::ACK)),
+            2
+        );
     }
 }

@@ -16,10 +16,10 @@
 
 use crate::predictor::SizeMap;
 use h2priv_trace::analysis::TransmissionUnit;
-use serde::Serialize;
+use h2priv_util::impl_to_json;
 
 /// One match of a (possibly merged) unit against the size map.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartialMatch {
     /// Labels of the objects inferred to make up the unit, in map order
     /// (wire order inside a merged unit is unknown).
@@ -28,6 +28,8 @@ pub struct PartialMatch {
     /// then ambiguous).
     pub ambiguous: bool,
 }
+
+impl_to_json!(struct PartialMatch { labels, ambiguous });
 
 /// Configuration for subset matching.
 #[derive(Debug, Clone, Copy)]
@@ -41,7 +43,10 @@ pub struct PartialConfig {
 
 impl Default for PartialConfig {
     fn default() -> Self {
-        PartialConfig { tolerance: 0.03, max_subset: 3 }
+        PartialConfig {
+            tolerance: 0.03,
+            max_subset: 3,
+        }
     }
 }
 
@@ -52,7 +57,11 @@ impl Default for PartialConfig {
 /// `ambiguous = true` when several distinct subsets match (identity
 /// cannot be pinned down); singleton subsets reproduce the exact
 /// matcher's behaviour.
-pub fn match_unit(unit: &TransmissionUnit, map: &SizeMap, cfg: &PartialConfig) -> Option<PartialMatch> {
+pub fn match_unit(
+    unit: &TransmissionUnit,
+    map: &SizeMap,
+    cfg: &PartialConfig,
+) -> Option<PartialMatch> {
     let entries = map.entries();
     let target = unit.estimated_payload as f64;
     let mut found: Vec<Vec<String>> = Vec::new();
@@ -80,18 +89,39 @@ pub fn match_unit(unit: &TransmissionUnit, map: &SizeMap, cfg: &PartialConfig) -
         }
         for i in start..entries.len() {
             stack.push(i);
-            recurse(entries, i + 1, stack, sum + entries[i].1, target, tol, max, found);
+            recurse(
+                entries,
+                i + 1,
+                stack,
+                sum + entries[i].1,
+                target,
+                tol,
+                max,
+                found,
+            );
             stack.pop();
         }
     }
-    recurse(entries, 0, &mut stack, 0, target, cfg.tolerance, cfg.max_subset, &mut found);
+    recurse(
+        entries,
+        0,
+        &mut stack,
+        0,
+        target,
+        cfg.tolerance,
+        cfg.max_subset,
+        &mut found,
+    );
     let _ = n;
     // Prefer the smallest subset; ambiguity = another subset of the same
     // cardinality also matches.
     found.sort_by_key(Vec::len);
     let best = found.first()?.clone();
     let ambiguous = found.iter().filter(|f| f.len() == best.len()).count() > 1;
-    Some(PartialMatch { labels: best, ambiguous })
+    Some(PartialMatch {
+        labels: best,
+        ambiguous,
+    })
 }
 
 /// Runs partial matching over every unidentified unit of a prediction.
@@ -105,9 +135,10 @@ pub fn explain_units(
         .iter()
         .map(|u| {
             let m = match &u.label {
-                Some(label) => {
-                    Some(PartialMatch { labels: vec![label.clone()], ambiguous: false })
-                }
+                Some(label) => Some(PartialMatch {
+                    labels: vec![label.clone()],
+                    ambiguous: false,
+                }),
                 None => match_unit(&u.unit, map, cfg),
             };
             (u.unit, m)
@@ -167,7 +198,12 @@ mod tests {
     #[test]
     fn ambiguity_is_flagged() {
         let map = SizeMap::new(
-            vec![("x".into(), 6_000), ("y".into(), 7_000), ("p".into(), 5_000), ("q".into(), 8_000)],
+            vec![
+                ("x".into(), 6_000),
+                ("y".into(), 7_000),
+                ("p".into(), 5_000),
+                ("q".into(), 8_000),
+            ],
             0.01,
         );
         // 13 000 = x+y = p+q -> ambiguous
@@ -184,7 +220,13 @@ mod tests {
 
     #[test]
     fn max_subset_limits_search() {
-        let cfg = PartialConfig { max_subset: 1, ..PartialConfig::default() };
-        assert!(match_unit(&unit(17_000), &map(), &cfg).is_none(), "pairs disabled");
+        let cfg = PartialConfig {
+            max_subset: 1,
+            ..PartialConfig::default()
+        };
+        assert!(
+            match_unit(&unit(17_000), &map(), &cfg).is_none(),
+            "pairs disabled"
+        );
     }
 }

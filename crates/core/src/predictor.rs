@@ -13,19 +13,21 @@ use h2priv_netsim::time::SimTime;
 use h2priv_trace::analysis::{segment_units, TransmissionUnit, UnitConfig};
 use h2priv_trace::capture::Trace;
 use h2priv_trace::reassembly::reassemble;
-use h2priv_web::isidewith::{RESULT_HTML_SIZE, PARTY_IMAGE_SIZES};
+use h2priv_util::impl_to_json;
+use h2priv_web::isidewith::{PARTY_IMAGE_SIZES, RESULT_HTML_SIZE};
 use h2priv_web::Party;
-use serde::Serialize;
 
 /// The label the isidewith size map uses for the result HTML.
 pub const HTML_LABEL: &str = "result-html";
 
 /// A size → identity lookup with relative-tolerance matching.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SizeMap {
     entries: Vec<(String, u64)>,
     tolerance: f64,
 }
+
+impl_to_json!(struct SizeMap { entries, tolerance });
 
 impl SizeMap {
     /// Builds a map with the given relative tolerance (e.g. `0.03` for
@@ -70,7 +72,10 @@ impl SizeMap {
 
     /// The known size for a label.
     pub fn size_of(&self, label: &str) -> Option<u64> {
-        self.entries.iter().find(|(l, _)| l == label).map(|(_, s)| *s)
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
     }
 
     /// The (label, size) entries, for subset matching
@@ -81,7 +86,7 @@ impl SizeMap {
 }
 
 /// One segmented unit plus the predictor's verdict.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IdentifiedUnit {
     /// The transmission unit.
     pub unit: TransmissionUnit,
@@ -89,18 +94,25 @@ pub struct IdentifiedUnit {
     pub label: Option<String>,
 }
 
+impl_to_json!(struct IdentifiedUnit { unit, label });
+
 /// The predictor's output for one trace.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Prediction {
     /// Units in time order with identification verdicts.
     pub units: Vec<IdentifiedUnit>,
 }
 
+impl_to_json!(struct Prediction { units });
+
 impl Prediction {
     /// Identified labels in time order (repeats possible — duplicate
     /// copies of an object produce repeated matches).
     pub fn labels(&self) -> Vec<&str> {
-        self.units.iter().filter_map(|u| u.label.as_deref()).collect()
+        self.units
+            .iter()
+            .filter_map(|u| u.label.as_deref())
+            .collect()
     }
 
     /// `true` if some unit was identified as `label`.
@@ -126,7 +138,12 @@ impl Prediction {
     /// after `t` (e.g. the adversary's own post-attack window).
     pub fn after(&self, t: SimTime) -> Prediction {
         Prediction {
-            units: self.units.iter().filter(|u| u.unit.start >= t).cloned().collect(),
+            units: self
+                .units
+                .iter()
+                .filter(|u| u.unit.start >= t)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -208,9 +225,15 @@ mod tests {
     fn isidewith_map_identifies_every_party_uniquely() {
         let map = SizeMap::isidewith();
         for (party, size) in Party::ALL.iter().zip(PARTY_IMAGE_SIZES) {
-            assert_eq!(map.identify(size), Some(party.to_string().as_str()).as_deref());
+            assert_eq!(
+                map.identify(size),
+                Some(party.to_string().as_str()).as_deref()
+            );
             // 1% off still matches.
-            assert_eq!(map.identify(size + size / 100), Some(party.to_string()).as_deref());
+            assert_eq!(
+                map.identify(size + size / 100),
+                Some(party.to_string()).as_deref()
+            );
         }
         assert_eq!(map.identify(RESULT_HTML_SIZE), Some(HTML_LABEL));
     }
@@ -224,10 +247,7 @@ mod tests {
 
     #[test]
     fn ambiguous_sizes_are_rejected() {
-        let map = SizeMap::new(
-            vec![("a".into(), 1_000), ("b".into(), 1_030)],
-            0.03,
-        );
+        let map = SizeMap::new(vec![("a".into(), 1_000), ("b".into(), 1_030)], 0.03);
         // 1015 is within 3% of both.
         assert_eq!(map.identify(1_015), None);
         assert_eq!(map.identify(990), Some("a"));

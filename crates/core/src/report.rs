@@ -1,6 +1,6 @@
 //! Plain-text table rendering and JSON export for experiment results.
 
-use serde::Serialize;
+use h2priv_util::json::ToJson;
 use std::fmt::Write as _;
 
 /// Renders an ASCII table with a header row.
@@ -35,7 +35,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&sep);
     out.push('\n');
-    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&sep);
     out.push('\n');
@@ -53,8 +55,8 @@ pub fn pct(v: f64) -> String {
 }
 
 /// Serializes any result set to pretty JSON (for EXPERIMENTS.md tooling).
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("results are serializable")
+pub fn to_json<T: ToJson>(value: &T) -> String {
+    value.to_json().to_string_pretty()
 }
 
 #[cfg(test)]
@@ -87,10 +89,10 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        #[derive(Serialize)]
         struct R {
             x: u32,
         }
+        h2priv_util::impl_to_json!(struct R { x });
         assert!(to_json(&R { x: 7 }).contains("\"x\": 7"));
     }
 }

@@ -41,9 +41,15 @@ fn reassembled_stream_matches_server_wire_map() {
         .last()
         .map(|s| s.end)
         .expect("server sent records");
-    assert_eq!(view.unique_bytes, sealed_end, "every sealed byte observed exactly once");
+    assert_eq!(
+        view.unique_bytes, sealed_end,
+        "every sealed byte observed exactly once"
+    );
     assert!(!view.desynced);
-    assert_eq!(view.parse_ptr, sealed_end, "record parsing covered the whole stream");
+    assert_eq!(
+        view.parse_ptr, sealed_end,
+        "record parsing covered the whole stream"
+    );
 }
 
 /// The adversary's analysis window excludes pre-attack units.
@@ -83,7 +89,10 @@ fn partial_matching_explains_merged_units() {
             m.labels.contains(&"o1".to_string()) && m.labels.contains(&"o2".to_string())
         })
     });
-    assert!(decomposed, "partial matcher should explain the merged unit: {explained:?}");
+    assert!(
+        decomposed,
+        "partial matcher should explain the merged unit: {explained:?}"
+    );
 }
 
 /// The capture contains both directions and plausible volume.
@@ -96,8 +105,14 @@ fn trace_has_both_directions_and_handshake() {
     assert!(c2s > 60, "c2s packets: {c2s}");
     assert!(s2c > 300, "s2c packets: {s2c}");
     // SYN/SYN-ACK visible at the gateway.
-    assert!(t.packets.iter().any(|p| p.header.flags.syn && !p.header.flags.ack));
-    assert!(t.packets.iter().any(|p| p.header.flags.syn && p.header.flags.ack));
+    assert!(t
+        .packets
+        .iter()
+        .any(|p| p.header.flags.syn && !p.header.flags.ack));
+    assert!(t
+        .packets
+        .iter()
+        .any(|p| p.header.flags.syn && p.header.flags.ack));
 }
 
 /// GET sizing: every request HEADERS record on the wire exceeds the
@@ -112,7 +127,11 @@ fn wire_record_sizes_respect_monitor_threshold() {
         .filter(|r| r.body_len >= 80)
         .map(|r| r.body_len)
         .collect();
-    assert_eq!(big.len(), gets, "GET-sized records must match requests exactly");
+    assert_eq!(
+        big.len(),
+        gets,
+        "GET-sized records must match requests exactly"
+    );
 }
 
 /// A non-isidewith site works through the same pipeline (API
@@ -122,9 +141,16 @@ fn attack_pipeline_generalizes_to_other_sites() {
     let mut attack = AttackConfig::jitter_only(SimDuration::from_millis(120));
     attack.trigger_get = 3;
     let result = run_site_trial(blog_site(), &TrialOptions::new(9_600, Some(attack)));
-    assert!(result.client.page_completed_at.is_some(), "page must still load");
+    assert!(
+        result.client.page_completed_at.is_some(),
+        "page must still load"
+    );
     let map = SizeMap::new(
-        vec![("hero".into(), 52_000), ("post".into(), 23_500), ("app".into(), 31_000)],
+        vec![
+            ("hero".into(), 52_000),
+            ("post".into(), 23_500),
+            ("app".into(), 31_000),
+        ],
         0.03,
     );
     let prediction = result.predict(&map);

@@ -20,7 +20,10 @@ fn table1_shape_jitter_helps_then_plateaus_and_retransmissions_grow() {
         rows[3].retransmissions_avg >= rows[1].retransmissions_avg,
         "retransmissions should grow with jitter: {rows:?}"
     );
-    assert!(rows[0].retrans_increase_pct.abs() < 1e-9, "baseline row is the reference");
+    assert!(
+        rows[0].retrans_increase_pct.abs() < 1e-9,
+        "baseline row is the reference"
+    );
 }
 
 #[test]
@@ -51,7 +54,10 @@ fn fig5_shape_bandwidth_sweep() {
     // Success at the 1 Mbps extreme must not exceed the best
     // high-bandwidth point (the paper's right-side decline).
     let peak = rows.iter().map(|r| r.pct_success).fold(0.0f64, f64::max);
-    assert!(last.pct_success <= peak, "no decline at extreme throttling: {rows:?}");
+    assert!(
+        last.pct_success <= peak,
+        "no decline at extreme throttling: {rows:?}"
+    );
 }
 
 #[test]
@@ -78,14 +84,16 @@ fn section4d_shape_drops_reach_high_success_until_connection_breaks() {
 fn table2_shape_single_target_beats_sequence_inference() {
     let cols = table2(TRIALS, 45);
     assert_eq!(cols.len(), 9);
-    let avg_single: f64 =
-        cols.iter().map(|c| c.pct_single_target).sum::<f64>() / cols.len() as f64;
+    let avg_single: f64 = cols.iter().map(|c| c.pct_single_target).sum::<f64>() / cols.len() as f64;
     let avg_all: f64 = cols.iter().map(|c| c.pct_all_targets).sum::<f64>() / cols.len() as f64;
     assert!(
         avg_single >= avg_all,
         "single-target must dominate sequence inference: single {avg_single:.1}% vs all {avg_all:.1}%"
     );
-    assert!(avg_single >= 60.0, "single-target success should be high: {cols:?}");
+    assert!(
+        avg_single >= 60.0,
+        "single-target success should be high: {cols:?}"
+    );
     // Image gaps within the burst are sub-3ms on average except I1.
     for c in &cols[2..] {
         assert!(c.gap_prev_ms < 120.0, "burst gap too large: {c:?}");
@@ -102,7 +110,9 @@ fn baseline_shape_objects_are_heavily_multiplexed() {
         "HTML should be heavily multiplexed at baseline: {rows:?}"
     );
     // Images: the burst overlaps heavily.
-    let avg_img: f64 =
-        rows[1..].iter().map(|r| r.mean_degree_pct).sum::<f64>() / 8.0;
-    assert!(avg_img >= 50.0, "images should be heavily multiplexed: avg {avg_img:.1}%");
+    let avg_img: f64 = rows[1..].iter().map(|r| r.mean_degree_pct).sum::<f64>() / 8.0;
+    assert!(
+        avg_img >= 50.0,
+        "images should be heavily multiplexed: avg {avg_img:.1}%"
+    );
 }

@@ -17,8 +17,16 @@ fn fig1_serial_sizes_are_estimable() {
     let result = run_site_trial(site, &TrialOptions::new(101, None));
     let map = SizeMap::new(vec![("o1".into(), 9_500), ("o2".into(), 7_200)], 0.03);
     let prediction = result.predict(&map);
-    assert!(prediction.contains("o1"), "O1 should be identified: {:?}", prediction.units);
-    assert!(prediction.contains("o2"), "O2 should be identified: {:?}", prediction.units);
+    assert!(
+        prediction.contains("o1"),
+        "O1 should be identified: {:?}",
+        prediction.units
+    );
+    assert!(
+        prediction.contains("o2"),
+        "O2 should be identified: {:?}",
+        prediction.units
+    );
 }
 
 /// Fig. 1 case 2: multiplexed transmission defeats size estimation.
@@ -48,14 +56,23 @@ fn fig2_fig3_request_spacing_controls_multiplexing() {
     let multiplexed = {
         let site = two_object_site(30_000, 24_000, SimDuration::ZERO);
         let result = run_site_trial(site, &TrialOptions::new(301, None));
-        degree_of_multiplexing(&result.wire_map, ObjectId(0)).best().unwrap().1
+        degree_of_multiplexing(&result.wire_map, ObjectId(0))
+            .best()
+            .unwrap()
+            .1
     };
     let serialized = {
         let site = two_object_site(30_000, 24_000, SimDuration::from_millis(900));
         let result = run_site_trial(site, &TrialOptions::new(301, None));
-        degree_of_multiplexing(&result.wire_map, ObjectId(0)).best().unwrap().1
+        degree_of_multiplexing(&result.wire_map, ObjectId(0))
+            .best()
+            .unwrap()
+            .1
     };
-    assert!(multiplexed > 0.5, "zero gap should multiplex heavily, got {multiplexed}");
+    assert!(
+        multiplexed > 0.5,
+        "zero gap should multiplex heavily, got {multiplexed}"
+    );
     assert_eq!(serialized, 0.0, "a 900 ms gap must fully serialize");
 }
 
@@ -86,8 +103,14 @@ fn fig4_excessive_jitter_causes_duplicate_copies() {
             break;
         }
     }
-    assert!(saw_rerequest, "400 ms pacing should trigger app-layer re-requests");
-    assert!(saw_duplicate_copy, "re-requests should lead to duplicate served copies");
+    assert!(
+        saw_rerequest,
+        "400 ms pacing should trigger app-layer re-requests"
+    );
+    assert!(
+        saw_duplicate_copy,
+        "re-requests should lead to duplicate served copies"
+    );
 }
 
 /// Fig. 6 / Section IV-D storyline: drops start at the trigger GET, the
@@ -104,11 +127,15 @@ fn fig6_drop_phase_forces_reset_and_serial_reserve() {
         );
         let events = &trial.result.attack.events;
         assert!(
-            events.iter().any(|e| matches!(e, AttackEvent::DropsStarted { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, AttackEvent::DropsStarted { .. })),
             "drop phase should start: {events:?}"
         );
         assert!(
-            events.iter().any(|e| matches!(e, AttackEvent::DropsStopped { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, AttackEvent::DropsStopped { .. })),
             "drop phase should stop: {events:?}"
         );
         if trial.result.client.resets_sent > 0 && trial.html_outcome().best_degree == 0.0 {

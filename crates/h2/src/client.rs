@@ -218,13 +218,13 @@ impl ClientNode {
     }
 
     fn is_document(&self, id: ObjectId) -> bool {
-        self.cfg.document_priority
-            && self.site.object(id).media == h2priv_web::MediaType::Html
+        self.cfg.document_priority && self.site.object(id).media == h2priv_web::MediaType::Html
     }
 
     fn write_frame(&mut self, frame: Frame, tag: RecordTag) {
         let bytes = frame.encode();
-        self.stack.write_record(ContentType::ApplicationData, &bytes, tag);
+        self.stack
+            .write_record(ContentType::ApplicationData, &bytes, tag);
     }
 
     fn start_plan(&mut self, ctx: &mut Ctx<'_>) {
@@ -305,7 +305,11 @@ impl ClientNode {
         });
         self.stream_map.insert(stream, req_idx);
         self.write_frame(
-            Frame::Headers { stream, block, end_stream: true },
+            Frame::Headers {
+                stream,
+                block,
+                end_stream: true,
+            },
             RecordTag {
                 stream_id: stream.0,
                 object_id: object.0,
@@ -358,8 +362,10 @@ impl ClientNode {
                             },
                             RecordTag::NONE,
                         );
-                        let raise =
-                            self.cfg.conn_window.saturating_sub(crate::conn::INITIAL_CONNECTION_WINDOW);
+                        let raise = self
+                            .cfg
+                            .conn_window
+                            .saturating_sub(crate::conn::INITIAL_CONNECTION_WINDOW);
                         if raise > 0 {
                             self.write_frame(
                                 Frame::WindowUpdate {
@@ -387,9 +393,19 @@ impl ClientNode {
     fn handle_frame(&mut self, ctx: &mut Ctx<'_>, frame: Frame) {
         match frame {
             Frame::Settings { ack: false, .. } => {
-                self.write_frame(Frame::Settings { ack: true, params: vec![] }, RecordTag::NONE);
+                self.write_frame(
+                    Frame::Settings {
+                        ack: true,
+                        params: vec![],
+                    },
+                    RecordTag::NONE,
+                );
             }
-            Frame::Headers { stream, block, end_stream } => {
+            Frame::Headers {
+                stream,
+                block,
+                end_stream,
+            } => {
                 if let Some(&idx) = self.stream_map.get(&stream) {
                     let now = ctx.now();
                     if self.requests[idx].reset {
@@ -406,7 +422,11 @@ impl ClientNode {
                     }
                 }
             }
-            Frame::Data { stream, len, end_stream } => {
+            Frame::Data {
+                stream,
+                len,
+                end_stream,
+            } => {
                 self.grant_window(len);
                 if let Some(&idx) = self.stream_map.get(&stream) {
                     if self.requests[idx].reset {
@@ -428,7 +448,9 @@ impl ClientNode {
                     }
                 }
             }
-            Frame::PushPromise { promised, block, .. } => {
+            Frame::PushPromise {
+                promised, block, ..
+            } => {
                 self.handle_push_promise(ctx, promised, &block);
             }
             Frame::RstStream { stream, .. } => {
@@ -451,8 +473,12 @@ impl ClientNode {
     /// would otherwise request: accept it, account its data like a
     /// response, and cancel the object's own pending plan step.
     fn handle_push_promise(&mut self, ctx: &mut Ctx<'_>, promised: StreamId, block: &[u8]) {
-        let Some(req) = hpack::decode_request(block) else { return };
-        let Some(object) = self.site.by_path(&req.path).map(|o| o.id) else { return };
+        let Some(req) = hpack::decode_request(block) else {
+            return;
+        };
+        let Some(object) = self.site.by_path(&req.path).map(|o| o.id) else {
+            return;
+        };
         if self.obj(object).completed_at.is_some() {
             return; // already have it; a real client would RST the push
         }
@@ -496,7 +522,10 @@ impl ClientNode {
             let inc = self.consumed_since_update as u32;
             self.consumed_since_update = 0;
             self.write_frame(
-                Frame::WindowUpdate { stream: StreamId::CONNECTION, increment: inc },
+                Frame::WindowUpdate {
+                    stream: StreamId::CONNECTION,
+                    increment: inc,
+                },
                 RecordTag::NONE,
             );
         }
@@ -530,7 +559,10 @@ impl ClientNode {
     fn rerequest_check(&mut self, ctx: &mut Ctx<'_>, req_idx: usize) {
         let (object, stale) = {
             let r = &self.requests[req_idx];
-            (r.object, r.headers_at.is_none() && r.first_data_at.is_none() && !r.reset)
+            (
+                r.object,
+                r.headers_at.is_none() && r.first_data_at.is_none() && !r.reset,
+            )
         };
         if !stale || self.obj(object).completed_at.is_some() || self.broken {
             return;
@@ -569,7 +601,10 @@ impl ClientNode {
                 .collect();
             for (s, o) in &streams {
                 self.write_frame(
-                    Frame::RstStream { stream: *s, error: ErrorCode::Cancel },
+                    Frame::RstStream {
+                        stream: *s,
+                        error: ErrorCode::Cancel,
+                    },
                     RecordTag {
                         stream_id: s.0,
                         object_id: o.0,

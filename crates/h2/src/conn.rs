@@ -126,7 +126,11 @@ mod tests {
     use h2priv_tls::RecordTag;
 
     fn data(stream: u32, len: u32) -> Frame {
-        Frame::Data { stream: StreamId(stream), len, end_stream: false }
+        Frame::Data {
+            stream: StreamId(stream),
+            len,
+            end_stream: false,
+        }
     }
 
     #[test]
@@ -176,7 +180,10 @@ mod tests {
         let mut s = OutputScheduler::new();
         s.enqueue(data(1, 5_000), RecordTag::NONE);
         s.enqueue(
-            Frame::WindowUpdate { stream: StreamId(0), increment: 100 },
+            Frame::WindowUpdate {
+                stream: StreamId(0),
+                increment: 100,
+            },
             RecordTag::NONE,
         );
         // Window too small for the DATA frame: the control frame on
@@ -195,6 +202,9 @@ mod tests {
         s.enqueue(Frame::Ping { ack: false }, RecordTag::NONE);
         s.enqueue(data(3, 50), RecordTag::NONE);
         assert_eq!(s.queued_data_bytes(), 150);
-        assert_eq!(s.active_streams(), vec![StreamId(0), StreamId(1), StreamId(3)]);
+        assert_eq!(
+            s.active_streams(),
+            vec![StreamId(0), StreamId(1), StreamId(3)]
+        );
     }
 }

@@ -5,8 +5,8 @@
 //! the wire*, not content. Everything else round-trips exactly.
 
 use crate::stream::StreamId;
-use bytes::{BufMut, Bytes, BytesMut};
 use core::fmt;
+use h2priv_util::bytes::{Bytes, BytesMut};
 
 /// Length of the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 9;
@@ -196,17 +196,23 @@ impl Frame {
     /// Serializes the frame (header + payload).
     pub fn encode(&self) -> Bytes {
         let (ty, flags, payload): (FrameType, u8, Bytes) = match self {
-            Frame::Data { len, end_stream, .. } => (
+            Frame::Data {
+                len, end_stream, ..
+            } => (
                 FrameType::Data,
                 if *end_stream { FLAG_END_STREAM } else { 0 },
                 Bytes::from(vec![0u8; *len as usize]),
             ),
-            Frame::Headers { block, end_stream, .. } => (
+            Frame::Headers {
+                block, end_stream, ..
+            } => (
                 FrameType::Headers,
                 FLAG_END_HEADERS | if *end_stream { FLAG_END_STREAM } else { 0 },
                 block.clone(),
             ),
-            Frame::Priority { dependency, weight, .. } => {
+            Frame::Priority {
+                dependency, weight, ..
+            } => {
                 let mut b = BytesMut::with_capacity(5);
                 b.put_u32(*dependency);
                 b.put_u8(*weight);
@@ -225,7 +231,11 @@ impl Frame {
                         b.put_u32(*val);
                     }
                 }
-                (FrameType::Settings, if *ack { FLAG_ACK } else { 0 }, b.freeze())
+                (
+                    FrameType::Settings,
+                    if *ack { FLAG_ACK } else { 0 },
+                    b.freeze(),
+                )
             }
             Frame::Ping { ack } => (
                 FrameType::Ping,
@@ -243,7 +253,9 @@ impl Frame {
                 b.put_u32(*increment);
                 (FrameType::WindowUpdate, 0, b.freeze())
             }
-            Frame::PushPromise { promised, block, .. } => {
+            Frame::PushPromise {
+                promised, block, ..
+            } => {
                 let mut b = BytesMut::with_capacity(4 + block.len());
                 b.put_u32(promised.0 & 0x7fff_ffff);
                 b.extend_from_slice(block);
@@ -270,11 +282,11 @@ impl Frame {
         if bytes.len() < FRAME_HEADER_LEN {
             return None;
         }
-        let len =
-            ((bytes[0] as usize) << 16) | ((bytes[1] as usize) << 8) | bytes[2] as usize;
+        let len = ((bytes[0] as usize) << 16) | ((bytes[1] as usize) << 8) | bytes[2] as usize;
         let ty = FrameType::from_byte(bytes[3])?;
         let flags = bytes[4];
-        let stream = StreamId(u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) & 0x7fff_ffff);
+        let stream =
+            StreamId(u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) & 0x7fff_ffff);
         let total = FRAME_HEADER_LEN + len;
         if bytes.len() < total {
             return None;
@@ -326,7 +338,9 @@ impl Frame {
                     .collect();
                 Frame::Settings { ack, params }
             }
-            FrameType::Ping => Frame::Ping { ack: flags & FLAG_ACK != 0 },
+            FrameType::Ping => Frame::Ping {
+                ack: flags & FLAG_ACK != 0,
+            },
             FrameType::GoAway => {
                 if payload.len() < 8 {
                     return None;
@@ -367,10 +381,22 @@ impl Frame {
 impl fmt::Display for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Frame::Data { stream, len, end_stream } => {
-                write!(f, "DATA[{stream} len={len}{}]", if *end_stream { " ES" } else { "" })
+            Frame::Data {
+                stream,
+                len,
+                end_stream,
+            } => {
+                write!(
+                    f,
+                    "DATA[{stream} len={len}{}]",
+                    if *end_stream { " ES" } else { "" }
+                )
             }
-            Frame::Headers { stream, block, end_stream } => write!(
+            Frame::Headers {
+                stream,
+                block,
+                end_stream,
+            } => write!(
                 f,
                 "HEADERS[{stream} len={}{}]",
                 block.len(),
@@ -384,7 +410,9 @@ impl fmt::Display for Frame {
             Frame::WindowUpdate { stream, increment } => {
                 write!(f, "WINDOW_UPDATE[{stream} +{increment}]")
             }
-            Frame::PushPromise { stream, promised, .. } => {
+            Frame::PushPromise {
+                stream, promised, ..
+            } => {
                 write!(f, "PUSH_PROMISE[{stream} -> {promised}]")
             }
         }
@@ -394,7 +422,7 @@ impl fmt::Display for Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use h2priv_util::check::{self, Gen};
 
     fn roundtrip(f: Frame) {
         let enc = f.encode();
@@ -405,19 +433,42 @@ mod tests {
 
     #[test]
     fn roundtrip_all_types() {
-        roundtrip(Frame::Data { stream: StreamId(5), len: 1234, end_stream: true });
+        roundtrip(Frame::Data {
+            stream: StreamId(5),
+            len: 1234,
+            end_stream: true,
+        });
         roundtrip(Frame::Headers {
             stream: StreamId(1),
             block: Bytes::from_static(b"\x82\x87hello"),
             end_stream: false,
         });
-        roundtrip(Frame::Priority { stream: StreamId(3), dependency: 0x8000_0001, weight: 200 });
-        roundtrip(Frame::RstStream { stream: StreamId(7), error: ErrorCode::Cancel });
-        roundtrip(Frame::Settings { ack: false, params: vec![(3, 100), (4, 65_535)] });
-        roundtrip(Frame::Settings { ack: true, params: vec![] });
+        roundtrip(Frame::Priority {
+            stream: StreamId(3),
+            dependency: 0x8000_0001,
+            weight: 200,
+        });
+        roundtrip(Frame::RstStream {
+            stream: StreamId(7),
+            error: ErrorCode::Cancel,
+        });
+        roundtrip(Frame::Settings {
+            ack: false,
+            params: vec![(3, 100), (4, 65_535)],
+        });
+        roundtrip(Frame::Settings {
+            ack: true,
+            params: vec![],
+        });
         roundtrip(Frame::Ping { ack: true });
-        roundtrip(Frame::GoAway { last_stream: StreamId(9), error: ErrorCode::NoError });
-        roundtrip(Frame::WindowUpdate { stream: StreamId(0), increment: 1 << 20 });
+        roundtrip(Frame::GoAway {
+            last_stream: StreamId(9),
+            error: ErrorCode::NoError,
+        });
+        roundtrip(Frame::WindowUpdate {
+            stream: StreamId(0),
+            increment: 1 << 20,
+        });
         roundtrip(Frame::PushPromise {
             stream: StreamId(5),
             promised: StreamId(2),
@@ -427,7 +478,12 @@ mod tests {
 
     #[test]
     fn decode_partial_returns_none() {
-        let enc = Frame::Data { stream: StreamId(1), len: 100, end_stream: false }.encode();
+        let enc = Frame::Data {
+            stream: StreamId(1),
+            len: 100,
+            end_stream: false,
+        }
+        .encode();
         assert!(Frame::decode(&enc[..enc.len() - 1]).is_none());
         assert!(Frame::decode(&enc[..4]).is_none());
     }
@@ -444,7 +500,12 @@ mod tests {
 
     #[test]
     fn data_wire_size_is_header_plus_len() {
-        let enc = Frame::Data { stream: StreamId(1), len: 2048, end_stream: false }.encode();
+        let enc = Frame::Data {
+            stream: StreamId(1),
+            len: 2048,
+            end_stream: false,
+        }
+        .encode();
         assert_eq!(enc.len(), FRAME_HEADER_LEN + 2048);
     }
 
@@ -455,15 +516,28 @@ mod tests {
         assert!(Frame::decode(&enc).is_none());
     }
 
-    proptest! {
-        #[test]
-        fn data_roundtrip_any_len(len in 0u32..20_000, stream in 1u32..1_000, es: bool) {
-            roundtrip(Frame::Data { stream: StreamId(stream), len, end_stream: es });
-        }
+    #[test]
+    fn data_roundtrip_any_len() {
+        check::run("data_roundtrip_any_len", 512, |g: &mut Gen| {
+            let len = g.u32(0, 19_999);
+            let stream = g.u32(1, 999);
+            let es = g.bool(0.5);
+            roundtrip(Frame::Data {
+                stream: StreamId(stream),
+                len,
+                end_stream: es,
+            });
+        });
+    }
 
-        #[test]
-        fn settings_roundtrip(params in proptest::collection::vec((any::<u16>(), any::<u32>()), 0..8)) {
+    #[test]
+    fn settings_roundtrip() {
+        check::run("settings_roundtrip", 512, |g: &mut Gen| {
+            let n = g.usize(0, 7);
+            let params: Vec<(u16, u32)> = (0..n)
+                .map(|_| (g.u16(0, u16::MAX), g.u32(0, u32::MAX)))
+                .collect();
             roundtrip(Frame::Settings { ack: false, params });
-        }
+        });
     }
 }

@@ -288,14 +288,20 @@ impl ServerNode {
     fn handle_request(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, block: &[u8]) {
         let Some(req) = hpack::decode_request(block) else {
             self.sched.enqueue(
-                Frame::RstStream { stream, error: ErrorCode::ProtocolError },
+                Frame::RstStream {
+                    stream,
+                    error: ErrorCode::ProtocolError,
+                },
                 RecordTag::NONE,
             );
             return;
         };
         let Some(object) = self.site.by_path(&req.path).map(|o| o.id) else {
             self.sched.enqueue(
-                Frame::RstStream { stream, error: ErrorCode::RefusedStream },
+                Frame::RstStream {
+                    stream,
+                    error: ErrorCode::RefusedStream,
+                },
                 RecordTag::NONE,
             );
             return;
@@ -335,7 +341,11 @@ impl ServerNode {
             let path = self.site.object(child).path.clone();
             let block = hpack::encode_request("pushed", &path);
             self.sched.enqueue(
-                Frame::PushPromise { stream, promised, block },
+                Frame::PushPromise {
+                    stream,
+                    promised,
+                    block,
+                },
                 RecordTag {
                     stream_id: stream.0,
                     object_id: child.0,
@@ -365,9 +375,10 @@ impl ServerNode {
             completed_at: None,
             killed: false,
         });
-        let someone_active = self.workers.iter().any(|w| {
-            matches!(w.state, WorkerState::FirstByteWait | WorkerState::Streaming)
-        });
+        let someone_active = self
+            .workers
+            .iter()
+            .any(|w| matches!(w.state, WorkerState::FirstByteWait | WorkerState::Streaming));
         if self.cfg.mux == MuxPolicy::Serial && someone_active {
             self.serial_queue.push_back(idx);
         } else {
@@ -379,8 +390,7 @@ impl ServerNode {
         let object = self.workers[idx].object;
         let obj = self.site.object(object);
         let fb = obj.service.draw_first_byte(ctx.rng());
-        self.workers[idx].chunk_interval =
-            obj.service.draw_chunk_interval(ctx.rng(), obj.size);
+        self.workers[idx].chunk_interval = obj.service.draw_chunk_interval(ctx.rng(), obj.size);
         self.workers[idx].state = WorkerState::FirstByteWait;
         let t = ctx.schedule(fb);
         self.timers.insert(t, TimerPurpose::Worker(idx));
@@ -418,7 +428,11 @@ impl ServerNode {
                 };
                 let block = hpack::encode_response(obj.size, media);
                 self.sched.enqueue(
-                    Frame::Headers { stream, block, end_stream: false },
+                    Frame::Headers {
+                        stream,
+                        block,
+                        end_stream: false,
+                    },
                     RecordTag {
                         stream_id: stream.0,
                         object_id: object.0,
@@ -436,7 +450,11 @@ impl ServerNode {
                 self.workers[idx].remaining -= chunk;
                 let end_stream = self.workers[idx].remaining == 0;
                 self.sched.enqueue(
-                    Frame::Data { stream, len: chunk as u32, end_stream },
+                    Frame::Data {
+                        stream,
+                        len: chunk as u32,
+                        end_stream,
+                    },
                     RecordTag {
                         stream_id: stream.0,
                         object_id: object.0,
@@ -480,7 +498,8 @@ impl ServerNode {
                 self.conn_send_window = self.conn_send_window.saturating_sub(len as u64);
             }
             let bytes = qf.frame.encode();
-            self.stack.write_record(ContentType::ApplicationData, &bytes, qf.tag);
+            self.stack
+                .write_record(ContentType::ApplicationData, &bytes, qf.tag);
         }
     }
 

@@ -2,13 +2,13 @@
 //! event loop. Used by both [`crate::server::ServerNode`] and
 //! [`crate::client::ClientNode`].
 
-use bytes::Bytes;
 use h2priv_netsim::link::LinkId;
 use h2priv_netsim::node::Ctx;
 use h2priv_netsim::packet::Packet;
 use h2priv_netsim::time::SimTime;
 use h2priv_tcp::{TcpConnection, TcpEvent};
 use h2priv_tls::{ContentType, OpenedRecord, RecordOpener, RecordSealer, RecordTag, WireMap};
+use h2priv_util::bytes::Bytes;
 
 /// Model sizes of the TLS handshake flights (bytes of handshake records
 /// on the wire, typical for TLS 1.2 with a ~2.5 KB certificate chain).
@@ -152,7 +152,12 @@ mod tests {
     use h2priv_tcp::TcpConfig;
 
     fn flows() -> (FlowId, FlowId) {
-        let f = FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 };
+        let f = FlowId {
+            src: HostAddr(1),
+            dst: HostAddr(2),
+            sport: 40_000,
+            dport: 443,
+        };
         (f, f.reversed())
     }
 
@@ -220,8 +225,16 @@ mod tests {
         c.tcp.open(SimTime::ZERO);
         let t = c.timer_needs_rescheduling().expect("SYN needs an RTO tick");
         c.tcp_tick_at = Some(t);
-        assert_eq!(c.timer_needs_rescheduling(), None, "tick already covers deadline");
+        assert_eq!(
+            c.timer_needs_rescheduling(),
+            None,
+            "tick already covers deadline"
+        );
         c.tcp_tick_at = Some(t + h2priv_netsim::time::SimDuration::from_secs(5));
-        assert_eq!(c.timer_needs_rescheduling(), Some(t), "later tick does not cover");
+        assert_eq!(
+            c.timer_needs_rescheduling(),
+            Some(t),
+            "later tick does not cover"
+        );
     }
 }

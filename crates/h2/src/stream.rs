@@ -1,14 +1,14 @@
 //! HTTP/2 stream identifiers and the stream state machine (RFC 7540 §5.1).
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
+use h2priv_util::impl_to_json;
 
 /// An HTTP/2 stream identifier. Client-initiated streams are odd;
 /// stream 0 is the connection itself.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StreamId(pub u32);
+
+impl_to_json!(newtype StreamId);
 
 impl StreamId {
     /// The connection control stream.
@@ -92,7 +92,10 @@ impl StreamState {
 
     /// `true` if more frames may arrive from the peer.
     pub fn peer_may_send(self) -> bool {
-        matches!(self, StreamState::Idle | StreamState::Open | StreamState::HalfClosedLocal)
+        matches!(
+            self,
+            StreamState::Idle | StreamState::Open | StreamState::HalfClosedLocal
+        )
     }
 }
 

@@ -72,7 +72,11 @@ fn two_object_site_with_zero_gap_multiplexes() {
 
 #[test]
 fn two_object_site_with_large_gap_serializes() {
-    let site = two_object_site(20_000, 15_000, h2priv_netsim::time::SimDuration::from_millis(600));
+    let site = two_object_site(
+        20_000,
+        15_000,
+        h2priv_netsim::time::SimDuration::from_millis(600),
+    );
     let (report, sim, topo) = run_page_load(site, 13, ServerConfig::default());
     assert!(report.page_completed_at.is_some());
     let server = sim.node_ref::<ServerNode>(topo.server);
@@ -90,7 +94,10 @@ fn two_object_site_with_large_gap_serializes() {
 #[test]
 fn serial_mux_policy_never_interleaves() {
     let site = two_object_site(60_000, 50_000, h2priv_netsim::time::SimDuration::ZERO);
-    let server_cfg = ServerConfig { mux: MuxPolicy::Serial, ..ServerConfig::default() };
+    let server_cfg = ServerConfig {
+        mux: MuxPolicy::Serial,
+        ..ServerConfig::default()
+    };
     let (report, sim, topo) = run_page_load(site, 17, server_cfg);
     assert!(report.page_completed_at.is_some());
     let server = sim.node_ref::<ServerNode>(topo.server);
@@ -122,22 +129,42 @@ fn isidewith_page_load_completes_and_requests_follow_plan_order() {
             .collect::<Vec<_>>()
     );
     // The HTML is the 6th GET on the wire (paper Section IV).
-    let first_attempts: Vec<ObjectId> =
-        report.requests.iter().filter(|r| r.attempt == 0).map(|r| r.object).collect();
-    assert_eq!(first_attempts[5], iw.html, "HTML must be the 6th object requested");
+    let first_attempts: Vec<ObjectId> = report
+        .requests
+        .iter()
+        .filter(|r| r.attempt == 0)
+        .map(|r| r.object)
+        .collect();
+    assert_eq!(
+        first_attempts[5], iw.html,
+        "HTML must be the 6th object requested"
+    );
     // The 8 images are requested in survey-result order.
     let image_positions: Vec<usize> = iw
         .images
         .iter()
-        .map(|img| first_attempts.iter().position(|o| o == img).expect("image requested"))
+        .map(|img| {
+            first_attempts
+                .iter()
+                .position(|o| o == img)
+                .expect("image requested")
+        })
         .collect();
     for w in image_positions.windows(2) {
-        assert!(w[0] < w[1], "image requests out of order: {image_positions:?}");
+        assert!(
+            w[0] < w[1],
+            "image requests out of order: {image_positions:?}"
+        );
     }
     // Server served every object exactly once on a clean network.
     let server = sim.node_ref::<ServerNode>(topo.server);
     for obj in iw.site.objects() {
-        assert_eq!(server.copies_served(obj.id), 1, "object {} copies", obj.path);
+        assert_eq!(
+            server.copies_served(obj.id),
+            1,
+            "object {} copies",
+            obj.path
+        );
     }
 }
 
@@ -223,8 +250,7 @@ fn server_push_delivers_objects_without_gets() {
 fn pushed_and_requested_transfers_share_the_connection() {
     let site = blog_site();
     let mut server_cfg = ServerConfig::default();
-    server_cfg.push_manifest =
-        vec![(h2priv_web::ObjectId(0), vec![h2priv_web::ObjectId(4)])];
+    server_cfg.push_manifest = vec![(h2priv_web::ObjectId(0), vec![h2priv_web::ObjectId(4)])];
     let (report, sim, topo) = run_page_load(site, 43, server_cfg);
     assert!(report.page_completed_at.is_some());
     // The pushed object's bytes are labelled on the same wire map.

@@ -80,7 +80,7 @@ pub fn shared<S: CaptureSink + 'static>(sink: S) -> Rc<RefCell<S>> {
 mod tests {
     use super::*;
     use crate::packet::{FlowId, HostAddr, TcpFlags, TcpHeader};
-    use bytes::Bytes;
+    use h2priv_util::bytes::Bytes;
 
     fn ev() -> CaptureEvent {
         CaptureEvent {
@@ -88,11 +88,18 @@ mod tests {
             direction: Some(Direction::ClientToServer),
             packet: Packet::new(
                 TcpHeader {
-                    flow: FlowId { src: HostAddr(0), dst: HostAddr(1), sport: 1, dport: 443 },
+                    flow: FlowId {
+                        src: HostAddr(0),
+                        dst: HostAddr(1),
+                        sport: 1,
+                        dport: 443,
+                    },
                     seq: 0,
                     ack: 0,
                     flags: TcpFlags::ACK,
-                    window: 0, ts_val: 0, ts_ecr: 0,
+                    window: 0,
+                    ts_val: 0,
+                    ts_ecr: 0,
                 },
                 Bytes::new(),
             ),

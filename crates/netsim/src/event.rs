@@ -96,7 +96,10 @@ mod tests {
     use super::*;
 
     fn timer(node: usize, t: u64) -> EventKind {
-        EventKind::NodeTimer { node: NodeId(node), timer: TimerId(t) }
+        EventKind::NodeTimer {
+            node: NodeId(node),
+            timer: TimerId(t),
+        }
     }
 
     #[test]
@@ -105,7 +108,9 @@ mod tests {
         q.push(SimTime::from_millis(30), timer(0, 0));
         q.push(SimTime::from_millis(10), timer(0, 1));
         q.push(SimTime::from_millis(20), timer(0, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_millis()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_millis())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

@@ -74,7 +74,12 @@ impl LinkConfig {
 
     /// An ideal link with no bandwidth constraint and the given delay.
     pub fn unconstrained(one_way: SimDuration) -> LinkConfig {
-        LinkConfig { bandwidth: None, delay: one_way, queue_bytes: u64::MAX, loss: 0.0 }
+        LinkConfig {
+            bandwidth: None,
+            delay: one_way,
+            queue_bytes: u64::MAX,
+            loss: 0.0,
+        }
     }
 
     /// Returns `self` with a different bandwidth.
@@ -221,7 +226,11 @@ impl Links {
     #[allow(dead_code)]
     pub fn ideal_latency(&self, id: LinkId, wire_bytes: u32) -> SimDuration {
         let l = &self.links[id.0];
-        let tx = l.cfg.bandwidth.map(|bw| bw.transmit_time(wire_bytes)).unwrap_or(SimDuration::ZERO);
+        let tx = l
+            .cfg
+            .bandwidth
+            .map(|bw| bw.transmit_time(wire_bytes))
+            .unwrap_or(SimDuration::ZERO);
         tx + l.cfg.delay
     }
 
@@ -252,7 +261,11 @@ impl Link {
     /// Decides what to do with `pkt`, updating queue state. `lossy_draw`
     /// is the pre-drawn uniform sample for the loss decision (drawn by the
     /// caller so that the RNG lives in one place).
-    pub(crate) fn submit(&mut self, pkt: Packet, lossy_draw: f64) -> (SubmitOutcome, Option<Packet>) {
+    pub(crate) fn submit(
+        &mut self,
+        pkt: Packet,
+        lossy_draw: f64,
+    ) -> (SubmitOutcome, Option<Packet>) {
         if self.cfg.loss > 0.0 && lossy_draw < self.cfg.loss {
             self.stats.dropped_loss += 1;
             return (SubmitOutcome::DroppedLoss, Some(pkt));
@@ -285,7 +298,10 @@ impl Link {
         let done = self.transmitting.take().expect("tx_complete on idle link");
         let next = self.queue.pop_front().map(|p| {
             self.queued_bytes -= p.wire_size() as u64;
-            let bw = self.cfg.bandwidth.expect("queued packet on unconstrained link");
+            let bw = self
+                .cfg
+                .bandwidth
+                .expect("queued packet on unconstrained link");
             let tx = bw.transmit_time(p.wire_size());
             self.transmitting = Some(p);
             tx
@@ -304,16 +320,23 @@ pub(crate) fn delivery_time(now: SimTime, cfg: &LinkConfig) -> SimTime {
 mod tests {
     use super::*;
     use crate::packet::{FlowId, HostAddr, TcpFlags, TcpHeader};
-    use bytes::Bytes;
+    use h2priv_util::bytes::Bytes;
 
     fn mk(size: usize) -> Packet {
         Packet::new(
             TcpHeader {
-                flow: FlowId { src: HostAddr(0), dst: HostAddr(1), sport: 1, dport: 2 },
+                flow: FlowId {
+                    src: HostAddr(0),
+                    dst: HostAddr(1),
+                    sport: 1,
+                    dport: 2,
+                },
                 seq: 0,
                 ack: 0,
                 flags: TcpFlags::ACK,
-                window: 0, ts_val: 0, ts_ecr: 0,
+                window: 0,
+                ts_val: 0,
+                ts_ecr: 0,
             },
             Bytes::from(vec![0u8; size]),
         )

@@ -15,7 +15,7 @@ use crate::packet::{Direction, Packet, TcpHeader};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
-use bytes::Bytes;
+use h2priv_util::bytes::Bytes;
 use std::collections::HashMap;
 
 /// What a policy decides to do with one packet.
@@ -118,8 +118,12 @@ impl<'a, 'b> PolicyCtx<'a, 'b> {
 /// are provided here for baselines.
 pub trait MiddleboxPolicy {
     /// Classifies one transiting packet.
-    fn on_packet(&mut self, ctx: &mut PolicyCtx<'_, '_>, dir: Direction, pkt: PacketView<'_>)
-        -> Verdict;
+    fn on_packet(
+        &mut self,
+        ctx: &mut PolicyCtx<'_, '_>,
+        dir: Direction,
+        pkt: PacketView<'_>,
+    ) -> Verdict;
 
     /// A timer scheduled via [`PolicyCtx::schedule_token`] fired.
     fn on_timer(&mut self, ctx: &mut PolicyCtx<'_, '_>, token: u64) {
@@ -208,7 +212,13 @@ pub struct Middlebox {
 impl Middlebox {
     /// Creates a middlebox running `policy`.
     pub fn new(policy: Box<dyn MiddleboxPolicy>) -> Middlebox {
-        Middlebox { policy, ports: None, held: HashMap::new(), tokens: HashMap::new(), stats: MiddleboxStats::default() }
+        Middlebox {
+            policy,
+            ports: None,
+            held: HashMap::new(),
+            tokens: HashMap::new(),
+            stats: MiddleboxStats::default(),
+        }
     }
 
     /// Wires the four ports. Normally called by the topology builder.
@@ -219,7 +229,12 @@ impl Middlebox {
         from_client: LinkId,
         from_server: LinkId,
     ) {
-        self.ports = Some(PortMap { to_client, to_server, from_client, from_server });
+        self.ports = Some(PortMap {
+            to_client,
+            to_server,
+            from_client,
+            from_server,
+        });
     }
 
     /// Activity counters.
@@ -233,7 +248,8 @@ impl Middlebox {
     }
 
     fn ports(&self) -> PortMap {
-        self.ports.expect("middlebox ports not wired; use PathTopology::build")
+        self.ports
+            .expect("middlebox ports not wired; use PathTopology::build")
     }
 
     fn run_policy<R>(
@@ -242,7 +258,11 @@ impl Middlebox {
         f: impl FnOnce(&mut dyn MiddleboxPolicy, &mut PolicyCtx<'_, '_>) -> R,
     ) -> R {
         let ports = self.ports();
-        let mut pctx = PolicyCtx { inner: ctx, ports, token_registrations: Vec::new() };
+        let mut pctx = PolicyCtx {
+            inner: ctx,
+            ports,
+            token_registrations: Vec::new(),
+        };
         let r = f(self.policy.as_mut(), &mut pctx);
         for (timer, token) in pctx.token_registrations {
             self.tokens.insert(timer.0, token);
@@ -259,7 +279,9 @@ impl Node for Middlebox {
             Direction::ClientToServer => self.stats.observed_c2s += 1,
             Direction::ServerToClient => self.stats.observed_s2c += 1,
         }
-        let verdict = self.run_policy(ctx, |p, pctx| p.on_packet(pctx, dir, PacketView { pkt: &pkt }));
+        let verdict = self.run_policy(ctx, |p, pctx| {
+            p.on_packet(pctx, dir, PacketView { pkt: &pkt })
+        });
         ctx.capture(
             CapturePoint::Middlebox,
             CaptureEvent {
@@ -340,7 +362,9 @@ mod tests {
                         seq: i,
                         ack: 0,
                         flags: TcpFlags::ACK,
-                        window: 0, ts_val: 0, ts_ecr: 0,
+                        window: 0,
+                        ts_val: 0,
+                        ts_ecr: 0,
                     },
                     Bytes::from(vec![0u8; 64]),
                 );

@@ -110,7 +110,13 @@ impl<'a> Ctx<'a> {
         let at = at.max(self.now);
         let id = TimerId(self.world.next_timer_id);
         self.world.next_timer_id += 1;
-        self.world.queue.push(at, EventKind::NodeTimer { node: self.node, timer: id });
+        self.world.queue.push(
+            at,
+            EventKind::NodeTimer {
+                node: self.node,
+                timer: id,
+            },
+        );
         id
     }
 
@@ -156,7 +162,7 @@ mod tests {
     use crate::link::LinkConfig;
     use crate::packet::{FlowId, HostAddr, TcpFlags, TcpHeader};
     use crate::sim::Simulator;
-    use bytes::Bytes;
+    use h2priv_util::bytes::Bytes;
 
     struct Sender {
         out: Option<LinkId>,
@@ -169,11 +175,18 @@ mod tests {
     fn pkt(seq: u32) -> Packet {
         Packet::new(
             TcpHeader {
-                flow: FlowId { src: HostAddr(0), dst: HostAddr(1), sport: 1, dport: 2 },
+                flow: FlowId {
+                    src: HostAddr(0),
+                    dst: HostAddr(1),
+                    sport: 1,
+                    dport: 2,
+                },
                 seq,
                 ack: 0,
                 flags: TcpFlags::ACK,
-                window: 0, ts_val: 0, ts_ecr: 0,
+                window: 0,
+                ts_val: 0,
+                ts_ecr: 0,
             },
             Bytes::new(),
         )

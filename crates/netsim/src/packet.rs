@@ -7,9 +7,9 @@
 //! `h2priv-tls` crate) additionally keep the 5-byte TLS record headers in
 //! the clear inside the payload, exactly as TLS 1.2 does on the wire.
 
-use bytes::Bytes;
 use core::fmt;
-use serde::{Deserialize, Serialize};
+use h2priv_util::bytes::Bytes;
+use h2priv_util::impl_to_json;
 
 /// Bytes of link + network + transport header overhead per packet on the
 /// wire (14 Ethernet + 20 IPv4 + 20 TCP, ignoring options).
@@ -19,10 +19,10 @@ pub const WIRE_OVERHEAD: u32 = 54;
 ///
 /// Addresses are small integers; the topology builder assigns them. Display
 /// renders them as `h<N>` for readable traces.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct HostAddr(pub u16);
+
+impl_to_json!(newtype HostAddr);
 
 impl fmt::Display for HostAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -31,7 +31,7 @@ impl fmt::Display for HostAddr {
 }
 
 /// A TCP flow 4-tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowId {
     /// Source host.
     pub src: HostAddr,
@@ -43,23 +43,34 @@ pub struct FlowId {
     pub dport: u16,
 }
 
+impl_to_json!(struct FlowId { src, dst, sport, dport });
+
 impl FlowId {
     /// The flow in the opposite direction (for matching replies).
     pub fn reversed(self) -> FlowId {
-        FlowId { src: self.dst, dst: self.src, sport: self.dport, dport: self.sport }
+        FlowId {
+            src: self.dst,
+            dst: self.src,
+            sport: self.dport,
+            dport: self.sport,
+        }
     }
 }
 
 impl fmt::Display for FlowId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}->{}:{}", self.src, self.sport, self.dst, self.dport)
+        write!(
+            f,
+            "{}:{}->{}:{}",
+            self.src, self.sport, self.dst, self.dport
+        )
     }
 }
 
 /// TCP header flags. A plain struct of bools is used instead of a bitflags
 /// type because only five flags are ever needed and pattern-matching on
 /// named fields keeps call sites readable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TcpFlags {
     /// Synchronize sequence numbers (connection open).
     pub syn: bool,
@@ -73,22 +84,49 @@ pub struct TcpFlags {
     pub psh: bool,
 }
 
+impl_to_json!(struct TcpFlags { syn, ack, fin, rst, psh });
+
 impl TcpFlags {
     /// Flags for a pure ACK segment.
-    pub const ACK: TcpFlags =
-        TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// Flags for an initial SYN.
-    pub const SYN: TcpFlags =
-        TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// Flags for a SYN-ACK.
-    pub const SYN_ACK: TcpFlags =
-        TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// Flags for a FIN-ACK.
-    pub const FIN_ACK: TcpFlags =
-        TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
     /// Flags for an RST.
-    pub const RST: TcpFlags =
-        TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
 }
 
 impl fmt::Display for TcpFlags {
@@ -117,7 +155,7 @@ impl fmt::Display for TcpFlags {
 }
 
 /// The cleartext TCP/IP header of a packet, visible to any on-path device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcpHeader {
     /// The flow 4-tuple.
     pub flow: FlowId,
@@ -138,14 +176,23 @@ pub struct TcpHeader {
     pub ts_ecr: u64,
 }
 
+impl_to_json!(struct TcpHeader { flow, seq, ack, flags, window, ts_val, ts_ecr });
+
 /// Direction of travel relative to the client/server path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Client towards server (requests).
     ClientToServer,
     /// Server towards client (responses).
     ServerToClient,
 }
+
+impl_to_json!(
+    enum Direction {
+        ClientToServer,
+        ServerToClient,
+    }
+);
 
 impl Direction {
     /// The opposite direction.
@@ -167,8 +214,10 @@ impl fmt::Display for Direction {
 }
 
 /// A unique per-simulation packet identifier, assigned at send time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PacketId(pub u64);
+
+impl_to_json!(newtype PacketId);
 
 /// A packet on the simulated wire.
 ///
@@ -191,7 +240,11 @@ impl Packet {
     /// Creates a packet; the id is a placeholder until the simulator assigns
     /// one at send time.
     pub fn new(header: TcpHeader, payload: Bytes) -> Packet {
-        Packet { id: PacketId(0), header, payload }
+        Packet {
+            id: PacketId(0),
+            header,
+            payload,
+        }
     }
 
     /// Payload length in bytes (what tshark calls `tcp.len`).
@@ -210,7 +263,12 @@ mod tests {
     use super::*;
 
     fn flow() -> FlowId {
-        FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40000, dport: 443 }
+        FlowId {
+            src: HostAddr(1),
+            dst: HostAddr(2),
+            sport: 40000,
+            dport: 443,
+        }
     }
 
     #[test]
@@ -224,7 +282,15 @@ mod tests {
     #[test]
     fn wire_size_includes_overhead() {
         let p = Packet::new(
-            TcpHeader { flow: flow(), seq: 0, ack: 0, flags: TcpFlags::ACK, window: 65535 , ts_val: 0, ts_ecr: 0,},
+            TcpHeader {
+                flow: flow(),
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                window: 65535,
+                ts_val: 0,
+                ts_ecr: 0,
+            },
             Bytes::from(vec![0u8; 100]),
         );
         assert_eq!(p.payload_len(), 100);
@@ -239,7 +305,13 @@ mod tests {
 
     #[test]
     fn direction_reverses() {
-        assert_eq!(Direction::ClientToServer.reversed(), Direction::ServerToClient);
-        assert_eq!(Direction::ServerToClient.reversed(), Direction::ClientToServer);
+        assert_eq!(
+            Direction::ClientToServer.reversed(),
+            Direction::ServerToClient
+        );
+        assert_eq!(
+            Direction::ServerToClient.reversed(),
+            Direction::ClientToServer
+        );
     }
 }

@@ -6,34 +6,37 @@
 //! the paper reports percentages over 100 downloads per configuration, and
 //! we want each of those trials to be independently re-runnable.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use h2priv_util::rng::Xoshiro256PlusPlus;
 
-/// The simulation's random source: a seeded [`SmallRng`] with convenience
+/// The simulation's random source: a seeded xoshiro256++ generator
+/// (bit-compatible with the `rand 0.8` `SmallRng` the seed release used,
+/// so all pinned experiment seeds keep their streams) with convenience
 /// draws used across the stack (jittered delays, loss decisions, service
 /// time variation).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
 }
 
 impl SimRng {
     /// Creates a generator from a seed. The same seed always produces the
     /// same stream.
     pub fn new(seed: u64) -> SimRng {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator; used to give subsystems
     /// their own streams so adding draws in one place does not perturb
     /// another.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen())
+        SimRng::new(self.inner.next_u64())
     }
 
     /// A uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.gen_f64()
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -43,7 +46,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.inner.gen_f64() < p
         }
     }
 
@@ -53,7 +56,7 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "range inverted");
-        self.inner.gen_range(lo..=hi)
+        self.inner.gen_range_u64(lo, hi)
     }
 
     /// A multiplicative jitter factor in `[1-spread, 1+spread]`.
@@ -62,7 +65,7 @@ impl SimRng {
     /// `spread` is clamped to `[0, 1)`.
     pub fn jitter_factor(&mut self, spread: f64) -> f64 {
         let s = spread.clamp(0.0, 0.999);
-        1.0 - s + 2.0 * s * self.inner.gen::<f64>()
+        1.0 - s + 2.0 * s * self.inner.gen_f64()
     }
 
     /// A draw from an exponential distribution with the given mean.
@@ -74,7 +77,7 @@ impl SimRng {
         if mean == 0.0 {
             return 0.0;
         }
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.inner.gen_range_f64(f64::MIN_POSITIVE, 1.0);
         -mean * u.ln()
     }
 }

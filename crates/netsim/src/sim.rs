@@ -38,12 +38,14 @@ impl World {
         let (outcome, returned) = link.submit(pkt, draw);
         match outcome {
             SubmitOutcome::StartTx(tx) => {
-                self.queue.push(now + tx, EventKind::LinkTxComplete { link: link_id });
+                self.queue
+                    .push(now + tx, EventKind::LinkTxComplete { link: link_id });
             }
             SubmitOutcome::Queued => {}
             SubmitOutcome::DeliverAfter(delay) => {
                 let pkt = returned.expect("unconstrained submit returns packet");
-                self.queue.push(now + delay, EventKind::LinkDeliver { link: link_id, pkt });
+                self.queue
+                    .push(now + delay, EventKind::LinkDeliver { link: link_id, pkt });
             }
             SubmitOutcome::DroppedLoss | SubmitOutcome::DroppedQueue => {
                 self.stats.packets_dropped += 1;
@@ -201,7 +203,11 @@ impl Simulator {
         f: impl FnOnce(&mut dyn AnyNode, &mut Ctx<'_>) -> R,
     ) -> R {
         let mut node = self.nodes[id.0].take().expect("node re-entrancy");
-        let mut ctx = Ctx { now: self.now, node: id, world: &mut self.world };
+        let mut ctx = Ctx {
+            now: self.now,
+            node: id,
+            world: &mut self.world,
+        };
         let r = f(node.as_mut(), &mut ctx);
         self.nodes[id.0] = Some(node);
         r
@@ -226,11 +232,14 @@ impl Simulator {
             EventKind::LinkTxComplete { link } => {
                 let (pkt, next_tx) = self.world.links.get_mut(link).tx_complete();
                 let cfg = self.world.links.get(link).cfg;
-                self.world
-                    .queue
-                    .push(link::delivery_time(self.now, &cfg), EventKind::LinkDeliver { link, pkt });
+                self.world.queue.push(
+                    link::delivery_time(self.now, &cfg),
+                    EventKind::LinkDeliver { link, pkt },
+                );
                 if let Some(tx) = next_tx {
-                    self.world.queue.push(self.now + tx, EventKind::LinkTxComplete { link });
+                    self.world
+                        .queue
+                        .push(self.now + tx, EventKind::LinkTxComplete { link });
                 }
             }
             EventKind::LinkDeliver { link, pkt } => {
@@ -292,7 +301,7 @@ mod tests {
     use crate::capture::{shared, CountingSink};
     use crate::packet::{FlowId, HostAddr, TcpFlags, TcpHeader};
     use crate::time::SimDuration;
-    use bytes::Bytes;
+    use h2priv_util::bytes::Bytes;
 
     struct Blaster {
         out: Option<LinkId>,
@@ -323,7 +332,9 @@ mod tests {
                         seq: i,
                         ack: 0,
                         flags: TcpFlags::ACK,
-                        window: 0, ts_val: 0, ts_ecr: 0,
+                        window: 0,
+                        ts_val: 0,
+                        ts_ecr: 0,
                     },
                     Bytes::from(vec![0u8; self.payload]),
                 );
@@ -341,7 +352,11 @@ mod tests {
 
     fn build(count: u32, payload: usize, cfg: LinkConfig) -> (Simulator, NodeId) {
         let mut sim = Simulator::new(99);
-        let b = sim.add_node(Blaster { out: None, count, payload });
+        let b = sim.add_node(Blaster {
+            out: None,
+            count,
+            payload,
+        });
         let s = sim.add_node(Sink { received: vec![] });
         sim.connect(b, s, cfg);
         (sim, s)

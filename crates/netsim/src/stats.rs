@@ -35,7 +35,11 @@ mod tests {
 
     #[test]
     fn drop_ratio_computes() {
-        let s = SimStats { events: 0, packets_delivered: 75, packets_dropped: 25 };
+        let s = SimStats {
+            events: 0,
+            packets_delivered: 75,
+            packets_dropped: 25,
+        };
         assert!((s.drop_ratio() - 0.25).abs() < 1e-12);
     }
 }

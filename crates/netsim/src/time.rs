@@ -8,7 +8,7 @@
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
+use h2priv_util::impl_to_json;
 
 /// An instant on the virtual simulation clock, in nanoseconds since the
 /// start of the simulation.
@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(5);
 /// assert_eq!(t.as_micros(), 5_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -29,8 +29,11 @@ pub struct SimTime(u64);
 /// use h2priv_netsim::time::SimDuration;
 /// assert_eq!(SimDuration::from_millis(2) * 3, SimDuration::from_micros(6_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+
+impl_to_json!(newtype SimTime);
+impl_to_json!(newtype SimDuration);
 
 impl SimTime {
     /// The simulation epoch (t = 0).
@@ -162,7 +165,10 @@ impl SimDuration {
     /// # Panics
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
         let v = self.0 as f64 * factor;
         if v >= u64::MAX as f64 {
             SimDuration::MAX
@@ -314,7 +320,10 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(5), SimDuration::from_millis(10));
         assert_eq!(SimDuration::from_millis(6) / 2, SimDuration::from_millis(3));
-        assert_eq!(SimDuration::from_millis(6) * 2, SimDuration::from_millis(12));
+        assert_eq!(
+            SimDuration::from_millis(6) * 2,
+            SimDuration::from_millis(12)
+        );
     }
 
     #[test]
@@ -323,7 +332,10 @@ mod tests {
         let late = SimTime::from_millis(2);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_millis(1));
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_millis(1).saturating_sub(SimDuration::from_millis(2)),
             SimDuration::ZERO
@@ -351,7 +363,10 @@ mod tests {
         let hi = SimDuration::from_millis(20);
         assert_eq!(SimDuration::from_millis(5).clamp(lo, hi), lo);
         assert_eq!(SimDuration::from_millis(25).clamp(lo, hi), hi);
-        assert_eq!(SimDuration::from_millis(15).clamp(lo, hi), SimDuration::from_millis(15));
+        assert_eq!(
+            SimDuration::from_millis(15).clamp(lo, hi),
+            SimDuration::from_millis(15)
+        );
     }
 
     #[test]

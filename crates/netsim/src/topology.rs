@@ -79,7 +79,8 @@ impl PathTopology {
         let server_id = sim.add_node(server);
         let (c2m, m2c) = sim.connect(client_id, mbox_id, cfg.client_link);
         let (m2s, s2m) = sim.connect(mbox_id, server_id, cfg.server_link);
-        sim.node_mut::<Middlebox>(mbox_id).set_ports(m2c, m2s, c2m, s2m);
+        sim.node_mut::<Middlebox>(mbox_id)
+            .set_ports(m2c, m2s, c2m, s2m);
         PathTopology {
             client: client_id,
             middlebox: mbox_id,
@@ -97,8 +98,8 @@ mod tests {
     use super::*;
     use crate::middlebox::Passthrough;
     use crate::node::Ctx;
-    use crate::packet::Packet;
     use crate::node::TimerId;
+    use crate::packet::Packet;
 
     struct Dummy;
     impl Node for Dummy {
@@ -119,8 +120,12 @@ mod tests {
         assert_ne!(topo.client, topo.server);
         assert_ne!(topo.client, topo.middlebox);
         // Links have distinct ids.
-        let ids =
-            [topo.client_to_mbox, topo.mbox_to_client, topo.mbox_to_server, topo.server_to_mbox];
+        let ids = [
+            topo.client_to_mbox,
+            topo.mbox_to_client,
+            topo.mbox_to_server,
+            topo.server_to_mbox,
+        ];
         for i in 0..4 {
             for j in (i + 1)..4 {
                 assert_ne!(ids[i], ids[j]);

@@ -2,7 +2,7 @@
 
 use crate::time::SimDuration;
 use core::fmt;
-use serde::{Deserialize, Serialize};
+use h2priv_util::impl_to_json;
 
 /// A link bandwidth, stored as bits per second.
 ///
@@ -18,8 +18,10 @@ use serde::{Deserialize, Serialize};
 /// // 1500 bytes at 800 Mbps = 15 microseconds
 /// assert_eq!(bw.transmit_time(1500).as_micros(), 15);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth(u64);
+
+impl_to_json!(newtype Bandwidth);
 
 impl Bandwidth {
     /// Creates a bandwidth of `bps` bits per second.
@@ -89,10 +91,10 @@ impl fmt::Display for Bandwidth {
 /// use h2priv_netsim::units::ByteCount;
 /// assert_eq!(ByteCount::kib(9).get() + ByteCount::new(308).get(), 9_524);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteCount(u64);
+
+impl_to_json!(newtype ByteCount);
 
 impl ByteCount {
     /// A zero byte count.
@@ -146,13 +148,19 @@ mod tests {
         let fast = Bandwidth::gbps(1);
         let slow = Bandwidth::mbps(1);
         let b = 1_500;
-        assert_eq!(fast.transmit_time(b).as_nanos() * 1000, slow.transmit_time(b).as_nanos());
+        assert_eq!(
+            fast.transmit_time(b).as_nanos() * 1000,
+            slow.transmit_time(b).as_nanos()
+        );
     }
 
     #[test]
     fn transmit_time_exact() {
         // 1 Mbps, 125 bytes = 1000 bits => 1 ms
-        assert_eq!(Bandwidth::mbps(1).transmit_time(125), SimDuration::from_millis(1));
+        assert_eq!(
+            Bandwidth::mbps(1).transmit_time(125),
+            SimDuration::from_millis(1)
+        );
     }
 
     #[test]

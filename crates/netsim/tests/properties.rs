@@ -2,10 +2,11 @@
 //! ordering, conservation of packets, and middlebox verdict behaviour
 //! under randomized workloads.
 
-use bytes::Bytes;
 use h2priv_netsim::middlebox::{MiddleboxPolicy, PacketView, PolicyCtx, Verdict};
 use h2priv_netsim::prelude::*;
-use proptest::prelude::*;
+use h2priv_util::bytes::Bytes;
+use h2priv_util::check::{self, Gen};
+use h2priv_util::{prop_assert, prop_assert_eq};
 
 /// A node that sends `plan` packets at given times on its first egress
 /// link and records everything it receives.
@@ -19,14 +20,24 @@ struct Scripted {
 impl Scripted {
     fn new(plan: Vec<(u64, u32, usize)>) -> Scripted {
         let sent = vec![false; plan.len()];
-        Scripted { plan, sent, out: None, received: Vec::new() }
+        Scripted {
+            plan,
+            sent,
+            out: None,
+            received: Vec::new(),
+        }
     }
 }
 
 fn mk_pkt(seq: u32, len: usize) -> Packet {
     Packet::new(
         TcpHeader {
-            flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 1, dport: 2 },
+            flow: FlowId {
+                src: HostAddr(1),
+                dst: HostAddr(2),
+                sport: 1,
+                dport: 2,
+            },
             seq,
             ack: 0,
             flags: TcpFlags::ACK,
@@ -67,11 +78,7 @@ impl Node for Scripted {
     }
 }
 
-fn run_pair(
-    plan: Vec<(u64, u32, usize)>,
-    cfg: LinkConfig,
-    seed: u64,
-) -> Vec<(u64, u32)> {
+fn run_pair(plan: Vec<(u64, u32, usize)>, cfg: LinkConfig, seed: u64) -> Vec<(u64, u32)> {
     let mut sim = Simulator::new(seed);
     let a = sim.add_node(Scripted::new(plan));
     let b = sim.add_node(Scripted::new(vec![]));
@@ -80,16 +87,14 @@ fn run_pair(
     sim.node_ref::<Scripted>(b).received.clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// On a lossless link, every packet is delivered exactly once and in
-    /// FIFO order per send instant.
-    #[test]
-    fn lossless_link_conserves_and_orders(
-        sends in proptest::collection::vec((0u64..200, 1usize..3_000), 1..40),
-        seed in 0u64..1_000,
-    ) {
+/// On a lossless link, every packet is delivered exactly once and in
+/// FIFO order per send instant.
+#[test]
+fn lossless_link_conserves_and_orders() {
+    check::run("lossless_link_conserves_and_orders", 48, |g: &mut Gen| {
+        let n = g.usize(1, 39);
+        let sends: Vec<(u64, usize)> = (0..n).map(|_| (g.u64(0, 199), g.usize(1, 2_999))).collect();
+        let seed = g.u64(0, 999);
         let plan: Vec<(u64, u32, usize)> = sends
             .iter()
             .enumerate()
@@ -109,24 +114,29 @@ proptest! {
         for seqs in by_instant.values() {
             let pos: Vec<usize> = seqs
                 .iter()
-                .map(|s| received.iter().position(|(_, r)| r == s).expect("delivered"))
+                .map(|s| {
+                    received
+                        .iter()
+                        .position(|(_, r)| r == s)
+                        .expect("delivered")
+                })
                 .collect();
             for w in pos.windows(2) {
                 prop_assert!(w[0] < w[1], "same-instant sends must stay FIFO");
             }
         }
-    }
+    });
+}
 
-    /// Loss never duplicates or reorders what does get through, and the
-    /// delivered set is a subset of the sent set.
-    #[test]
-    fn lossy_link_delivers_subset(
-        n in 1usize..60,
-        loss in 0.0f64..1.0,
-        seed in 0u64..1_000,
-    ) {
-        let plan: Vec<(u64, u32, usize)> =
-            (0..n).map(|i| (i as u64, i as u32, 100)).collect();
+/// Loss never duplicates or reorders what does get through, and the
+/// delivered set is a subset of the sent set.
+#[test]
+fn lossy_link_delivers_subset() {
+    check::run("lossy_link_delivers_subset", 48, |g: &mut Gen| {
+        let n = g.usize(1, 59);
+        let loss = g.f64_unit();
+        let seed = g.u64(0, 999);
+        let plan: Vec<(u64, u32, usize)> = (0..n).map(|i| (i as u64, i as u32, 100)).collect();
         let received = run_pair(plan, LinkConfig::lan().with_loss(loss), seed);
         prop_assert!(received.len() <= n);
         let mut seen = std::collections::HashSet::new();
@@ -138,22 +148,22 @@ proptest! {
         for w in received.windows(2) {
             prop_assert!(w[0].1 < w[1].1, "lossy FIFO violated");
         }
-    }
+    });
+}
 
-    /// The same seed gives the same trace; a different seed may differ
-    /// but only in loss outcomes.
-    #[test]
-    fn determinism_under_seed(
-        n in 1usize..40,
-        seed in 0u64..1_000,
-    ) {
-        let plan: Vec<(u64, u32, usize)> =
-            (0..n).map(|i| (i as u64 * 3, i as u32, 500)).collect();
+/// The same seed gives the same trace; a different seed may differ
+/// but only in loss outcomes.
+#[test]
+fn determinism_under_seed() {
+    check::run("determinism_under_seed", 48, |g: &mut Gen| {
+        let n = g.usize(1, 39);
+        let seed = g.u64(0, 999);
+        let plan: Vec<(u64, u32, usize)> = (0..n).map(|i| (i as u64 * 3, i as u32, 500)).collect();
         let cfg = LinkConfig::lan().with_loss(0.4);
         let a = run_pair(plan.clone(), cfg, seed);
         let b = run_pair(plan, cfg, seed);
         prop_assert_eq!(a, b);
-    }
+    });
 }
 
 /// A policy that delays even-seq packets and drops seq % 5 == 4.
@@ -186,13 +196,19 @@ fn middlebox_delays_create_reordering_and_drops_remove() {
         Scripted::new(plan),
         Box::new(EvenDelayer),
         Scripted::new(vec![]),
-        &PathConfig { server_link: LinkConfig::wan(SimDuration::from_millis(5)), ..PathConfig::default() },
+        &PathConfig {
+            server_link: LinkConfig::wan(SimDuration::from_millis(5)),
+            ..PathConfig::default()
+        },
     );
     sim.run_until_idle(SimTime::from_secs(10));
     let received = &sim.node_ref::<Scripted>(topo.server).received;
     let dropped: Vec<u32> = (0..n).filter(|s| s % 5 == 4).collect();
     for d in &dropped {
-        assert!(!received.iter().any(|(_, s)| s == d), "dropped seq {d} was delivered");
+        assert!(
+            !received.iter().any(|(_, s)| s == d),
+            "dropped seq {d} was delivered"
+        );
     }
     assert_eq!(received.len() as u32, n - dropped.len() as u32);
     // Delayed evens arrive after nearby odds: at least one inversion.

@@ -3,7 +3,7 @@
 //! Holds written-but-not-yet-acknowledged application bytes, addressed by
 //! absolute stream offset, so the sender can (re)read any unacked range.
 
-use bytes::{Bytes, BytesMut};
+use h2priv_util::bytes::{Bytes, BytesMut};
 use std::collections::VecDeque;
 
 /// A byte buffer addressed by absolute stream offsets.
@@ -40,8 +40,16 @@ impl SendBuffer {
     /// Panics if `offset` is below the released watermark or at/past the
     /// end of written data.
     pub fn read(&self, offset: u64, max: usize) -> Bytes {
-        assert!(offset >= self.base, "offset {offset} below buffer base {}", self.base);
-        assert!(offset < self.end_offset(), "offset {offset} past end {}", self.end_offset());
+        assert!(
+            offset >= self.base,
+            "offset {offset} below buffer base {}",
+            self.base
+        );
+        assert!(
+            offset < self.end_offset(),
+            "offset {offset} past end {}",
+            self.end_offset()
+        );
         let mut skip = (offset - self.base) as usize;
         let want = max.min((self.end_offset() - offset) as usize);
         let mut out = BytesMut::with_capacity(want);
@@ -66,7 +74,9 @@ impl SendBuffer {
     pub fn release(&mut self, upto: u64) {
         let upto = upto.min(self.end_offset());
         while self.base < upto {
-            let Some(front) = self.chunks.front_mut() else { break };
+            let Some(front) = self.chunks.front_mut() else {
+                break;
+            };
             let drop = ((upto - self.base) as usize).min(front.len());
             if drop == front.len() {
                 self.base += front.len() as u64;

@@ -19,9 +19,9 @@ use crate::congestion::{CongestionController, Reno};
 use crate::rtt::RttEstimator;
 use crate::seq;
 use crate::stats::TcpStats;
-use bytes::Bytes;
 use h2priv_netsim::packet::{FlowId, TcpFlags, TcpHeader};
 use h2priv_netsim::time::SimTime;
+use h2priv_util::bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Connection lifecycle states (condensed RFC 793 set).
@@ -187,7 +187,11 @@ impl TcpConnection {
     /// # Panics
     /// Panics unless the connection is in [`TcpState::Closed`].
     pub fn open(&mut self, now: SimTime) {
-        assert_eq!(self.state, TcpState::Closed, "open() on non-closed connection");
+        assert_eq!(
+            self.state,
+            TcpState::Closed,
+            "open() on non-closed connection"
+        );
         self.clock = now;
         self.state = TcpState::SynSent;
         let hdr = TcpHeader {
@@ -229,7 +233,11 @@ impl TcpConnection {
 
     /// Feeds one received segment into the state machine.
     pub fn on_segment(&mut self, now: SimTime, hdr: &TcpHeader, payload: Bytes) {
-        debug_assert_eq!(hdr.flow, self.flow.reversed(), "segment routed to wrong connection");
+        debug_assert_eq!(
+            hdr.flow,
+            self.flow.reversed(),
+            "segment routed to wrong connection"
+        );
         if matches!(self.state, TcpState::Aborted | TcpState::Done) {
             return;
         }
@@ -291,7 +299,9 @@ impl TcpConnection {
     /// [`TcpConnection::next_timeout`] has been reached.
     pub fn on_timer(&mut self, now: SimTime) {
         self.clock = now;
-        let Some(deadline) = self.rto_deadline else { return };
+        let Some(deadline) = self.rto_deadline else {
+            return;
+        };
         if now < deadline {
             return;
         }
@@ -308,7 +318,9 @@ impl TcpConnection {
                     seq: self.iss,
                     ack: 0,
                     flags: TcpFlags::SYN,
-                    window: self.cfg.recv_window, ts_val: 0, ts_ecr: 0,
+                    window: self.cfg.recv_window,
+                    ts_val: 0,
+                    ts_ecr: 0,
                 };
                 self.out.push_back((hdr, Bytes::new()));
                 self.arm_rto(now);
@@ -477,7 +489,9 @@ impl TcpConnection {
                 .map(|b| seq::wrap(b, self.rcv_nxt))
                 .expect("SYN-ACK requires peer ISS"),
             flags,
-            window: self.cfg.recv_window, ts_val: 0, ts_ecr: 0,
+            window: self.cfg.recv_window,
+            ts_val: 0,
+            ts_ecr: 0,
         };
         self.out.push_back((hdr, Bytes::new()));
     }
@@ -533,7 +547,8 @@ impl TcpConnection {
             // range was retransmitted, because the echo identifies the
             // exact segment copy that triggered this ACK.
             if hdr.ts_ecr > 0 {
-                self.rtt.on_sample(now.saturating_since(SimTime::from_nanos(hdr.ts_ecr)));
+                self.rtt
+                    .on_sample(now.saturating_since(SimTime::from_nanos(hdr.ts_ecr)));
             }
             if self.cc.in_recovery() {
                 if self.snd_una >= self.recover {
@@ -591,7 +606,9 @@ impl TcpConnection {
     }
 
     fn process_data(&mut self, hdr: &TcpHeader, payload: Bytes) {
-        let Some(rcv_base) = self.rcv_base else { return };
+        let Some(rcv_base) = self.rcv_base else {
+            return;
+        };
         self.stats.segments_received += 1;
         let seg_off = seq::unwrap(rcv_base, hdr.seq);
         let len = payload.len() as u64;
@@ -639,7 +656,9 @@ impl TcpConnection {
     }
 
     fn process_fin(&mut self, hdr: &TcpHeader, payload_len: u64) {
-        let Some(rcv_base) = self.rcv_base else { return };
+        let Some(rcv_base) = self.rcv_base else {
+            return;
+        };
         let fin_off = seq::unwrap(rcv_base, hdr.seq) + payload_len;
         self.peer_fin_at = Some(fin_off);
         self.try_consume_fin();
@@ -680,7 +699,12 @@ mod tests {
     use h2priv_netsim::time::SimDuration;
 
     fn flow() -> FlowId {
-        FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 }
+        FlowId {
+            src: HostAddr(1),
+            dst: HostAddr(2),
+            sport: 40_000,
+            dport: 443,
+        }
     }
 
     /// A deterministic two-endpoint harness with a scriptable wire.
@@ -864,7 +888,10 @@ mod tests {
         p.run(4_000);
         let got = Pipe::received_bytes(&mut p.client);
         assert_eq!(got, data);
-        assert!(p.server.stats().fast_retransmits >= 1, "expected a fast retransmit");
+        assert!(
+            p.server.stats().fast_retransmits >= 1,
+            "expected a fast retransmit"
+        );
         assert!(p.client.stats().dup_acks_sent >= 3);
     }
 
@@ -900,14 +927,17 @@ mod tests {
                 rto_times.push(p.now);
             }
         }
-        assert!(rto_times.len() >= 4, "expected several RTOs, got {}", rto_times.len());
-        let gaps: Vec<u64> =
-            rto_times.windows(2).map(|w| (w[1] - w[0]).as_millis().max(1)).collect();
+        assert!(
+            rto_times.len() >= 4,
+            "expected several RTOs, got {}",
+            rto_times.len()
+        );
+        let gaps: Vec<u64> = rto_times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_millis().max(1))
+            .collect();
         for w in gaps.windows(2) {
-            assert!(
-                w[1] >= w[0] * 3 / 2,
-                "backoff not growing: gaps {gaps:?}"
-            );
+            assert!(w[1] >= w[0] * 3 / 2, "backoff not growing: gaps {gaps:?}");
         }
     }
 
@@ -969,7 +999,10 @@ mod tests {
             }
         }
         let sev = Pipe::drain_events(&mut p.server);
-        assert!(sev.contains(&TcpEvent::Aborted(AbortReason::PeerReset)), "{sev:?}");
+        assert!(
+            sev.contains(&TcpEvent::Aborted(AbortReason::PeerReset)),
+            "{sev:?}"
+        );
     }
 
     #[test]
@@ -978,7 +1011,10 @@ mod tests {
         let initial = p.server.cwnd();
         p.server.write(Bytes::from(vec![0u8; 200_000]));
         p.run(3_000);
-        assert!(p.server.cwnd() > initial * 2, "cwnd should have grown in slow start");
+        assert!(
+            p.server.cwnd() > initial * 2,
+            "cwnd should have grown in slow start"
+        );
     }
 
     #[test]

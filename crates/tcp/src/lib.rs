@@ -32,7 +32,7 @@
 //! use h2priv_tcp::{TcpConfig, TcpConnection, TcpEvent};
 //! use h2priv_netsim::packet::{FlowId, HostAddr};
 //! use h2priv_netsim::time::SimTime;
-//! use bytes::Bytes;
+//! use h2priv_util::bytes::Bytes;
 //!
 //! let flow = FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40000, dport: 443 };
 //! let mut client = TcpConnection::client(flow, TcpConfig::default());

@@ -17,7 +17,13 @@ pub struct RttEstimator {
 impl RttEstimator {
     /// Creates an estimator with the given RTO bounds.
     pub fn new(rto_initial: SimDuration, rto_min: SimDuration, rto_max: SimDuration) -> Self {
-        RttEstimator { srtt: None, rttvar: SimDuration::ZERO, rto_min, rto_max, rto_initial }
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto_min,
+            rto_max,
+            rto_initial,
+        }
     }
 
     /// Incorporates a new RTT sample. Samples from retransmitted segments

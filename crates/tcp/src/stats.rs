@@ -45,7 +45,11 @@ mod tests {
 
     #[test]
     fn retransmits_sums_both_kinds() {
-        let s = TcpStats { fast_retransmits: 3, timeout_retransmits: 2, ..Default::default() };
+        let s = TcpStats {
+            fast_retransmits: 3,
+            timeout_retransmits: 2,
+            ..Default::default()
+        };
         assert_eq!(s.retransmits(), 5);
     }
 }

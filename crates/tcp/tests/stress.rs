@@ -2,14 +2,20 @@
 //! loss, reordering and delay schedules must never corrupt the delivered
 //! byte stream — they may only slow it down or abort the connection.
 
-use bytes::Bytes;
 use h2priv_netsim::packet::{FlowId, HostAddr, TcpHeader};
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_tcp::{TcpConfig, TcpConnection, TcpEvent};
-use proptest::prelude::*;
+use h2priv_util::bytes::Bytes;
+use h2priv_util::check::{self, Gen};
+use h2priv_util::{prop_assert, prop_assert_eq};
 
 fn flow() -> FlowId {
-    FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 }
+    FlowId {
+        src: HostAddr(1),
+        dst: HostAddr(2),
+        sport: 40_000,
+        dport: 443,
+    }
 }
 
 /// A little deterministic network between two connections with
@@ -131,63 +137,67 @@ impl Net {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever the loss/delay schedule, the client either receives a
-    /// prefix-correct byte stream (no corruption, no holes, no
-    /// duplication) or the connection aborts.
-    #[test]
-    fn delivered_stream_is_always_a_correct_prefix(
-        fates in proptest::collection::vec((any::<bool>(), 0u64..400), 4..64),
-        size in 1usize..120_000,
-    ) {
-        // Keep the handshake survivable: never drop the first 6 packets.
-        let mut fates = fates;
-        for f in fates.iter_mut().take(6) {
-            f.0 = false;
-        }
-        let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
-        let mut net = Net::new(fates);
-        net.client.open(net.now);
-        net.server.write(Bytes::from(payload.clone()));
-        let mut received = Vec::new();
-        let mut aborted = false;
-        for _ in 0..200_000 {
-            if !net.tick() {
-                break;
+/// Whatever the loss/delay schedule, the client either receives a
+/// prefix-correct byte stream (no corruption, no holes, no
+/// duplication) or the connection aborts.
+#[test]
+fn delivered_stream_is_always_a_correct_prefix() {
+    check::run(
+        "delivered_stream_is_always_a_correct_prefix",
+        24,
+        |g: &mut Gen| {
+            let n_fates = g.usize(4, 63);
+            let mut fates: Vec<(bool, u64)> =
+                (0..n_fates).map(|_| (g.bool(0.5), g.u64(0, 399))).collect();
+            let size = g.usize(1, 119_999);
+            // Keep the handshake survivable: never drop the first 6 packets.
+            for f in fates.iter_mut().take(6) {
+                f.0 = false;
             }
-            let (d, a) = Net::drain(&mut net.client);
-            received.extend_from_slice(&d);
-            aborted |= a;
-            let (_, a) = Net::drain(&mut net.server);
-            aborted |= a;
-            if received.len() == payload.len() || aborted {
-                break;
+            let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let mut net = Net::new(fates);
+            net.client.open(net.now);
+            net.server.write(Bytes::from(payload.clone()));
+            let mut received = Vec::new();
+            let mut aborted = false;
+            for _ in 0..200_000 {
+                if !net.tick() {
+                    break;
+                }
+                let (d, a) = Net::drain(&mut net.client);
+                received.extend_from_slice(&d);
+                aborted |= a;
+                let (_, a) = Net::drain(&mut net.server);
+                aborted |= a;
+                if received.len() == payload.len() || aborted {
+                    break;
+                }
             }
-        }
-        prop_assert!(received.len() <= payload.len(), "over-delivery");
-        prop_assert_eq!(
-            &received[..],
-            &payload[..received.len()],
-            "delivered bytes must be an exact prefix"
-        );
-        if !aborted {
-            prop_assert_eq!(received.len(), payload.len(), "no abort implies completion");
-        }
-    }
+            prop_assert!(received.len() <= payload.len(), "over-delivery");
+            prop_assert_eq!(
+                &received[..],
+                &payload[..received.len()],
+                "delivered bytes must be an exact prefix"
+            );
+            if !aborted {
+                prop_assert_eq!(received.len(), payload.len(), "no abort implies completion");
+            }
+        },
+    );
+}
 
-    /// Bidirectional transfer under mild loss completes with both
-    /// streams intact.
-    #[test]
-    fn bidirectional_transfer_completes(
-        seed_fates in proptest::collection::vec((0u8..10, 0u64..60), 8..40),
-        up in 1usize..20_000,
-        down in 1usize..60_000,
-    ) {
-        // ~10% loss pattern derived from the u8 draw.
-        let mut fates: Vec<(bool, u64)> =
-            seed_fates.iter().map(|(b, d)| (*b == 0, *d)).collect();
+/// Bidirectional transfer under mild loss completes with both
+/// streams intact.
+#[test]
+fn bidirectional_transfer_completes() {
+    check::run("bidirectional_transfer_completes", 24, |g: &mut Gen| {
+        let n_fates = g.usize(8, 39);
+        // ~10% loss pattern derived from a 0..10 draw.
+        let mut fates: Vec<(bool, u64)> = (0..n_fates)
+            .map(|_| (g.u8(0, 9) == 0, g.u64(0, 59)))
+            .collect();
+        let up = g.usize(1, 19_999);
+        let down = g.usize(1, 59_999);
         for f in fates.iter_mut().take(6) {
             f.0 = false;
         }
@@ -213,7 +223,7 @@ proptest! {
         }
         prop_assert_eq!(got_up, up_data);
         prop_assert_eq!(got_down, down_data);
-    }
+    });
 }
 
 #[test]

@@ -47,6 +47,9 @@ pub mod record;
 pub mod session;
 pub mod wire_map;
 
-pub use record::{ContentType, RecordHeader, MAX_RECORD_PLAINTEXT, RECORD_HEADER_LEN, RECORD_OVERHEAD, AEAD_TAG_LEN};
+pub use record::{
+    ContentType, RecordHeader, AEAD_TAG_LEN, MAX_RECORD_PLAINTEXT, RECORD_HEADER_LEN,
+    RECORD_OVERHEAD,
+};
 pub use session::{OpenedRecord, RecordOpener, RecordSealer};
 pub use wire_map::{RecordTag, TrafficClass, WireMap, WireSpan};

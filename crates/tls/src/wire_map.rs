@@ -7,10 +7,10 @@
 //! out-of-band instrumentation: adversary code never reads it (it is only
 //! joined with traces by the metrics module).
 
-use serde::{Deserialize, Serialize};
+use h2priv_util::impl_to_json;
 
 /// Coarse classification of a record for experiment accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
     /// TLS handshake records.
     Handshake,
@@ -26,8 +26,18 @@ pub enum TrafficClass {
     ObjectData,
 }
 
+impl_to_json!(
+    enum TrafficClass {
+        Handshake,
+        Control,
+        Request,
+        ResponseHeaders,
+        ObjectData,
+    }
+);
+
 /// Ground-truth label attached to a sealed record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RecordTag {
     /// HTTP/2 stream id carrying the record (0 for connection-level).
     pub stream_id: u32,
@@ -39,6 +49,8 @@ pub struct RecordTag {
     /// Traffic class.
     pub class: TrafficClass,
 }
+
+impl_to_json!(struct RecordTag { stream_id, object_id, copy, class });
 
 impl RecordTag {
     /// A tag for traffic not attributable to any object.
@@ -57,7 +69,7 @@ impl RecordTag {
 
 /// One annotated span of the TCP byte stream: `[start, end)` in stream
 /// offsets (the sealer's output byte count).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireSpan {
     /// First byte offset (inclusive).
     pub start: u64,
@@ -66,6 +78,8 @@ pub struct WireSpan {
     /// Ground-truth label.
     pub tag: RecordTag,
 }
+
+impl_to_json!(struct WireSpan { start, end, tag });
 
 impl WireSpan {
     /// Length of the span in bytes.
@@ -81,10 +95,12 @@ impl WireSpan {
 
 /// The ordered list of annotated spans for one direction of one
 /// connection.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WireMap {
     spans: Vec<WireSpan>,
 }
+
+impl_to_json!(struct WireMap { spans });
 
 impl WireMap {
     /// Creates an empty map.
@@ -109,7 +125,10 @@ impl WireMap {
     pub fn tag_at(&self, off: u64) -> Option<RecordTag> {
         // Binary search over ordered, non-overlapping spans.
         let idx = self.spans.partition_point(|s| s.end <= off);
-        self.spans.get(idx).filter(|s| s.start <= off && off < s.end).map(|s| s.tag)
+        self.spans
+            .get(idx)
+            .filter(|s| s.start <= off && off < s.end)
+            .map(|s| s.tag)
     }
 
     /// Total object-data bytes attributed to `object_id` (all copies).
@@ -151,15 +170,32 @@ mod tests {
     use super::*;
 
     fn tag(obj: u32, copy: u16) -> RecordTag {
-        RecordTag { stream_id: 1, object_id: obj, copy, class: TrafficClass::ObjectData }
+        RecordTag {
+            stream_id: 1,
+            object_id: obj,
+            copy,
+            class: TrafficClass::ObjectData,
+        }
     }
 
     #[test]
     fn tag_at_finds_covering_span() {
         let mut m = WireMap::new();
-        m.push(WireSpan { start: 0, end: 10, tag: tag(1, 0) });
-        m.push(WireSpan { start: 10, end: 30, tag: tag(2, 0) });
-        m.push(WireSpan { start: 40, end: 50, tag: tag(3, 0) });
+        m.push(WireSpan {
+            start: 0,
+            end: 10,
+            tag: tag(1, 0),
+        });
+        m.push(WireSpan {
+            start: 10,
+            end: 30,
+            tag: tag(2, 0),
+        });
+        m.push(WireSpan {
+            start: 40,
+            end: 50,
+            tag: tag(3, 0),
+        });
         assert_eq!(m.tag_at(0).unwrap().object_id, 1);
         assert_eq!(m.tag_at(9).unwrap().object_id, 1);
         assert_eq!(m.tag_at(10).unwrap().object_id, 2);
@@ -171,9 +207,21 @@ mod tests {
     #[test]
     fn object_bytes_sums_across_spans_and_copies() {
         let mut m = WireMap::new();
-        m.push(WireSpan { start: 0, end: 10, tag: tag(1, 0) });
-        m.push(WireSpan { start: 10, end: 20, tag: tag(2, 0) });
-        m.push(WireSpan { start: 20, end: 35, tag: tag(1, 1) });
+        m.push(WireSpan {
+            start: 0,
+            end: 10,
+            tag: tag(1, 0),
+        });
+        m.push(WireSpan {
+            start: 10,
+            end: 20,
+            tag: tag(2, 0),
+        });
+        m.push(WireSpan {
+            start: 20,
+            end: 35,
+            tag: tag(1, 1),
+        });
         assert_eq!(m.object_bytes(1), 25);
         assert_eq!(m.object_bytes(2), 10);
         assert_eq!(m.copies_of(1), vec![0, 1]);
@@ -184,7 +232,11 @@ mod tests {
     fn none_tag_is_not_object_data() {
         assert!(!RecordTag::NONE.is_object_data());
         let mut m = WireMap::new();
-        m.push(WireSpan { start: 0, end: 5, tag: RecordTag::NONE });
+        m.push(WireSpan {
+            start: 0,
+            end: 5,
+            tag: RecordTag::NONE,
+        });
         assert_eq!(m.object_bytes(u32::MAX), 0);
     }
 }

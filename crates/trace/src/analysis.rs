@@ -10,7 +10,7 @@
 
 use crate::reassembly::SeenRecord;
 use h2priv_netsim::time::{SimDuration, SimTime};
-use serde::Serialize;
+use h2priv_util::impl_to_json;
 
 /// HTTP/2 frame header bytes per DATA record, subtracted from size
 /// estimates (known protocol constant).
@@ -42,7 +42,7 @@ impl Default for UnitConfig {
 }
 
 /// One contiguous run of data records — a candidate object transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransmissionUnit {
     /// Completion time of the first record in the unit.
     pub start: SimTime,
@@ -54,6 +54,8 @@ pub struct TransmissionUnit {
     /// Number of data records in the unit.
     pub records: usize,
 }
+
+impl_to_json!(struct TransmissionUnit { start, end, estimated_payload, records });
 
 /// Segments application-data records into transmission units.
 ///
@@ -82,8 +84,7 @@ pub fn segment_units(records: &[SeenRecord], cfg: &UnitConfig) -> Vec<Transmissi
                 units.push(u);
             }
         }
-        let contribution =
-            (rec.plaintext_len as u64).saturating_sub(FRAME_HEADER_OVERHEAD);
+        let contribution = (rec.plaintext_len as u64).saturating_sub(FRAME_HEADER_OVERHEAD);
         match current.as_mut() {
             Some(u) => {
                 u.end = rec.completed_at;
@@ -122,7 +123,10 @@ mod tests {
     }
 
     fn hs(at_ms: u64) -> SeenRecord {
-        SeenRecord { content_type: 22, ..rec(500, at_ms) }
+        SeenRecord {
+            content_type: 22,
+            ..rec(500, at_ms)
+        }
     }
 
     #[test]

@@ -91,9 +91,9 @@ pub fn shared_trace() -> SharedTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use h2priv_netsim::packet::{FlowId, HostAddr, Packet, TcpFlags, TcpHeader};
     use h2priv_netsim::time::SimTime;
+    use h2priv_util::bytes::Bytes;
 
     fn ev(dir: Direction, len: usize) -> CaptureEvent {
         CaptureEvent {
@@ -101,11 +101,18 @@ mod tests {
             direction: Some(dir),
             packet: Packet::new(
                 TcpHeader {
-                    flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 1, dport: 443 },
+                    flow: FlowId {
+                        src: HostAddr(1),
+                        dst: HostAddr(2),
+                        sport: 1,
+                        dport: 443,
+                    },
                     seq: 0,
                     ack: 0,
                     flags: TcpFlags::ACK,
-                    window: 0, ts_val: 0, ts_ecr: 0,
+                    window: 0,
+                    ts_val: 0,
+                    ts_ecr: 0,
                 },
                 Bytes::from(vec![0u8; len]),
             ),

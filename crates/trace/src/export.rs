@@ -7,46 +7,74 @@
 
 use crate::capture::Trace;
 use crate::record::PacketRecord;
-use bytes::Bytes;
-use h2priv_netsim::packet::{Direction, TcpHeader};
+use h2priv_netsim::packet::{Direction, FlowId, HostAddr, TcpFlags, TcpHeader};
 use h2priv_netsim::time::SimTime;
-use serde::{Deserialize, Serialize};
+use h2priv_util::bytes::Bytes;
+use h2priv_util::json::{Json, ToJson};
 use std::io::{BufRead, Write};
 
-/// One serialized packet record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct WireLine {
-    t_ns: u64,
-    dir: Direction,
-    header: TcpHeader,
-    #[serde(with = "hex_bytes")]
-    payload: Vec<u8>,
-    dropped: bool,
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
 }
 
-mod hex_bytes {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(bytes: &[u8], s: S) -> Result<S::Ok, S::Error> {
-        let mut out = String::with_capacity(bytes.len() * 2);
-        for b in bytes {
-            out.push_str(&format!("{b:02x}"));
-        }
-        s.serialize_str(&out)
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 || !s.is_ascii() {
+        return None;
     }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<u8>, D::Error> {
-        let s = String::deserialize(d)?;
-        if s.len() % 2 != 0 {
-            return Err(serde::de::Error::custom("odd hex length"));
-        }
-        (0..s.len())
-            .step_by(2)
-            .map(|i| {
-                u8::from_str_radix(&s[i..i + 2], 16)
-                    .map_err(|_| serde::de::Error::custom("bad hex"))
-            })
-            .collect()
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn parse_header(j: &Json) -> std::io::Result<TcpHeader> {
+    let u64_field = |j: &Json, k: &str| {
+        j.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing header field"))
+    };
+    let bool_field = |j: &Json, k: &str| {
+        j.get(k)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("missing flag field"))
+    };
+    let flow = j.get("flow").ok_or_else(|| bad("missing flow"))?;
+    let flags = j.get("flags").ok_or_else(|| bad("missing flags"))?;
+    Ok(TcpHeader {
+        flow: FlowId {
+            src: HostAddr(u64_field(flow, "src")? as u16),
+            dst: HostAddr(u64_field(flow, "dst")? as u16),
+            sport: u64_field(flow, "sport")? as u16,
+            dport: u64_field(flow, "dport")? as u16,
+        },
+        seq: u64_field(j, "seq")? as u32,
+        ack: u64_field(j, "ack")? as u32,
+        flags: TcpFlags {
+            syn: bool_field(flags, "syn")?,
+            ack: bool_field(flags, "ack")?,
+            fin: bool_field(flags, "fin")?,
+            rst: bool_field(flags, "rst")?,
+            psh: bool_field(flags, "psh")?,
+        },
+        window: u64_field(j, "window")? as u32,
+        ts_val: u64_field(j, "ts_val")?,
+        ts_ecr: u64_field(j, "ts_ecr")?,
+    })
+}
+
+fn parse_direction(j: &Json) -> std::io::Result<Direction> {
+    match j.as_str() {
+        Some("ClientToServer") => Ok(Direction::ClientToServer),
+        Some("ServerToClient") => Ok(Direction::ServerToClient),
+        _ => Err(bad("bad direction")),
     }
 }
 
@@ -56,14 +84,14 @@ mod hex_bytes {
 /// Propagates I/O errors from the writer.
 pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
     for p in &trace.packets {
-        let line = WireLine {
-            t_ns: p.time.as_nanos(),
-            dir: p.direction,
-            header: p.header,
-            payload: p.payload.to_vec(),
-            dropped: p.dropped_by_policy,
-        };
-        serde_json::to_writer(&mut w, &line)?;
+        let line = Json::Obj(vec![
+            ("t_ns".into(), p.time.as_nanos().to_json()),
+            ("dir".into(), p.direction.to_json()),
+            ("header".into(), p.header.to_json()),
+            ("payload".into(), Json::Str(hex_encode(&p.payload))),
+            ("dropped".into(), p.dropped_by_policy.to_json()),
+        ]);
+        w.write_all(line.to_string_compact().as_bytes())?;
         w.write_all(b"\n")?;
     }
     Ok(())
@@ -80,14 +108,25 @@ pub fn read_trace<R: BufRead>(r: R) -> std::io::Result<Trace> {
         if line.trim().is_empty() {
             continue;
         }
-        let wl: WireLine = serde_json::from_str(&line)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let j = Json::parse(&line).map_err(|e| bad(&e))?;
+        let payload = j
+            .get("payload")
+            .and_then(Json::as_str)
+            .and_then(hex_decode)
+            .ok_or_else(|| bad("bad payload"))?;
         packets.push(PacketRecord {
-            time: SimTime::from_nanos(wl.t_ns),
-            direction: wl.dir,
-            header: wl.header,
-            payload: Bytes::from(wl.payload),
-            dropped_by_policy: wl.dropped,
+            time: SimTime::from_nanos(
+                j.get("t_ns")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("bad t_ns"))?,
+            ),
+            direction: parse_direction(j.get("dir").ok_or_else(|| bad("missing dir"))?)?,
+            header: parse_header(j.get("header").ok_or_else(|| bad("missing header"))?)?,
+            payload: Bytes::from(payload),
+            dropped_by_policy: j
+                .get("dropped")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad("bad dropped"))?,
         });
     }
     Ok(Trace { packets })
@@ -103,7 +142,12 @@ mod tests {
             time: SimTime::from_micros(seq as u64 * 10),
             direction: dir,
             header: TcpHeader {
-                flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 40_000, dport: 443 },
+                flow: FlowId {
+                    src: HostAddr(1),
+                    dst: HostAddr(2),
+                    sport: 40_000,
+                    dport: 443,
+                },
                 seq,
                 ack: 7,
                 flags: TcpFlags::ACK,

@@ -152,7 +152,9 @@ fn walk_records(p: &PacketRecord) -> Vec<(u8, u16)> {
     let mut out = Vec::new();
     let mut buf = &p.payload[..];
     while buf.len() >= RECORD_HEADER_LEN {
-        let Some(hdr) = RecordHeader::decode(buf) else { break };
+        let Some(hdr) = RecordHeader::decode(buf) else {
+            break;
+        };
         out.push((hdr.content_type.as_byte(), hdr.length));
         let total = RECORD_HEADER_LEN + hdr.length as usize;
         if buf.len() < total {
@@ -194,7 +196,10 @@ impl FilterExpr {
         let mut p = Parser { tokens, pos: 0 };
         let expr = p.parse_or()?;
         if p.pos != p.tokens.len() {
-            return Err(ParseFilterError { msg: "trailing tokens".into(), at: p.pos });
+            return Err(ParseFilterError {
+                msg: "trailing tokens".into(),
+                at: p.pos,
+            });
         }
         Ok(expr)
     }
@@ -281,15 +286,15 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseFilterError> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                let n: u64 = input[start..i]
-                    .parse()
-                    .map_err(|_| ParseFilterError { msg: "bad number".into(), at: out.len() })?;
+                let n: u64 = input[start..i].parse().map_err(|_| ParseFilterError {
+                    msg: "bad number".into(),
+                    at: out.len(),
+                })?;
                 out.push(Token::Number(n));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'.' || b[i] == b'_')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'.' || b[i] == b'_')
                 {
                     i += 1;
                 }
@@ -332,7 +337,10 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> ParseFilterError {
-        ParseFilterError { msg: msg.into(), at: self.pos }
+        ParseFilterError {
+            msg: msg.into(),
+            at: self.pos,
+        }
     }
 
     fn parse_or(&mut self) -> Result<FilterExpr, ParseFilterError> {
@@ -378,8 +386,8 @@ impl Parser {
         let Some(Token::Ident(name)) = self.bump() else {
             return Err(self.err("expected field name"));
         };
-        let field = Field::by_name(&name)
-            .ok_or_else(|| self.err(&format!("unknown field '{name}'")))?;
+        let field =
+            Field::by_name(&name).ok_or_else(|| self.err(&format!("unknown field '{name}'")))?;
         let Some(Token::Op(op)) = self.bump() else {
             return Err(self.err("expected comparison operator"));
         };
@@ -393,10 +401,10 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use h2priv_netsim::packet::{FlowId, HostAddr, Packet, TcpFlags, TcpHeader};
     use h2priv_netsim::time::SimTime;
     use h2priv_tls::{ContentType, RecordSealer, RecordTag};
+    use h2priv_util::bytes::Bytes;
 
     fn pkt(dir: Direction, payload: Bytes, flags: TcpFlags) -> PacketRecord {
         PacketRecord::from_packet(
@@ -404,11 +412,18 @@ mod tests {
             dir,
             &Packet::new(
                 TcpHeader {
-                    flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 1, dport: 443 },
+                    flow: FlowId {
+                        src: HostAddr(1),
+                        dst: HostAddr(2),
+                        sport: 1,
+                        dport: 443,
+                    },
                     seq: 100,
                     ack: 0,
                     flags,
-                    window: 65_535, ts_val: 0, ts_ecr: 0,
+                    window: 65_535,
+                    ts_val: 0,
+                    ts_ecr: 0,
                 },
                 payload,
             ),
@@ -418,7 +433,11 @@ mod tests {
 
     fn app_data_pkt(len: usize) -> PacketRecord {
         let mut s = RecordSealer::new();
-        let wire = s.seal(ContentType::ApplicationData, &vec![0u8; len], RecordTag::NONE);
+        let wire = s.seal(
+            ContentType::ApplicationData,
+            &vec![0u8; len],
+            RecordTag::NONE,
+        );
         pkt(Direction::ClientToServer, wire, TcpFlags::ACK)
     }
 
@@ -437,12 +456,13 @@ mod tests {
 
     #[test]
     fn get_counting_filter_with_size_band() {
-        let f = FilterExpr::parse(
-            "ssl.record.content_type == 23 and tcp.len >= 60 and dir == c2s",
-        )
-        .unwrap();
+        let f = FilterExpr::parse("ssl.record.content_type == 23 and tcp.len >= 60 and dir == c2s")
+            .unwrap();
         assert!(f.matches(&app_data_pkt(100)));
-        assert!(!f.matches(&app_data_pkt(10)), "small control record must not count");
+        assert!(
+            !f.matches(&app_data_pkt(10)),
+            "small control record must not count"
+        );
         let mut s2c = app_data_pkt(100);
         s2c.direction = Direction::ServerToClient;
         assert!(!f.matches(&s2c));
@@ -450,10 +470,15 @@ mod tests {
 
     #[test]
     fn flags_and_parens_and_not() {
-        let f = FilterExpr::parse("(tcp.flags.syn == 1 and tcp.flags.ack == 0) or tcp.flags.rst == 1")
-            .unwrap();
+        let f =
+            FilterExpr::parse("(tcp.flags.syn == 1 and tcp.flags.ack == 0) or tcp.flags.rst == 1")
+                .unwrap();
         assert!(f.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::SYN)));
-        assert!(!f.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::SYN_ACK)));
+        assert!(!f.matches(&pkt(
+            Direction::ClientToServer,
+            Bytes::new(),
+            TcpFlags::SYN_ACK
+        )));
         assert!(f.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::RST)));
         let n = FilterExpr::parse("not tcp.len > 0").unwrap();
         assert!(n.matches(&pkt(Direction::ClientToServer, Bytes::new(), TcpFlags::ACK)));
@@ -468,10 +493,18 @@ mod tests {
             .to_vec();
         wire.extend_from_slice(&s.seal(ContentType::Handshake, &[0u8; 60], RecordTag::NONE));
         let p = pkt(Direction::ClientToServer, Bytes::from(wire), TcpFlags::ACK);
-        assert!(FilterExpr::parse("ssl.record.content_type == 22").unwrap().matches(&p));
-        assert!(FilterExpr::parse("ssl.record.content_type == 23").unwrap().matches(&p));
-        assert!(!FilterExpr::parse("ssl.record.content_type == 21").unwrap().matches(&p));
-        assert!(FilterExpr::parse("ssl.record.length >= 76").unwrap().matches(&p));
+        assert!(FilterExpr::parse("ssl.record.content_type == 22")
+            .unwrap()
+            .matches(&p));
+        assert!(FilterExpr::parse("ssl.record.content_type == 23")
+            .unwrap()
+            .matches(&p));
+        assert!(!FilterExpr::parse("ssl.record.content_type == 21")
+            .unwrap()
+            .matches(&p));
+        assert!(FilterExpr::parse("ssl.record.length >= 76")
+            .unwrap()
+            .matches(&p));
     }
 
     #[test]

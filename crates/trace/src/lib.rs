@@ -31,11 +31,11 @@ pub mod analysis;
 pub mod capture;
 pub mod export;
 pub mod filter;
-pub mod record;
 pub mod reassembly;
+pub mod record;
 
 pub use analysis::{TransmissionUnit, UnitConfig};
 pub use capture::{SharedTrace, Trace, TraceCollector};
 pub use filter::FilterExpr;
-pub use record::PacketRecord;
 pub use reassembly::{SeenRecord, StreamView};
+pub use record::PacketRecord;

@@ -192,20 +192,31 @@ fn contiguous_prefix(map: &BTreeMap<u64, u64>) -> u64 {
 mod tests {
     use super::*;
     use crate::record::PacketRecord;
-    use bytes::Bytes;
     use h2priv_netsim::packet::{FlowId, HostAddr, TcpFlags, TcpHeader};
     use h2priv_tls::{ContentType, RecordSealer, RecordTag};
+    use h2priv_util::bytes::Bytes;
 
     fn seg(seq: u32, payload: &[u8], t_ms: u64, syn: bool) -> PacketRecord {
         PacketRecord {
             time: SimTime::from_millis(t_ms),
             direction: Direction::ServerToClient,
             header: TcpHeader {
-                flow: FlowId { src: HostAddr(2), dst: HostAddr(1), sport: 443, dport: 40_000 },
+                flow: FlowId {
+                    src: HostAddr(2),
+                    dst: HostAddr(1),
+                    sport: 443,
+                    dport: 40_000,
+                },
                 seq,
                 ack: 0,
-                flags: if syn { TcpFlags::SYN_ACK } else { TcpFlags::ACK },
-                window: 65_535, ts_val: 0, ts_ecr: 0,
+                flags: if syn {
+                    TcpFlags::SYN_ACK
+                } else {
+                    TcpFlags::ACK
+                },
+                window: 65_535,
+                ts_val: 0,
+                ts_ecr: 0,
             },
             payload: Bytes::copy_from_slice(payload),
             dropped_by_policy: false,
@@ -273,7 +284,11 @@ mod tests {
         let packets = vec![seg(99, &[], 0, true), p];
         let view = reassemble(&trace_of(packets), Direction::ServerToClient, false);
         assert!(view.records.is_empty());
-        let view = reassemble(&trace_of(packets_clone(&sealer, wire)), Direction::ServerToClient, true);
+        let view = reassemble(
+            &trace_of(packets_clone(&sealer, wire)),
+            Direction::ServerToClient,
+            true,
+        );
         // helper below re-creates the same packets with the flag set
         assert_eq!(view.records.len(), 1);
     }
@@ -307,7 +322,10 @@ mod tests {
         let lens: Vec<u16> = view.records.iter().map(|r| r.plaintext_len).collect();
         assert_eq!(lens, vec![100, 2_000, 50]);
         // Offsets are strictly increasing.
-        assert!(view.records.windows(2).all(|w| w[0].stream_offset < w[1].stream_offset));
+        assert!(view
+            .records
+            .windows(2)
+            .all(|w| w[0].stream_offset < w[1].stream_offset));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Captured packet records.
 
-use bytes::Bytes;
 use h2priv_netsim::packet::{Direction, Packet, TcpHeader};
 use h2priv_netsim::time::SimTime;
+use h2priv_util::bytes::Bytes;
 
 /// One packet as seen by the monitor at the compromised middlebox.
 ///
@@ -61,11 +61,18 @@ mod tests {
     fn from_packet_copies_visible_fields() {
         let pkt = Packet::new(
             TcpHeader {
-                flow: FlowId { src: HostAddr(1), dst: HostAddr(2), sport: 1, dport: 443 },
+                flow: FlowId {
+                    src: HostAddr(1),
+                    dst: HostAddr(2),
+                    sport: 1,
+                    dport: 443,
+                },
                 seq: 42,
                 ack: 7,
                 flags: TcpFlags::ACK,
-                window: 1000, ts_val: 0, ts_ecr: 0,
+                window: 1000,
+                ts_val: 0,
+                ts_ecr: 0,
             },
             Bytes::from(vec![0u8; 77]),
         );

@@ -3,25 +3,35 @@
 //! segmentation (with duplication and reordering), and the filter
 //! language must obey boolean algebra.
 
-use bytes::Bytes;
 use h2priv_netsim::packet::{Direction, FlowId, HostAddr, TcpFlags, TcpHeader};
 use h2priv_netsim::time::SimTime;
-use h2priv_trace::capture::Trace;
-use h2priv_trace::record::PacketRecord;
-use h2priv_trace::reassembly::reassemble;
-use h2priv_trace::FilterExpr;
 use h2priv_tls::{ContentType, RecordSealer, RecordTag};
-use proptest::prelude::*;
+use h2priv_trace::capture::Trace;
+use h2priv_trace::reassembly::reassemble;
+use h2priv_trace::record::PacketRecord;
+use h2priv_trace::FilterExpr;
+use h2priv_util::bytes::Bytes;
+use h2priv_util::check::{self, Gen};
+use h2priv_util::{prop_assert, prop_assert_eq};
 
 fn seg(seq: u32, payload: &[u8], t_ms: u64, syn: bool) -> PacketRecord {
     PacketRecord {
         time: SimTime::from_millis(t_ms),
         direction: Direction::ServerToClient,
         header: TcpHeader {
-            flow: FlowId { src: HostAddr(2), dst: HostAddr(1), sport: 443, dport: 40_000 },
+            flow: FlowId {
+                src: HostAddr(2),
+                dst: HostAddr(1),
+                sport: 443,
+                dport: 40_000,
+            },
             seq,
             ack: 0,
-            flags: if syn { TcpFlags::SYN_ACK } else { TcpFlags::ACK },
+            flags: if syn {
+                TcpFlags::SYN_ACK
+            } else {
+                TcpFlags::ACK
+            },
             window: 65_535,
             ts_val: 0,
             ts_ecr: 0,
@@ -31,58 +41,75 @@ fn seg(seq: u32, payload: &[u8], t_ms: u64, syn: bool) -> PacketRecord {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Seal a random sequence of records, chop the stream into random
-    /// segments, optionally duplicate and shuffle them — reassembly must
-    /// recover exactly the sealed record sequence.
-    #[test]
-    fn reassembly_recovers_records_from_any_segmentation(
-        lens in proptest::collection::vec(1u16..3_000, 1..12),
-        cuts in proptest::collection::vec(1usize..1_400, 1..24),
-        dup_every in 2usize..6,
-        shuffle_seed in 0u64..1_000,
-    ) {
-        let mut sealer = RecordSealer::new();
-        let mut stream = Vec::new();
-        for (i, len) in lens.iter().enumerate() {
-            let ct = if i % 3 == 0 { ContentType::Handshake } else { ContentType::ApplicationData };
-            stream.extend_from_slice(&sealer.seal(ct, &vec![0u8; *len as usize], RecordTag::NONE));
-        }
-        // Chop into segments at pseudo-random sizes.
-        let mut packets = vec![seg(99, &[], 0, true)];
-        let mut off = 0usize;
-        let mut ci = 0usize;
-        let mut t = 1u64;
-        while off < stream.len() {
-            let take = cuts[ci % cuts.len()].min(stream.len() - off);
-            ci += 1;
-            packets.push(seg(100 + off as u32, &stream[off..off + take], t, false));
-            // Duplicate some segments (retransmissions).
-            if ci % dup_every == 0 {
-                packets.push(seg(100 + off as u32, &stream[off..off + take], t + 1, false));
+/// Seal a random sequence of records, chop the stream into random
+/// segments, optionally duplicate and shuffle them — reassembly must
+/// recover exactly the sealed record sequence.
+#[test]
+fn reassembly_recovers_records_from_any_segmentation() {
+    check::run(
+        "reassembly_recovers_records_from_any_segmentation",
+        48,
+        |g: &mut Gen| {
+            let lens: Vec<u16> = (0..g.usize(1, 11)).map(|_| g.u16(1, 2_999)).collect();
+            let cuts: Vec<usize> = (0..g.usize(1, 23)).map(|_| g.usize(1, 1_399)).collect();
+            let dup_every = g.usize(2, 5);
+            let shuffle_seed = g.u64(0, 999);
+            let mut sealer = RecordSealer::new();
+            let mut stream = Vec::new();
+            for (i, len) in lens.iter().enumerate() {
+                let ct = if i % 3 == 0 {
+                    ContentType::Handshake
+                } else {
+                    ContentType::ApplicationData
+                };
+                stream.extend_from_slice(&sealer.seal(
+                    ct,
+                    &vec![0u8; *len as usize],
+                    RecordTag::NONE,
+                ));
             }
-            off += take;
-            t += 1;
-        }
-        // Mild deterministic shuffle: swap adjacent pairs by seed parity.
-        if shuffle_seed % 2 == 0 && packets.len() > 3 {
-            let n = packets.len();
-            packets.swap(n - 1, n - 2);
-        }
-        let view = reassemble(&Trace { packets }, Direction::ServerToClient, false);
-        prop_assert_eq!(view.records.len(), lens.len(), "record count");
-        let got: Vec<u16> = view.records.iter().map(|r| r.plaintext_len).collect();
-        prop_assert_eq!(got, lens.clone());
-        prop_assert!(!view.desynced);
-        prop_assert_eq!(view.unique_bytes, stream.len() as u64);
-    }
+            // Chop into segments at pseudo-random sizes.
+            let mut packets = vec![seg(99, &[], 0, true)];
+            let mut off = 0usize;
+            let mut ci = 0usize;
+            let mut t = 1u64;
+            while off < stream.len() {
+                let take = cuts[ci % cuts.len()].min(stream.len() - off);
+                ci += 1;
+                packets.push(seg(100 + off as u32, &stream[off..off + take], t, false));
+                // Duplicate some segments (retransmissions).
+                if ci % dup_every == 0 {
+                    packets.push(seg(
+                        100 + off as u32,
+                        &stream[off..off + take],
+                        t + 1,
+                        false,
+                    ));
+                }
+                off += take;
+                t += 1;
+            }
+            // Mild deterministic shuffle: swap adjacent pairs by seed parity.
+            if shuffle_seed % 2 == 0 && packets.len() > 3 {
+                let n = packets.len();
+                packets.swap(n - 1, n - 2);
+            }
+            let view = reassemble(&Trace { packets }, Direction::ServerToClient, false);
+            prop_assert_eq!(view.records.len(), lens.len(), "record count");
+            let got: Vec<u16> = view.records.iter().map(|r| r.plaintext_len).collect();
+            prop_assert_eq!(got, lens.clone());
+            prop_assert!(!view.desynced);
+            prop_assert_eq!(view.unique_bytes, stream.len() as u64);
+        },
+    );
+}
 
-    /// Retransmitted-only segments never inflate the record sequence and
-    /// are counted.
-    #[test]
-    fn duplicates_counted_not_delivered(times in 1usize..6) {
+/// Retransmitted-only segments never inflate the record sequence and
+/// are counted.
+#[test]
+fn duplicates_counted_not_delivered() {
+    check::run("duplicates_counted_not_delivered", 48, |g: &mut Gen| {
+        let times = g.usize(1, 5);
         let mut sealer = RecordSealer::new();
         let wire = sealer.seal(ContentType::ApplicationData, &[0u8; 700], RecordTag::NONE);
         let mut packets = vec![seg(99, &[], 0, true)];
@@ -92,39 +119,51 @@ proptest! {
         let view = reassemble(&Trace { packets }, Direction::ServerToClient, false);
         prop_assert_eq!(view.records.len(), 1);
         prop_assert_eq!(view.retransmitted_segments, times as u64);
-    }
+    });
+}
 
-    /// De Morgan: !(A && B) === (!A || !B) over arbitrary packets.
-    #[test]
-    fn filter_de_morgan(
-        len in 0u32..2_000,
-        seq in 0u32..10_000,
-        s2c: bool,
-    ) {
+/// De Morgan: !(A && B) === (!A || !B) over arbitrary packets.
+#[test]
+fn filter_de_morgan() {
+    check::run("filter_de_morgan", 48, |g: &mut Gen| {
+        let len = g.u32(0, 1_999);
+        let seq = g.u32(0, 9_999);
+        let s2c = g.bool(0.5);
         let mut p = seg(seq, &vec![0u8; len as usize], 1, false);
-        p.direction = if s2c { Direction::ServerToClient } else { Direction::ClientToServer };
+        p.direction = if s2c {
+            Direction::ServerToClient
+        } else {
+            Direction::ClientToServer
+        };
         let a = "tcp.len > 100";
         let b = "dir == s2c";
         let lhs = FilterExpr::parse(&format!("not ({a} and {b})")).unwrap();
         let rhs = FilterExpr::parse(&format!("(not {a}) or (not {b})")).unwrap();
         prop_assert_eq!(lhs.matches(&p), rhs.matches(&p));
-    }
+    });
+}
 
-    /// Parsing is total: random printable strings either parse or return
-    /// an error, never panic.
-    #[test]
-    fn filter_parse_never_panics(s in "[ -~]{0,64}") {
+/// Parsing is total: random printable strings either parse or return
+/// an error, never panic.
+#[test]
+fn filter_parse_never_panics() {
+    check::run("filter_parse_never_panics", 48, |g: &mut Gen| {
+        let s = g.ascii_string(64);
         let _ = FilterExpr::parse(&s);
-    }
+    });
+}
 
-    /// A parsed expression's Debug/re-parse of canonical operators stays
-    /// semantically stable on sample packets.
-    #[test]
-    fn filter_threshold_semantics(threshold in 0u32..3_000, len in 0u32..3_000) {
+/// A parsed expression's Debug/re-parse of canonical operators stays
+/// semantically stable on sample packets.
+#[test]
+fn filter_threshold_semantics() {
+    check::run("filter_threshold_semantics", 48, |g: &mut Gen| {
+        let threshold = g.u32(0, 2_999);
+        let len = g.u32(0, 2_999);
         let f = FilterExpr::parse(&format!("tcp.len >= {threshold}")).unwrap();
         let p = seg(1, &vec![0u8; len as usize], 1, false);
         prop_assert_eq!(f.matches(&p), len >= threshold);
-    }
+    });
 }
 
 #[test]
@@ -172,8 +211,8 @@ fn filter_matches_trace_queries_end_to_end() {
         packets.push(p);
     }
     let trace = Trace { packets };
-    let gets = FilterExpr::parse("ssl.record.content_type == 23 and ssl.record.length >= 120")
-        .unwrap();
+    let gets =
+        FilterExpr::parse("ssl.record.content_type == 23 and ssl.record.length >= 120").unwrap();
     let hits = trace.packets.iter().filter(|p| gets.matches(p)).count();
     assert_eq!(hits, 2, "two GET-sized app records");
 }

@@ -1,0 +1,182 @@
+//! A seeded, shrink-free property-test harness replacing `proptest`.
+//!
+//! [`run`] executes a property closure against a fixed number of generated
+//! cases. Case seeds are derived deterministically from the property name,
+//! so every run (and every machine) exercises the same inputs — failures
+//! are reproducible by construction, no shrinking or persistence files
+//! needed. On failure the case index and seed are printed before the panic
+//! propagates.
+
+use crate::rng::Xoshiro256PlusPlus;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Source of generated values for one property case.
+pub struct Gen {
+    rng: Xoshiro256PlusPlus,
+}
+
+impl Gen {
+    /// A generator for an explicit seed (used by [`run`]; also handy for
+    /// reproducing one failing case in isolation).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: Xoshiro256PlusPlus::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform `u64` in `[lo, hi]` inclusive.
+    pub fn u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range_u64(lo, hi)
+    }
+
+    /// A uniform `u32` in `[lo, hi]` inclusive.
+    pub fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// A uniform `u16` in `[lo, hi]` inclusive.
+    pub fn u16(&mut self, lo: u16, hi: u16) -> u16 {
+        self.u64(u64::from(lo), u64::from(hi)) as u16
+    }
+
+    /// A uniform `u8` in `[lo, hi]` inclusive.
+    pub fn u8(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64(u64::from(lo), u64::from(hi)) as u8
+    }
+
+    /// A uniform `usize` in `[lo, hi]` inclusive.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range_f64(lo, hi)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_f64() < p
+    }
+
+    /// A byte vector with length uniform in `[0, max_len]`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.usize(0, max_len);
+        (0..len).map(|_| self.u8(0, u8::MAX)).collect()
+    }
+
+    /// An ASCII string with length uniform in `[0, max_len]`.
+    pub fn ascii_string(&mut self, max_len: usize) -> String {
+        let len = self.usize(0, max_len);
+        (0..len).map(|_| char::from(self.u8(0x20, 0x7e))).collect()
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.usize(0, items.len() - 1)]
+    }
+}
+
+/// FNV-1a, used to give each named property its own seed stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `property` against `cases` deterministic generated cases.
+///
+/// # Panics
+/// Re-raises the property's panic, after printing the failing case index
+/// and seed (pass the seed to [`Gen::from_seed`] to replay just that case).
+pub fn run(name: &str, cases: u32, mut property: impl FnMut(&mut Gen)) {
+    let base = fnv1a(name);
+    for case in 0..cases {
+        let seed = base ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut g = Gen::from_seed(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut g))) {
+            eprintln!("property `{name}` failed at case {case}/{cases} (seed {seed:#x})");
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Asserts a property-level condition. An alias for `assert!` kept for
+/// parity with the `proptest` tests this harness replaced.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-level equality. An alias for `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut n = 0u32;
+        run("counter", 256, |_| n += 1);
+        assert_eq!(n, 256);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first = Vec::new();
+        run("determinism", 16, |g| first.push(g.u64(0, u64::MAX)));
+        let mut second = Vec::new();
+        run("determinism", 16, |g| second.push(g.u64(0, u64::MAX)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_properties_get_different_streams() {
+        let mut a = Vec::new();
+        run("stream-a", 8, |g| a.push(g.u64(0, u64::MAX)));
+        let mut b = Vec::new();
+        run("stream-b", 8, |g| b.push(g.u64(0, u64::MAX)));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run("failing", 256, |g| {
+            if g.u64(0, 9) == 3 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        run("bounds", 256, |g| {
+            let lo = g.u64(0, 100);
+            let hi = lo + g.u64(0, 100);
+            let v = g.u64(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+            let s = g.ascii_string(32);
+            prop_assert!(s.len() <= 32);
+            prop_assert!(s.chars().all(|c| c.is_ascii_graphic() || c == ' '));
+            let b = g.bytes(64);
+            prop_assert!(b.len() <= 64);
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! Zero-dependency substrate for the h2priv workspace.
+//!
+//! Everything the simulator previously pulled from crates.io lives here in
+//! a small, auditable form so the whole reproduction builds and tests
+//! offline (`cargo build --offline`) with an empty registry cache:
+//!
+//! * [`rng`] — a deterministic xoshiro256++ generator that is bit-compatible
+//!   with `rand 0.8`'s `SmallRng` on 64-bit platforms, so every hardcoded
+//!   experiment seed keeps producing the numbers recorded in EXPERIMENTS.md.
+//! * [`json`] — a minimal JSON value type, [`json::ToJson`] trait, writer
+//!   (compact and serde_json-style pretty) and parser, replacing the
+//!   `serde`/`serde_json` derives (the workspace only ever round-trips its
+//!   own output).
+//! * [`bytes`] — cheaply-cloneable [`bytes::Bytes`] and growable
+//!   [`bytes::BytesMut`] built on `Arc<[u8]>`/`Vec<u8>`.
+//! * [`check`] — a seeded, shrink-free property-test harness replacing the
+//!   `proptest` dev-dependency.
+
+pub mod bytes;
+pub mod check;
+pub mod json;
+pub mod rng;

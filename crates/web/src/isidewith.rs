@@ -20,12 +20,12 @@ use crate::site::{PlanStep, Site, Trigger};
 use core::fmt;
 use h2priv_netsim::rng::SimRng;
 use h2priv_netsim::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use h2priv_util::impl_to_json;
 
 /// The eight political parties whose emblem images appear on the result
 /// page. The variant order defines the canonical image inventory order
 /// (not the per-user result order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Party {
     /// Democratic Party.
     Democratic,
@@ -45,6 +45,19 @@ pub enum Party {
     Socialist,
 }
 
+impl_to_json!(
+    enum Party {
+        Democratic,
+        Republican,
+        Libertarian,
+        Green,
+        Constitution,
+        AmericanSolidarity,
+        Reform,
+        Socialist,
+    }
+);
+
 impl Party {
     /// All parties in canonical order.
     pub const ALL: [Party; 8] = [
@@ -60,7 +73,10 @@ impl Party {
 
     /// Canonical index of this party.
     pub fn index(self) -> usize {
-        Party::ALL.iter().position(|p| *p == self).expect("party in ALL")
+        Party::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("party in ALL")
     }
 }
 
@@ -105,9 +121,9 @@ const TAIL_COUNT: u32 = 3;
 /// Sizes for the 36 plain embedded assets (deterministic, realistic mix
 /// of small CSS/JS/sprites up to a couple of larger bundles).
 const EMBEDDED_SIZES: [u64; EMBEDDED_PLAIN as usize] = [
-    18_400, 2_150, 3_800, 27_300, 1_950, 44_100, 6_800, 3_250, 58_700, 2_700, 8_900, 21_600,
-    4_450, 1_800, 33_200, 7_350, 2_480, 16_750, 5_600, 12_850, 3_050, 48_300, 2_250, 8_600,
-    19_850, 4_120, 36_400, 2_900, 7_050, 14_600, 3_550, 25_800, 1_850, 11_300, 4_700, 41_700,
+    18_400, 2_150, 3_800, 27_300, 1_950, 44_100, 6_800, 3_250, 58_700, 2_700, 8_900, 21_600, 4_450,
+    1_800, 33_200, 7_350, 2_480, 16_750, 5_600, 12_850, 3_050, 48_300, 2_250, 8_600, 19_850, 4_120,
+    36_400, 2_900, 7_050, 14_600, 3_550, 25_800, 1_850, 11_300, 4_700, 41_700,
 ];
 
 /// Measured inter-request gaps within the image burst, Table II row 1
@@ -148,19 +164,50 @@ impl IsideWith {
         let mut objects: Vec<WebObject> = Vec::new();
         let mut add = |path: String, media: MediaType, size: u64, service: ServiceProfile| {
             let id = ObjectId(objects.len() as u32);
-            objects.push(WebObject { id, path, media, size, service });
+            objects.push(WebObject {
+                id,
+                path,
+                media,
+                size,
+                service,
+            });
             id
         };
 
         // --- five quiz-page objects downloaded before the result HTML ---
-        add("/quiz".into(), MediaType::Html, 13_400, ServiceProfile::dynamic_html());
-        add("/static/css/main.css".into(), MediaType::Css, 31_200, ServiceProfile::static_asset());
-        add("/static/js/app.js".into(), MediaType::Js, 84_000, ServiceProfile::static_asset());
-        add("/static/js/vendor.js".into(), MediaType::Js, 148_000, ServiceProfile::static_asset());
+        add(
+            "/quiz".into(),
+            MediaType::Html,
+            13_400,
+            ServiceProfile::dynamic_html(),
+        );
+        add(
+            "/static/css/main.css".into(),
+            MediaType::Css,
+            31_200,
+            ServiceProfile::static_asset(),
+        );
+        add(
+            "/static/js/app.js".into(),
+            MediaType::Js,
+            84_000,
+            ServiceProfile::static_asset(),
+        );
+        add(
+            "/static/js/vendor.js".into(),
+            MediaType::Js,
+            148_000,
+            ServiceProfile::static_asset(),
+        );
         // The survey submission itself: a slow dynamic API call whose
         // long transmission usually overlaps the result HTML (the page
         // polls it while the user is redirected to the results).
-        add("/api/survey/submit".into(), MediaType::Json, 48_300, ServiceProfile::api_json());
+        add(
+            "/api/survey/submit".into(),
+            MediaType::Json,
+            48_300,
+            ServiceProfile::api_json(),
+        );
 
         // --- the object of interest: the survey-result HTML (6th) ---
         let html = add(
@@ -172,7 +219,12 @@ impl IsideWith {
         debug_assert_eq!(html, HTML_ID);
 
         // --- 36 plain embedded assets; the first is the results script ---
-        add("/static/js/results.js".into(), MediaType::Js, 22_600, ServiceProfile::static_asset());
+        add(
+            "/static/js/results.js".into(),
+            MediaType::Js,
+            22_600,
+            ServiceProfile::static_asset(),
+        );
         for (i, size) in EMBEDDED_SIZES.iter().enumerate().skip(1) {
             let media = match i % 3 {
                 0 => MediaType::Css,
@@ -184,7 +236,12 @@ impl IsideWith {
                 MediaType::Js => "js",
                 _ => "png",
             };
-            add(format!("/static/asset{i:02}.{ext}"), media, *size, ServiceProfile::static_asset());
+            add(
+                format!("/static/asset{i:02}.{ext}"),
+                media,
+                *size,
+                ServiceProfile::static_asset(),
+            );
         }
 
         // --- the eight emblem images, canonical party order ---
@@ -198,23 +255,73 @@ impl IsideWith {
         }
 
         // --- three trailing beacons/analytics ---
-        add("/static/js/analytics.js".into(), MediaType::Js, 8_700, ServiceProfile::static_asset());
-        add("/api/beacon".into(), MediaType::Json, 2_100, ServiceProfile::api_json());
-        add("/static/img/footer.png".into(), MediaType::Image, 6_600, ServiceProfile::static_asset());
+        add(
+            "/static/js/analytics.js".into(),
+            MediaType::Js,
+            8_700,
+            ServiceProfile::static_asset(),
+        );
+        add(
+            "/api/beacon".into(),
+            MediaType::Json,
+            2_100,
+            ServiceProfile::api_json(),
+        );
+        add(
+            "/static/img/footer.png".into(),
+            MediaType::Image,
+            6_600,
+            ServiceProfile::static_asset(),
+        );
 
         debug_assert_eq!(objects.len(), 6 + EMBEDDED_OBJECT_COUNT);
 
         // ---------------- request plan ----------------
         let ms = SimDuration::from_millis;
         let mut plan = vec![
-            PlanStep { object: ObjectId(0), trigger: Trigger::AtStart { gap: SimDuration::ZERO } },
-            PlanStep { object: ObjectId(1), trigger: Trigger::AfterFirstByte { parent: ObjectId(0), gap: ms(30) } },
-            PlanStep { object: ObjectId(2), trigger: Trigger::AfterRequest { prev: ObjectId(1), gap: ms(480) } },
-            PlanStep { object: ObjectId(3), trigger: Trigger::AfterRequest { prev: ObjectId(2), gap: ms(500) } },
-            PlanStep { object: ObjectId(4), trigger: Trigger::AfterRequest { prev: ObjectId(3), gap: ms(520) } },
+            PlanStep {
+                object: ObjectId(0),
+                trigger: Trigger::AtStart {
+                    gap: SimDuration::ZERO,
+                },
+            },
+            PlanStep {
+                object: ObjectId(1),
+                trigger: Trigger::AfterFirstByte {
+                    parent: ObjectId(0),
+                    gap: ms(30),
+                },
+            },
+            PlanStep {
+                object: ObjectId(2),
+                trigger: Trigger::AfterRequest {
+                    prev: ObjectId(1),
+                    gap: ms(480),
+                },
+            },
+            PlanStep {
+                object: ObjectId(3),
+                trigger: Trigger::AfterRequest {
+                    prev: ObjectId(2),
+                    gap: ms(500),
+                },
+            },
+            PlanStep {
+                object: ObjectId(4),
+                trigger: Trigger::AfterRequest {
+                    prev: ObjectId(3),
+                    gap: ms(520),
+                },
+            },
             // The user submits the survey: result HTML 500 ms after the
             // previous request (Table II).
-            PlanStep { object: html, trigger: Trigger::AfterRequest { prev: ObjectId(4), gap: ms(500) } },
+            PlanStep {
+                object: html,
+                trigger: Trigger::AfterRequest {
+                    prev: ObjectId(4),
+                    gap: ms(500),
+                },
+            },
             // The preload scanner discovers the first embedded asset
             // shortly after the HTML's first bytes arrive (observed on
             // the wire as the next GET following the HTML's by a fraction
@@ -224,7 +331,10 @@ impl IsideWith {
             // (the paper's 32 % baseline).
             PlanStep {
                 object: ObjectId(RESULTS_JS_ID),
-                trigger: Trigger::AfterFirstByte { parent: html, gap: ms(80) },
+                trigger: Trigger::AfterFirstByte {
+                    parent: html,
+                    gap: ms(80),
+                },
             },
         ];
         // Remaining plain assets: a pipeline burst after results.js.
@@ -235,7 +345,13 @@ impl IsideWith {
         for (i, gap) in asset_gaps_ms.iter().enumerate() {
             let id = ObjectId(RESULTS_JS_ID + 1 + i as u32);
             let prev = ObjectId(RESULTS_JS_ID + i as u32);
-            plan.push(PlanStep { object: id, trigger: Trigger::AfterRequest { prev, gap: ms(*gap) } });
+            plan.push(PlanStep {
+                object: id,
+                trigger: Trigger::AfterRequest {
+                    prev,
+                    gap: ms(*gap),
+                },
+            });
         }
 
         // The emblem burst: results.js execution fires the first image a
@@ -247,7 +363,10 @@ impl IsideWith {
             .collect();
         plan.push(PlanStep {
             object: image_ids[0],
-            trigger: Trigger::AfterComplete { parent: ObjectId(RESULTS_JS_ID), gap: ms(700) },
+            trigger: Trigger::AfterComplete {
+                parent: ObjectId(RESULTS_JS_ID),
+                gap: ms(700),
+            },
         });
         for (i, gap_us) in IMAGE_BURST_GAPS_US.iter().enumerate() {
             plan.push(PlanStep {
@@ -263,12 +382,18 @@ impl IsideWith {
         let first_tail = ObjectId(FIRST_IMAGE_ID + 8);
         plan.push(PlanStep {
             object: first_tail,
-            trigger: Trigger::AfterRequest { prev: image_ids[7], gap: ms(26) },
+            trigger: Trigger::AfterRequest {
+                prev: image_ids[7],
+                gap: ms(26),
+            },
         });
         for i in 1..TAIL_COUNT {
             plan.push(PlanStep {
                 object: ObjectId(first_tail.0 + i),
-                trigger: Trigger::AfterRequest { prev: ObjectId(first_tail.0 + i - 1), gap: ms(60) },
+                trigger: Trigger::AfterRequest {
+                    prev: ObjectId(first_tail.0 + i - 1),
+                    gap: ms(60),
+                },
             });
         }
 
@@ -377,8 +502,11 @@ mod tests {
             assert_eq!(iw.images[i], iw.image_of(*party));
         }
         // Plan positions of the images are consecutive and ordered.
-        let positions: Vec<usize> =
-            iw.images.iter().map(|o| iw.site.plan_position(*o).unwrap()).collect();
+        let positions: Vec<usize> = iw
+            .images
+            .iter()
+            .map(|o| iw.site.plan_position(*o).unwrap())
+            .collect();
         for w in positions.windows(2) {
             assert_eq!(w[1], w[0] + 1);
         }

@@ -3,13 +3,13 @@
 use core::fmt;
 use h2priv_netsim::rng::SimRng;
 use h2priv_netsim::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use h2priv_util::impl_to_json;
 
 /// Identifies an object within one [`crate::Site`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u32);
+
+impl_to_json!(newtype ObjectId);
 
 impl fmt::Display for ObjectId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -18,7 +18,7 @@ impl fmt::Display for ObjectId {
 }
 
 /// Object media type (affects nothing but labels and default profiles).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MediaType {
     /// HTML documents.
     Html,
@@ -34,6 +34,17 @@ pub enum MediaType {
     Font,
 }
 
+impl_to_json!(
+    enum MediaType {
+        Html,
+        Js,
+        Css,
+        Image,
+        Json,
+        Font,
+    }
+);
+
 /// How the simulated server produces an object's bytes.
 ///
 /// A worker thread waits `first_byte` (uniform in the configured range —
@@ -43,7 +54,7 @@ pub enum MediaType {
 /// are what create (or destroy) the transmission overlap that HTTP/2
 /// multiplexing exposes: responses whose emission windows overlap get
 /// interleaved by the connection's round-robin frame scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceProfile {
     /// Minimum time-to-first-byte.
     pub first_byte_min: SimDuration,
@@ -56,6 +67,10 @@ pub struct ServiceProfile {
     /// DATA chunk size in bytes.
     pub chunk_size: u32,
 }
+
+impl_to_json!(struct ServiceProfile {
+    first_byte_min, first_byte_max, emission_min, emission_max, chunk_size,
+});
 
 impl ServiceProfile {
     /// Dynamically generated HTML (slow, highly variable first byte;
@@ -109,9 +124,10 @@ impl ServiceProfile {
 
     /// Draws a first-byte delay.
     pub fn draw_first_byte(&self, rng: &mut SimRng) -> SimDuration {
-        SimDuration::from_nanos(
-            rng.range_u64(self.first_byte_min.as_nanos(), self.first_byte_max.as_nanos()),
-        )
+        SimDuration::from_nanos(rng.range_u64(
+            self.first_byte_min.as_nanos(),
+            self.first_byte_max.as_nanos(),
+        ))
     }
 
     /// Draws an emission window and returns the per-chunk interval for
@@ -134,7 +150,7 @@ impl ServiceProfile {
 }
 
 /// One addressable resource on a site.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WebObject {
     /// Object identifier (index into the site's inventory).
     pub id: ObjectId,
@@ -147,6 +163,8 @@ pub struct WebObject {
     /// How the server produces it.
     pub service: ServiceProfile,
 }
+
+impl_to_json!(struct WebObject { id, path, media, size, service });
 
 #[cfg(test)]
 mod tests {

@@ -2,11 +2,12 @@
 
 use crate::object::{ObjectId, WebObject};
 use h2priv_netsim::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use h2priv_util::impl_to_json;
+use h2priv_util::json::{Json, ToJson};
 use std::collections::HashMap;
 
 /// What causes the browser to issue an object's GET.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trigger {
     /// `gap` after page-load start (navigation).
     AtStart {
@@ -40,8 +41,40 @@ pub enum Trigger {
     },
 }
 
+impl ToJson for Trigger {
+    // Externally-tagged form, matching what serde derived for this enum:
+    // {"AtStart": {"gap": ...}}, {"AfterRequest": {"prev": ..., "gap": ...}}, ...
+    fn to_json(&self) -> Json {
+        let (variant, fields) = match *self {
+            Trigger::AtStart { gap } => ("AtStart", vec![("gap".to_string(), gap.to_json())]),
+            Trigger::AfterRequest { prev, gap } => (
+                "AfterRequest",
+                vec![
+                    ("prev".to_string(), prev.to_json()),
+                    ("gap".to_string(), gap.to_json()),
+                ],
+            ),
+            Trigger::AfterFirstByte { parent, gap } => (
+                "AfterFirstByte",
+                vec![
+                    ("parent".to_string(), parent.to_json()),
+                    ("gap".to_string(), gap.to_json()),
+                ],
+            ),
+            Trigger::AfterComplete { parent, gap } => (
+                "AfterComplete",
+                vec![
+                    ("parent".to_string(), parent.to_json()),
+                    ("gap".to_string(), gap.to_json()),
+                ],
+            ),
+        };
+        Json::Obj(vec![(variant.to_string(), Json::Obj(fields))])
+    }
+}
+
 /// One step of the request plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanStep {
     /// Which object to request.
     pub object: ObjectId,
@@ -49,17 +82,21 @@ pub struct PlanStep {
     pub trigger: Trigger,
 }
 
+impl_to_json!(struct PlanStep { object, trigger });
+
 /// A website: inventory + request plan.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Site {
     /// Human-readable name.
     pub name: String,
     objects: Vec<WebObject>,
     /// The request plan in intended issue order.
     pub plan: Vec<PlanStep>,
-    #[serde(skip)]
+    /// Path lookup index; derived from `objects`, not serialized.
     by_path: HashMap<String, ObjectId>,
 }
+
+impl_to_json!(struct Site { name, objects, plan });
 
 impl Site {
     /// Builds a site, validating that the plan only references inventory
@@ -89,7 +126,12 @@ impl Site {
             }
         }
         let by_path = objects.iter().map(|o| (o.path.clone(), o.id)).collect();
-        Site { name: name.into(), objects, plan, by_path }
+        Site {
+            name: name.into(),
+            objects,
+            plan,
+            by_path,
+        }
     }
 
     /// The object with the given id.
@@ -147,10 +189,18 @@ mod tests {
             "t",
             vec![obj(0, "/a", 10), obj(1, "/b", 20)],
             vec![
-                PlanStep { object: ObjectId(0), trigger: Trigger::AtStart { gap: SimDuration::ZERO } },
+                PlanStep {
+                    object: ObjectId(0),
+                    trigger: Trigger::AtStart {
+                        gap: SimDuration::ZERO,
+                    },
+                },
                 PlanStep {
                     object: ObjectId(1),
-                    trigger: Trigger::AfterRequest { prev: ObjectId(0), gap: SimDuration::from_millis(5) },
+                    trigger: Trigger::AfterRequest {
+                        prev: ObjectId(0),
+                        gap: SimDuration::from_millis(5),
+                    },
                 },
             ],
         );
@@ -166,7 +216,12 @@ mod tests {
         let _ = Site::new(
             "t",
             vec![obj(0, "/a", 10)],
-            vec![PlanStep { object: ObjectId(3), trigger: Trigger::AtStart { gap: SimDuration::ZERO } }],
+            vec![PlanStep {
+                object: ObjectId(3),
+                trigger: Trigger::AtStart {
+                    gap: SimDuration::ZERO,
+                },
+            }],
         );
     }
 

@@ -29,8 +29,19 @@ pub fn two_object_site(o1_size: u64, o2_size: u64, gap: SimDuration) -> Site {
         },
     ];
     let plan = vec![
-        PlanStep { object: ObjectId(0), trigger: Trigger::AtStart { gap: SimDuration::ZERO } },
-        PlanStep { object: ObjectId(1), trigger: Trigger::AfterRequest { prev: ObjectId(0), gap } },
+        PlanStep {
+            object: ObjectId(0),
+            trigger: Trigger::AtStart {
+                gap: SimDuration::ZERO,
+            },
+        },
+        PlanStep {
+            object: ObjectId(1),
+            trigger: Trigger::AfterRequest {
+                prev: ObjectId(0),
+                gap,
+            },
+        },
     ];
     Site::new("two-object-demo", objects, plan)
 }
@@ -38,27 +49,87 @@ pub fn two_object_site(o1_size: u64, o2_size: u64, gap: SimDuration) -> Site {
 /// A small blog-like site (HTML + stylesheet + two images + a script),
 /// used by the quickstart example and client tests.
 pub fn blog_site() -> Site {
-    let mk = |id: u32, path: &str, media: MediaType, size: u64, service: ServiceProfile| WebObject {
-        id: ObjectId(id),
-        path: path.into(),
-        media,
-        size,
-        service,
-    };
+    let mk =
+        |id: u32, path: &str, media: MediaType, size: u64, service: ServiceProfile| WebObject {
+            id: ObjectId(id),
+            path: path.into(),
+            media,
+            size,
+            service,
+        };
     let objects = vec![
-        mk(0, "/index.html", MediaType::Html, 14_200, ServiceProfile::dynamic_html()),
-        mk(1, "/style.css", MediaType::Css, 8_400, ServiceProfile::static_asset()),
-        mk(2, "/hero.jpg", MediaType::Image, 52_000, ServiceProfile::static_asset()),
-        mk(3, "/post.jpg", MediaType::Image, 23_500, ServiceProfile::static_asset()),
-        mk(4, "/app.js", MediaType::Js, 31_000, ServiceProfile::static_asset()),
+        mk(
+            0,
+            "/index.html",
+            MediaType::Html,
+            14_200,
+            ServiceProfile::dynamic_html(),
+        ),
+        mk(
+            1,
+            "/style.css",
+            MediaType::Css,
+            8_400,
+            ServiceProfile::static_asset(),
+        ),
+        mk(
+            2,
+            "/hero.jpg",
+            MediaType::Image,
+            52_000,
+            ServiceProfile::static_asset(),
+        ),
+        mk(
+            3,
+            "/post.jpg",
+            MediaType::Image,
+            23_500,
+            ServiceProfile::static_asset(),
+        ),
+        mk(
+            4,
+            "/app.js",
+            MediaType::Js,
+            31_000,
+            ServiceProfile::static_asset(),
+        ),
     ];
     let ms = SimDuration::from_millis;
     let plan = vec![
-        PlanStep { object: ObjectId(0), trigger: Trigger::AtStart { gap: SimDuration::ZERO } },
-        PlanStep { object: ObjectId(1), trigger: Trigger::AfterFirstByte { parent: ObjectId(0), gap: ms(10) } },
-        PlanStep { object: ObjectId(2), trigger: Trigger::AfterRequest { prev: ObjectId(1), gap: ms(3) } },
-        PlanStep { object: ObjectId(3), trigger: Trigger::AfterRequest { prev: ObjectId(2), gap: ms(2) } },
-        PlanStep { object: ObjectId(4), trigger: Trigger::AfterRequest { prev: ObjectId(3), gap: ms(5) } },
+        PlanStep {
+            object: ObjectId(0),
+            trigger: Trigger::AtStart {
+                gap: SimDuration::ZERO,
+            },
+        },
+        PlanStep {
+            object: ObjectId(1),
+            trigger: Trigger::AfterFirstByte {
+                parent: ObjectId(0),
+                gap: ms(10),
+            },
+        },
+        PlanStep {
+            object: ObjectId(2),
+            trigger: Trigger::AfterRequest {
+                prev: ObjectId(1),
+                gap: ms(3),
+            },
+        },
+        PlanStep {
+            object: ObjectId(3),
+            trigger: Trigger::AfterRequest {
+                prev: ObjectId(2),
+                gap: ms(2),
+            },
+        },
+        PlanStep {
+            object: ObjectId(4),
+            trigger: Trigger::AfterRequest {
+                prev: ObjectId(3),
+                gap: ms(5),
+            },
+        },
     ];
     Site::new("blog.example", objects, plan)
 }

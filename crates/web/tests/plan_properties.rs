@@ -2,8 +2,9 @@
 //! and isidewith ground-truth invariants across random trials.
 
 use h2priv_netsim::rng::SimRng;
+use h2priv_util::check::{self, Gen};
+use h2priv_util::{prop_assert, prop_assert_eq};
 use h2priv_web::{IsideWith, Party, Trigger};
-use proptest::prelude::*;
 
 /// Every dependency in a plan must point at an earlier step, so a
 /// browser walking the plan never deadlocks.
@@ -26,14 +27,13 @@ fn assert_causal(site: &h2priv_web::Site) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any generated isidewith trial is well-formed: causal plan, every
-    /// object planned exactly once, ground truth a permutation, sizes in
-    /// the paper's band.
-    #[test]
-    fn isidewith_trials_are_well_formed(seed: u64) {
+/// Any generated isidewith trial is well-formed: causal plan, every
+/// object planned exactly once, ground truth a permutation, sizes in
+/// the paper's band.
+#[test]
+fn isidewith_trials_are_well_formed() {
+    check::run("isidewith_trials_are_well_formed", 64, |g: &mut Gen| {
+        let seed = g.u64(0, u64::MAX);
         let mut rng = SimRng::new(seed);
         let iw = IsideWith::generate(&mut rng);
         assert_causal(&iw.site);
@@ -52,20 +52,28 @@ proptest! {
             prop_assert!((5_000..=16_000).contains(&o.size));
             prop_assert_eq!(*img, iw.image_of(party));
         }
-    }
+    });
+}
 
-    /// The HTML is always the 6th planned request, regardless of the
-    /// permutation (the attack's trigger index depends on it).
-    #[test]
-    fn html_is_always_the_sixth_request(seed: u64) {
+/// The HTML is always the 6th planned request, regardless of the
+/// permutation (the attack's trigger index depends on it).
+#[test]
+fn html_is_always_the_sixth_request() {
+    check::run("html_is_always_the_sixth_request", 64, |g: &mut Gen| {
+        let seed = g.u64(0, u64::MAX);
         let mut rng = SimRng::new(seed);
         let iw = IsideWith::generate(&mut rng);
         prop_assert_eq!(iw.site.plan_position(iw.html), Some(5));
-    }
+    });
+}
 
-    /// Two-object demo sites respect the requested gap and sizes.
-    #[test]
-    fn two_object_site_parameters(o1 in 1u64..1_000_000, o2 in 1u64..1_000_000, gap_ms in 0u64..5_000) {
+/// Two-object demo sites respect the requested gap and sizes.
+#[test]
+fn two_object_site_parameters() {
+    check::run("two_object_site_parameters", 64, |g: &mut Gen| {
+        let o1 = g.u64(1, 999_999);
+        let o2 = g.u64(1, 999_999);
+        let gap_ms = g.u64(0, 4_999);
         let site = h2priv_web::sites::two_object_site(
             o1,
             o2,
@@ -74,19 +82,25 @@ proptest! {
         assert_causal(&site);
         prop_assert_eq!(site.object(h2priv_web::ObjectId(0)).size, o1);
         prop_assert_eq!(site.object(h2priv_web::ObjectId(1)).size, o2);
-    }
+    });
 }
 
 #[test]
 fn adversary_size_map_is_collision_free_at_tolerance() {
     // The predictor's ±3% matching must be unambiguous over the whole
     // map (all 8 emblems + the HTML).
-    let mut sizes: Vec<u64> = IsideWith::adversary_size_map().iter().map(|(_, s)| *s).collect();
+    let mut sizes: Vec<u64> = IsideWith::adversary_size_map()
+        .iter()
+        .map(|(_, s)| *s)
+        .collect();
     sizes.push(h2priv_web::isidewith::RESULT_HTML_SIZE);
     for (i, a) in sizes.iter().enumerate() {
         for b in sizes.iter().skip(i + 1) {
             let ratio = *a.max(b) as f64 / *a.min(b) as f64;
-            assert!(ratio > 1.061, "sizes {a} and {b} are confusable at 3% tolerance");
+            assert!(
+                ratio > 1.061,
+                "sizes {a} and {b} are confusable at 3% tolerance"
+            );
         }
     }
 }
@@ -97,7 +111,10 @@ fn embedded_asset_sizes_do_not_shadow_objects_of_interest() {
     // HTML, or the predictor would hallucinate parties (this bit us
     // during calibration; see DESIGN.md).
     let iw = IsideWith::with_result_order(Party::ALL);
-    let mut interest: Vec<u64> = IsideWith::adversary_size_map().iter().map(|(_, s)| *s).collect();
+    let mut interest: Vec<u64> = IsideWith::adversary_size_map()
+        .iter()
+        .map(|(_, s)| *s)
+        .collect();
     interest.push(h2priv_web::isidewith::RESULT_HTML_SIZE);
     for obj in iw.site.objects() {
         if iw.objects_of_interest().contains(&obj.id) {

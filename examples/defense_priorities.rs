@@ -8,12 +8,21 @@
 use h2priv_core::defense::{evaluate_defense, evaluate_push_defense};
 
 fn main() {
-    let trials: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     eprintln!("running {trials} trials per arm...");
     let report = evaluate_defense(trials, 99_000);
     println!("priority-randomization defense vs the full Section V attack");
-    println!("  ranking accuracy, undefended site: {:.1}%", report.accuracy_undefended_pct);
-    println!("  ranking accuracy, defended site:   {:.1}% (chance = 12.5%)", report.accuracy_defended_pct);
+    println!(
+        "  ranking accuracy, undefended site: {:.1}%",
+        report.accuracy_undefended_pct
+    );
+    println!(
+        "  ranking accuracy, defended site:   {:.1}% (chance = 12.5%)",
+        report.accuracy_defended_pct
+    );
     println!(
         "  images still identified by size:   {:.1}% (the defense hides order, not identity)",
         report.identified_defended_pct
@@ -22,7 +31,16 @@ fn main() {
     eprintln!("running {trials} trials per arm (server push)...");
     let push = evaluate_push_defense(trials, 98_000);
     println!("\nserver-push defense (emblems pushed with the HTML, canonical order)");
-    println!("  ranking accuracy, plain site:  {:.1}%", push.accuracy_plain_pct);
-    println!("  ranking accuracy, pushed site: {:.1}% (chance = 12.5%)", push.accuracy_pushed_pct);
-    println!("  images still identified:       {:.1}%", push.identified_pushed_pct);
+    println!(
+        "  ranking accuracy, plain site:  {:.1}%",
+        push.accuracy_plain_pct
+    );
+    println!(
+        "  ranking accuracy, pushed site: {:.1}% (chance = 12.5%)",
+        push.accuracy_pushed_pct
+    );
+    println!(
+        "  images still identified:       {:.1}%",
+        push.identified_pushed_pct
+    );
 }

@@ -10,7 +10,10 @@ use h2priv_core::experiments::table2;
 use h2priv_core::report::{pct, render_table};
 
 fn main() {
-    let trials: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     eprintln!("running {trials} attacked page loads (Table II)...");
     let cols = table2(trials, 77_000);
 
@@ -28,7 +31,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["object", "gap to prev req (ms)", "success % (single target)", "success % (all targets)"],
+            &[
+                "object",
+                "gap to prev req (ms)",
+                "success % (single target)",
+                "success % (all targets)"
+            ],
             &rows
         )
     );

@@ -10,7 +10,10 @@ use h2priv_core::experiments::{fig5, section4d, table1};
 use h2priv_core::report::{pct, render_table};
 
 fn main() {
-    let trials: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
 
     eprintln!("jitter sweep ({trials} trials/point)...");
     let t1 = table1(trials, 10_000);
@@ -29,7 +32,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["jitter (ms)", "not multiplexed (%)", "retransmissions (avg)", "retrans increase (%)"],
+            &[
+                "jitter (ms)",
+                "not multiplexed (%)",
+                "retransmissions (avg)",
+                "retrans increase (%)"
+            ],
             &rows
         )
     );
@@ -50,7 +58,15 @@ fn main() {
     println!("\nFig. 5 — effect of bandwidth limitation (50 ms jitter):");
     println!(
         "{}",
-        render_table(&["bandwidth (Mbps)", "success (%)", "retransmissions (avg)", "broken (%)"], &rows)
+        render_table(
+            &[
+                "bandwidth (Mbps)",
+                "success (%)",
+                "retransmissions (avg)",
+                "broken (%)"
+            ],
+            &rows
+        )
     );
 
     eprintln!("targeted-drop sweep ({trials} trials/point)...");
@@ -69,6 +85,9 @@ fn main() {
     println!("\nSection IV-D — targeted drops forcing stream reset:");
     println!(
         "{}",
-        render_table(&["drop rate", "success (%)", "reset sent (%)", "broken (%)"], &rows)
+        render_table(
+            &["drop rate", "success (%)", "reset sent (%)", "broken (%)"],
+            &rows
+        )
     );
 }

@@ -22,11 +22,20 @@ fn main() {
     );
     println!(
         "inferred party ranking: {:?}",
-        baseline.predicted_order().iter().map(|p| p.to_string()).collect::<Vec<_>>()
+        baseline
+            .predicted_order()
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "ground truth ranking:   {:?}",
-        baseline.iw.result_order.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+        baseline
+            .iw
+            .result_order
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
     );
 
     // 2. The paper's active adversary: 50 ms jitter, throttle + 80% drops
@@ -44,11 +53,20 @@ fn main() {
     let seq_ok = attacked.sequence_success();
     println!(
         "inferred party ranking: {:?}",
-        attacked.predicted_order().iter().map(|p| p.to_string()).collect::<Vec<_>>()
+        attacked
+            .predicted_order()
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "ground truth ranking:   {:?}",
-        attacked.iw.result_order.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+        attacked
+            .iw
+            .result_order
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "positions inferred correctly: {}/8",

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: hermetic build, full test suite, formatting.
+#
+# The workspace has zero crates.io dependencies, so --offline must always
+# succeed from a clean checkout — if it doesn't, a registry dependency
+# crept back in and this gate is doing its job.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"
