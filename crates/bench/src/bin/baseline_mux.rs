@@ -8,7 +8,7 @@
 
 use h2priv_bench::trials_arg;
 use h2priv_core::experiments::baseline;
-use h2priv_core::report::{pct, render_table, to_json};
+use h2priv_core::report::{pct_opt, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(100);
@@ -19,8 +19,8 @@ fn main() {
         .map(|r| {
             vec![
                 r.object.clone(),
-                pct(r.mean_degree_pct),
-                pct(r.pct_not_multiplexed),
+                pct_opt(r.mean_degree_pct),
+                pct_opt(r.pct_not_multiplexed),
             ]
         })
         .collect();

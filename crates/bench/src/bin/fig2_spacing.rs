@@ -7,7 +7,7 @@
 
 use h2priv_bench::trials_arg;
 use h2priv_core::experiments::two_object_degrees;
-use h2priv_core::report::{pct, render_table};
+use h2priv_core::report::{pct, pct_opt, render_table};
 use h2priv_netsim::time::SimDuration;
 
 fn main() {
@@ -16,18 +16,23 @@ fn main() {
     let mut rows = Vec::new();
     for gap in gaps_ms {
         let mut d1_sum = 0.0;
+        let mut observed = 0u64;
         let mut serial = 0;
         for t in 0..trials {
             let (d1, _d2) =
                 two_object_degrees(SimDuration::from_millis(gap), 71_000 + gap * 100 + t as u64);
-            d1_sum += d1;
-            if d1 == 0.0 {
-                serial += 1;
+            if let Some(d1) = d1 {
+                d1_sum += d1;
+                observed += 1;
+                if d1 == 0.0 {
+                    serial += 1;
+                }
             }
         }
+        let mean = (observed > 0).then(|| 100.0 * d1_sum / observed as f64);
         rows.push(vec![
             gap.to_string(),
-            pct(100.0 * d1_sum / trials as f64),
+            pct_opt(mean),
             pct(100.0 * serial as f64 / trials as f64),
         ]);
     }

@@ -7,7 +7,7 @@
 
 use h2priv_bench::trials_arg;
 use h2priv_core::experiments::table2;
-use h2priv_core::report::{pct, render_table, to_json};
+use h2priv_core::report::{pct, pct_opt, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(100);
@@ -18,7 +18,7 @@ fn main() {
         .map(|c| {
             vec![
                 c.object.clone(),
-                format!("{:.1}", c.gap_prev_ms),
+                pct_opt(c.gap_prev_ms),
                 pct(c.pct_single_target),
                 pct(c.pct_all_targets),
             ]

@@ -7,6 +7,7 @@ use crate::attack::{AttackConfig, AttackEvent, AttackPolicy};
 use crate::metrics::{degree_of_multiplexing, is_serialized, ObjectMux};
 use crate::predictor::{predict_from_trace, Prediction, SizeMap, HTML_LABEL};
 use h2priv_h2::{ClientConfig, ClientNode, ClientReport, ServeRecord, ServerConfig, ServerNode};
+use h2priv_netsim::faults::{FaultConfig, FaultStats};
 use h2priv_netsim::middlebox::{Middlebox, MiddleboxPolicy, MiddleboxStats, Passthrough};
 use h2priv_netsim::prelude::*;
 use h2priv_netsim::time::SimTime as AttackTime;
@@ -15,7 +16,26 @@ use h2priv_tcp::TcpStats;
 use h2priv_tls::WireMap;
 use h2priv_trace::analysis::UnitConfig;
 use h2priv_trace::capture::{shared_trace, Trace};
+use h2priv_util::impl_to_json;
 use h2priv_web::{IsideWith, ObjectId, Party, Site};
+
+/// Fault configurations for the two halves of the path; each applies to
+/// both directions of its link pair. Empty by default (no impairments,
+/// no extra RNG draws — existing seeded runs stay byte-identical).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Faults on the client ↔ middlebox links.
+    pub client_link: Option<FaultConfig>,
+    /// Faults on the middlebox ↔ server links.
+    pub server_link: Option<FaultConfig>,
+}
+
+impl FaultPlan {
+    /// `true` when no fault configuration is attached anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.client_link.is_none() && self.server_link.is_none()
+    }
+}
 
 /// Options for one trial.
 #[derive(Debug, Clone)]
@@ -32,6 +52,18 @@ pub struct TrialOptions {
     pub path: PathConfig,
     /// Simulation horizon (safety net; page loads finish well before).
     pub horizon: SimDuration,
+    /// Network impairments to inject (empty = pristine path).
+    pub faults: FaultPlan,
+    /// Stall-watchdog window: a trial that makes no forward progress
+    /// (no packets delivered, no client-visible progress) across a full
+    /// window is classified as stalled. Zero disables the watchdog
+    /// (one window equal to the horizon).
+    pub stall_window: SimDuration,
+    /// When `true`, the watchdog ends the simulation at the first full
+    /// stalled window instead of running out the horizon. Keep `false`
+    /// (the default) to preserve the exact event sequence of a plain
+    /// `run_until_idle(horizon)` run.
+    pub fail_fast: bool,
 }
 
 impl TrialOptions {
@@ -44,6 +76,53 @@ impl TrialOptions {
             client: ClientConfig::default(),
             path: PathConfig::default(),
             horizon: SimDuration::from_secs(120),
+            faults: FaultPlan::default(),
+            stall_window: SimDuration::from_secs(30),
+            fail_fast: false,
+        }
+    }
+}
+
+/// How a trial ended. Every trial terminates with exactly one of these;
+/// the experiment runners aggregate the degraded ones into their reports
+/// instead of silently folding them into the success statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrialOutcome {
+    /// The page load finished.
+    Completed,
+    /// No forward progress across a full stall window and the connection
+    /// never finished (e.g. a permanent link outage with unbounded
+    /// retransmission).
+    Stalled,
+    /// The TCP connection aborted after exhausting its retransmissions
+    /// (the paper's "broken connection").
+    ConnectionAborted,
+    /// The simulation was still making progress when the horizon hit.
+    HorizonExhausted,
+}
+
+impl_to_json!(
+    enum TrialOutcome {
+        Completed,
+        Stalled,
+        ConnectionAborted,
+        HorizonExhausted,
+    }
+);
+
+impl TrialOutcome {
+    /// `true` for every outcome other than [`TrialOutcome::Completed`].
+    pub fn is_degraded(self) -> bool {
+        !matches!(self, TrialOutcome::Completed)
+    }
+
+    /// A stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrialOutcome::Completed => "completed",
+            TrialOutcome::Stalled => "stalled",
+            TrialOutcome::ConnectionAborted => "connection_aborted",
+            TrialOutcome::HorizonExhausted => "horizon_exhausted",
         }
     }
 }
@@ -101,6 +180,17 @@ pub struct TrialResult {
     pub server_diag: ServerDiag,
     /// Pump-stall log: (time, window, queued DATA bytes).
     pub server_diag2: Vec<(SimTime, u64, u64)>,
+    /// How the trial terminated.
+    pub outcome: TrialOutcome,
+    /// Virtual time when the simulation stopped.
+    pub ended_at: SimTime,
+    /// When the watchdog first saw a full window without progress that
+    /// was never followed by more progress; `None` for clean runs.
+    pub stall_detected_at: Option<SimTime>,
+    /// Fault-layer counters for each link a fault config was attached
+    /// to, in topology order (client→mbox, mbox→client, mbox→server,
+    /// server→mbox). Empty when the trial ran without faults.
+    pub fault_stats: Vec<FaultStats>,
 }
 
 impl TrialResult {
@@ -149,7 +239,22 @@ pub fn run_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
     };
 
     let topo = PathTopology::build(&mut sim, client, policy, server, &opts.path);
-    sim.run_until_idle(SimTime::ZERO + opts.horizon);
+
+    let mut faulted_links = Vec::new();
+    if let Some(cfg) = &opts.faults.client_link {
+        faulted_links.push(topo.client_to_mbox);
+        faulted_links.push(topo.mbox_to_client);
+        sim.attach_faults(topo.client_to_mbox, cfg.clone());
+        sim.attach_faults(topo.mbox_to_client, cfg.clone());
+    }
+    if let Some(cfg) = &opts.faults.server_link {
+        faulted_links.push(topo.mbox_to_server);
+        faulted_links.push(topo.server_to_mbox);
+        sim.attach_faults(topo.mbox_to_server, cfg.clone());
+        sim.attach_faults(topo.server_to_mbox, cfg.clone());
+    }
+
+    let (outcome, stall_detected_at) = run_with_watchdog(&mut sim, topo.client, opts);
 
     let client_node = sim.node_ref::<ClientNode>(topo.client);
     let server_node = sim.node_ref::<ServerNode>(topo.server);
@@ -186,6 +291,87 @@ pub fn run_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
             window_blocked_events: server_node.window_blocked_events(),
         },
         server_diag2: server_node.blocked_log().to_vec(),
+        outcome,
+        ended_at: sim.now(),
+        stall_detected_at,
+        fault_stats: faulted_links
+            .iter()
+            .filter_map(|&l| sim.fault_stats(l))
+            .collect(),
+    }
+}
+
+/// Drives the simulation in stall-window-sized chunks up to the horizon,
+/// classifying how the trial ends.
+///
+/// With `fail_fast` off, the event sequence processed is exactly what a
+/// single `run_until_idle(horizon)` would process — chunk boundaries only
+/// partition the same ordered event stream, and the progress probes read
+/// nothing that mutates state or consumes RNG draws — so default-path
+/// trials stay byte-identical to the pre-watchdog harness.
+fn run_with_watchdog(
+    sim: &mut Simulator,
+    client: NodeId,
+    opts: &TrialOptions,
+) -> (TrialOutcome, Option<SimTime>) {
+    let horizon = SimTime::ZERO + opts.horizon;
+    let window = if opts.stall_window.is_zero() {
+        opts.horizon
+    } else {
+        opts.stall_window
+    };
+    let mut last_probe = sim.node_ref::<ClientNode>(client).progress_probe();
+    let mut last_delivered = sim.stats().packets_delivered;
+    let mut stall_detected_at: Option<SimTime> = None;
+    let mut chunk_end = SimTime::ZERO;
+    loop {
+        // Boundaries advance monotonically even when a chunk processes no
+        // events (e.g. everything pending lies past the horizon), so the
+        // loop always reaches the horizon.
+        chunk_end = (chunk_end.max(sim.now()) + window).min(horizon);
+        sim.run_until_idle(chunk_end);
+        let probe = sim.node_ref::<ClientNode>(client).progress_probe();
+        let delivered = sim.stats().packets_delivered;
+        let (_, _, page_done, broken) = probe;
+
+        if sim.pending_events() == 0 {
+            let outcome = if page_done {
+                TrialOutcome::Completed
+            } else if broken {
+                TrialOutcome::ConnectionAborted
+            } else {
+                TrialOutcome::Stalled
+            };
+            return (outcome, stall_detected_at);
+        }
+        let progressed = probe != last_probe || delivered != last_delivered;
+        if progressed {
+            stall_detected_at = None; // transient stall; progress resumed
+        } else if stall_detected_at.is_none() {
+            stall_detected_at = Some(sim.now());
+        }
+        if chunk_end == horizon {
+            let outcome = if page_done {
+                TrialOutcome::Completed
+            } else if broken {
+                TrialOutcome::ConnectionAborted
+            } else if stall_detected_at.is_some() {
+                TrialOutcome::Stalled
+            } else {
+                TrialOutcome::HorizonExhausted
+            };
+            return (outcome, stall_detected_at);
+        }
+        if opts.fail_fast && !progressed && !page_done {
+            let outcome = if broken {
+                TrialOutcome::ConnectionAborted
+            } else {
+                TrialOutcome::Stalled
+            };
+            return (outcome, stall_detected_at);
+        }
+        last_probe = probe;
+        last_delivered = delivered;
     }
 }
 
@@ -306,6 +492,60 @@ impl IsideWithTrial {
 /// Runs one isidewith trial with default options.
 pub fn run_isidewith_trial(seed: u64, attack: Option<AttackConfig>) -> IsideWithTrial {
     run_isidewith_trial_with(TrialOptions::new(seed, attack))
+}
+
+/// The seed for retry `attempt` (attempt 0 is the original trial and
+/// keeps the caller's seed verbatim). A splitmix64-style finalizer gives
+/// each retry an independent, reproducible stream.
+pub fn derive_retry_seed(seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return seed;
+    }
+    let mut z = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An isidewith trial plus the outcomes of the degraded attempts that
+/// preceded it (empty when the first attempt completed).
+#[derive(Debug, Clone)]
+pub struct RetriedTrial {
+    /// The final attempt (completed, or the last degraded one).
+    pub trial: IsideWithTrial,
+    /// Outcomes of earlier attempts that were retried.
+    pub failed_attempts: Vec<TrialOutcome>,
+}
+
+impl RetriedTrial {
+    /// Retries consumed before the final attempt.
+    pub fn retries_used(&self) -> u32 {
+        self.failed_attempts.len() as u32
+    }
+}
+
+/// Runs an isidewith trial, retrying degraded outcomes up to
+/// `max_retries` extra times, each with a seed derived from the
+/// original via [`derive_retry_seed`]. Returns the first attempt that
+/// completes, or the last attempt when every one degraded — the caller
+/// always gets a terminated trial with a [`TrialOutcome`], never a hang
+/// or a panic.
+pub fn run_isidewith_trial_retrying(opts: TrialOptions, max_retries: u32) -> RetriedTrial {
+    let base_seed = opts.seed;
+    let mut failed_attempts = Vec::new();
+    for attempt in 0..=max_retries {
+        let mut attempt_opts = opts.clone();
+        attempt_opts.seed = derive_retry_seed(base_seed, attempt);
+        let trial = run_isidewith_trial_with(attempt_opts);
+        if !trial.result.outcome.is_degraded() || attempt == max_retries {
+            return RetriedTrial {
+                trial,
+                failed_attempts,
+            };
+        }
+        failed_attempts.push(trial.result.outcome);
+    }
+    unreachable!("loop always returns on the last attempt");
 }
 
 /// Runs one isidewith trial with explicit options.

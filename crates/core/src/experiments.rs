@@ -7,10 +7,14 @@
 //! downloads per point the paper used.
 
 use crate::attack::AttackConfig;
-use crate::experiment::{run_isidewith_trial, run_site_trial, TrialOptions};
+use crate::experiment::{
+    run_isidewith_trial, run_isidewith_trial_retrying, run_site_trial, FaultPlan, TrialOptions,
+    TrialOutcome,
+};
 use crate::metrics::degree_of_multiplexing;
 use crate::predictor::{SizeMap, HTML_LABEL};
-use h2priv_netsim::time::SimDuration;
+use h2priv_netsim::faults::{Duplicate, FaultConfig, GilbertElliott, Reorder};
+use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_netsim::units::Bandwidth;
 use h2priv_util::impl_to_json;
 use h2priv_web::sites::two_object_site;
@@ -44,8 +48,13 @@ impl_to_json!(struct Table1Row {
     trials,
 });
 
-/// Regenerates Table I (jitter ∈ {0, 25, 50, 100} ms).
+/// Regenerates Table I (jitter ∈ {0, 25, 50, 100} ms). An empty trial
+/// budget yields no rows — "no data" is explicit, never a fabricated
+/// percentage.
 pub fn table1(trials: usize, base_seed: u64) -> Vec<Table1Row> {
+    if trials == 0 {
+        return Vec::new();
+    }
     let jitters = [0u64, 25, 50, 100];
     let mut rows = Vec::new();
     let mut baseline_retrans = None;
@@ -98,6 +107,9 @@ impl_to_json!(struct Fig5Row { bandwidth_mbps, pct_success, retransmissions_avg,
 
 /// Regenerates Fig. 5 (bandwidth ∈ {1000, 800, 500, 100, 1} Mbps).
 pub fn fig5(trials: usize, base_seed: u64) -> Vec<Fig5Row> {
+    if trials == 0 {
+        return Vec::new();
+    }
     let bandwidths = [1_000u64, 800, 500, 100, 1];
     let mut rows = Vec::new();
     for (bi, mbps) in bandwidths.iter().enumerate() {
@@ -167,6 +179,9 @@ fn section4d_with(
     drop_rates: &[f64],
     stop_on_reset: bool,
 ) -> Vec<DropRow> {
+    if trials == 0 {
+        return Vec::new();
+    }
     let mut rows = Vec::new();
     for (di, rate) in drop_rates.iter().enumerate() {
         let mut success = 0usize;
@@ -203,8 +218,9 @@ fn section4d_with(
 pub struct Table2Column {
     /// Object label ("HTML", "I1".."I8").
     pub object: String,
-    /// Mean measured gap to the previous request (ms).
-    pub gap_prev_ms: f64,
+    /// Mean measured gap to the previous request (ms); `None` when no
+    /// trial produced a measurable gap for this slot.
+    pub gap_prev_ms: Option<f64>,
     /// % success when the adversary targets objects independently
     /// ("one object at a time").
     pub pct_single_target: f64,
@@ -219,10 +235,13 @@ impl_to_json!(struct Table2Column { object, gap_prev_ms, pct_single_target, pct_
 
 /// Regenerates Table II with the full Section V attack.
 pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
-    let mut single = vec![0usize; 9];
-    let mut sequence = vec![0usize; 9];
-    let mut gap_sums = vec![0.0f64; 9];
-    let mut gap_counts = vec![0usize; 9];
+    if trials == 0 {
+        return Vec::new();
+    }
+    let mut single = [0usize; 9];
+    let mut sequence = [0usize; 9];
+    let mut gap_sums = [0.0f64; 9];
+    let mut gap_counts = [0usize; 9];
 
     for t in 0..trials {
         let seed = base_seed + 3_000_000 + t as u64;
@@ -275,9 +294,9 @@ pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
         .map(|(i, label)| Table2Column {
             object: (*label).to_string(),
             gap_prev_ms: if gap_counts[i] > 0 {
-                gap_sums[i] / gap_counts[i] as f64
+                Some(gap_sums[i] / gap_counts[i] as f64)
             } else {
-                0.0
+                None
             },
             pct_single_target: 100.0 * single[i] as f64 / trials as f64,
             pct_all_targets: 100.0 * sequence[i] as f64 / trials as f64,
@@ -291,10 +310,12 @@ pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
 pub struct BaselineRow {
     /// Object label.
     pub object: String,
-    /// Mean degree of multiplexing (first copy).
-    pub mean_degree_pct: f64,
-    /// % of trials with the object fully serialized by chance.
-    pub pct_not_multiplexed: f64,
+    /// Mean degree of multiplexing (first copy); `None` when the object
+    /// was never observed on the wire in any trial.
+    pub mean_degree_pct: Option<f64>,
+    /// % of trials with the object fully serialized by chance; `None`
+    /// when there were no observations.
+    pub pct_not_multiplexed: Option<f64>,
     /// Trials run.
     pub trials: usize,
 }
@@ -305,6 +326,9 @@ impl_to_json!(struct BaselineRow { object, mean_degree_pct, pct_not_multiplexed,
 /// 80–99 %, 6th object unmultiplexed in ≈32 % of unattacked jittered
 /// runs (the paper's 0 ms row of Table I).
 pub fn baseline(trials: usize, base_seed: u64) -> Vec<BaselineRow> {
+    if trials == 0 {
+        return Vec::new();
+    }
     let mut degrees: Vec<Vec<f64>> = vec![Vec::new(); 9];
     for t in 0..trials {
         let seed = base_seed + 4_000_000 + t as u64;
@@ -323,19 +347,25 @@ pub fn baseline(trials: usize, base_seed: u64) -> Vec<BaselineRow> {
         .enumerate()
         .map(|(i, label)| {
             let v = &degrees[i];
-            let mean = if v.is_empty() {
-                0.0
+            let (mean_degree_pct, pct_not_multiplexed) = if v.is_empty() {
+                // Never observed: report "no data" rather than the
+                // misleading 0 % the old silent default produced.
+                (None, None)
             } else {
-                v.iter().sum::<f64>() / v.len() as f64
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                let zero = v
+                    .iter()
+                    .filter(|d| crate::metrics::is_serialized(**d))
+                    .count();
+                (
+                    Some(100.0 * mean),
+                    Some(100.0 * zero as f64 / v.len() as f64),
+                )
             };
-            let zero = v
-                .iter()
-                .filter(|d| crate::metrics::is_serialized(**d))
-                .count();
             BaselineRow {
                 object: (*label).to_string(),
-                mean_degree_pct: 100.0 * mean,
-                pct_not_multiplexed: 100.0 * zero as f64 / v.len().max(1) as f64,
+                mean_degree_pct,
+                pct_not_multiplexed,
                 trials,
             }
         })
@@ -387,6 +417,175 @@ pub fn fig1(base_seed: u64) -> Vec<Fig1Row> {
     rows
 }
 
+/// A robustness-sweep row: the full Section V attack under increasingly
+/// adverse network conditions. Degraded trials count as attack failures
+/// in the percentage columns (the adversary got nothing usable), and
+/// their outcome breakdown is reported alongside so no trial disappears
+/// into a silent default.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// Fault intensity knob in `[0, 1]` (0 = pristine path).
+    pub intensity: f64,
+    /// Configured long-run bursty-loss rate (%).
+    pub burst_loss_pct: f64,
+    /// Configured per-packet reorder probability (%).
+    pub reorder_pct: f64,
+    /// Configured per-packet duplication probability (%).
+    pub duplicate_pct: f64,
+    /// Whether the schedule includes a mid-transfer link flap.
+    pub flap: bool,
+    /// % of trials where the result HTML was fully serialized; `None`
+    /// when no trials ran.
+    pub pct_html_serialized: Option<f64>,
+    /// % of trials where the predictor identified the HTML; `None` when
+    /// no trials ran.
+    pub pct_html_identified: Option<f64>,
+    /// % of trials meeting the paper's success criterion (serialized and
+    /// identified); `None` when no trials ran.
+    pub pct_success: Option<f64>,
+    /// Mean wire retransmissions per trial; `None` when no trials ran.
+    pub retransmissions_avg: Option<f64>,
+    /// Mean fault-layer drops (burst + outage) per trial; `None` when no
+    /// trials ran.
+    pub fault_drops_avg: Option<f64>,
+    /// Final attempts that completed.
+    pub completed: usize,
+    /// Final attempts the watchdog classified as stalled.
+    pub stalled: usize,
+    /// Final attempts that ended in a broken connection.
+    pub aborted: usize,
+    /// Final attempts that were still progressing at the horizon.
+    pub horizon_exhausted: usize,
+    /// Extra (retry) attempts consumed across the row.
+    pub retries_used: u64,
+    /// Trials run (final attempts; the denominators above).
+    pub trials: usize,
+}
+
+impl_to_json!(struct RobustnessRow {
+    intensity,
+    burst_loss_pct,
+    reorder_pct,
+    duplicate_pct,
+    flap,
+    pct_html_serialized,
+    pct_html_identified,
+    pct_success,
+    retransmissions_avg,
+    fault_drops_avg,
+    completed,
+    stalled,
+    aborted,
+    horizon_exhausted,
+    retries_used,
+    trials,
+});
+
+/// The fault bundle applied to the middlebox↔server links at a given
+/// sweep intensity in `[0, 1]`: bursty loss up to 5 % (mean burst 4
+/// packets), reordering up to 30 % (1–20 ms extra delay), duplication up
+/// to 2 %, and from intensity 0.8 a 400 ms link flap mid-transfer.
+/// Intensity 0 returns an empty plan (no fault layer attached at all).
+pub fn robustness_fault_plan(intensity: f64) -> FaultPlan {
+    let x = intensity.clamp(0.0, 1.0);
+    if x <= 0.0 {
+        return FaultPlan::default();
+    }
+    let mut cfg = FaultConfig::none()
+        .with_burst_loss(GilbertElliott::bursty(0.05 * x, 4.0))
+        .with_reorder(Reorder {
+            probability: 0.3 * x,
+            delay_min: SimDuration::from_millis(1),
+            delay_max: SimDuration::from_millis(20),
+        })
+        .with_duplicate(Duplicate {
+            probability: 0.02 * x,
+            delay: SimDuration::from_millis(1),
+        });
+    if x >= 0.8 {
+        cfg = cfg.with_flap(SimTime::from_millis(1_000), SimDuration::from_millis(400));
+    }
+    FaultPlan {
+        client_link: None,
+        server_link: Some(cfg),
+    }
+}
+
+/// Sweeps the full attack across fault intensities, reporting attack
+/// serialization/identification rates against impairment level. Each
+/// trial runs with the stall watchdog in fail-fast mode and one retry on
+/// a derived seed; every outcome is accounted for in the row.
+pub fn robustness_sweep(trials: usize, base_seed: u64, intensities: &[f64]) -> Vec<RobustnessRow> {
+    if trials == 0 {
+        return Vec::new();
+    }
+    let mut rows = Vec::new();
+    for (ii, &intensity) in intensities.iter().enumerate() {
+        let plan = robustness_fault_plan(intensity);
+        let (mut serialized, mut identified, mut success) = (0usize, 0usize, 0usize);
+        let mut outcome_counts = [0usize; 4]; // completed/stalled/aborted/horizon
+        let mut retries_used = 0u64;
+        let mut retrans_total = 0u64;
+        let mut fault_drops_total = 0u64;
+        for t in 0..trials {
+            let seed = base_seed + 5_000_000 + (ii as u64) * 10_000 + t as u64;
+            let mut opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
+            opts.faults = plan.clone();
+            opts.fail_fast = true;
+            opts.stall_window = SimDuration::from_secs(15);
+            let retried = run_isidewith_trial_retrying(opts, 1);
+            retries_used += u64::from(retried.retries_used());
+            let trial = &retried.trial;
+            let idx = match trial.result.outcome {
+                TrialOutcome::Completed => 0,
+                TrialOutcome::Stalled => 1,
+                TrialOutcome::ConnectionAborted => 2,
+                TrialOutcome::HorizonExhausted => 3,
+            };
+            outcome_counts[idx] += 1;
+            if trial.result.outcome == TrialOutcome::Completed {
+                let out = trial.html_outcome();
+                if crate::metrics::is_serialized(out.best_degree) {
+                    serialized += 1;
+                }
+                if out.identified {
+                    identified += 1;
+                }
+                if out.success {
+                    success += 1;
+                }
+            }
+            retrans_total += trial.result.total_retransmissions();
+            fault_drops_total += trial
+                .result
+                .fault_stats
+                .iter()
+                .map(|s| s.dropped())
+                .sum::<u64>();
+        }
+        let pct = |n: usize| Some(100.0 * n as f64 / trials as f64);
+        rows.push(RobustnessRow {
+            intensity,
+            burst_loss_pct: 100.0 * 0.05 * intensity.clamp(0.0, 1.0),
+            reorder_pct: 100.0 * 0.3 * intensity.clamp(0.0, 1.0),
+            duplicate_pct: 100.0 * 0.02 * intensity.clamp(0.0, 1.0),
+            flap: intensity >= 0.8,
+            pct_html_serialized: pct(serialized),
+            pct_html_identified: pct(identified),
+            pct_success: pct(success),
+            retransmissions_avg: Some(retrans_total as f64 / trials as f64),
+            fault_drops_avg: Some(fault_drops_total as f64 / trials as f64),
+            completed: outcome_counts[0],
+            stalled: outcome_counts[1],
+            aborted: outcome_counts[2],
+            horizon_exhausted: outcome_counts[3],
+            retries_used,
+            trials,
+        });
+    }
+    rows
+}
+
 /// Convenience: does the passive baseline multiplex the HTML? Used by
 /// calibration tooling and tests.
 pub fn html_baseline_degree(seed: u64) -> f64 {
@@ -400,14 +599,15 @@ pub fn html_label() -> &'static str {
 }
 
 /// Degree of the two objects of a two-object site trial (test helper).
-pub fn two_object_degrees(gap: SimDuration, seed: u64) -> (f64, f64) {
+/// `None` means the object never appeared on the wire — callers must
+/// treat that as missing data, not as "fully multiplexed".
+pub fn two_object_degrees(gap: SimDuration, seed: u64) -> (Option<f64>, Option<f64>) {
     let site = two_object_site(30_000, 24_000, gap);
     let result = run_site_trial(site, &TrialOptions::new(seed, None));
     let d = |o| {
         degree_of_multiplexing(&result.wire_map, ObjectId(o))
             .best()
             .map(|(_, d)| d)
-            .unwrap_or(1.0)
     };
     (d(0), d(1))
 }

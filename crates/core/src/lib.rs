@@ -26,9 +26,11 @@
 //!
 //! [`metrics`] implements the paper's privacy metric — the **degree of
 //! multiplexing** (Section II-A) — from ground truth, and [`experiment`]
-//! + [`experiments`] run complete trials and regenerate every table and
-//! figure of the paper's evaluation. See `DESIGN.md` for the experiment
-//! index and `EXPERIMENTS.md` for measured-vs-paper numbers.
+//! and [`experiments`] run complete trials and regenerate every table
+//! and figure of the paper's evaluation.
+//!
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! measured-vs-paper numbers.
 //!
 //! ## Quickstart
 //!

@@ -64,55 +64,42 @@ pub fn match_unit(
 ) -> Option<PartialMatch> {
     let entries = map.entries();
     let target = unit.estimated_payload as f64;
-    let mut found: Vec<Vec<String>> = Vec::new();
     // Exhaustive subsets up to max_subset (size map is small: ≤ ~16).
-    let n = entries.len();
-    let mut stack: Vec<usize> = Vec::new();
-    fn recurse(
-        entries: &[(String, u64)],
-        start: usize,
-        stack: &mut Vec<usize>,
-        sum: u64,
+    struct Search<'a> {
+        entries: &'a [(String, u64)],
         target: f64,
         tol: f64,
         max: usize,
-        found: &mut Vec<Vec<String>>,
-    ) {
-        if !stack.is_empty() {
-            let s = sum as f64;
-            if s >= target * (1.0 - tol) && s <= target * (1.0 + tol) {
-                found.push(stack.iter().map(|i| entries[*i].0.clone()).collect());
+        found: Vec<Vec<String>>,
+    }
+    impl Search<'_> {
+        fn recurse(&mut self, start: usize, stack: &mut Vec<usize>, sum: u64) {
+            if !stack.is_empty() {
+                let s = sum as f64;
+                if s >= self.target * (1.0 - self.tol) && s <= self.target * (1.0 + self.tol) {
+                    self.found
+                        .push(stack.iter().map(|i| self.entries[*i].0.clone()).collect());
+                }
+            }
+            if stack.len() == self.max {
+                return;
+            }
+            for i in start..self.entries.len() {
+                stack.push(i);
+                self.recurse(i + 1, stack, sum + self.entries[i].1);
+                stack.pop();
             }
         }
-        if stack.len() == max {
-            return;
-        }
-        for i in start..entries.len() {
-            stack.push(i);
-            recurse(
-                entries,
-                i + 1,
-                stack,
-                sum + entries[i].1,
-                target,
-                tol,
-                max,
-                found,
-            );
-            stack.pop();
-        }
     }
-    recurse(
+    let mut search = Search {
         entries,
-        0,
-        &mut stack,
-        0,
         target,
-        cfg.tolerance,
-        cfg.max_subset,
-        &mut found,
-    );
-    let _ = n;
+        tol: cfg.tolerance,
+        max: cfg.max_subset,
+        found: Vec::new(),
+    };
+    search.recurse(0, &mut Vec::new(), 0);
+    let mut found = search.found;
     // Prefer the smallest subset; ambiguity = another subset of the same
     // cardinality also matches.
     found.sort_by_key(Vec::len);

@@ -225,10 +225,7 @@ mod tests {
     fn isidewith_map_identifies_every_party_uniquely() {
         let map = SizeMap::isidewith();
         for (party, size) in Party::ALL.iter().zip(PARTY_IMAGE_SIZES) {
-            assert_eq!(
-                map.identify(size),
-                Some(party.to_string().as_str()).as_deref()
-            );
+            assert_eq!(map.identify(size), Some(party.to_string().as_str()));
             // 1% off still matches.
             assert_eq!(
                 map.identify(size + size / 100),

@@ -54,6 +54,12 @@ pub fn pct(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Formats an optional float with one decimal, rendering a missing
+/// measurement (no samples) as `n/a` instead of a silent default.
+pub fn pct_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_string(), pct)
+}
+
 /// Serializes any result set to pretty JSON (for EXPERIMENTS.md tooling).
 pub fn to_json<T: ToJson>(value: &T) -> String {
     value.to_json().to_string_pretty()

@@ -206,6 +206,25 @@ impl ClientNode {
         self.stack.tcp.stats()
     }
 
+    /// A cheap forward-progress fingerprint for stall watchdogs: the
+    /// tuple changes whenever the page load makes any application-level
+    /// progress (DATA bytes received, an object or the page completing,
+    /// or the connection breaking). Reading it mutates nothing.
+    pub fn progress_probe(&self) -> (u64, u64, bool, bool) {
+        let objects_done = self
+            .objects
+            .iter()
+            .filter(|o| o.completed_at.is_some())
+            .count() as u64;
+        let data_bytes: u64 = self.requests.iter().map(|r| r.bytes).sum();
+        (
+            data_bytes,
+            objects_done,
+            self.page_completed_at.is_some(),
+            self.broken,
+        )
+    }
+
     /// Ground-truth wire map of everything this client sent.
     pub fn wire_map(&self) -> &WireMap {
         self.stack.wire_map()
@@ -725,12 +744,12 @@ impl Node for ClientNode {
             Some(TimerPurpose::StallCheck(object)) => {
                 self.stall_check(ctx, object);
             }
-            Some(TimerPurpose::ReissueAfterReset(object)) => {
-                if self.obj(object).completed_at.is_none() && !self.obj(object).gave_up {
-                    self.issue_get(ctx, object);
-                }
+            Some(TimerPurpose::ReissueAfterReset(object))
+                if self.obj(object).completed_at.is_none() && !self.obj(object).gave_up =>
+            {
+                self.issue_get(ctx, object);
             }
-            None => {}
+            Some(TimerPurpose::ReissueAfterReset(_)) | None => {}
         }
         self.after_activity(ctx);
     }

@@ -324,7 +324,7 @@ impl Frame {
             }
             FrameType::Settings => {
                 let ack = flags & FLAG_ACK != 0;
-                if payload.len() % 6 != 0 {
+                if !payload.len().is_multiple_of(6) {
                     return None;
                 }
                 let params = payload

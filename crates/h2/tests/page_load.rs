@@ -213,11 +213,13 @@ fn server_push_delivers_objects_without_gets() {
     // Push the blog's two images with the HTML: the client must complete
     // the page while issuing GETs only for the non-pushed objects.
     let site = blog_site();
-    let mut server_cfg = ServerConfig::default();
-    server_cfg.push_manifest = vec![(
-        h2priv_web::ObjectId(0),
-        vec![h2priv_web::ObjectId(2), h2priv_web::ObjectId(3)],
-    )];
+    let server_cfg = ServerConfig {
+        push_manifest: vec![(
+            h2priv_web::ObjectId(0),
+            vec![h2priv_web::ObjectId(2), h2priv_web::ObjectId(3)],
+        )],
+        ..ServerConfig::default()
+    };
     let (report, sim, topo) = run_page_load(site.clone(), 41, server_cfg);
     assert!(
         report.page_completed_at.is_some(),
@@ -249,8 +251,10 @@ fn server_push_delivers_objects_without_gets() {
 #[test]
 fn pushed_and_requested_transfers_share_the_connection() {
     let site = blog_site();
-    let mut server_cfg = ServerConfig::default();
-    server_cfg.push_manifest = vec![(h2priv_web::ObjectId(0), vec![h2priv_web::ObjectId(4)])];
+    let server_cfg = ServerConfig {
+        push_manifest: vec![(h2priv_web::ObjectId(0), vec![h2priv_web::ObjectId(4)])],
+        ..ServerConfig::default()
+    };
     let (report, sim, topo) = run_page_load(site, 43, server_cfg);
     assert!(report.page_completed_at.is_some());
     // The pushed object's bytes are labelled on the same wire map.

@@ -5,6 +5,7 @@
 //! dispatched in the order they were scheduled. This tie-break makes the
 //! whole simulation deterministic.
 
+use crate::faults;
 use crate::link::LinkId;
 use crate::node::{NodeId, TimerId};
 use crate::packet::Packet;
@@ -21,6 +22,14 @@ pub(crate) enum EventKind {
     LinkTxComplete { link: LinkId },
     /// A packet arrives at the receiving end of a link.
     LinkDeliver { link: LinkId, pkt: Packet },
+    /// A packet held by the fault layer (reordering delay or duplicate
+    /// copy) is released to its link.
+    FaultRelease { link: LinkId, pkt: Packet },
+    /// A scripted fault action fires against a link.
+    FaultAction {
+        link: LinkId,
+        action: faults::FaultAction,
+    },
 }
 
 #[derive(Debug)]

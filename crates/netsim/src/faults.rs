@@ -1,0 +1,570 @@
+//! Pluggable, time-scheduled link impairments.
+//!
+//! The base [`crate::link::LinkConfig`] models only independent Bernoulli
+//! loss. Real paths — the cover traffic the paper's adversary hides in
+//! (Section IV-B) — misbehave in richer ways: loss arrives in bursts,
+//! packets get reordered by parallel queues, duplicated by retransmitting
+//! middleboxes, and links flap or breathe bandwidth. This module provides
+//! those models as a fault layer that can be attached to any link with
+//! [`crate::sim::Simulator::attach_faults`]:
+//!
+//! * **Bursty loss** — a two-state Gilbert–Elliott Markov chain
+//!   ([`GilbertElliott`]) stepped once per submitted packet.
+//! * **Reordering** — each packet independently held for an extra random
+//!   delay with some probability ([`Reorder`]); later packets overtake it.
+//! * **Duplication** — a copy of the packet is injected shortly after the
+//!   original ([`Duplicate`]).
+//! * **Scripted actions** — a time-indexed schedule of [`FaultAction`]s
+//!   (link flaps, bandwidth oscillation, loss changes) driven by the
+//!   event loop.
+//!
+//! Every random decision draws from a [`SimRng`] forked off the
+//! simulator's seed at attach time, so runs stay bit-reproducible and a
+//! link with no faults attached consumes no extra draws at all (existing
+//! seeds are unperturbed).
+
+use crate::link::{clamp_loss, LinkId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::units::Bandwidth;
+
+/// A two-state Gilbert–Elliott bursty-loss model.
+///
+/// The chain steps once per packet submitted to the link: in the *good*
+/// state packets are lost with [`loss_good`](Self::loss_good), in the
+/// *bad* state with [`loss_bad`](Self::loss_bad). Burst length is
+/// geometric with mean `1 / p_exit_bad` packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of moving good → bad at each packet.
+    pub p_enter_bad: f64,
+    /// Probability of moving bad → good at each packet.
+    pub p_exit_bad: f64,
+    /// Per-packet loss probability in the good state.
+    pub loss_good: f64,
+    /// Per-packet loss probability in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A model calibrated to a long-run average loss rate with bursts of
+    /// the given mean length (in packets, `>= 1`). The good state is
+    /// loss-free and the bad state drops everything, so the chain spends
+    /// a `target_loss` fraction of packets in the bad state.
+    ///
+    /// All inputs are clamped to valid ranges; a `target_loss` of zero
+    /// yields a chain that never leaves the good state.
+    pub fn bursty(target_loss: f64, mean_burst_len: f64) -> GilbertElliott {
+        let loss = clamp_loss(target_loss);
+        let burst = if mean_burst_len.is_finite() {
+            mean_burst_len.max(1.0)
+        } else {
+            1.0
+        };
+        // Stationary bad-state share pi = p_enter / (p_enter + p_exit);
+        // solve pi = loss for p_enter. A saturated target needs the chain
+        // to enter the bad state and never leave it.
+        let (p_enter, p_exit) = if loss >= 1.0 {
+            (1.0, 0.0)
+        } else {
+            let p_exit = 1.0 / burst;
+            ((loss * p_exit / (1.0 - loss)).min(1.0), p_exit)
+        };
+        GilbertElliott {
+            p_enter_bad: p_enter,
+            p_exit_bad: p_exit,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+
+    /// The stationary long-run loss rate implied by the parameters.
+    pub fn long_run_loss(&self) -> f64 {
+        let enter = clamp_loss(self.p_enter_bad);
+        let exit = clamp_loss(self.p_exit_bad);
+        let denom = enter + exit;
+        if denom <= 0.0 {
+            // A frozen chain stays in its initial (good) state forever.
+            return clamp_loss(self.loss_good);
+        }
+        let pi_bad = enter / denom;
+        (1.0 - pi_bad) * clamp_loss(self.loss_good) + pi_bad * clamp_loss(self.loss_bad)
+    }
+
+    fn clamped(self) -> GilbertElliott {
+        GilbertElliott {
+            p_enter_bad: clamp_loss(self.p_enter_bad),
+            p_exit_bad: clamp_loss(self.p_exit_bad),
+            loss_good: clamp_loss(self.loss_good),
+            loss_bad: clamp_loss(self.loss_bad),
+        }
+    }
+}
+
+/// Random per-packet reordering: with `probability`, the packet is held
+/// for an extra delay drawn uniformly from `[delay_min, delay_max]`
+/// before it is handed to the link, letting later packets overtake it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reorder {
+    /// Probability that a packet is held.
+    pub probability: f64,
+    /// Minimum extra delay.
+    pub delay_min: SimDuration,
+    /// Maximum extra delay.
+    pub delay_max: SimDuration,
+}
+
+/// Random packet duplication: with `probability`, an identical copy of
+/// the packet is injected `delay` after the original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duplicate {
+    /// Probability that a packet is duplicated.
+    pub probability: f64,
+    /// How long after the original the copy is submitted.
+    pub delay: SimDuration,
+}
+
+/// A scripted impairment applied to a link at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Take the link down: every packet submitted while down is dropped.
+    LinkDown,
+    /// Bring the link back up.
+    LinkUp,
+    /// Replace the link's bandwidth (`None` removes the constraint).
+    SetBandwidth(Option<Bandwidth>),
+    /// Replace the link's independent random loss rate (clamped).
+    SetLoss(f64),
+}
+
+/// A bundle of impairments attachable to one link.
+///
+/// All models are optional; an empty config is a no-op. Built with the
+/// `with_*` methods:
+///
+/// ```
+/// use h2priv_netsim::faults::{FaultConfig, GilbertElliott};
+/// use h2priv_netsim::time::{SimDuration, SimTime};
+/// let cfg = FaultConfig::none()
+///     .with_burst_loss(GilbertElliott::bursty(0.02, 4.0))
+///     .with_flap(SimTime::from_secs(1), SimDuration::from_millis(1_200));
+/// assert!(cfg.burst_loss.is_some());
+/// assert_eq!(cfg.schedule.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Bursty (Gilbert–Elliott) loss, stepped per packet.
+    pub burst_loss: Option<GilbertElliott>,
+    /// Random reordering via extra per-packet delay.
+    pub reorder: Option<Reorder>,
+    /// Random packet duplication.
+    pub duplicate: Option<Duplicate>,
+    /// Scripted actions, each applied at its absolute time.
+    pub schedule: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultConfig {
+    /// An empty configuration (no impairments).
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// `true` when no model and no scheduled action is configured.
+    pub fn is_empty(&self) -> bool {
+        self.burst_loss.is_none()
+            && self.reorder.is_none()
+            && self.duplicate.is_none()
+            && self.schedule.is_empty()
+    }
+
+    /// Returns `self` with a bursty-loss model.
+    pub fn with_burst_loss(mut self, ge: GilbertElliott) -> FaultConfig {
+        self.burst_loss = Some(ge.clamped());
+        self
+    }
+
+    /// Returns `self` with a reordering model (delay bounds are swapped
+    /// if inverted, probability clamped).
+    pub fn with_reorder(mut self, reorder: Reorder) -> FaultConfig {
+        let (lo, hi) = if reorder.delay_min <= reorder.delay_max {
+            (reorder.delay_min, reorder.delay_max)
+        } else {
+            (reorder.delay_max, reorder.delay_min)
+        };
+        self.reorder = Some(Reorder {
+            probability: clamp_loss(reorder.probability),
+            delay_min: lo,
+            delay_max: hi,
+        });
+        self
+    }
+
+    /// Returns `self` with a duplication model (probability clamped).
+    pub fn with_duplicate(mut self, dup: Duplicate) -> FaultConfig {
+        self.duplicate = Some(Duplicate {
+            probability: clamp_loss(dup.probability),
+            delay: dup.delay,
+        });
+        self
+    }
+
+    /// Returns `self` with one scripted action appended.
+    pub fn at(mut self, time: SimTime, action: FaultAction) -> FaultConfig {
+        self.schedule.push((time, action));
+        self
+    }
+
+    /// Returns `self` with a link flap: down at `down_at`, back up after
+    /// `down_for` (a `down_for` of zero schedules an immediate up —
+    /// pass `SimDuration::MAX`-ish values for a permanent outage, or use
+    /// [`Self::at`] with only [`FaultAction::LinkDown`]).
+    pub fn with_flap(self, down_at: SimTime, down_for: SimDuration) -> FaultConfig {
+        self.at(down_at, FaultAction::LinkDown)
+            .at(down_at + down_for, FaultAction::LinkUp)
+    }
+
+    /// Returns `self` with a square-wave bandwidth oscillation: starting
+    /// at `from`, the link alternates between `low` and `high` every
+    /// `half_period` until `until`, ending on `high`.
+    pub fn with_bandwidth_oscillation(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        half_period: SimDuration,
+        low: Bandwidth,
+        high: Bandwidth,
+    ) -> FaultConfig {
+        if half_period == SimDuration::ZERO {
+            return self;
+        }
+        let mut t = from;
+        let mut is_low = true;
+        while t < until {
+            let bw = if is_low { low } else { high };
+            self = self.at(t, FaultAction::SetBandwidth(Some(bw)));
+            is_low = !is_low;
+            t += half_period;
+        }
+        self.at(until, FaultAction::SetBandwidth(Some(high)))
+    }
+}
+
+/// Per-link fault-layer counters, exposed through
+/// [`crate::sim::Simulator::fault_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets evaluated by the fault layer.
+    pub evaluated: u64,
+    /// Packets dropped by the bursty-loss chain.
+    pub dropped_burst: u64,
+    /// Packets dropped because the link was scripted down.
+    pub dropped_down: u64,
+    /// Packets held for reordering delay.
+    pub reordered: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Scripted actions applied so far.
+    pub actions_applied: u64,
+}
+
+impl FaultStats {
+    /// Packets the fault layer removed from the flow (burst + down).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_burst + self.dropped_down
+    }
+}
+
+/// What the fault layer decides for one submitted packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultVerdict {
+    /// Hand the packet to the link untouched.
+    Pass,
+    /// Hand it to the link now and inject a copy after the delay.
+    PassAndDuplicate(SimDuration),
+    /// Hold the packet and hand it to the link after the delay.
+    Hold(SimDuration),
+    /// Drop the packet (burst loss or scripted outage).
+    Drop,
+}
+
+#[derive(Debug)]
+struct FaultEntry {
+    cfg: FaultConfig,
+    rng: SimRng,
+    in_bad_state: bool,
+    down: bool,
+    stats: FaultStats,
+}
+
+/// The registry of per-link fault state, owned by the simulator's world.
+#[derive(Debug, Default)]
+pub(crate) struct FaultEngine {
+    entries: Vec<Option<FaultEntry>>,
+}
+
+impl FaultEngine {
+    /// `true` if `link` has an attached fault entry.
+    #[allow(dead_code)] // exercised by tests; kept for API symmetry
+    pub fn is_attached(&self, link: LinkId) -> bool {
+        self.entries.get(link.index()).is_some_and(|e| e.is_some())
+    }
+
+    /// Attaches (or replaces) the fault entry for `link`. `rng` must be a
+    /// stream independent of the main simulation RNG so fault draws do not
+    /// perturb link-loss draws.
+    pub fn attach(&mut self, link: LinkId, cfg: FaultConfig, rng: SimRng) {
+        let idx = link.index();
+        if self.entries.len() <= idx {
+            self.entries.resize_with(idx + 1, || None);
+        }
+        self.entries[idx] = Some(FaultEntry {
+            cfg,
+            rng,
+            in_bad_state: false,
+            down: false,
+            stats: FaultStats::default(),
+        });
+    }
+
+    pub fn stats(&self, link: LinkId) -> Option<FaultStats> {
+        self.entries
+            .get(link.index())
+            .and_then(|e| e.as_ref())
+            .map(|e| e.stats)
+    }
+
+    /// Applies a scheduled action that targets `link`'s state machine
+    /// (down/up). Returns `false` for actions that must instead be applied
+    /// to the link registry (bandwidth/loss), which the caller owns.
+    pub fn apply_state_action(&mut self, link: LinkId, action: FaultAction) -> bool {
+        let Some(entry) = self.entries.get_mut(link.index()).and_then(|e| e.as_mut()) else {
+            return true; // no entry (detached); swallow the action
+        };
+        entry.stats.actions_applied += 1;
+        match action {
+            FaultAction::LinkDown => {
+                entry.down = true;
+                true
+            }
+            FaultAction::LinkUp => {
+                entry.down = false;
+                true
+            }
+            FaultAction::SetBandwidth(_) | FaultAction::SetLoss(_) => false,
+        }
+    }
+
+    /// Evaluates the fault models for one packet submitted to `link`.
+    /// Links without an entry take the fast path and consume no draws.
+    pub fn evaluate(&mut self, link: LinkId) -> FaultVerdict {
+        let Some(entry) = self.entries.get_mut(link.index()).and_then(|e| e.as_mut()) else {
+            return FaultVerdict::Pass;
+        };
+        entry.stats.evaluated += 1;
+        if entry.down {
+            entry.stats.dropped_down += 1;
+            return FaultVerdict::Drop;
+        }
+        if let Some(ge) = entry.cfg.burst_loss {
+            // Step the chain, then draw the state's loss probability.
+            if entry.in_bad_state {
+                if entry.rng.chance(ge.p_exit_bad) {
+                    entry.in_bad_state = false;
+                }
+            } else if entry.rng.chance(ge.p_enter_bad) {
+                entry.in_bad_state = true;
+            }
+            let loss = if entry.in_bad_state {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
+            if entry.rng.chance(loss) {
+                entry.stats.dropped_burst += 1;
+                return FaultVerdict::Drop;
+            }
+        }
+        if let Some(re) = entry.cfg.reorder {
+            if entry.rng.chance(re.probability) {
+                let lo = re.delay_min.as_nanos();
+                let hi = re.delay_max.as_nanos();
+                let extra = if lo == hi {
+                    lo
+                } else {
+                    entry.rng.range_u64(lo, hi)
+                };
+                entry.stats.reordered += 1;
+                return FaultVerdict::Hold(SimDuration::from_nanos(extra));
+            }
+        }
+        if let Some(dup) = entry.cfg.duplicate {
+            if entry.rng.chance(dup.probability) {
+                entry.stats.duplicated += 1;
+                return FaultVerdict::PassAndDuplicate(dup.delay);
+            }
+        }
+        FaultVerdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursty_constructor_hits_target_long_run_loss() {
+        for (target, burst) in [(0.01, 2.0), (0.05, 4.0), (0.3, 8.0)] {
+            let ge = GilbertElliott::bursty(target, burst);
+            assert!(
+                (ge.long_run_loss() - target).abs() < 1e-9,
+                "target {target}, got {}",
+                ge.long_run_loss()
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_constructor_clamps_garbage() {
+        let ge = GilbertElliott::bursty(7.0, -3.0);
+        assert!(ge.p_enter_bad <= 1.0);
+        assert!((ge.long_run_loss() - 1.0).abs() < 1e-9);
+        let none = GilbertElliott::bursty(0.0, 4.0);
+        assert_eq!(none.long_run_loss(), 0.0);
+    }
+
+    #[test]
+    fn frozen_chain_long_run_loss_is_good_state() {
+        let ge = GilbertElliott {
+            p_enter_bad: 0.0,
+            p_exit_bad: 0.0,
+            loss_good: 0.1,
+            loss_bad: 1.0,
+        };
+        assert!((ge.long_run_loss() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_config_is_empty() {
+        assert!(FaultConfig::none().is_empty());
+        assert!(!FaultConfig::none()
+            .with_duplicate(Duplicate {
+                probability: 0.1,
+                delay: SimDuration::from_millis(1),
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn flap_builder_schedules_down_then_up() {
+        let cfg = FaultConfig::none().with_flap(SimTime::from_secs(2), SimDuration::from_secs(1));
+        assert_eq!(
+            cfg.schedule,
+            vec![
+                (SimTime::from_secs(2), FaultAction::LinkDown),
+                (SimTime::from_secs(3), FaultAction::LinkUp),
+            ]
+        );
+    }
+
+    #[test]
+    fn oscillation_builder_alternates_and_restores() {
+        let cfg = FaultConfig::none().with_bandwidth_oscillation(
+            SimTime::from_secs(1),
+            SimTime::from_secs(3),
+            SimDuration::from_secs(1),
+            Bandwidth::mbps(1),
+            Bandwidth::mbps(100),
+        );
+        assert_eq!(cfg.schedule.len(), 3);
+        assert_eq!(
+            cfg.schedule[0],
+            (
+                SimTime::from_secs(1),
+                FaultAction::SetBandwidth(Some(Bandwidth::mbps(1)))
+            )
+        );
+        // Ends restored to high.
+        assert_eq!(
+            cfg.schedule[2],
+            (
+                SimTime::from_secs(3),
+                FaultAction::SetBandwidth(Some(Bandwidth::mbps(100)))
+            )
+        );
+    }
+
+    #[test]
+    fn engine_fast_path_without_entry() {
+        let mut eng = FaultEngine::default();
+        assert_eq!(eng.evaluate(LinkId::from_raw(3)), FaultVerdict::Pass);
+        assert!(eng.stats(LinkId::from_raw(3)).is_none());
+        assert!(!eng.is_attached(LinkId::from_raw(3)));
+    }
+
+    #[test]
+    fn engine_down_state_drops_everything() {
+        let mut eng = FaultEngine::default();
+        let link = LinkId::from_raw(0);
+        eng.attach(link, FaultConfig::none(), SimRng::new(1));
+        assert!(eng.apply_state_action(link, FaultAction::LinkDown));
+        for _ in 0..5 {
+            assert_eq!(eng.evaluate(link), FaultVerdict::Drop);
+        }
+        assert!(eng.apply_state_action(link, FaultAction::LinkUp));
+        assert_eq!(eng.evaluate(link), FaultVerdict::Pass);
+        let stats = eng.stats(link).unwrap();
+        assert_eq!(stats.dropped_down, 5);
+        assert_eq!(stats.evaluated, 6);
+        assert_eq!(stats.actions_applied, 2);
+    }
+
+    #[test]
+    fn engine_ge_loss_rate_tracks_configuration() {
+        let mut eng = FaultEngine::default();
+        let link = LinkId::from_raw(0);
+        let ge = GilbertElliott::bursty(0.2, 5.0);
+        eng.attach(
+            link,
+            FaultConfig::none().with_burst_loss(ge),
+            SimRng::new(99),
+        );
+        let n = 50_000u64;
+        let mut dropped = 0u64;
+        for _ in 0..n {
+            if eng.evaluate(link) == FaultVerdict::Drop {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / n as f64;
+        assert!(
+            (rate - ge.long_run_loss()).abs() < 0.02,
+            "observed {rate}, expected {}",
+            ge.long_run_loss()
+        );
+    }
+
+    #[test]
+    fn engine_deterministic_for_same_rng_seed() {
+        let run = || {
+            let mut eng = FaultEngine::default();
+            let link = LinkId::from_raw(0);
+            eng.attach(
+                link,
+                FaultConfig::none()
+                    .with_burst_loss(GilbertElliott::bursty(0.1, 3.0))
+                    .with_reorder(Reorder {
+                        probability: 0.2,
+                        delay_min: SimDuration::from_millis(1),
+                        delay_max: SimDuration::from_millis(9),
+                    })
+                    .with_duplicate(Duplicate {
+                        probability: 0.05,
+                        delay: SimDuration::from_millis(1),
+                    }),
+                SimRng::new(7),
+            );
+            (0..2_000).map(|_| eng.evaluate(link)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod capture;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod middlebox;
 pub mod node;
@@ -73,6 +74,9 @@ pub mod units;
 /// Convenient glob-import of the most commonly used simulator types.
 pub mod prelude {
     pub use crate::capture::{CaptureEvent, CapturePoint, CaptureSink, SharedSink};
+    pub use crate::faults::{
+        Duplicate, FaultAction, FaultConfig, FaultStats, GilbertElliott, Reorder,
+    };
     pub use crate::link::{LinkConfig, LinkId};
     pub use crate::middlebox::{Middlebox, MiddleboxPolicy, PacketView, PolicyCtx, Verdict};
     pub use crate::node::{Ctx, Node, NodeId, TimerId};

@@ -37,6 +37,27 @@ impl fmt::Display for LinkId {
     }
 }
 
+/// Clamps a loss probability into `[0, 1]`; NaN maps to `0`.
+///
+/// Loss rates can now be composed at runtime (fault schedules, sweeps over
+/// computed intensities), so out-of-range values are coerced instead of
+/// aborting the whole run. Debug builds log a warning when a value actually
+/// had to be clamped.
+pub fn clamp_loss(loss: f64) -> f64 {
+    if loss.is_nan() {
+        #[cfg(debug_assertions)]
+        eprintln!("warning: NaN loss probability clamped to 0");
+        return 0.0;
+    }
+    if !(0.0..=1.0).contains(&loss) {
+        let clamped = loss.clamp(0.0, 1.0);
+        #[cfg(debug_assertions)]
+        eprintln!("warning: loss probability {loss} out of range, clamped to {clamped}");
+        return clamped;
+    }
+    loss
+}
+
 /// Static configuration of a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
@@ -88,13 +109,10 @@ impl LinkConfig {
         self
     }
 
-    /// Returns `self` with a different loss probability.
-    ///
-    /// # Panics
-    /// Panics if `loss` is outside `[0, 1]`.
+    /// Returns `self` with a different loss probability. Out-of-range
+    /// values are clamped into `[0, 1]` (see [`clamp_loss`]).
     pub fn with_loss(mut self, loss: f64) -> LinkConfig {
-        assert!((0.0..=1.0).contains(&loss), "loss probability out of range");
-        self.loss = loss;
+        self.loss = clamp_loss(loss);
         self
     }
 
@@ -213,8 +231,7 @@ impl Links {
     }
 
     pub fn set_loss(&mut self, id: LinkId, loss: f64) {
-        assert!((0.0..=1.0).contains(&loss), "loss probability out of range");
-        self.links[id.0].cfg.loss = loss;
+        self.links[id.0].cfg.loss = clamp_loss(loss);
     }
 
     pub fn stats(&self, id: LinkId) -> LinkStats {
@@ -421,8 +438,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss probability out of range")]
-    fn invalid_loss_rejected() {
-        let _ = LinkConfig::lan().with_loss(1.5);
+    fn invalid_loss_clamped() {
+        assert_eq!(LinkConfig::lan().with_loss(1.5).loss, 1.0);
+        assert_eq!(LinkConfig::lan().with_loss(-0.2).loss, 0.0);
+        assert_eq!(LinkConfig::lan().with_loss(f64::NAN).loss, 0.0);
+        assert_eq!(LinkConfig::lan().with_loss(0.25).loss, 0.25);
+
+        let mut links = Links::new();
+        let id = links.add(NodeId(0), NodeId(1), LinkConfig::lan());
+        links.set_loss(id, 7.0);
+        assert_eq!(links.get(id).cfg.loss, 1.0);
+        links.set_loss(id, f64::NEG_INFINITY);
+        assert_eq!(links.get(id).cfg.loss, 0.0);
     }
 }

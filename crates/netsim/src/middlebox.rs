@@ -392,7 +392,7 @@ mod tests {
             _pkt: PacketView<'_>,
         ) -> Verdict {
             self.count += 1;
-            if self.count % 2 == 0 {
+            if self.count.is_multiple_of(2) {
                 Verdict::Delay(SimDuration::from_millis(50))
             } else {
                 Verdict::Forward

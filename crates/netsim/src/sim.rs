@@ -4,6 +4,7 @@
 
 use crate::capture::{CaptureEvent, CapturePoint, CaptureSink};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultAction, FaultConfig, FaultEngine, FaultStats, FaultVerdict};
 use crate::link::{self, LinkConfig, LinkId, LinkStats, Links, SubmitOutcome};
 use crate::node::{Ctx, Node, NodeId};
 use crate::packet::Packet;
@@ -27,12 +28,51 @@ pub(crate) struct World {
     pub next_packet_id: u64,
     pub stats: SimStats,
     pub sink: Option<Rc<RefCell<dyn CaptureSink>>>,
+    pub faults: FaultEngine,
 }
 
 impl World {
-    /// Hands `pkt` to `link` at time `now`, scheduling whatever follow-up
-    /// events the link model requires.
+    /// Hands `pkt` to `link` at time `now`, first running it through the
+    /// fault layer (if any faults are attached to the link). Links without
+    /// attached faults go straight to [`World::submit_direct`] and consume
+    /// no extra RNG draws, so existing seeded runs are unperturbed.
     pub fn submit(&mut self, now: SimTime, link_id: LinkId, pkt: Packet) {
+        match self.faults.evaluate(link_id) {
+            FaultVerdict::Pass => self.submit_direct(now, link_id, pkt),
+            FaultVerdict::PassAndDuplicate(delay) => {
+                let copy = pkt.clone();
+                self.queue.push(
+                    now + delay,
+                    EventKind::FaultRelease {
+                        link: link_id,
+                        pkt: copy,
+                    },
+                );
+                self.submit_direct(now, link_id, pkt);
+            }
+            FaultVerdict::Hold(delay) => {
+                self.queue
+                    .push(now + delay, EventKind::FaultRelease { link: link_id, pkt });
+            }
+            FaultVerdict::Drop => {
+                self.stats.packets_dropped += 1;
+                self.capture(
+                    CapturePoint::LinkDrop(link_id),
+                    CaptureEvent {
+                        time: now,
+                        direction: None,
+                        packet: pkt,
+                        dropped_by_policy: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Hands `pkt` to `link` at time `now`, scheduling whatever follow-up
+    /// events the link model requires. Bypasses the fault layer — used for
+    /// packets the fault layer already evaluated (releases, duplicates).
+    pub fn submit_direct(&mut self, now: SimTime, link_id: LinkId, pkt: Packet) {
         let draw = self.rng.uniform();
         let link = self.links.get_mut(link_id);
         let (outcome, returned) = link.submit(pkt, draw);
@@ -110,6 +150,7 @@ impl Simulator {
                 next_packet_id: 0,
                 stats: SimStats::default(),
                 sink: None,
+                faults: FaultEngine::default(),
             },
         }
     }
@@ -184,6 +225,27 @@ impl Simulator {
         self.world.links.stats(link)
     }
 
+    /// Attaches a fault configuration to `link`, replacing any previous
+    /// one. The fault layer gets its own RNG stream forked from the
+    /// simulator seed (one parent draw), so fault decisions never perturb
+    /// the main loss/jitter streams. Scheduled actions are queued as
+    /// ordinary events at their configured times.
+    pub fn attach_faults(&mut self, link: LinkId, cfg: FaultConfig) {
+        let rng = self.world.rng.fork();
+        for &(time, action) in &cfg.schedule {
+            self.world
+                .queue
+                .push(time, EventKind::FaultAction { link, action });
+        }
+        self.world.faults.attach(link, cfg, rng);
+    }
+
+    /// Per-link fault-layer statistics; `None` when no faults were ever
+    /// attached to the link.
+    pub fn fault_stats(&self, link: LinkId) -> Option<FaultStats> {
+        self.world.faults.stats(link)
+    }
+
     /// Calls every node's `on_start` exactly once. Invoked automatically by
     /// the run methods; callable explicitly when a test wants to step
     /// manually afterwards.
@@ -249,6 +311,20 @@ impl Simulator {
                 stats.bytes_delivered += pkt.wire_size() as u64;
                 self.world.stats.packets_delivered += 1;
                 self.with_node(to, |n, ctx| n.on_packet(ctx, link, pkt));
+            }
+            EventKind::FaultRelease { link, pkt } => {
+                self.world.submit_direct(self.now, link, pkt);
+            }
+            EventKind::FaultAction { link, action } => {
+                if !self.world.faults.apply_state_action(link, action) {
+                    match action {
+                        FaultAction::SetBandwidth(bw) => {
+                            self.world.links.set_bandwidth(link, bw);
+                        }
+                        FaultAction::SetLoss(loss) => self.world.links.set_loss(link, loss),
+                        FaultAction::LinkDown | FaultAction::LinkUp => unreachable!(),
+                    }
+                }
             }
         }
         true

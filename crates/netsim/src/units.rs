@@ -72,11 +72,11 @@ impl Bandwidth {
 
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 && self.0 % 1_000_000_000 == 0 {
+        if self.0 >= 1_000_000_000 && self.0.is_multiple_of(1_000_000_000) {
             write!(f, "{}Gbps", self.0 / 1_000_000_000)
-        } else if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+        } else if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
             write!(f, "{}Mbps", self.0 / 1_000_000)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{}kbps", self.0 / 1_000)
         } else {
             write!(f, "{}bps", self.0)

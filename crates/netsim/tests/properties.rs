@@ -178,7 +178,7 @@ impl MiddleboxPolicy for EvenDelayer {
         let seq = pkt.header().seq;
         if seq % 5 == 4 {
             Verdict::Drop
-        } else if seq % 2 == 0 {
+        } else if seq.is_multiple_of(2) {
             Verdict::Delay(SimDuration::from_millis(40))
         } else {
             Verdict::Forward

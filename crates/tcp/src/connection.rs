@@ -540,7 +540,7 @@ impl TcpConnection {
             self.stats.bytes_acked += newly;
             self.send_buf.release(self.snd_una.min(self.data_end()));
             self.rto_backoffs = 0;
-            if self.fin_sent && self.snd_una >= self.data_end() + 1 {
+            if self.fin_sent && self.snd_una > self.data_end() {
                 self.fin_acked = true;
             }
             // RFC 7323 timestamp sample: valid even when the covered

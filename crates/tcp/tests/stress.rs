@@ -226,6 +226,76 @@ fn bidirectional_transfer_completes() {
     });
 }
 
+/// Gilbert–Elliott bursty loss — the fault layer's loss model — driven
+/// through the scripted-fate harness: consecutive drops hit whole RTO
+/// windows, and the connection must still terminate every time, either
+/// delivering the full payload or aborting cleanly, with the delivered
+/// bytes a correct prefix throughout. A run that neither completes, nor
+/// aborts, nor drains is a hang and fails.
+#[test]
+fn bursty_loss_completes_or_aborts_cleanly() {
+    use h2priv_netsim::faults::GilbertElliott;
+    check::run(
+        "bursty_loss_completes_or_aborts_cleanly",
+        16,
+        |g: &mut Gen| {
+            let ge = GilbertElliott::bursty(g.f64(0.05, 0.35), g.f64(2.0, 8.0));
+            // Script fates from the two-state chain so losses arrive in
+            // bursts rather than i.i.d. like the other stress tests.
+            let mut bad = g.bool(ge.long_run_loss());
+            let mut fates: Vec<(bool, u64)> = (0..256)
+                .map(|_| {
+                    bad = if bad {
+                        !g.bool(ge.p_exit_bad)
+                    } else {
+                        g.bool(ge.p_enter_bad)
+                    };
+                    let loss = if bad { ge.loss_bad } else { ge.loss_good };
+                    (g.bool(loss), g.u64(0, 49))
+                })
+                .collect();
+            // Keep the handshake survivable: never drop the first 6 packets.
+            for f in fates.iter_mut().take(6) {
+                f.0 = false;
+            }
+            let size = g.usize(1, 79_999);
+            let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let mut net = Net::new(fates);
+            net.client.open(net.now);
+            net.server.write(Bytes::from(payload.clone()));
+            let mut received = Vec::new();
+            let mut aborted = false;
+            let mut idle = false;
+            for _ in 0..200_000 {
+                if !net.tick() {
+                    idle = true;
+                    break;
+                }
+                let (d, a) = Net::drain(&mut net.client);
+                received.extend_from_slice(&d);
+                aborted |= a;
+                let (_, a) = Net::drain(&mut net.server);
+                aborted |= a;
+                if received.len() == payload.len() || aborted {
+                    break;
+                }
+            }
+            prop_assert!(
+                received.len() == payload.len() || aborted || idle,
+                "hang: {} of {} bytes, neither aborted nor drained",
+                received.len(),
+                payload.len()
+            );
+            prop_assert!(received.len() <= payload.len(), "over-delivery");
+            prop_assert_eq!(
+                &received[..],
+                &payload[..received.len()],
+                "delivered bytes must be an exact prefix"
+            );
+        },
+    );
+}
+
 #[test]
 fn timestamps_adapt_rto_to_long_holds() {
     // Delay every client->server data packet by 900 ms (an adversarial

@@ -22,7 +22,7 @@ fn hex_encode(bytes: &[u8]) -> String {
 }
 
 fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 || !s.is_ascii() {
+    if !s.len().is_multiple_of(2) || !s.is_ascii() {
         return None;
     }
     (0..s.len())
@@ -156,7 +156,7 @@ mod tests {
                 ts_ecr: 21,
             },
             payload: Bytes::from(vec![seq as u8; len]),
-            dropped_by_policy: seq % 3 == 0,
+            dropped_by_policy: seq.is_multiple_of(3),
         };
         Trace {
             packets: vec![

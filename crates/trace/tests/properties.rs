@@ -78,7 +78,7 @@ fn reassembly_recovers_records_from_any_segmentation() {
                 ci += 1;
                 packets.push(seg(100 + off as u32, &stream[off..off + take], t, false));
                 // Duplicate some segments (retransmissions).
-                if ci % dup_every == 0 {
+                if ci.is_multiple_of(dup_every) {
                     packets.push(seg(
                         100 + off as u32,
                         &stream[off..off + take],
@@ -90,7 +90,7 @@ fn reassembly_recovers_records_from_any_segmentation() {
                 t += 1;
             }
             // Mild deterministic shuffle: swap adjacent pairs by seed parity.
-            if shuffle_seed % 2 == 0 && packets.len() > 3 {
+            if shuffle_seed.is_multiple_of(2) && packets.len() > 3 {
                 let n = packets.len();
                 packets.swap(n - 1, n - 2);
             }

@@ -228,7 +228,7 @@ mod tests {
         let mut r = Xoshiro256PlusPlus::seed_from_u64(11);
         for _ in 0..10_000 {
             let v = r.gen_range_f64(f64::MIN_POSITIVE, 1.0);
-            assert!(v >= f64::MIN_POSITIVE && v < 1.0, "out of range: {v}");
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v), "out of range: {v}");
         }
     }
 

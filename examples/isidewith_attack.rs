@@ -7,7 +7,7 @@
 //! ```
 
 use h2priv_core::experiments::table2;
-use h2priv_core::report::{pct, render_table};
+use h2priv_core::report::{pct, pct_opt, render_table};
 
 fn main() {
     let trials: usize = std::env::args()
@@ -22,7 +22,7 @@ fn main() {
         .map(|c| {
             vec![
                 c.object.clone(),
-                format!("{:.1}", c.gap_prev_ms),
+                pct_opt(c.gap_prev_ms),
                 pct(c.pct_single_target),
                 pct(c.pct_all_targets),
             ]
