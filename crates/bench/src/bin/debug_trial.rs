@@ -9,10 +9,7 @@ use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::run_isidewith_trial;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let seed: u64 = h2priv_bench::count_arg(1, "seed", 1, "[seed=1]");
     let trial = run_isidewith_trial(seed, Some(AttackConfig::full_attack()));
 
     println!("attack events: {:?}", trial.result.attack.events);

@@ -8,10 +8,7 @@ use h2priv_netsim::time::SimDuration;
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
-    let trials: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let trials: u64 = h2priv_bench::count_arg(2, "trials", 30, "[full|baseline|jNN] [trials=30]");
     for t in 0..trials {
         let attack = match mode.as_str() {
             "baseline" => None,

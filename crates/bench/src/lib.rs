@@ -4,12 +4,32 @@
 
 pub mod timing;
 
+/// Parses the positional CLI argument at `position` (1-based argv index)
+/// as a non-negative integer, with `default` when the argument is
+/// absent. Malformed input is an error, not a silent fallback: the
+/// binary prints a consistent usage line to stderr and exits with
+/// status 2, so a typo like `--trials=1o0` can never masquerade as a
+/// default-sized run.
+pub fn count_arg(position: usize, name: &str, default: u64, usage_tail: &str) -> u64 {
+    match std::env::args().nth(position) {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            let bin = std::env::args()
+                .next()
+                .as_deref()
+                .and_then(|p| p.rsplit('/').next().map(str::to_string))
+                .unwrap_or_else(|| "bench".to_string());
+            eprintln!("error: invalid {name} {s:?} (expected a non-negative integer)");
+            eprintln!("usage: {bin} {usage_tail}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// Parses the first CLI argument as a trial count, with a default.
+/// Non-numeric input prints usage and exits with status 2.
 pub fn trials_arg(default: usize) -> usize {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    count_arg(1, "trials", default as u64, &format!("[trials={default}]")) as usize
 }
 
 /// Prints a section banner.

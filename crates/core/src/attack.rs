@@ -18,7 +18,7 @@
 //! Table I and Fig. 5 sweeps.
 
 use crate::controller::{DropGate, Pacer, PACE_MIN_PAYLOAD};
-use crate::monitor::{GetCounter, DEFAULT_GET_MIN_BODY};
+use crate::monitor::{DatagramGetCounter, GetCounter, DEFAULT_GET_MIN_BODY};
 use h2priv_netsim::middlebox::{MiddleboxPolicy, PacketView, PolicyCtx, Verdict};
 use h2priv_netsim::packet::Direction;
 use h2priv_netsim::time::{SimDuration, SimTime};
@@ -26,6 +26,19 @@ use h2priv_netsim::units::Bandwidth;
 use h2priv_util::json::{Json, ToJson};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Which transport substrate the victim connection runs on — and hence
+/// which traffic monitor the adversary deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// HTTP/2 over TCP+TLS: cleartext TLS record headers are parseable
+    /// in-order from the byte stream ([`GetCounter`]).
+    #[default]
+    Tcp,
+    /// HTTP/3 over QUIC-lite: datagrams are opaque, only sizes and
+    /// timing observable ([`DatagramGetCounter`]).
+    Quic,
+}
 
 /// Configuration of the adversary.
 #[derive(Debug, Clone)]
@@ -53,6 +66,8 @@ pub struct AttackConfig {
     pub trigger_get: u64,
     /// TLS record-body threshold for counting GETs.
     pub get_min_record_body: u16,
+    /// Transport substrate the monitored connection uses.
+    pub transport: TransportKind,
 }
 
 impl AttackConfig {
@@ -68,6 +83,7 @@ impl AttackConfig {
             stop_drops_on_reset: true,
             trigger_get: 6,
             get_min_record_body: DEFAULT_GET_MIN_BODY,
+            transport: TransportKind::Tcp,
         }
     }
 
@@ -86,6 +102,7 @@ impl AttackConfig {
             stop_drops_on_reset: true,
             trigger_get: 6,
             get_min_record_body: DEFAULT_GET_MIN_BODY,
+            transport: TransportKind::Tcp,
         }
     }
 
@@ -101,6 +118,7 @@ impl AttackConfig {
             stop_drops_on_reset: true,
             trigger_get: 6,
             get_min_record_body: DEFAULT_GET_MIN_BODY,
+            transport: TransportKind::Tcp,
         }
     }
 
@@ -119,6 +137,25 @@ impl AttackConfig {
     pub fn with_trigger_get(mut self, n: u64) -> AttackConfig {
         self.trigger_get = n;
         self
+    }
+
+    /// Returns `self` retargeted at a different transport substrate.
+    pub fn with_transport(mut self, transport: TransportKind) -> AttackConfig {
+        self.transport = transport;
+        self
+    }
+
+    /// Reset-signature detection parameters for this transport: the
+    /// sliding window and how many small control packets inside it count
+    /// as the client's stream-reset volley. QUIC resets arrive as one
+    /// RESET_STREAM+STOP_SENDING datagram per stream in a near-instant
+    /// volley interleaved with ambient ACK datagrams, so the window is
+    /// tighter and the bar higher than for TLS control records.
+    fn reset_signature(&self) -> (SimDuration, usize) {
+        match self.transport {
+            TransportKind::Tcp => (SimDuration::from_millis(120), 3),
+            TransportKind::Quic => (SimDuration::from_millis(40), 4),
+        }
     }
 }
 
@@ -199,11 +236,55 @@ pub type SharedAttackState = Rc<RefCell<AttackState>>;
 
 const TOKEN_STOP_DROPS: u64 = 1;
 
+/// The transport-appropriate traffic monitor. [`GetCounter`] parses the
+/// cleartext TLS record stream and would desynchronise (and panic) on
+/// QUIC ciphertext, so the dispatch must happen before any byte reaches
+/// it.
+#[derive(Debug)]
+enum Monitor {
+    /// TLS record parser over the TCP byte stream.
+    Tls(GetCounter),
+    /// Datagram size classifier.
+    Datagram(DatagramGetCounter),
+}
+
+impl Monitor {
+    fn for_config(cfg: &AttackConfig) -> Monitor {
+        match cfg.transport {
+            TransportKind::Tcp => Monitor::Tls(GetCounter::new(cfg.get_min_record_body)),
+            TransportKind::Quic => Monitor::Datagram(DatagramGetCounter::default()),
+        }
+    }
+
+    fn on_packet(&mut self, pkt: &PacketView<'_>) -> u64 {
+        match self {
+            Monitor::Tls(c) => c.on_packet(pkt),
+            Monitor::Datagram(c) => c.on_packet(pkt),
+        }
+    }
+
+    fn gets(&self) -> u64 {
+        match self {
+            Monitor::Tls(c) => c.gets(),
+            Monitor::Datagram(c) => c.gets(),
+        }
+    }
+
+    /// Small control packets seen so far — TLS control records or small
+    /// QUIC datagrams, whichever the transport makes observable.
+    fn small_signals(&self) -> u64 {
+        match self {
+            Monitor::Tls(c) => c.small_records(),
+            Monitor::Datagram(c) => c.small_datagrams(),
+        }
+    }
+}
+
 /// The adversary's middlebox policy. Build with [`AttackPolicy::new`],
 /// hand the policy to the topology, keep the state handle.
 pub struct AttackPolicy {
     cfg: AttackConfig,
-    counter: GetCounter,
+    counter: Monitor,
     pacer: Pacer,
     drops: DropGate,
     triggered: bool,
@@ -218,7 +299,7 @@ impl AttackPolicy {
     pub fn new(cfg: AttackConfig) -> (AttackPolicy, SharedAttackState) {
         let state: SharedAttackState = Rc::new(RefCell::new(AttackState::default()));
         let policy = AttackPolicy {
-            counter: GetCounter::new(cfg.get_min_record_body),
+            counter: Monitor::for_config(&cfg),
             pacer: Pacer::new(cfg.spacing),
             drops: DropGate::new(cfg.drop_rate),
             triggered: false,
@@ -299,7 +380,7 @@ impl MiddleboxPolicy for AttackPolicy {
                 // same size but arrive in isolation) — stop dropping so
                 // the follow-up GET is served cleanly.
                 if self.drops.is_open() && self.cfg.stop_drops_on_reset {
-                    let new_smalls = self.counter.small_records() - self.small_records_seen;
+                    let new_smalls = self.counter.small_signals() - self.small_records_seen;
                     let past_warmup = self
                         .drops_started_at
                         .is_some_and(|t| now.saturating_since(t) > SimDuration::from_millis(1_500));
@@ -307,7 +388,7 @@ impl MiddleboxPolicy for AttackPolicy {
                         for _ in 0..new_smalls {
                             self.small_record_times.push_back(now);
                         }
-                        let window = SimDuration::from_millis(120);
+                        let (window, needed) = self.cfg.reset_signature();
                         while self
                             .small_record_times
                             .front()
@@ -315,12 +396,12 @@ impl MiddleboxPolicy for AttackPolicy {
                         {
                             self.small_record_times.pop_front();
                         }
-                        if self.small_record_times.len() >= 3 {
+                        if self.small_record_times.len() >= needed {
                             self.stop_drops(now);
                         }
                     }
                 }
-                self.small_records_seen = self.counter.small_records();
+                self.small_records_seen = self.counter.small_signals();
                 if pkt.payload_len() >= PACE_MIN_PAYLOAD {
                     let delay = self.pacer.admit(now);
                     if !delay.is_zero() {
@@ -383,6 +464,16 @@ mod tests {
 
         let z = AttackConfig::jitter_only(SimDuration::ZERO);
         assert!(z.spacing.is_none(), "zero jitter means no pacing");
+    }
+
+    #[test]
+    fn transport_defaults_to_tcp_and_builder_switches() {
+        let full = AttackConfig::full_attack();
+        assert_eq!(full.transport, TransportKind::Tcp);
+        assert_eq!(full.reset_signature(), (SimDuration::from_millis(120), 3));
+        let h3 = full.with_transport(TransportKind::Quic);
+        assert_eq!(h3.transport, TransportKind::Quic);
+        assert_eq!(h3.reset_signature(), (SimDuration::from_millis(40), 4));
     }
 
     #[test]

@@ -5,17 +5,21 @@
 
 use crate::attack::{AttackConfig, AttackEvent, AttackPolicy};
 use crate::metrics::{degree_of_multiplexing, is_serialized, ObjectMux};
-use crate::predictor::{predict_from_trace, Prediction, SizeMap, HTML_LABEL};
+use crate::predictor::{
+    predict_from_datagram_trace, predict_from_trace, Prediction, SizeMap, HTML_LABEL,
+};
 use h2priv_h2::{ClientConfig, ClientNode, ClientReport, ServeRecord, ServerConfig, ServerNode};
 use h2priv_netsim::faults::{FaultConfig, FaultStats};
 use h2priv_netsim::middlebox::{Middlebox, MiddleboxPolicy, MiddleboxStats, Passthrough};
 use h2priv_netsim::prelude::*;
 use h2priv_netsim::time::SimTime as AttackTime;
 use h2priv_netsim::time::SimTime;
+use h2priv_quic::{H3ClientNode, H3ServerNode};
 use h2priv_tcp::TcpStats;
 use h2priv_tls::WireMap;
 use h2priv_trace::analysis::UnitConfig;
 use h2priv_trace::capture::{shared_trace, Trace};
+use h2priv_trace::datagram::DatagramUnitConfig;
 use h2priv_util::impl_to_json;
 use h2priv_web::{IsideWith, ObjectId, Party, Site};
 
@@ -212,6 +216,13 @@ impl TrialResult {
     pub fn predict(&self, map: &SizeMap) -> Prediction {
         predict_from_trace(&self.trace, map, &UnitConfig::default(), None)
     }
+
+    /// Runs the datagram-delimiter predictor over this trial's capture —
+    /// the pipeline for QUIC trials, where no TLS record stream exists
+    /// to reassemble.
+    pub fn predict_datagram(&self, map: &SizeMap) -> Prediction {
+        predict_from_datagram_trace(&self.trace, map, &DatagramUnitConfig::default(), None)
+    }
 }
 
 /// Runs one trial of `site`.
@@ -301,6 +312,100 @@ pub fn run_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
     }
 }
 
+/// Runs one trial of `site` over the QUIC/HTTP-3 transport.
+///
+/// Same topology, middlebox policy, fault plan and watchdog as
+/// [`run_site_trial`]; only the endpoints change. The attack config (if
+/// any) should carry [`crate::attack::TransportKind::Quic`] so the
+/// adversary deploys the datagram monitor — the TLS record parser would
+/// desynchronise on QUIC ciphertext. QUIC transport counters are
+/// reported through the [`TrialResult::server_tcp`]/`client_tcp` fields
+/// in their TCP-equivalent projection (datagrams ↦ segments, PTOs ↦
+/// RTOs); H2-specific diagnostics are zeroed.
+pub fn run_h3_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
+    let mut sim = Simulator::new(opts.seed);
+    let collector = shared_trace();
+    sim.set_capture_sink(collector.clone());
+
+    let mut client_cfg = opts.client.clone();
+    client_cfg.addr = opts.path.client_addr;
+    client_cfg.server_addr = opts.path.server_addr;
+    let mut server_cfg = opts.server.clone();
+    server_cfg.addr = opts.path.server_addr;
+    server_cfg.client_addr = opts.path.client_addr;
+
+    let client = H3ClientNode::new(site.clone(), client_cfg);
+    let server = H3ServerNode::new(site, server_cfg);
+
+    let (policy, attack_state): (Box<dyn MiddleboxPolicy>, _) = match &opts.attack {
+        Some(cfg) => {
+            let (p, s) = AttackPolicy::new(cfg.clone());
+            (Box::new(p), Some(s))
+        }
+        None => (Box::new(Passthrough), None),
+    };
+
+    let topo = PathTopology::build(&mut sim, client, policy, server, &opts.path);
+
+    let mut faulted_links = Vec::new();
+    if let Some(cfg) = &opts.faults.client_link {
+        faulted_links.push(topo.client_to_mbox);
+        faulted_links.push(topo.mbox_to_client);
+        sim.attach_faults(topo.client_to_mbox, cfg.clone());
+        sim.attach_faults(topo.mbox_to_client, cfg.clone());
+    }
+    if let Some(cfg) = &opts.faults.server_link {
+        faulted_links.push(topo.mbox_to_server);
+        faulted_links.push(topo.server_to_mbox);
+        sim.attach_faults(topo.mbox_to_server, cfg.clone());
+        sim.attach_faults(topo.server_to_mbox, cfg.clone());
+    }
+
+    let (outcome, stall_detected_at) = run_with_watchdog_probed(&mut sim, opts, |sim| {
+        sim.node_ref::<H3ClientNode>(topo.client).progress_probe()
+    });
+
+    let client_node = sim.node_ref::<H3ClientNode>(topo.client);
+    let server_node = sim.node_ref::<H3ServerNode>(topo.server);
+    let mbox = sim.node_ref::<Middlebox>(topo.middlebox);
+
+    let trace = collector.borrow().trace().clone();
+    let attack = attack_state
+        .map(|s| {
+            let s = s.borrow();
+            AttackSnapshot {
+                events: s.events.clone(),
+                gets_seen: s.gets_seen,
+                packets_dropped: s.packets_dropped,
+                packets_delayed: s.packets_delayed,
+            }
+        })
+        .unwrap_or_default();
+
+    TrialResult {
+        client: client_node.report(),
+        serve_log: server_node.serve_log().to_vec(),
+        wire_map: server_node.wire_map().clone(),
+        trace,
+        mbox_stats: mbox.stats(),
+        server_tcp: server_node.tcp_stats(),
+        client_tcp: client_node.tcp_stats(),
+        attack,
+        server_diag: ServerDiag {
+            conn_send_window: server_node.conn_send_window(),
+            ..ServerDiag::default()
+        },
+        server_diag2: Vec::new(),
+        outcome,
+        ended_at: sim.now(),
+        stall_detected_at,
+        fault_stats: faulted_links
+            .iter()
+            .filter_map(|&l| sim.fault_stats(l))
+            .collect(),
+    }
+}
+
 /// Drives the simulation in stall-window-sized chunks up to the horizon,
 /// classifying how the trial ends.
 ///
@@ -314,13 +419,27 @@ fn run_with_watchdog(
     client: NodeId,
     opts: &TrialOptions,
 ) -> (TrialOutcome, Option<SimTime>) {
+    run_with_watchdog_probed(sim, opts, |sim| {
+        sim.node_ref::<ClientNode>(client).progress_probe()
+    })
+}
+
+/// Transport-agnostic watchdog core: the client's forward-progress probe
+/// is supplied by the caller, so the same loop drives TCP and QUIC
+/// trials. The probe must read nothing that mutates state or consumes
+/// RNG draws.
+fn run_with_watchdog_probed(
+    sim: &mut Simulator,
+    opts: &TrialOptions,
+    probe_fn: impl Fn(&Simulator) -> (u64, u64, bool, bool),
+) -> (TrialOutcome, Option<SimTime>) {
     let horizon = SimTime::ZERO + opts.horizon;
     let window = if opts.stall_window.is_zero() {
         opts.horizon
     } else {
         opts.stall_window
     };
-    let mut last_probe = sim.node_ref::<ClientNode>(client).progress_probe();
+    let mut last_probe = probe_fn(sim);
     let mut last_delivered = sim.stats().packets_delivered;
     let mut stall_detected_at: Option<SimTime> = None;
     let mut chunk_end = SimTime::ZERO;
@@ -330,7 +449,7 @@ fn run_with_watchdog(
         // loop always reaches the horizon.
         chunk_end = (chunk_end.max(sim.now()) + window).min(horizon);
         sim.run_until_idle(chunk_end);
-        let probe = sim.node_ref::<ClientNode>(client).progress_probe();
+        let probe = probe_fn(sim);
         let delivered = sim.stats().packets_delivered;
         let (_, _, page_done, broken) = probe;
 
@@ -567,6 +686,40 @@ pub fn run_isidewith_trial_with(opts: TrialOptions) -> IsideWithTrial {
     }
 }
 
+/// Runs one isidewith trial over QUIC/HTTP-3 with default options.
+///
+/// The attack config's transport is forced to
+/// [`crate::attack::TransportKind::Quic`] so callers can pass the same
+/// presets they use for the TCP path.
+pub fn run_isidewith_h3_trial(seed: u64, attack: Option<AttackConfig>) -> IsideWithTrial {
+    run_isidewith_h3_trial_with(TrialOptions::new(seed, attack))
+}
+
+/// Runs one isidewith trial over QUIC/HTTP-3 with explicit options.
+///
+/// Uses the same survey-permutation stream as
+/// [`run_isidewith_trial_with`], so a given seed yields the same ground
+/// truth on both transports and any outcome difference is attributable
+/// to the transport alone.
+pub fn run_isidewith_h3_trial_with(mut opts: TrialOptions) -> IsideWithTrial {
+    if let Some(attack) = &mut opts.attack {
+        attack.transport = crate::attack::TransportKind::Quic;
+    }
+    let mut perm_rng = SimRng::new(
+        opts.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1),
+    );
+    let iw = IsideWith::generate(&mut perm_rng);
+    let result = run_h3_site_trial(iw.site.clone(), &opts);
+    let prediction = result.predict_datagram(&SizeMap::isidewith());
+    IsideWithTrial {
+        iw,
+        result,
+        prediction,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +758,49 @@ mod tests {
             b.result.total_retransmissions()
         );
         assert_eq!(a.html_outcome().success, b.html_outcome().success);
+    }
+
+    #[test]
+    fn h3_passive_trial_completes_and_captures() {
+        let trial = run_isidewith_h3_trial(42, None);
+        assert_eq!(trial.result.outcome, TrialOutcome::Completed);
+        assert!(trial.result.client.page_completed_at.is_some());
+        assert!(!trial.result.trace.is_empty());
+        assert_eq!(trial.result.serve_log.len(), trial.iw.site.len());
+        // Every object fully delivered.
+        for obj in &trial.result.client.objects {
+            assert!(obj.completed_at.is_some());
+        }
+    }
+
+    #[test]
+    fn h3_trial_shares_ground_truth_with_tcp_trial() {
+        let h2 = run_isidewith_trial(7, None);
+        let h3 = run_isidewith_h3_trial(7, None);
+        assert_eq!(h2.iw.result_order, h3.iw.result_order);
+    }
+
+    #[test]
+    fn h3_trials_are_deterministic() {
+        let a = run_isidewith_h3_trial(9, Some(AttackConfig::full_attack()));
+        let b = run_isidewith_h3_trial(9, Some(AttackConfig::full_attack()));
+        assert_eq!(a.iw.result_order, b.iw.result_order);
+        assert_eq!(a.result.trace.len(), b.result.trace.len());
+        assert_eq!(a.html_outcome().success, b.html_outcome().success);
+        assert_eq!(a.predicted_order(), b.predicted_order());
+    }
+
+    #[test]
+    fn h3_monitor_counts_gets_during_attack() {
+        let trial = run_isidewith_h3_trial(
+            5,
+            Some(AttackConfig::jitter_only(SimDuration::from_millis(25))),
+        );
+        assert!(
+            trial.result.attack.gets_seen >= 53,
+            "gets_seen = {}",
+            trial.result.attack.gets_seen
+        );
     }
 
     #[test]

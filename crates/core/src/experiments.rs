@@ -8,8 +8,8 @@
 
 use crate::attack::AttackConfig;
 use crate::experiment::{
-    run_isidewith_trial, run_isidewith_trial_retrying, run_site_trial, FaultPlan, TrialOptions,
-    TrialOutcome,
+    run_isidewith_h3_trial, run_isidewith_trial, run_isidewith_trial_retrying, run_site_trial,
+    FaultPlan, TrialOptions, TrialOutcome,
 };
 use crate::metrics::degree_of_multiplexing;
 use crate::predictor::{SizeMap, HTML_LABEL};
@@ -582,6 +582,122 @@ pub fn robustness_sweep(trials: usize, base_seed: u64, intensities: &[f64]) -> V
             retries_used,
             trials,
         });
+    }
+    rows
+}
+
+/// One cell of the H2-vs-H3 attack-transfer matrix: a (attack config,
+/// transport) pair aggregated over trials.
+#[derive(Debug, Clone)]
+pub struct TransferRow {
+    /// Attack configuration label.
+    pub attack: String,
+    /// Transport substrate label (`"h2-tcp"` or `"h3-quic"`).
+    pub transport: String,
+    /// % of trials where the result HTML was fully serialized.
+    pub pct_html_serialized: f64,
+    /// % of trials where the predictor identified the HTML size.
+    pub pct_html_identified: f64,
+    /// % of trials meeting the paper's success criterion (serialized
+    /// *and* identified).
+    pub pct_success: f64,
+    /// % of trials where the full 8-party ranking was read off the wire
+    /// (every sequence position correct).
+    pub pct_full_ranking: f64,
+    /// Mean wire retransmissions per trial (TCP retransmits, or the QUIC
+    /// loss + PTO retransmission count in its TCP projection).
+    pub retransmissions_avg: f64,
+    /// % of trials where the client saw a broken connection.
+    pub pct_broken: f64,
+    /// Trials run per cell.
+    pub trials: usize,
+}
+
+impl_to_json!(struct TransferRow {
+    attack,
+    transport,
+    pct_html_serialized,
+    pct_html_identified,
+    pct_success,
+    pct_full_ranking,
+    retransmissions_avg,
+    pct_broken,
+    trials,
+});
+
+/// The attack configurations swept by [`transport_transfer`], labelled.
+pub fn transfer_attack_configs() -> Vec<(&'static str, AttackConfig)> {
+    vec![
+        ("full_attack", AttackConfig::full_attack()),
+        (
+            "jitter_only_50ms",
+            AttackConfig::jitter_only(SimDuration::from_millis(50)),
+        ),
+        (
+            "jitter_and_bandwidth_800mbps",
+            AttackConfig::jitter_and_bandwidth(SimDuration::from_millis(50), Bandwidth::mbps(800)),
+        ),
+        (
+            "with_drops_80pct_6s",
+            AttackConfig::with_drops(0.8, SimDuration::from_secs(6)),
+        ),
+    ]
+}
+
+/// The headline transport-transfer experiment: does the forced
+/// serialization attack survive the move from HTTP/2-over-TCP to
+/// HTTP/3-over-QUIC? Every attack configuration runs against both
+/// transports on identical seeds (same survey ground truth per seed), so
+/// each matrix row differs only in the substrate the victim speaks.
+pub fn transport_transfer(trials: usize, base_seed: u64) -> Vec<TransferRow> {
+    if trials == 0 {
+        return Vec::new();
+    }
+    let mut rows = Vec::new();
+    for (cfg_idx, (label, attack)) in transfer_attack_configs().into_iter().enumerate() {
+        for transport in ["h2-tcp", "h3-quic"] {
+            let (mut serialized, mut identified, mut success) = (0usize, 0usize, 0usize);
+            let mut full_ranking = 0usize;
+            let mut broken = 0usize;
+            let mut retrans_total = 0u64;
+            for t in 0..trials {
+                let seed = base_seed + 6_000_000 + (cfg_idx as u64) * 10_000 + t as u64;
+                let trial = if transport == "h2-tcp" {
+                    run_isidewith_trial(seed, Some(attack.clone()))
+                } else {
+                    run_isidewith_h3_trial(seed, Some(attack.clone()))
+                };
+                let out = trial.html_outcome();
+                if crate::metrics::is_serialized(out.best_degree) {
+                    serialized += 1;
+                }
+                if out.identified {
+                    identified += 1;
+                }
+                if out.success {
+                    success += 1;
+                }
+                if trial.sequence_success().iter().all(|ok| *ok) {
+                    full_ranking += 1;
+                }
+                if trial.result.client.connection_broken {
+                    broken += 1;
+                }
+                retrans_total += trial.result.total_retransmissions();
+            }
+            let pct = |n: usize| 100.0 * n as f64 / trials as f64;
+            rows.push(TransferRow {
+                attack: label.to_string(),
+                transport: transport.to_string(),
+                pct_html_serialized: pct(serialized),
+                pct_html_identified: pct(identified),
+                pct_success: pct(success),
+                pct_full_ranking: pct(full_ranking),
+                retransmissions_avg: retrans_total as f64 / trials as f64,
+                pct_broken: pct(broken),
+                trials,
+            });
+        }
     }
     rows
 }

@@ -62,7 +62,9 @@ pub mod partial;
 pub mod predictor;
 pub mod report;
 
-pub use attack::AttackConfig;
-pub use experiment::{run_isidewith_trial, run_site_trial, IsideWithTrial, TrialResult};
+pub use attack::{AttackConfig, TransportKind};
+pub use experiment::{
+    run_isidewith_h3_trial, run_isidewith_trial, run_site_trial, IsideWithTrial, TrialResult,
+};
 pub use metrics::degree_of_multiplexing;
 pub use predictor::{Prediction, SizeMap};

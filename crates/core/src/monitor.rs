@@ -159,6 +159,104 @@ impl Default for GetCounter {
     }
 }
 
+/// Minimum datagram payload for a client→server QUIC datagram to be
+/// counted as a GET. ACK-only and reset datagrams stay well below this;
+/// a HEADERS-carrying STREAM datagram lands well above it.
+pub const DEFAULT_GET_MIN_DATAGRAM: u32 = 80;
+
+/// Maximum payload of a "small" client→server datagram (ACK volleys and
+/// RESET_STREAM/STOP_SENDING pairs). One- and two-range ACK datagrams
+/// are 43 and 59 bytes; a reset pair is 35; a GET never fits.
+pub const DEFAULT_SMALL_DATAGRAM_MAX: u32 = 66;
+
+/// Number of leading large client→server datagrams that belong to the
+/// QUIC handshake (the padded Initial and the client-Finished CRYPTO
+/// flight) rather than to requests.
+const CLIENT_CRYPTO_FLIGHTS: u64 = 2;
+
+/// Per-datagram GET counter for the QUIC transport.
+///
+/// Against QUIC the monitor has no cleartext record headers to parse:
+/// every datagram is opaque. But the *sizes* still separate cleanly —
+/// request datagrams carry an HPACK-encoded HEADERS frame and land well
+/// above ambient ACK traffic — so the paper's "count the GETs" monitor
+/// survives as a size classifier. The first two large client→server
+/// datagrams are the handshake CRYPTO flights and are skipped.
+///
+/// Unlike [`GetCounter`] there is no sequence-number dedup: a lost and
+/// retransmitted GET datagram is counted twice. The attack only drops
+/// server→client traffic, so in practice the count stays calibrated.
+#[derive(Debug)]
+pub struct DatagramGetCounter {
+    get_min: u32,
+    small_max: u32,
+    crypto_skipped: u64,
+    gets: u64,
+    data_datagrams: u64,
+    small_datagrams: u64,
+}
+
+impl DatagramGetCounter {
+    /// Creates a counter with the given size thresholds.
+    pub fn new(get_min: u32, small_max: u32) -> DatagramGetCounter {
+        DatagramGetCounter {
+            get_min,
+            small_max,
+            crypto_skipped: 0,
+            gets: 0,
+            data_datagrams: 0,
+            small_datagrams: 0,
+        }
+    }
+
+    /// GETs counted so far.
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+
+    /// Non-empty datagrams seen so far (including handshake flights).
+    pub fn data_datagrams(&self) -> u64 {
+        self.data_datagrams
+    }
+
+    /// Small datagrams (ACK volleys, reset pairs) seen so far. A burst
+    /// of these during the lossy window is the wire signature of the
+    /// client's stream-reset volley — the QUIC analogue of the small
+    /// TLS control records [`GetCounter::small_records`] watches for.
+    pub fn small_datagrams(&self) -> u64 {
+        self.small_datagrams
+    }
+
+    /// Feeds one transiting datagram. Returns how many new GETs were
+    /// recognised (0 or 1).
+    pub fn on_packet(&mut self, pkt: &PacketView<'_>) -> u64 {
+        let len = pkt.payload_len();
+        if len == 0 {
+            return 0;
+        }
+        self.data_datagrams += 1;
+        if len <= self.small_max {
+            self.small_datagrams += 1;
+            return 0;
+        }
+        if len >= self.get_min {
+            if self.crypto_skipped < CLIENT_CRYPTO_FLIGHTS {
+                self.crypto_skipped += 1;
+                return 0;
+            }
+            self.gets += 1;
+            return 1;
+        }
+        0
+    }
+}
+
+impl Default for DatagramGetCounter {
+    fn default() -> Self {
+        DatagramGetCounter::new(DEFAULT_GET_MIN_DATAGRAM, DEFAULT_SMALL_DATAGRAM_MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +363,37 @@ mod tests {
             ),
             1
         );
+    }
+
+    #[test]
+    fn datagram_counter_skips_crypto_flights_then_counts() {
+        let mut c = DatagramGetCounter::default();
+        // Padded Initial and client-Finished flight: large but handshake.
+        assert_eq!(feed_dg(&mut c, 1_200), 0);
+        assert_eq!(feed_dg(&mut c, 168), 0);
+        // Request datagrams count from here on.
+        assert_eq!(feed_dg(&mut c, 120), 1);
+        assert_eq!(feed_dg(&mut c, 95), 1);
+        assert_eq!(c.gets(), 2);
+    }
+
+    #[test]
+    fn datagram_counter_separates_small_control_traffic() {
+        let mut c = DatagramGetCounter::default();
+        feed_dg(&mut c, 1_200);
+        feed_dg(&mut c, 168);
+        assert_eq!(feed_dg(&mut c, 43), 0); // one-range ACK
+        assert_eq!(feed_dg(&mut c, 59), 0); // two-range ACK
+        assert_eq!(feed_dg(&mut c, 35), 0); // reset pair
+        assert_eq!(feed_dg(&mut c, 0), 0);
+        assert_eq!(c.gets(), 0);
+        assert_eq!(c.small_datagrams(), 3);
+        assert_eq!(c.data_datagrams(), 5);
+    }
+
+    fn feed_dg(counter: &mut DatagramGetCounter, len: usize) -> u64 {
+        let pkt = mk_packet(0, Bytes::from(vec![0u8; len]), TcpFlags::ACK);
+        counter.on_packet(&PacketView::of(&pkt))
     }
 
     #[test]

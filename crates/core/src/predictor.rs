@@ -12,6 +12,7 @@ use h2priv_netsim::packet::Direction;
 use h2priv_netsim::time::SimTime;
 use h2priv_trace::analysis::{segment_units, TransmissionUnit, UnitConfig};
 use h2priv_trace::capture::Trace;
+use h2priv_trace::datagram::{segment_datagram_units, DatagramUnitConfig};
 use h2priv_trace::reassembly::reassemble;
 use h2priv_util::impl_to_json;
 use h2priv_web::isidewith::{PARTY_IMAGE_SIZES, RESULT_HTML_SIZE};
@@ -206,6 +207,28 @@ pub fn predict_from_trace(
     let view = reassemble(trace, Direction::ServerToClient, false);
     let records: Vec<_> = view.records.to_vec();
     let units = segment_units(&records, unit_cfg);
+    let units = units
+        .into_iter()
+        .filter(|u| from.is_none_or(|t| u.start >= t))
+        .map(|unit| IdentifiedUnit {
+            label: map.identify(unit.estimated_payload).map(str::to_string),
+            unit,
+        })
+        .collect();
+    Prediction { units }
+}
+
+/// Runs the prediction pipeline over a QUIC trace using the
+/// datagram-delimiter segmentation ([`h2priv_trace::datagram`]) — no
+/// record reassembly is possible, so units come straight from datagram
+/// sizes and timing.
+pub fn predict_from_datagram_trace(
+    trace: &Trace,
+    map: &SizeMap,
+    unit_cfg: &DatagramUnitConfig,
+    from: Option<SimTime>,
+) -> Prediction {
+    let units = segment_datagram_units(trace, Direction::ServerToClient, unit_cfg);
     let units = units
         .into_iter()
         .filter(|u| from.is_none_or(|t| u.start >= t))

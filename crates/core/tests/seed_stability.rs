@@ -7,6 +7,7 @@
 
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::run_isidewith_trial;
+use h2priv_core::experiments::robustness_sweep;
 use h2priv_web::Party;
 
 #[test]
@@ -44,6 +45,43 @@ fn pinned_seed_42_full_attack_outcome_is_stable() {
             Party::Green,
         ]
     );
+}
+
+#[test]
+fn pinned_robustness_sweep_seeds_are_stable() {
+    // Two trials at the sweep's endpoints, on the same base seed the
+    // bench binary uses (81_000). The seed family is
+    // `base + 5_000_000 + intensity_idx * 10_000 + trial`, so these pins
+    // cover both the fault-free and the fully-impaired draw sequences,
+    // including the retry-seed derivation.
+    let rows = robustness_sweep(2, 81_000, &[0.0, 1.0]);
+    assert_eq!(rows.len(), 2);
+
+    let pristine = &rows[0];
+    assert_eq!(pristine.intensity, 0.0);
+    assert_eq!(pristine.pct_html_serialized, Some(100.0));
+    assert_eq!(pristine.pct_html_identified, Some(50.0));
+    assert_eq!(pristine.pct_success, Some(50.0));
+    assert_eq!(pristine.retransmissions_avg, Some(20.0));
+    assert_eq!(pristine.fault_drops_avg, Some(0.0));
+    assert_eq!(
+        (pristine.completed, pristine.stalled, pristine.aborted),
+        (2, 0, 0)
+    );
+    assert_eq!(pristine.retries_used, 0);
+
+    let impaired = &rows[1];
+    assert_eq!(impaired.intensity, 1.0);
+    assert_eq!(impaired.pct_html_serialized, Some(50.0));
+    assert_eq!(impaired.pct_html_identified, Some(50.0));
+    assert_eq!(impaired.pct_success, Some(50.0));
+    assert_eq!(impaired.retransmissions_avg, Some(204.5));
+    assert_eq!(impaired.fault_drops_avg, Some(164.5));
+    assert_eq!(
+        (impaired.completed, impaired.stalled, impaired.aborted),
+        (2, 0, 0)
+    );
+    assert_eq!(impaired.retries_used, 1);
 }
 
 #[test]

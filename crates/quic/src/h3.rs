@@ -1,0 +1,184 @@
+//! HTTP/3-lite framing.
+//!
+//! H3 frames live *inside* QUIC streams, one request/response per
+//! bidirectional stream — there is no connection-wide frame mux like
+//! HTTP/2's. Each frame is `[type: u8][length: u24]` followed by the
+//! body. Header blocks reuse the H2 stack's HPACK-lite encoding as a
+//! stand-in for QPACK (both paper-relevant properties — tiny header
+//! frames, opaque to the observer — are identical). DATA bodies are
+//! opaque zeros; only their lengths matter to the simulation.
+
+use h2priv_util::bytes::{Bytes, BytesMut};
+
+/// Bytes of an H3-lite frame header (type + 24-bit length).
+pub const H3_FRAME_HEADER_LEN: usize = 4;
+/// DATA frame type.
+pub const H3_FRAME_DATA: u8 = 0x00;
+/// HEADERS frame type.
+pub const H3_FRAME_HEADERS: u8 = 0x01;
+
+fn frame_header(ty: u8, len: usize) -> BytesMut {
+    debug_assert!(len < 1 << 24, "H3-lite frame too large: {len}");
+    let mut out = BytesMut::with_capacity(H3_FRAME_HEADER_LEN + len);
+    out.put_u8(ty);
+    out.put_u8((len >> 16) as u8);
+    out.put_u8((len >> 8) as u8);
+    out.put_u8(len as u8);
+    out
+}
+
+/// Encodes a HEADERS frame around an HPACK-lite block.
+pub fn headers_frame(block: &[u8]) -> Bytes {
+    let mut out = frame_header(H3_FRAME_HEADERS, block.len());
+    out.put_slice(block);
+    out.freeze()
+}
+
+/// Encodes a DATA frame carrying `len` opaque (zero) body bytes.
+pub fn data_frame(len: usize) -> Bytes {
+    let mut out = frame_header(H3_FRAME_DATA, len);
+    for _ in 0..len {
+        out.put_u8(0);
+    }
+    out.freeze()
+}
+
+/// An event produced by [`H3FrameReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H3Event {
+    /// A complete HEADERS frame body (an HPACK-lite block).
+    Headers(Vec<u8>),
+    /// `len` DATA body bytes arrived (bodies stream incrementally; one
+    /// DATA frame may produce several of these).
+    Data {
+        /// Number of body bytes in this delivery.
+        len: usize,
+    },
+}
+
+#[derive(Debug)]
+enum ReaderState {
+    Header { buf: Vec<u8> },
+    Body { ty: u8, remaining: usize },
+}
+
+/// Incremental H3-lite frame parser for one stream.
+///
+/// HEADERS bodies are buffered until complete; DATA bodies are reported
+/// incrementally as byte counts.
+#[derive(Debug)]
+pub struct H3FrameReader {
+    state: ReaderState,
+    headers_buf: Vec<u8>,
+}
+
+impl Default for H3FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl H3FrameReader {
+    /// New parser at a frame boundary.
+    pub fn new() -> Self {
+        Self {
+            state: ReaderState::Header { buf: Vec::new() },
+            headers_buf: Vec::new(),
+        }
+    }
+
+    /// Feeds stream bytes; appends resulting events to `events`.
+    pub fn push(&mut self, mut data: &[u8], events: &mut Vec<H3Event>) {
+        while !data.is_empty() {
+            match &mut self.state {
+                ReaderState::Header { buf } => {
+                    let need = H3_FRAME_HEADER_LEN - buf.len();
+                    let take = need.min(data.len());
+                    buf.extend_from_slice(&data[..take]);
+                    data = &data[take..];
+                    if buf.len() == H3_FRAME_HEADER_LEN {
+                        let ty = buf[0];
+                        let len =
+                            ((buf[1] as usize) << 16) | ((buf[2] as usize) << 8) | buf[3] as usize;
+                        self.headers_buf.clear();
+                        self.state = ReaderState::Body { ty, remaining: len };
+                        // Zero-length bodies complete immediately.
+                        self.finish_if_done(events);
+                    }
+                }
+                ReaderState::Body { ty, remaining } => {
+                    let take = (*remaining).min(data.len());
+                    if *ty == H3_FRAME_HEADERS {
+                        self.headers_buf.extend_from_slice(&data[..take]);
+                    } else if take > 0 {
+                        events.push(H3Event::Data { len: take });
+                    }
+                    *remaining -= take;
+                    data = &data[take..];
+                    self.finish_if_done(events);
+                }
+            }
+        }
+    }
+
+    fn finish_if_done(&mut self, events: &mut Vec<H3Event>) {
+        if let ReaderState::Body { ty, remaining: 0 } = self.state {
+            if ty == H3_FRAME_HEADERS {
+                events.push(H3Event::Headers(std::mem::take(&mut self.headers_buf)));
+            }
+            self.state = ReaderState::Header { buf: Vec::new() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_then_data_parse_across_arbitrary_splits() {
+        let block = b"model-header-block".to_vec();
+        let mut wire = headers_frame(&block).to_vec();
+        wire.extend_from_slice(&data_frame(1_000).to_vec());
+        // Feed one byte at a time: the parser must not care about splits.
+        let mut reader = H3FrameReader::new();
+        let mut events = Vec::new();
+        for b in &wire {
+            reader.push(std::slice::from_ref(b), &mut events);
+        }
+        assert_eq!(events[0], H3Event::Headers(block));
+        let total: usize = events[1..]
+            .iter()
+            .map(|e| match e {
+                H3Event::Data { len } => *len,
+                other => panic!("unexpected {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn zero_length_data_frame_produces_no_event() {
+        let mut reader = H3FrameReader::new();
+        let mut events = Vec::new();
+        reader.push(&data_frame(0).to_vec(), &mut events);
+        assert!(events.is_empty());
+        // And the parser is back at a frame boundary.
+        reader.push(&headers_frame(b"x").to_vec(), &mut events);
+        assert_eq!(events, vec![H3Event::Headers(b"x".to_vec())]);
+    }
+
+    #[test]
+    fn data_streams_incrementally() {
+        let wire = data_frame(500).to_vec();
+        let mut reader = H3FrameReader::new();
+        let mut events = Vec::new();
+        reader.push(&wire[..300], &mut events);
+        assert_eq!(events, vec![H3Event::Data { len: 296 }]);
+        reader.push(&wire[300..], &mut events);
+        assert_eq!(
+            events,
+            vec![H3Event::Data { len: 296 }, H3Event::Data { len: 204 }]
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Glue between a [`QuicConnection`] and the netsim event loop, the
+//! datagram analogue of `h2priv_h2::stack::Stack`. Used by both
+//! [`crate::server::H3ServerNode`] and [`crate::client::H3ClientNode`].
+
+use h2priv_netsim::link::LinkId;
+use h2priv_netsim::node::Ctx;
+use h2priv_netsim::packet::Packet;
+use h2priv_netsim::time::SimTime;
+use h2priv_tls::WireMap;
+use h2priv_util::bytes::Bytes;
+
+use crate::conn::{QuicConnection, QuicEvent};
+
+/// A QUIC connection with helpers to pump datagrams into the simulator.
+#[derive(Debug)]
+pub struct QuicStack {
+    /// The transport connection.
+    pub quic: QuicConnection,
+    egress: Option<LinkId>,
+    /// Deadline currently covered by a scheduled transport tick, if any.
+    pub tick_at: Option<SimTime>,
+}
+
+impl QuicStack {
+    /// Wraps a QUIC connection.
+    pub fn new(quic: QuicConnection) -> QuicStack {
+        QuicStack {
+            quic,
+            egress: None,
+            tick_at: None,
+        }
+    }
+
+    /// Sets the link this endpoint transmits on (discovered in
+    /// `on_start`).
+    pub fn set_egress(&mut self, link: LinkId) {
+        self.egress = Some(link);
+    }
+
+    /// Feeds an arriving datagram into the connection; returns the
+    /// application events it produced, in order.
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) -> Vec<QuicEvent> {
+        self.quic.on_datagram(now, &pkt.payload);
+        self.collect()
+    }
+
+    /// Drives the transport timer; returns events like
+    /// [`QuicStack::on_packet`].
+    pub fn on_transport_timer(&mut self, now: SimTime) -> Vec<QuicEvent> {
+        self.quic.on_timer(now);
+        self.collect()
+    }
+
+    fn collect(&mut self) -> Vec<QuicEvent> {
+        let mut events = Vec::new();
+        while let Some(ev) = self.quic.poll_event() {
+            events.push(ev);
+        }
+        events
+    }
+
+    /// Transmits every datagram the connection has ready onto the egress
+    /// link.
+    ///
+    /// # Panics
+    /// Panics if the egress link was never set.
+    pub fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let egress = self.egress.expect("stack egress not set");
+        while let Some((hdr, payload)) = self.quic.poll_datagram(ctx.now()) {
+            ctx.send(egress, Packet::new(hdr, payload));
+        }
+    }
+
+    /// The next transport deadline that needs an `on_transport_timer`
+    /// call, if the currently scheduled tick (if any) does not already
+    /// cover it.
+    pub fn timer_needs_rescheduling(&self) -> Option<SimTime> {
+        match (self.quic.next_timeout(), self.tick_at) {
+            (Some(t), Some(s)) if s <= t => None, // an earlier/equal tick is coming
+            (Some(t), _) => Some(t),
+            (None, _) => None,
+        }
+    }
+
+    /// Ground truth for everything this endpoint sent.
+    pub fn wire_map(&self) -> &WireMap {
+        self.quic.wire_map()
+    }
+
+    /// Synthetic body bytes of the given length (zero-filled).
+    pub fn opaque(len: usize) -> Bytes {
+        Bytes::from(vec![0u8; len])
+    }
+}

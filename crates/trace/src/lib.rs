@@ -20,6 +20,9 @@
 //!   transmission units using the paper's delimiter insight (Fig. 1) plus
 //!   inter-record idle gaps, producing the size estimates the prediction
 //!   module consumes.
+//! * [`datagram`] reapplies the same delimiter insight at the datagram
+//!   layer for the QUIC transport, where no cleartext record headers
+//!   exist and only datagram sizes and timing are observable.
 //!
 //! Only eavesdropper-visible information is ever used: nothing in this
 //! crate touches `h2priv-tls`'s ground-truth wire maps.
@@ -29,6 +32,7 @@
 
 pub mod analysis;
 pub mod capture;
+pub mod datagram;
 pub mod export;
 pub mod filter;
 pub mod reassembly;
@@ -36,6 +40,7 @@ pub mod record;
 
 pub use analysis::{TransmissionUnit, UnitConfig};
 pub use capture::{SharedTrace, Trace, TraceCollector};
+pub use datagram::{segment_datagram_units, DatagramUnitConfig};
 pub use filter::FilterExpr;
 pub use reassembly::{SeenRecord, StreamView};
 pub use record::PacketRecord;

@@ -16,7 +16,7 @@ cargo test -q --offline
 echo "== cargo clippy --offline --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-echo "== cargo fmt --check"
-cargo fmt --check
+echo "== cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
 echo "verify: OK"
