@@ -32,7 +32,11 @@ fn bench_baseline(c: &mut Harness) {
         )
     });
     c.bench_function("baseline/table_3trials", |b| {
-        b.iter_batched(next_seed, |seed| baseline(3, seed), BatchSize::SmallInput)
+        b.iter_batched(
+            next_seed,
+            |seed| baseline(3, seed, 1),
+            BatchSize::SmallInput,
+        )
     });
 }
 
@@ -50,13 +54,13 @@ fn bench_table1(c: &mut Harness) {
         )
     });
     c.bench_function("table1/rows_2trials", |b| {
-        b.iter_batched(next_seed, |seed| table1(2, seed), BatchSize::SmallInput)
+        b.iter_batched(next_seed, |seed| table1(2, seed, 1), BatchSize::SmallInput)
     });
 }
 
 fn bench_fig5(c: &mut Harness) {
     c.bench_function("fig5/rows_2trials", |b| {
-        b.iter_batched(next_seed, |seed| fig5(2, seed), BatchSize::SmallInput)
+        b.iter_batched(next_seed, |seed| fig5(2, seed, 1), BatchSize::SmallInput)
     });
 }
 
@@ -76,7 +80,7 @@ fn bench_fig6_drops(c: &mut Harness) {
     c.bench_function("fig6_drops/rows_2trials", |b| {
         b.iter_batched(
             next_seed,
-            |seed| section4d(2, seed, &[0.8]),
+            |seed| section4d(2, seed, &[0.8], 1),
             BatchSize::SmallInput,
         )
     });
@@ -91,13 +95,13 @@ fn bench_table2(c: &mut Harness) {
         )
     });
     c.bench_function("table2/columns_2trials", |b| {
-        b.iter_batched(next_seed, |seed| table2(2, seed), BatchSize::SmallInput)
+        b.iter_batched(next_seed, |seed| table2(2, seed, 1), BatchSize::SmallInput)
     });
 }
 
 fn bench_fig1(c: &mut Harness) {
     c.bench_function("fig1/both_cases", |b| {
-        b.iter_batched(next_seed, fig1, BatchSize::SmallInput)
+        b.iter_batched(next_seed, |seed| fig1(seed, 1), BatchSize::SmallInput)
     });
 }
 

@@ -5,28 +5,39 @@
 //! * client re-request timeout.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin ablation_mux -- [trials=25]
+//! cargo run --release -p h2priv-bench --bin ablation_mux -- [trials=25] [--jobs N]
 //! ```
 
-use h2priv_bench::{banner, trials_arg};
+use h2priv_bench::{banner, jobs_arg, trials_arg};
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::{run_isidewith_trial_with, TrialOptions};
 use h2priv_h2::MuxPolicy;
 use h2priv_netsim::time::SimDuration;
+use h2priv_util::pool;
 
-fn run(trials: usize, base: u64, f: impl Fn(&mut TrialOptions)) -> (f64, f64, f64) {
-    let mut serial = 0usize;
-    let mut rereq = 0u64;
-    let mut copies = 0u64;
-    for t in 0..trials {
+fn run(
+    trials: usize,
+    jobs: usize,
+    base: u64,
+    f: impl Fn(&mut TrialOptions) + Sync,
+) -> (f64, f64, f64) {
+    let per_trial = pool::run_indexed(jobs, trials, |t| {
         let mut opts = TrialOptions::new(base + t as u64, None);
         f(&mut opts);
         let trial = run_isidewith_trial_with(opts);
-        if h2priv_core::metrics::is_serialized(trial.html_outcome().best_degree) {
-            serial += 1;
-        }
-        rereq += trial.result.client.h2_rerequests;
-        copies += trial.result.serve_log.iter().filter(|s| s.copy > 0).count() as u64;
+        (
+            h2priv_core::metrics::is_serialized(trial.html_outcome().best_degree),
+            trial.result.client.h2_rerequests,
+            trial.result.serve_log.iter().filter(|s| s.copy > 0).count() as u64,
+        )
+    });
+    let mut serial = 0usize;
+    let mut rereq = 0u64;
+    let mut copies = 0u64;
+    for (ser, rq, cp) in per_trial {
+        serial += usize::from(ser);
+        rereq += rq;
+        copies += cp;
     }
     (
         100.0 * serial as f64 / trials as f64,
@@ -37,22 +48,23 @@ fn run(trials: usize, base: u64, f: impl Fn(&mut TrialOptions)) -> (f64, f64, f6
 
 fn main() {
     let trials = trials_arg(25);
+    let jobs = jobs_arg();
 
     banner("mux policy (no adversary)");
-    let (serial_pct, _, _) = run(trials, 81_000, |_| {});
+    let (serial_pct, _, _) = run(trials, jobs, 81_000, |_| {});
     println!("  Concurrent (HTTP/2): html serialized by chance {serial_pct:.0}%");
-    let (serial_pct, _, _) = run(trials, 82_000, |o| o.server.mux = MuxPolicy::Serial);
+    let (serial_pct, _, _) = run(trials, jobs, 82_000, |o| o.server.mux = MuxPolicy::Serial);
     println!("  Serial (HTTP/1.1-like): html serialized {serial_pct:.0}% (expected ~100%)");
 
     banner("duplicate-serving pathology under 200 ms jitter");
     let attack = Some(AttackConfig::jitter_only(SimDuration::from_millis(200)));
     let a = attack.clone();
-    let (_, rereq, copies) = run(trials, 83_000, move |o| o.attack = a.clone());
+    let (_, rereq, copies) = run(trials, jobs, 83_000, move |o| o.attack = a.clone());
     println!(
         "  serve_duplicates=on : re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}"
     );
     let a = attack.clone();
-    let (_, rereq, copies) = run(trials, 84_000, move |o| {
+    let (_, rereq, copies) = run(trials, jobs, 84_000, move |o| {
         o.attack = a.clone();
         o.server.serve_duplicates = false;
     });
@@ -63,7 +75,7 @@ fn main() {
     banner("client re-request timeout under 200 ms jitter");
     for timeout_ms in [600u64, 1_200, 2_400, 4_800] {
         let a = attack.clone();
-        let (_, rereq, copies) = run(trials, 85_000 + timeout_ms, move |o| {
+        let (_, rereq, copies) = run(trials, jobs, 85_000 + timeout_ms, move |o| {
             o.attack = a.clone();
             o.client.rerequest.timeout = SimDuration::from_millis(timeout_ms);
         });

@@ -3,17 +3,18 @@
 //! serialized by chance in ≈32 % of runs.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin baseline_mux -- [trials=100]
+//! cargo run --release -p h2priv-bench --bin baseline_mux -- [trials=100] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::baseline;
 use h2priv_core::report::{pct_opt, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(100);
+    let jobs = jobs_arg();
     eprintln!("baseline: {trials} unattacked downloads...");
-    let rows = baseline(trials, 51_000);
+    let rows = baseline(trials, 51_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

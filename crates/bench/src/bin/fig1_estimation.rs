@@ -3,14 +3,15 @@
 //! multiplexed ones.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin fig1_estimation
+//! cargo run --release -p h2priv-bench --bin fig1_estimation -- [--jobs N]
 //! ```
 
+use h2priv_bench::jobs_arg;
 use h2priv_core::experiments::fig1;
 use h2priv_core::report::to_json;
 
 fn main() {
-    for row in fig1(61_000) {
+    for row in fig1(61_000, jobs_arg()) {
         println!("case: {}", row.scenario);
         println!("  true sizes:      O1={} O2={}", row.truth.0, row.truth.1);
         println!("  unit estimates:  {:?}", row.estimates);

@@ -2,31 +2,32 @@
 //! spacing eliminates multiplexing.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin fig2_spacing -- [trials=20]
+//! cargo run --release -p h2priv-bench --bin fig2_spacing -- [trials=20] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::two_object_degrees;
 use h2priv_core::report::{pct, pct_opt, render_table};
 use h2priv_netsim::time::SimDuration;
+use h2priv_util::pool;
 
 fn main() {
     let trials = trials_arg(20);
+    let jobs = jobs_arg();
     let gaps_ms = [0u64, 25, 50, 100, 200, 400, 800];
     let mut rows = Vec::new();
     for gap in gaps_ms {
+        let per_trial = pool::run_indexed(jobs, trials, |t| {
+            two_object_degrees(SimDuration::from_millis(gap), 71_000 + gap * 100 + t as u64).0
+        });
         let mut d1_sum = 0.0;
         let mut observed = 0u64;
         let mut serial = 0;
-        for t in 0..trials {
-            let (d1, _d2) =
-                two_object_degrees(SimDuration::from_millis(gap), 71_000 + gap * 100 + t as u64);
-            if let Some(d1) = d1 {
-                d1_sum += d1;
-                observed += 1;
-                if d1 == 0.0 {
-                    serial += 1;
-                }
+        for d1 in per_trial.into_iter().flatten() {
+            d1_sum += d1;
+            observed += 1;
+            if d1 == 0.0 {
+                serial += 1;
             }
         }
         let mean = (observed > 0).then(|| 100.0 * d1_sum / observed as f64);

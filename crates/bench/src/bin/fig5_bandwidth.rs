@@ -2,17 +2,18 @@
 //! jitter) on retransmissions and attack success.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin fig5_bandwidth -- [trials=100]
+//! cargo run --release -p h2priv-bench --bin fig5_bandwidth -- [trials=100] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::fig5;
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(100);
+    let jobs = jobs_arg();
     eprintln!("Fig. 5: {trials} downloads per bandwidth...");
-    let rows = fig5(trials, 21_000);
+    let rows = fig5(trials, 21_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,0 +1,135 @@
+//! Simulator throughput baseline: trials/sec and events/sec for a fixed
+//! scenario set, at `jobs = 1` (the sequential legacy path) and
+//! `jobs = 0` (all cores), writing `BENCH_simperf.json` at the repo root
+//! so the performance trajectory is tracked alongside the figures.
+//!
+//! The two job counts run the same seeds and must dispatch the same
+//! total event count — the run aborts if they disagree, so the perf
+//! baseline doubles as a determinism check.
+//!
+//! ```sh
+//! cargo run --release -p h2priv-bench --bin perfbench -- [trials=100] [out-path]
+//! ```
+
+use h2priv_bench::trials_arg;
+use h2priv_core::attack::AttackConfig;
+use h2priv_core::experiment::{run_isidewith_h3_trial, run_isidewith_trial};
+use h2priv_core::report::to_json;
+use h2priv_util::impl_to_json;
+use h2priv_util::pool;
+use std::time::Instant;
+
+/// One (scenario, jobs) measurement.
+#[derive(Debug, Clone)]
+struct PerfRow {
+    scenario: String,
+    jobs: usize,
+    trials: usize,
+    wall_ms: f64,
+    trials_per_sec: f64,
+    events_total: u64,
+    events_per_sec: f64,
+    /// Wall-clock speedup of this row over the same scenario at jobs=1.
+    speedup_vs_jobs1: f64,
+}
+
+impl_to_json!(struct PerfRow {
+    scenario,
+    jobs,
+    trials,
+    wall_ms,
+    trials_per_sec,
+    events_total,
+    events_per_sec,
+    speedup_vs_jobs1,
+});
+
+/// The full report written to `BENCH_simperf.json`.
+#[derive(Debug, Clone)]
+struct PerfReport {
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// speedups are only meaningful relative to this.
+    host_parallelism: usize,
+    trials: usize,
+    rows: Vec<PerfRow>,
+}
+
+impl_to_json!(struct PerfReport { host_parallelism, trials, rows });
+
+/// Runs `trials` seeds of `scenario` across `jobs` workers, returning
+/// (wall milliseconds, total simulator events dispatched).
+fn measure(scenario: &str, trials: usize, jobs: usize) -> (f64, u64) {
+    let t0 = Instant::now();
+    let events = pool::run_indexed(jobs, trials, |t| {
+        let seed = 91_000 + t as u64;
+        match scenario {
+            "h2_baseline" => run_isidewith_trial(seed, None).result.sim_events,
+            "h2_full_attack" => {
+                run_isidewith_trial(seed, Some(AttackConfig::full_attack()))
+                    .result
+                    .sim_events
+            }
+            "h3_full_attack" => {
+                run_isidewith_h3_trial(seed, Some(AttackConfig::full_attack()))
+                    .result
+                    .sim_events
+            }
+            other => unreachable!("unknown scenario {other}"),
+        }
+    });
+    let wall_ms = t0.elapsed().as_nanos() as f64 / 1e6;
+    (wall_ms, events.iter().sum())
+}
+
+fn main() {
+    // Keep the trial count non-zero so even the smoke run is meaningful.
+    let trials = trials_arg(100).max(1);
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simperf.json");
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| default_out.to_string());
+
+    let host = pool::available_jobs();
+    let jobs_max = pool::resolve_jobs(0);
+    eprintln!("perfbench: {trials} trials/scenario, host parallelism {host}...");
+
+    let scenarios = ["h2_baseline", "h2_full_attack", "h3_full_attack"];
+    let mut rows = Vec::new();
+    for scenario in scenarios {
+        let (wall_1, events_1) = measure(scenario, trials, 1);
+        let (wall_n, events_n) = measure(scenario, trials, jobs_max);
+        assert_eq!(
+            events_1, events_n,
+            "{scenario}: event counts diverged between jobs=1 and jobs={jobs_max}"
+        );
+        for (jobs, wall_ms, events) in [(1, wall_1, events_1), (jobs_max, wall_n, events_n)] {
+            let secs = wall_ms / 1e3;
+            rows.push(PerfRow {
+                scenario: scenario.to_string(),
+                jobs,
+                trials,
+                wall_ms,
+                trials_per_sec: trials as f64 / secs,
+                events_total: events,
+                events_per_sec: events as f64 / secs,
+                speedup_vs_jobs1: wall_1 / wall_ms,
+            });
+        }
+        eprintln!(
+            "  {scenario:<16} jobs=1 {:>9.1} ms | jobs={jobs_max} {:>9.1} ms | speedup {:.2}x",
+            wall_1,
+            wall_n,
+            wall_1 / wall_n
+        );
+    }
+
+    let report = PerfReport {
+        host_parallelism: host,
+        trials,
+        rows,
+    };
+    let json = to_json(&report) + "\n";
+    std::fs::write(&out_path, &json).expect("write perf report");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -5,10 +5,10 @@
 //! figures.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin robustness_sweep -- [trials=50]
+//! cargo run --release -p h2priv-bench --bin robustness_sweep -- [trials=50] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::robustness_sweep;
 use h2priv_core::report::{pct, pct_opt, render_table, to_json};
 
@@ -16,8 +16,9 @@ const INTENSITIES: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
 
 fn main() {
     let trials = trials_arg(50);
+    let jobs = jobs_arg();
     eprintln!("robustness sweep: {trials} attacked downloads per intensity...");
-    let rows = robustness_sweep(trials, 81_000, &INTENSITIES);
+    let rows = robustness_sweep(trials, 81_000, &INTENSITIES, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -3,17 +3,18 @@
 //! the broken-connection cliff).
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin section4d_drops -- [trials=100]
+//! cargo run --release -p h2priv-bench --bin section4d_drops -- [trials=100] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::{section4d, section4d_timer_only};
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(100);
+    let jobs = jobs_arg();
     eprintln!("Section IV-D: {trials} downloads per drop rate...");
-    let rows = section4d(trials, 31_000, &[0.5, 0.7, 0.8, 0.9, 0.97]);
+    let rows = section4d(trials, 31_000, &[0.5, 0.7, 0.8, 0.9, 0.97], jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -41,7 +42,7 @@ fn main() {
     eprintln!("{}", to_json(&rows));
 
     eprintln!("timer-only drop window (no early stop on reset)...");
-    let rows2 = section4d_timer_only(trials, 32_000, &[0.8, 0.9, 0.97]);
+    let rows2 = section4d_timer_only(trials, 32_000, &[0.8, 0.9, 0.97], jobs);
     let table: Vec<Vec<String>> = rows2
         .iter()
         .map(|r| {

@@ -2,17 +2,18 @@
 //! the 6th object (the result HTML).
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin table1_jitter -- [trials=100]
+//! cargo run --release -p h2priv-bench --bin table1_jitter -- [trials=100] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::table1;
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(100);
+    let jobs = jobs_arg();
     eprintln!("Table I: {trials} downloads per jitter value...");
-    let rows = table1(trials, 11_000);
+    let rows = table1(trials, 11_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -2,17 +2,18 @@
 //! attack on the isidewith model.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin table2_accuracy -- [trials=100]
+//! cargo run --release -p h2priv-bench --bin table2_accuracy -- [trials=100] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::table2;
 use h2priv_core::report::{pct, pct_opt, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(100);
+    let jobs = jobs_arg();
     eprintln!("Table II: {trials} attacked downloads...");
-    let cols = table2(trials, 41_000);
+    let cols = table2(trials, 41_000, jobs);
     let table: Vec<Vec<String>> = cols
         .iter()
         .map(|c| {

@@ -4,17 +4,18 @@
 //! the move off TCP? Writes the JSON report next to the other figures.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin transport_transfer -- [trials=30]
+//! cargo run --release -p h2priv-bench --bin transport_transfer -- [trials=30] [--jobs N]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{jobs_arg, trials_arg};
 use h2priv_core::experiments::transport_transfer;
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
     let trials = trials_arg(30);
+    let jobs = jobs_arg();
     eprintln!("transport transfer: {trials} downloads per (attack, transport) cell...");
-    let rows = transport_transfer(trials, 82_000);
+    let rows = transport_transfer(trials, 82_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -11,7 +11,7 @@ pub mod timing;
 /// status 2, so a typo like `--trials=1o0` can never masquerade as a
 /// default-sized run.
 pub fn count_arg(position: usize, name: &str, default: u64, usage_tail: &str) -> u64 {
-    match std::env::args().nth(position) {
+    match positional_args().into_iter().nth(position) {
         None => default,
         Some(s) => s.parse().unwrap_or_else(|_| {
             let bin = std::env::args()
@@ -26,10 +26,59 @@ pub fn count_arg(position: usize, name: &str, default: u64, usage_tail: &str) ->
     }
 }
 
+/// The command line with the `--jobs N` / `--jobs=N` flag (and its
+/// value) removed, so positional parsing ([`count_arg`]) and the jobs
+/// flag compose in any order.
+fn positional_args() -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out = Vec::with_capacity(args.len());
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--jobs" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--jobs=") {
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
 /// Parses the first CLI argument as a trial count, with a default.
 /// Non-numeric input prints usage and exits with status 2.
 pub fn trials_arg(default: usize) -> usize {
     count_arg(1, "trials", default as u64, &format!("[trials={default}]")) as usize
+}
+
+/// Parses the worker count for the parallel trial executor: an optional
+/// `--jobs N` flag anywhere on the command line (default `0` = all
+/// cores; `1` = the legacy sequential path). Results are byte-identical
+/// at any job count, so this only changes wall-clock time.
+pub fn jobs_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else if a == "--jobs" {
+            Some(args.get(i + 1).cloned().unwrap_or_default())
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            return v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid jobs {v:?} (expected a non-negative integer)");
+                eprintln!("usage: [--jobs N]   (0 = all cores, 1 = sequential)");
+                std::process::exit(2);
+            });
+        }
+    }
+    0
 }
 
 /// Prints a section banner.

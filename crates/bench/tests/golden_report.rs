@@ -14,7 +14,10 @@ fn fig1_report_matches_golden_fixture_byte_for_byte() {
         "/../../results/golden_fig1.json"
     );
     let golden = std::fs::read_to_string(golden_path).expect("golden fixture present");
-    let rendered: String = fig1(61_000).iter().map(|row| to_json(row) + "\n").collect();
+    let rendered: String = fig1(61_000, 1)
+        .iter()
+        .map(|row| to_json(row) + "\n")
+        .collect();
     assert_eq!(
         rendered, golden,
         "report output drifted from the golden fixture"

@@ -186,6 +186,9 @@ pub struct TrialResult {
     pub server_diag2: Vec<(SimTime, u64, u64)>,
     /// How the trial terminated.
     pub outcome: TrialOutcome,
+    /// Total discrete events the simulator dispatched for this trial
+    /// (the denominator behind `perfbench`'s events/sec).
+    pub sim_events: u64,
     /// Virtual time when the simulation stopped.
     pub ended_at: SimTime,
     /// When the watchdog first saw a full window without progress that
@@ -303,6 +306,7 @@ pub fn run_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
         },
         server_diag2: server_node.blocked_log().to_vec(),
         outcome,
+        sim_events: sim.stats().events,
         ended_at: sim.now(),
         stall_detected_at,
         fault_stats: faulted_links
@@ -397,6 +401,7 @@ pub fn run_h3_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
         },
         server_diag2: Vec::new(),
         outcome,
+        sim_events: sim.stats().events,
         ended_at: sim.now(),
         stall_detected_at,
         fault_stats: faulted_links
@@ -649,6 +654,12 @@ impl RetriedTrial {
 /// completes, or the last attempt when every one degraded — the caller
 /// always gets a terminated trial with a [`TrialOutcome`], never a hang
 /// or a panic.
+///
+/// Pool-safe: every attempt's state (simulator, RNG streams, shared
+/// trace, watchdog) lives inside the call, and the retry seed is a pure
+/// function of `opts.seed`, so concurrent calls from
+/// [`h2priv_util::pool`] workers on different seeds cannot observe each
+/// other.
 pub fn run_isidewith_trial_retrying(opts: TrialOptions, max_retries: u32) -> RetriedTrial {
     let base_seed = opts.seed;
     let mut failed_attempts = Vec::new();
@@ -723,6 +734,21 @@ pub fn run_isidewith_h3_trial_with(mut opts: TrialOptions) -> IsideWithTrial {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trial_pipeline_is_pool_safe() {
+        // The parallel executor moves options into workers and trial
+        // results back out; both directions require Send, and the
+        // shared prompt data (the options a closure captures by
+        // reference) requires Sync. Compile-time assertions so a new
+        // non-Send field can never silently break `--jobs`.
+        fn send_and_sync<T: Send + Sync>() {}
+        fn send<T: Send>() {}
+        send_and_sync::<TrialOptions>();
+        send::<IsideWithTrial>();
+        send::<RetriedTrial>();
+        send::<TrialResult>();
+    }
 
     #[test]
     fn passive_trial_completes_and_captures() {

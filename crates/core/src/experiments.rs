@@ -5,6 +5,14 @@
 //! (see `EXPERIMENTS.md`). Trial counts are parameters so that benches
 //! can run small smoke batches and the experiment binaries the full 100
 //! downloads per point the paper used.
+//!
+//! Every experiment takes a `jobs` argument and fans its independent,
+//! seed-keyed trials across that many worker threads through
+//! [`h2priv_util::pool`]. Workers return compact per-trial summaries
+//! that are folded **in submission order**, so every aggregate — counts,
+//! running float means, serialized JSON — is byte-identical to the
+//! sequential run at any job count (`jobs = 1` is the legacy in-line
+//! path, `jobs = 0` means all cores).
 
 use crate::attack::AttackConfig;
 use crate::experiment::{
@@ -17,6 +25,7 @@ use h2priv_netsim::faults::{Duplicate, FaultConfig, GilbertElliott, Reorder};
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_netsim::units::Bandwidth;
 use h2priv_util::impl_to_json;
+use h2priv_util::pool;
 use h2priv_web::sites::two_object_site;
 use h2priv_web::ObjectId;
 
@@ -51,7 +60,7 @@ impl_to_json!(struct Table1Row {
 /// Regenerates Table I (jitter ∈ {0, 25, 50, 100} ms). An empty trial
 /// budget yields no rows — "no data" is explicit, never a fabricated
 /// percentage.
-pub fn table1(trials: usize, base_seed: u64) -> Vec<Table1Row> {
+pub fn table1(trials: usize, base_seed: u64, jobs: usize) -> Vec<Table1Row> {
     if trials == 0 {
         return Vec::new();
     }
@@ -59,18 +68,23 @@ pub fn table1(trials: usize, base_seed: u64) -> Vec<Table1Row> {
     let mut rows = Vec::new();
     let mut baseline_retrans = None;
     for (ji, jitter_ms) in jitters.iter().enumerate() {
-        let mut serialized = 0usize;
-        let mut retrans_total = 0u64;
-        let mut rereq_total = 0u64;
-        for t in 0..trials {
+        let per_trial = pool::run_indexed(jobs, trials, |t| {
             let seed = base_seed + (ji as u64) * 10_000 + t as u64;
             let attack = AttackConfig::jitter_only(SimDuration::from_millis(*jitter_ms));
             let trial = run_isidewith_trial(seed, Some(attack));
-            if crate::metrics::is_serialized(trial.html_outcome().best_degree) {
-                serialized += 1;
-            }
-            retrans_total += trial.result.total_retransmissions();
-            rereq_total += trial.result.client.h2_rerequests;
+            (
+                crate::metrics::is_serialized(trial.html_outcome().best_degree),
+                trial.result.total_retransmissions(),
+                trial.result.client.h2_rerequests,
+            )
+        });
+        let mut serialized = 0usize;
+        let mut retrans_total = 0u64;
+        let mut rereq_total = 0u64;
+        for (ser, retrans, rereq) in per_trial {
+            serialized += usize::from(ser);
+            retrans_total += retrans;
+            rereq_total += rereq;
         }
         let retransmissions_avg = retrans_total as f64 / trials as f64;
         let base = *baseline_retrans.get_or_insert(retransmissions_avg.max(1e-9));
@@ -106,31 +120,33 @@ pub struct Fig5Row {
 impl_to_json!(struct Fig5Row { bandwidth_mbps, pct_success, retransmissions_avg, pct_broken, trials });
 
 /// Regenerates Fig. 5 (bandwidth ∈ {1000, 800, 500, 100, 1} Mbps).
-pub fn fig5(trials: usize, base_seed: u64) -> Vec<Fig5Row> {
+pub fn fig5(trials: usize, base_seed: u64, jobs: usize) -> Vec<Fig5Row> {
     if trials == 0 {
         return Vec::new();
     }
     let bandwidths = [1_000u64, 800, 500, 100, 1];
     let mut rows = Vec::new();
     for (bi, mbps) in bandwidths.iter().enumerate() {
-        let mut success = 0usize;
-        let mut broken = 0usize;
-        let mut retrans_total = 0u64;
-        for t in 0..trials {
+        let per_trial = pool::run_indexed(jobs, trials, |t| {
             let seed = base_seed + 1_000_000 + (bi as u64) * 10_000 + t as u64;
             let attack = AttackConfig::jitter_and_bandwidth(
                 SimDuration::from_millis(50),
                 Bandwidth::mbps(*mbps),
             );
             let trial = run_isidewith_trial(seed, Some(attack));
-            let out = trial.html_outcome();
-            if out.success {
-                success += 1;
-            }
-            if trial.result.client.connection_broken {
-                broken += 1;
-            }
-            retrans_total += trial.result.total_retransmissions();
+            (
+                trial.html_outcome().success,
+                trial.result.client.connection_broken,
+                trial.result.total_retransmissions(),
+            )
+        });
+        let mut success = 0usize;
+        let mut broken = 0usize;
+        let mut retrans_total = 0u64;
+        for (ok, brk, retrans) in per_trial {
+            success += usize::from(ok);
+            broken += usize::from(brk);
+            retrans_total += retrans;
         }
         rows.push(Fig5Row {
             bandwidth_mbps: *mbps,
@@ -162,15 +178,20 @@ impl_to_json!(struct DropRow { drop_rate, pct_success, pct_reset_sent, pct_broke
 
 /// Regenerates the Section IV-D experiment (80 % drops, plus a sweep
 /// showing that higher rates break the connection).
-pub fn section4d(trials: usize, base_seed: u64, drop_rates: &[f64]) -> Vec<DropRow> {
-    section4d_with(trials, base_seed, drop_rates, true)
+pub fn section4d(trials: usize, base_seed: u64, drop_rates: &[f64], jobs: usize) -> Vec<DropRow> {
+    section4d_with(trials, base_seed, drop_rates, true, jobs)
 }
 
 /// Section IV-D with the pure 6-second-timer drop window (no early stop
 /// on the reset signature). This is the variant where very high drop
 /// rates break the connection outright, as the paper reports.
-pub fn section4d_timer_only(trials: usize, base_seed: u64, drop_rates: &[f64]) -> Vec<DropRow> {
-    section4d_with(trials, base_seed ^ 0xD0D0, drop_rates, false)
+pub fn section4d_timer_only(
+    trials: usize,
+    base_seed: u64,
+    drop_rates: &[f64],
+    jobs: usize,
+) -> Vec<DropRow> {
+    section4d_with(trials, base_seed ^ 0xD0D0, drop_rates, false, jobs)
 }
 
 fn section4d_with(
@@ -178,29 +199,31 @@ fn section4d_with(
     base_seed: u64,
     drop_rates: &[f64],
     stop_on_reset: bool,
+    jobs: usize,
 ) -> Vec<DropRow> {
     if trials == 0 {
         return Vec::new();
     }
     let mut rows = Vec::new();
     for (di, rate) in drop_rates.iter().enumerate() {
-        let mut success = 0usize;
-        let mut reset = 0usize;
-        let mut broken = 0usize;
-        for t in 0..trials {
+        let per_trial = pool::run_indexed(jobs, trials, |t| {
             let seed = base_seed + 2_000_000 + (di as u64) * 10_000 + t as u64;
             let mut attack = AttackConfig::with_drops(*rate, SimDuration::from_secs(6));
             attack.stop_drops_on_reset = stop_on_reset;
             let trial = run_isidewith_trial(seed, Some(attack));
-            if trial.html_outcome().success {
-                success += 1;
-            }
-            if trial.result.client.resets_sent > 0 {
-                reset += 1;
-            }
-            if trial.result.client.connection_broken {
-                broken += 1;
-            }
+            (
+                trial.html_outcome().success,
+                trial.result.client.resets_sent > 0,
+                trial.result.client.connection_broken,
+            )
+        });
+        let mut success = 0usize;
+        let mut reset = 0usize;
+        let mut broken = 0usize;
+        for (ok, rst, brk) in per_trial {
+            success += usize::from(ok);
+            reset += usize::from(rst);
+            broken += usize::from(brk);
         }
         rows.push(DropRow {
             drop_rate: *rate,
@@ -234,35 +257,37 @@ pub struct Table2Column {
 impl_to_json!(struct Table2Column { object, gap_prev_ms, pct_single_target, pct_all_targets, trials });
 
 /// Regenerates Table II with the full Section V attack.
-pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
+pub fn table2(trials: usize, base_seed: u64, jobs: usize) -> Vec<Table2Column> {
     if trials == 0 {
         return Vec::new();
     }
-    let mut single = [0usize; 9];
-    let mut sequence = [0usize; 9];
-    let mut gap_sums = [0.0f64; 9];
-    let mut gap_counts = [0usize; 9];
+    // Per-trial summary: which slots succeeded and the measured gap (at
+    // most one per slot per trial).
+    struct Table2Trial {
+        single: [bool; 9],
+        sequence: [bool; 9],
+        gaps: [Option<f64>; 9],
+    }
 
-    for t in 0..trials {
+    let per_trial = pool::run_indexed(jobs, trials, |t| {
         let seed = base_seed + 3_000_000 + t as u64;
         let trial = run_isidewith_trial(seed, Some(AttackConfig::full_attack()));
+        let mut summary = Table2Trial {
+            single: [false; 9],
+            sequence: [false; 9],
+            gaps: [None; 9],
+        };
 
-        // Column 0: the HTML.
+        // Column 0: the HTML (the ranking page itself).
         let html = trial.html_outcome();
-        if html.success {
-            single[0] += 1;
-            sequence[0] += 1; // the ranking page itself
-        }
+        summary.single[0] = html.success;
+        summary.sequence[0] = html.success;
         // Columns 1..=8: the images.
         for (i, out) in trial.image_outcomes().iter().enumerate() {
-            if out.success {
-                single[i + 1] += 1;
-            }
+            summary.single[i + 1] = out.success;
         }
         for (i, ok) in trial.sequence_success().iter().enumerate() {
-            if *ok {
-                sequence[i + 1] += 1;
-            }
+            summary.sequence[i + 1] = *ok;
         }
         // Measured inter-request gaps (first attempts, client-side).
         let firsts: Vec<_> = trial
@@ -280,9 +305,24 @@ pub fn table2(trials: usize, base_seed: u64) -> Vec<Table2Column> {
                     let gap = firsts[pos]
                         .issued_at
                         .saturating_since(firsts[pos - 1].issued_at);
-                    gap_sums[slot] += gap.as_nanos() as f64 / 1e6;
-                    gap_counts[slot] += 1;
+                    summary.gaps[slot] = Some(gap.as_nanos() as f64 / 1e6);
                 }
+            }
+        }
+        summary
+    });
+
+    let mut single = [0usize; 9];
+    let mut sequence = [0usize; 9];
+    let mut gap_sums = [0.0f64; 9];
+    let mut gap_counts = [0usize; 9];
+    for summary in per_trial {
+        for i in 0..9 {
+            single[i] += usize::from(summary.single[i]);
+            sequence[i] += usize::from(summary.sequence[i]);
+            if let Some(gap) = summary.gaps[i] {
+                gap_sums[i] += gap;
+                gap_counts[i] += 1;
             }
         }
     }
@@ -325,18 +365,25 @@ impl_to_json!(struct BaselineRow { object, mean_degree_pct, pct_not_multiplexed,
 /// Regenerates the paper's baseline claims: HTML degree ≈98 %, images
 /// 80–99 %, 6th object unmultiplexed in ≈32 % of unattacked jittered
 /// runs (the paper's 0 ms row of Table I).
-pub fn baseline(trials: usize, base_seed: u64) -> Vec<BaselineRow> {
+pub fn baseline(trials: usize, base_seed: u64, jobs: usize) -> Vec<BaselineRow> {
     if trials == 0 {
         return Vec::new();
     }
-    let mut degrees: Vec<Vec<f64>> = vec![Vec::new(); 9];
-    for t in 0..trials {
+    let per_trial = pool::run_indexed(jobs, trials, |t| {
         let seed = base_seed + 4_000_000 + t as u64;
         let trial = run_isidewith_trial(seed, None);
         let mut interest = vec![trial.iw.html];
         interest.extend_from_slice(&trial.iw.images);
+        let mut slots: [Option<f64>; 9] = [None; 9];
         for (slot, obj) in interest.iter().enumerate() {
-            if let Some((_, d)) = trial.result.degree(*obj).best() {
+            slots[slot] = trial.result.degree(*obj).best().map(|(_, d)| d);
+        }
+        slots
+    });
+    let mut degrees: Vec<Vec<f64>> = vec![Vec::new(); 9];
+    for slots in per_trial {
+        for (slot, d) in slots.into_iter().enumerate() {
+            if let Some(d) = d {
                 degrees[slot].push(d);
             }
         }
@@ -389,15 +436,15 @@ pub struct Fig1Row {
 impl_to_json!(struct Fig1Row { scenario, truth, estimates, both_identified });
 
 /// Regenerates the Fig. 1 demonstration.
-pub fn fig1(base_seed: u64) -> Vec<Fig1Row> {
+pub fn fig1(base_seed: u64, jobs: usize) -> Vec<Fig1Row> {
     let o1 = 9_500u64;
     let o2 = 7_200u64;
     let map = SizeMap::new(vec![("o1".to_string(), o1), ("o2".to_string(), o2)], 0.03);
-    let mut rows = Vec::new();
-    for (label, gap_ms) in [
+    let scenarios = vec![
         ("multiplexed (IAT ~ 0)", 0u64),
         ("serial (IAT > service time)", 700),
-    ] {
+    ];
+    pool::map_ordered(jobs, scenarios, |(label, gap_ms)| {
         let site = two_object_site(o1, o2, SimDuration::from_millis(gap_ms));
         let opts = TrialOptions::new(base_seed + gap_ms, None);
         let result = run_site_trial(site, &opts);
@@ -407,14 +454,13 @@ pub fn fig1(base_seed: u64) -> Vec<Fig1Row> {
             .iter()
             .map(|u| u.unit.estimated_payload)
             .collect();
-        rows.push(Fig1Row {
+        Fig1Row {
             scenario: label.to_string(),
             truth: (o1, o2),
             both_identified: prediction.contains("o1") && prediction.contains("o2"),
             estimates,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// A robustness-sweep row: the full Section V attack under increasingly
@@ -515,53 +561,73 @@ pub fn robustness_fault_plan(intensity: f64) -> FaultPlan {
 /// serialization/identification rates against impairment level. Each
 /// trial runs with the stall watchdog in fail-fast mode and one retry on
 /// a derived seed; every outcome is accounted for in the row.
-pub fn robustness_sweep(trials: usize, base_seed: u64, intensities: &[f64]) -> Vec<RobustnessRow> {
+pub fn robustness_sweep(
+    trials: usize,
+    base_seed: u64,
+    intensities: &[f64],
+    jobs: usize,
+) -> Vec<RobustnessRow> {
     if trials == 0 {
         return Vec::new();
     }
+    // Per-trial summary for the retry/watchdog path.
+    struct RobustTrial {
+        outcome_idx: usize,
+        retries: u64,
+        serialized: bool,
+        identified: bool,
+        success: bool,
+        retrans: u64,
+        fault_drops: u64,
+    }
+
     let mut rows = Vec::new();
     for (ii, &intensity) in intensities.iter().enumerate() {
         let plan = robustness_fault_plan(intensity);
-        let (mut serialized, mut identified, mut success) = (0usize, 0usize, 0usize);
-        let mut outcome_counts = [0usize; 4]; // completed/stalled/aborted/horizon
-        let mut retries_used = 0u64;
-        let mut retrans_total = 0u64;
-        let mut fault_drops_total = 0u64;
-        for t in 0..trials {
+        let per_trial = pool::run_indexed(jobs, trials, |t| {
             let seed = base_seed + 5_000_000 + (ii as u64) * 10_000 + t as u64;
             let mut opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
             opts.faults = plan.clone();
             opts.fail_fast = true;
             opts.stall_window = SimDuration::from_secs(15);
             let retried = run_isidewith_trial_retrying(opts, 1);
-            retries_used += u64::from(retried.retries_used());
             let trial = &retried.trial;
-            let idx = match trial.result.outcome {
+            let outcome_idx = match trial.result.outcome {
                 TrialOutcome::Completed => 0,
                 TrialOutcome::Stalled => 1,
                 TrialOutcome::ConnectionAborted => 2,
                 TrialOutcome::HorizonExhausted => 3,
             };
-            outcome_counts[idx] += 1;
-            if trial.result.outcome == TrialOutcome::Completed {
-                let out = trial.html_outcome();
-                if crate::metrics::is_serialized(out.best_degree) {
-                    serialized += 1;
-                }
-                if out.identified {
-                    identified += 1;
-                }
-                if out.success {
-                    success += 1;
-                }
+            let completed = trial.result.outcome == TrialOutcome::Completed;
+            let out = trial.html_outcome();
+            RobustTrial {
+                outcome_idx,
+                retries: u64::from(retried.retries_used()),
+                serialized: completed && crate::metrics::is_serialized(out.best_degree),
+                identified: completed && out.identified,
+                success: completed && out.success,
+                retrans: trial.result.total_retransmissions(),
+                fault_drops: trial
+                    .result
+                    .fault_stats
+                    .iter()
+                    .map(|s| s.dropped())
+                    .sum::<u64>(),
             }
-            retrans_total += trial.result.total_retransmissions();
-            fault_drops_total += trial
-                .result
-                .fault_stats
-                .iter()
-                .map(|s| s.dropped())
-                .sum::<u64>();
+        });
+        let (mut serialized, mut identified, mut success) = (0usize, 0usize, 0usize);
+        let mut outcome_counts = [0usize; 4]; // completed/stalled/aborted/horizon
+        let mut retries_used = 0u64;
+        let mut retrans_total = 0u64;
+        let mut fault_drops_total = 0u64;
+        for s in per_trial {
+            outcome_counts[s.outcome_idx] += 1;
+            retries_used += s.retries;
+            serialized += usize::from(s.serialized);
+            identified += usize::from(s.identified);
+            success += usize::from(s.success);
+            retrans_total += s.retrans;
+            fault_drops_total += s.fault_drops;
         }
         let pct = |n: usize| Some(100.0 * n as f64 / trials as f64);
         rows.push(RobustnessRow {
@@ -649,18 +715,14 @@ pub fn transfer_attack_configs() -> Vec<(&'static str, AttackConfig)> {
 /// HTTP/3-over-QUIC? Every attack configuration runs against both
 /// transports on identical seeds (same survey ground truth per seed), so
 /// each matrix row differs only in the substrate the victim speaks.
-pub fn transport_transfer(trials: usize, base_seed: u64) -> Vec<TransferRow> {
+pub fn transport_transfer(trials: usize, base_seed: u64, jobs: usize) -> Vec<TransferRow> {
     if trials == 0 {
         return Vec::new();
     }
     let mut rows = Vec::new();
     for (cfg_idx, (label, attack)) in transfer_attack_configs().into_iter().enumerate() {
         for transport in ["h2-tcp", "h3-quic"] {
-            let (mut serialized, mut identified, mut success) = (0usize, 0usize, 0usize);
-            let mut full_ranking = 0usize;
-            let mut broken = 0usize;
-            let mut retrans_total = 0u64;
-            for t in 0..trials {
+            let per_trial = pool::run_indexed(jobs, trials, |t| {
                 let seed = base_seed + 6_000_000 + (cfg_idx as u64) * 10_000 + t as u64;
                 let trial = if transport == "h2-tcp" {
                     run_isidewith_trial(seed, Some(attack.clone()))
@@ -668,22 +730,26 @@ pub fn transport_transfer(trials: usize, base_seed: u64) -> Vec<TransferRow> {
                     run_isidewith_h3_trial(seed, Some(attack.clone()))
                 };
                 let out = trial.html_outcome();
-                if crate::metrics::is_serialized(out.best_degree) {
-                    serialized += 1;
-                }
-                if out.identified {
-                    identified += 1;
-                }
-                if out.success {
-                    success += 1;
-                }
-                if trial.sequence_success().iter().all(|ok| *ok) {
-                    full_ranking += 1;
-                }
-                if trial.result.client.connection_broken {
-                    broken += 1;
-                }
-                retrans_total += trial.result.total_retransmissions();
+                (
+                    crate::metrics::is_serialized(out.best_degree),
+                    out.identified,
+                    out.success,
+                    trial.sequence_success().iter().all(|ok| *ok),
+                    trial.result.client.connection_broken,
+                    trial.result.total_retransmissions(),
+                )
+            });
+            let (mut serialized, mut identified, mut success) = (0usize, 0usize, 0usize);
+            let mut full_ranking = 0usize;
+            let mut broken = 0usize;
+            let mut retrans_total = 0u64;
+            for (ser, ident, ok, rank, brk, retrans) in per_trial {
+                serialized += usize::from(ser);
+                identified += usize::from(ident);
+                success += usize::from(ok);
+                full_ranking += usize::from(rank);
+                broken += usize::from(brk);
+                retrans_total += retrans;
             }
             let pct = |n: usize| 100.0 * n as f64 / trials as f64;
             rows.push(TransferRow {

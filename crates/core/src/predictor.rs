@@ -13,7 +13,7 @@ use h2priv_netsim::time::SimTime;
 use h2priv_trace::analysis::{segment_units, TransmissionUnit, UnitConfig};
 use h2priv_trace::capture::Trace;
 use h2priv_trace::datagram::{segment_datagram_units, DatagramUnitConfig};
-use h2priv_trace::reassembly::reassemble;
+use h2priv_trace::reassembly::{reassemble_with, ReassemblyScratch};
 use h2priv_util::impl_to_json;
 use h2priv_web::isidewith::{PARTY_IMAGE_SIZES, RESULT_HTML_SIZE};
 use h2priv_web::Party;
@@ -204,9 +204,22 @@ pub fn predict_from_trace(
     unit_cfg: &UnitConfig,
     from: Option<SimTime>,
 ) -> Prediction {
-    let view = reassemble(trace, Direction::ServerToClient, false);
-    let records: Vec<_> = view.records.to_vec();
-    let units = segment_units(&records, unit_cfg);
+    // One reassembly scratch per worker thread: consecutive trials on
+    // the same thread reuse the stream-assembly allocation instead of
+    // growing a fresh multi-megabyte buffer each time.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<ReassemblyScratch> =
+            std::cell::RefCell::new(ReassemblyScratch::default());
+    }
+    let view = SCRATCH.with(|scratch| {
+        reassemble_with(
+            &mut scratch.borrow_mut(),
+            trace,
+            Direction::ServerToClient,
+            false,
+        )
+    });
+    let units = segment_units(&view.records, unit_cfg);
     let units = units
         .into_iter()
         .filter(|u| from.is_none_or(|t| u.start >= t))

@@ -8,7 +8,7 @@ const TRIALS: usize = 12; // small but stable batches; full runs live in h2priv-
 
 #[test]
 fn table1_shape_jitter_helps_then_plateaus_and_retransmissions_grow() {
-    let rows = table1(TRIALS, 42);
+    let rows = table1(TRIALS, 42, 1);
     assert_eq!(rows.len(), 4);
     // Non-multiplexed fraction does not decrease with jitter (0 -> 50 ms).
     assert!(
@@ -28,7 +28,7 @@ fn table1_shape_jitter_helps_then_plateaus_and_retransmissions_grow() {
 
 #[test]
 fn fig5_shape_bandwidth_sweep() {
-    let rows = fig5(TRIALS, 43);
+    let rows = fig5(TRIALS, 43, 1);
     assert_eq!(rows.len(), 5);
     // Our substrate's deviation from the paper is documented in
     // EXPERIMENTS.md: with a conforming (RFC 7323) TCP the jitter phase
@@ -62,7 +62,7 @@ fn fig5_shape_bandwidth_sweep() {
 
 #[test]
 fn section4d_shape_drops_reach_high_success_until_connection_breaks() {
-    let rows = section4d(TRIALS, 44, &[0.8, 0.97]);
+    let rows = section4d(TRIALS, 44, &[0.8, 0.97], 1);
     let at80 = &rows[0];
     let extreme = &rows[1];
     assert!(
@@ -82,7 +82,7 @@ fn section4d_shape_drops_reach_high_success_until_connection_breaks() {
 
 #[test]
 fn table2_shape_single_target_beats_sequence_inference() {
-    let cols = table2(TRIALS, 45);
+    let cols = table2(TRIALS, 45, 1);
     assert_eq!(cols.len(), 9);
     let avg_single: f64 = cols.iter().map(|c| c.pct_single_target).sum::<f64>() / cols.len() as f64;
     let avg_all: f64 = cols.iter().map(|c| c.pct_all_targets).sum::<f64>() / cols.len() as f64;
@@ -103,7 +103,7 @@ fn table2_shape_single_target_beats_sequence_inference() {
 
 #[test]
 fn baseline_shape_objects_are_heavily_multiplexed() {
-    let rows = baseline(TRIALS, 46);
+    let rows = baseline(TRIALS, 46, 1);
     assert_eq!(rows.len(), 9);
     let html = &rows[0];
     assert!(

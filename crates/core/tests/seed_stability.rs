@@ -54,7 +54,7 @@ fn pinned_robustness_sweep_seeds_are_stable() {
     // `base + 5_000_000 + intensity_idx * 10_000 + trial`, so these pins
     // cover both the fault-free and the fully-impaired draw sequences,
     // including the retry-seed derivation.
-    let rows = robustness_sweep(2, 81_000, &[0.0, 1.0]);
+    let rows = robustness_sweep(2, 81_000, &[0.0, 1.0], 1);
     assert_eq!(rows.len(), 2);
 
     let pristine = &rows[0];

@@ -67,8 +67,13 @@ pub(crate) struct EventQueue {
 }
 
 impl EventQueue {
-    pub fn new() -> EventQueue {
-        EventQueue::default()
+    /// A queue whose heap storage is preallocated for `cap` events, so
+    /// the steady-state event population never reallocates mid-run.
+    pub fn with_capacity(cap: usize) -> EventQueue {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `kind` at absolute time `time`.
@@ -94,7 +99,6 @@ impl EventQueue {
     }
 
     /// `true` if no events are pending.
-    #[allow(dead_code)] // exercised by tests; kept for API symmetry
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -113,7 +117,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::default();
         q.push(SimTime::from_millis(30), timer(0, 0));
         q.push(SimTime::from_millis(10), timer(0, 1));
         q.push(SimTime::from_millis(20), timer(0, 2));
@@ -125,7 +129,7 @@ mod tests {
 
     #[test]
     fn ties_broken_by_insertion_order() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::default();
         let t = SimTime::from_millis(5);
         for i in 0..10 {
             q.push(t, timer(0, i));
@@ -140,8 +144,20 @@ mod tests {
     }
 
     #[test]
+    fn with_capacity_preallocates_and_behaves_identically() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        q.push(SimTime::from_millis(2), timer(0, 0));
+        q.push(SimTime::from_millis(1), timer(0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().time, SimTime::from_millis(1));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_millis(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn peek_time_tracks_min() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::default();
         assert_eq!(q.peek_time(), None);
         q.push(SimTime::from_millis(9), timer(0, 0));
         q.push(SimTime::from_millis(3), timer(0, 1));

@@ -134,6 +134,12 @@ pub struct Simulator {
     world: World,
 }
 
+/// Initial event-heap capacity. A page-load trial keeps a few hundred
+/// events pending at its peak (in-flight packets, timers, fault
+/// releases); preallocating for that population keeps the hot
+/// push/pop path free of heap growth.
+const EVENT_QUEUE_CAPACITY: usize = 1024;
+
 impl Simulator {
     /// Creates an empty simulator whose RNG is seeded with `seed`.
     pub fn new(seed: u64) -> Simulator {
@@ -142,7 +148,7 @@ impl Simulator {
             started: false,
             nodes: Vec::new(),
             world: World {
-                queue: EventQueue::new(),
+                queue: EventQueue::with_capacity(EVENT_QUEUE_CAPACITY),
                 links: Links::new(),
                 rng: SimRng::new(seed),
                 cancelled_timers: HashSet::new(),
@@ -347,7 +353,8 @@ impl Simulator {
     /// (a safety net against livelocked models).
     pub fn run_until_idle(&mut self, deadline: SimTime) {
         self.start();
-        while let Some(t) = self.world.queue.peek_time() {
+        while !self.world.queue.is_empty() {
+            let t = self.world.queue.peek_time().expect("non-empty queue peeks");
             if t > deadline {
                 break;
             }

@@ -63,6 +63,15 @@ impl StreamView {
     }
 }
 
+/// Reusable scratch state for [`reassemble`]: the stream-assembly byte
+/// buffer, whose allocation survives from one call to the next. A worker
+/// thread chewing through hundreds of trials reassembles into the same
+/// buffer instead of growing a fresh one per trial.
+#[derive(Debug, Default)]
+pub struct ReassemblyScratch {
+    assembled: Vec<u8>,
+}
+
 /// Reassembles direction `dir` of the (single) connection in `trace`.
 ///
 /// `include_policy_dropped` controls whether packets the adversary itself
@@ -70,6 +79,22 @@ impl StreamView {
 /// reach the receiver; the paper's analysis excludes them, so the default
 /// used by the attack code is `false`).
 pub fn reassemble(trace: &Trace, dir: Direction, include_policy_dropped: bool) -> StreamView {
+    reassemble_with(
+        &mut ReassemblyScratch::default(),
+        trace,
+        dir,
+        include_policy_dropped,
+    )
+}
+
+/// [`reassemble`] writing through caller-owned scratch buffers, so
+/// repeated calls (one per trial on a pool worker) reuse allocations.
+pub fn reassemble_with(
+    scratch: &mut ReassemblyScratch,
+    trace: &Trace,
+    dir: Direction,
+    include_policy_dropped: bool,
+) -> StreamView {
     let mut view = StreamView::default();
     // Initial sequence number: from the SYN if captured, else the first
     // data segment.
@@ -81,7 +106,13 @@ pub fn reassemble(trace: &Trace, dir: Direction, include_policy_dropped: bool) -
         }
     }
 
-    let mut assembled: Vec<u8> = Vec::new();
+    let assembled: &mut Vec<u8> = &mut scratch.assembled;
+    assembled.clear();
+    // One cheap pass to size the assembly buffer: the stream is at most
+    // the sum of the direction's payload bytes, so a single upfront
+    // reserve replaces the repeated mid-loop `resize` reallocations.
+    let payload_total: usize = trace.in_direction(dir).map(|p| p.payload.len()).sum();
+    assembled.reserve(payload_total);
     // Covered intervals (start -> end), non-overlapping, merged.
     let mut covered: BTreeMap<u64, u64> = BTreeMap::new();
     let mut parse_ptr: u64 = 0;
@@ -159,13 +190,16 @@ fn insert_interval(map: &mut BTreeMap<u64, u64>, start: u64, end: u64) -> u64 {
     let mut new_start = start;
     let mut new_end = end;
     let mut newly = end - start;
-    // Absorb any overlapping/adjacent intervals.
-    let overlapping: Vec<(u64, u64)> = map
-        .range(..=new_end)
-        .filter(|(_, &e)| e >= new_start)
-        .map(|(&s, &e)| (s, e))
-        .collect();
-    for (s, e) in overlapping {
+    // Absorb overlapping/adjacent intervals, rightmost first. Stored
+    // intervals are disjoint, so their starts and ends are both sorted:
+    // once the rightmost candidate (largest start <= new_end) ends
+    // before new_start, no earlier interval can touch the range either,
+    // and each absorbed interval's overlap with the growing range equals
+    // its overlap with the original [start, end).
+    while let Some((&s, &e)) = map.range(..=new_end).next_back() {
+        if e < new_start {
+            break;
+        }
         newly -= overlap_len(new_start.max(s), new_end.min(e), s, e);
         new_start = new_start.min(s);
         new_end = new_end.max(e);

@@ -7,11 +7,34 @@ use std::fmt;
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// The backing storage of a [`Bytes`]: either a shared heap allocation
+/// or a borrowed `'static` slice (no allocation, no copy).
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
+impl Repr {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Shared(data) => data,
+            Repr::Static(data) => data,
+        }
+    }
+}
+
+impl Default for Repr {
+    fn default() -> Repr {
+        Repr::Static(&[])
+    }
+}
+
 /// An immutable, reference-counted byte buffer. Clones and slices share
 /// the same allocation.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Repr,
     start: usize,
     end: usize,
 }
@@ -27,10 +50,15 @@ impl Bytes {
         Bytes::from(data.to_vec())
     }
 
-    /// Wraps a static slice. (The `'static` bound mirrors `bytes::Bytes`;
-    /// the data is shared, not copied, via `Arc<[u8]>::from`.)
+    /// Wraps a static slice. The data is borrowed for the program's
+    /// lifetime — never copied and never reference-counted; clones and
+    /// slices point at the original storage.
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes::from(data.to_vec())
+        Bytes {
+            data: Repr::Static(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Number of bytes.
@@ -60,7 +88,7 @@ impl Bytes {
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -87,7 +115,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Repr::Shared(v.into()),
             start: 0,
             end,
         }
@@ -103,7 +131,7 @@ impl From<&[u8]> for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -329,6 +357,23 @@ mod tests {
         let head = m.split_to(5);
         assert_eq!(&head[..], b"hello");
         assert_eq!(&m[..], b" world");
+    }
+
+    #[test]
+    fn from_static_borrows_without_copying() {
+        static DATA: [u8; 5] = [10, 20, 30, 40, 50];
+        let b = Bytes::from_static(&DATA);
+        // Zero-copy: the buffer points at the static storage itself.
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), DATA.as_ptr()));
+        // Clones and slices keep pointing at it too.
+        let c = b.clone();
+        assert!(std::ptr::eq(c.as_ref().as_ptr(), DATA.as_ptr()));
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[20, 30, 40]);
+        assert!(std::ptr::eq(
+            s.as_ref().as_ptr(),
+            DATA.as_ptr().wrapping_add(1)
+        ));
     }
 
     #[test]

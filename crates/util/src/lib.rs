@@ -15,8 +15,13 @@
 //!   [`bytes::BytesMut`] built on `Arc<[u8]>`/`Vec<u8>`.
 //! * [`check`] — a seeded, shrink-free property-test harness replacing the
 //!   `proptest` dev-dependency.
+//! * [`pool`] — a deterministic `std::thread::scope` work pool that fans
+//!   independent seed-keyed jobs across cores and returns results in
+//!   submission order, so parallel experiment runs stay byte-identical
+//!   to sequential ones.
 
 pub mod bytes;
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;

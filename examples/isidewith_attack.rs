@@ -15,7 +15,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
     eprintln!("running {trials} attacked page loads (Table II)...");
-    let cols = table2(trials, 77_000);
+    let cols = table2(trials, 77_000, 0);
 
     let rows: Vec<Vec<String>> = cols
         .iter()

@@ -16,7 +16,7 @@ fn main() {
         .unwrap_or(25);
 
     eprintln!("jitter sweep ({trials} trials/point)...");
-    let t1 = table1(trials, 10_000);
+    let t1 = table1(trials, 10_000, 0);
     let rows: Vec<Vec<String>> = t1
         .iter()
         .map(|r| {
@@ -43,7 +43,7 @@ fn main() {
     );
 
     eprintln!("bandwidth sweep ({trials} trials/point)...");
-    let f5 = fig5(trials, 20_000);
+    let f5 = fig5(trials, 20_000, 0);
     let rows: Vec<Vec<String>> = f5
         .iter()
         .map(|r| {
@@ -70,7 +70,7 @@ fn main() {
     );
 
     eprintln!("targeted-drop sweep ({trials} trials/point)...");
-    let dr = section4d(trials, 30_000, &[0.5, 0.8, 0.9]);
+    let dr = section4d(trials, 30_000, &[0.5, 0.8, 0.9], 0);
     let rows: Vec<Vec<String>> = dr
         .iter()
         .map(|r| {

@@ -19,4 +19,10 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "== cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+echo "== perfbench smoke (tiny trial budget, throwaway output)"
+cargo run --release --offline -p h2priv-bench --bin perfbench -- 2 /tmp/h2priv_perf_smoke.json >/dev/null
+
+echo "== parallel executor smoke (--jobs 2)"
+cargo run --release --offline -p h2priv-bench --bin table1_jitter -- 2 --jobs 2 >/dev/null
+
 echo "verify: OK"
