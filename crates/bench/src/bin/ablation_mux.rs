@@ -5,23 +5,26 @@
 //! * client re-request timeout.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin ablation_mux -- [trials=25] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin ablation_mux -- [trials=25] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{banner, jobs_arg, trials_arg};
+use h2priv_bench::{banner, jobs_arg, obs, oinfo, trials_arg};
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::{run_isidewith_trial_with, TrialOptions};
 use h2priv_h2::MuxPolicy;
 use h2priv_netsim::time::SimDuration;
-use h2priv_util::pool;
+use h2priv_util::{pool, telemetry};
 
 fn run(
+    label: &str,
     trials: usize,
     jobs: usize,
     base: u64,
     f: impl Fn(&mut TrialOptions) + Sync,
 ) -> (f64, f64, f64) {
+    let batch = telemetry::open_batch(&format!("ablation/{label}"));
     let per_trial = pool::run_indexed(jobs, trials, |t| {
+        let _tele = telemetry::trial_slot(batch, t as u64);
         let mut opts = TrialOptions::new(base + t as u64, None);
         f(&mut opts);
         let trial = run_isidewith_trial_with(opts);
@@ -47,38 +50,50 @@ fn run(
 }
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(25);
     let jobs = jobs_arg();
 
     banner("mux policy (no adversary)");
-    let (serial_pct, _, _) = run(trials, jobs, 81_000, |_| {});
-    println!("  Concurrent (HTTP/2): html serialized by chance {serial_pct:.0}%");
-    let (serial_pct, _, _) = run(trials, jobs, 82_000, |o| o.server.mux = MuxPolicy::Serial);
-    println!("  Serial (HTTP/1.1-like): html serialized {serial_pct:.0}% (expected ~100%)");
+    let (serial_pct, _, _) = run("mux_concurrent", trials, jobs, 81_000, |_| {});
+    oinfo!("  Concurrent (HTTP/2): html serialized by chance {serial_pct:.0}%");
+    let (serial_pct, _, _) = run("mux_serial", trials, jobs, 82_000, |o| {
+        o.server.mux = MuxPolicy::Serial
+    });
+    oinfo!("  Serial (HTTP/1.1-like): html serialized {serial_pct:.0}% (expected ~100%)");
 
     banner("duplicate-serving pathology under 200 ms jitter");
     let attack = Some(AttackConfig::jitter_only(SimDuration::from_millis(200)));
     let a = attack.clone();
-    let (_, rereq, copies) = run(trials, jobs, 83_000, move |o| o.attack = a.clone());
-    println!(
+    let (_, rereq, copies) = run("dup_on", trials, jobs, 83_000, move |o| {
+        o.attack = a.clone()
+    });
+    oinfo!(
         "  serve_duplicates=on : re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}"
     );
     let a = attack.clone();
-    let (_, rereq, copies) = run(trials, jobs, 84_000, move |o| {
+    let (_, rereq, copies) = run("dup_off", trials, jobs, 84_000, move |o| {
         o.attack = a.clone();
         o.server.serve_duplicates = false;
     });
-    println!(
+    oinfo!(
         "  serve_duplicates=off: re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}"
     );
 
     banner("client re-request timeout under 200 ms jitter");
     for timeout_ms in [600u64, 1_200, 2_400, 4_800] {
         let a = attack.clone();
-        let (_, rereq, copies) = run(trials, jobs, 85_000 + timeout_ms, move |o| {
-            o.attack = a.clone();
-            o.client.rerequest.timeout = SimDuration::from_millis(timeout_ms);
-        });
-        println!("  timeout {timeout_ms:>4} ms: re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}");
+        let (_, rereq, copies) = run(
+            &format!("timeout_{timeout_ms}ms"),
+            trials,
+            jobs,
+            85_000 + timeout_ms,
+            move |o| {
+                o.attack = a.clone();
+                o.client.rerequest.timeout = SimDuration::from_millis(timeout_ms);
+            },
+        );
+        oinfo!("  timeout {timeout_ms:>4} ms: re-requests/trial {rereq:.1}, duplicate copies/trial {copies:.1}");
     }
+    obs::finish(&o);
 }

@@ -3,17 +3,18 @@
 //! serialized by chance in ≈32 % of runs.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin baseline_mux -- [trials=100] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin baseline_mux -- [trials=100] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
 use h2priv_core::experiments::baseline;
 use h2priv_core::report::{pct_opt, render_table, to_json};
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(100);
     let jobs = jobs_arg();
-    eprintln!("baseline: {trials} unattacked downloads...");
+    odetail!("baseline: {trials} unattacked downloads...");
     let rows = baseline(trials, 51_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -25,7 +26,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -36,6 +37,7 @@ fn main() {
             &table
         )
     );
-    println!("paper: HTML degree ~98%, images 80-99%; HTML serialized by chance in 32% of runs.");
-    eprintln!("{}", to_json(&rows));
+    oinfo!("paper: HTML degree ~98%, images 80-99%; HTML serialized by chance in 32% of runs.");
+    odetail!("{}", to_json(&rows));
+    obs::finish(&o);
 }

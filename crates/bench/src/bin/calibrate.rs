@@ -3,23 +3,27 @@
 //! `h2priv-web`/`h2priv-h2` can be tuned against the paper's bands.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin calibrate -- [trials]
+//! cargo run --release -p h2priv-bench --bin calibrate -- [trials] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{banner, trials_arg};
+use h2priv_bench::{banner, obs, oinfo, trials_arg};
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::run_isidewith_trial;
 use h2priv_netsim::time::SimDuration;
+use h2priv_util::telemetry;
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(30);
 
     banner("baseline (no adversary)");
+    let batch = telemetry::open_batch("calibrate/baseline");
     let mut html_degrees = vec![];
     let mut html_serial = 0;
     let mut img_degrees = vec![];
     let mut identified_html = 0;
     for t in 0..trials {
+        let _tele = telemetry::trial_slot(batch, t as u64);
         let trial = run_isidewith_trial(500_000 + t as u64, None);
         let out = trial.html_outcome();
         html_degrees.push(out.best_degree);
@@ -40,7 +44,7 @@ fn main() {
                 .iter()
                 .filter(|s| s.object == trial.iw.html)
                 .collect();
-            println!("  [diag] html serve record: {html_log:?}");
+            oinfo!("  [diag] html serve record: {html_log:?}");
             let next: Vec<_> = trial
                 .result
                 .serve_log
@@ -48,7 +52,7 @@ fn main() {
                 .filter(|s| s.object.0 >= 6 && s.object.0 <= 8)
                 .map(|s| (s.object, s.requested_at, s.first_byte_at, s.completed_at))
                 .collect();
-            println!("  [diag] first embedded serves: {next:?}");
+            oinfo!("  [diag] first embedded serves: {next:?}");
         }
     }
     let mean = |v: &[f64]| {
@@ -58,23 +62,25 @@ fn main() {
             v.iter().sum::<f64>() / v.len() as f64
         }
     };
-    println!(
+    oinfo!(
         "  html: mean degree {:.1}% | serial in {:.0}% of runs (paper: ~98% / 32%) | identified {:.0}%",
         100.0 * mean(&html_degrees),
         100.0 * html_serial as f64 / trials as f64,
         100.0 * identified_html as f64 / trials as f64,
     );
-    println!(
+    oinfo!(
         "  images: mean degree {:.1}% (paper: 80-99%)",
         100.0 * mean(&img_degrees)
     );
 
     banner("jitter only (Table I shape)");
     for jitter_ms in [0u64, 25, 50, 100] {
+        let batch = telemetry::open_batch(&format!("calibrate/jitter_{jitter_ms}ms"));
         let mut serial = 0;
         let mut retrans = 0u64;
         let mut rereq = 0u64;
         for t in 0..trials {
+            let _tele = telemetry::trial_slot(batch, t as u64);
             let trial = run_isidewith_trial(
                 600_000 + jitter_ms * 1_000 + t as u64,
                 Some(AttackConfig::jitter_only(SimDuration::from_millis(
@@ -87,21 +93,23 @@ fn main() {
             retrans += trial.result.total_retransmissions();
             rereq += trial.result.client.h2_rerequests;
         }
-        println!(
+        oinfo!(
             "  jitter {jitter_ms:>3} ms: serial {:>4.0}% | retrans avg {:>6.1} | rereq avg {:>5.1}",
             100.0 * serial as f64 / trials as f64,
             retrans as f64 / trials as f64,
             rereq as f64 / trials as f64,
         );
     }
-    println!("  paper: 32/46/54/54 % serial; retrans +0/+33/+130/+194 %");
+    oinfo!("  paper: 32/46/54/54 % serial; retrans +0/+33/+130/+194 %");
 
     banner("full attack (Table II shape)");
+    let batch = telemetry::open_batch("calibrate/full_attack");
     let mut html_succ = 0;
     let mut seq_hits = vec![0usize; 8];
     let mut single_hits = vec![0usize; 8];
     let mut broken = 0;
     for t in 0..trials {
+        let _tele = telemetry::trial_slot(batch, t as u64);
         let trial = run_isidewith_trial(700_000 + t as u64, Some(AttackConfig::full_attack()));
         if trial.html_outcome().success {
             html_succ += 1;
@@ -120,7 +128,7 @@ fn main() {
             broken += 1;
         }
     }
-    println!(
+    oinfo!(
         "  html success {:.0}% (paper 90%) | broken {:.0}%",
         100.0 * html_succ as f64 / trials as f64,
         100.0 * broken as f64 / trials as f64
@@ -131,12 +139,13 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ")
     };
-    println!(
+    oinfo!(
         "  single-target I1..I8: {} (paper: 100 everywhere)",
         fmt(&single_hits)
     );
-    println!(
+    oinfo!(
         "  sequence I1..I8:      {} (paper: 90 85 81 80 62 64 78 64)",
         fmt(&seq_hits)
     );
+    obs::finish(&o);
 }

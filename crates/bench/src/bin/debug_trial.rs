@@ -2,18 +2,25 @@
 //! timing, degrees, predictor units, and the inferred vs true ranking.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin debug_trial -- [seed=1]
+//! cargo run --release -p h2priv-bench --bin debug_trial -- [seed=1] [--trace out.jsonl] [--metrics]
 //! ```
 
+use h2priv_bench::{obs, oinfo};
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::run_isidewith_trial;
+use h2priv_util::telemetry;
 
 fn main() {
+    let o = obs::init();
     let seed: u64 = h2priv_bench::count_arg(1, "seed", 1, "[seed=1]");
-    let trial = run_isidewith_trial(seed, Some(AttackConfig::full_attack()));
+    let batch = telemetry::open_batch(&format!("debug_trial/seed_{seed}"));
+    let trial = {
+        let _tele = telemetry::trial_slot(batch, 0);
+        run_isidewith_trial(seed, Some(AttackConfig::full_attack()))
+    };
 
-    println!("attack events: {:?}", trial.result.attack.events);
-    println!(
+    oinfo!("attack events: {:?}", trial.result.attack.events);
+    oinfo!(
         "client: rereq={} resets={} broken={} tcp_retx={} | server tcp_retx={}",
         trial.result.client.h2_rerequests,
         trial.result.client.resets_sent,
@@ -22,7 +29,7 @@ fn main() {
         trial.result.server_tcp.retransmits(),
     );
 
-    println!("\n-- objects of interest (ground truth) --");
+    oinfo!("\n-- objects of interest (ground truth) --");
     let mut interest = vec![
         (h2priv_web::ObjectId(4), "api/submit".to_string()),
         (trial.iw.html, "HTML".to_string()),
@@ -52,9 +59,9 @@ fn main() {
                 )
             })
             .collect();
-        println!("  {label:<28} degrees={:?}", mux.per_copy);
+        oinfo!("  {label:<28} degrees={:?}", mux.per_copy);
         for s in serves {
-            println!("      {s}");
+            oinfo!("      {s}");
         }
     }
 
@@ -77,7 +84,7 @@ fn main() {
             .last()
             .map(|r| r.completed_at.as_secs_f64())
             .unwrap_or(0.0);
-        println!(
+        oinfo!(
             "\n-- s2c reassembly: records={} retx_segs={} unique={} desynced={} contiguous_end={} parse_ptr={} last_pkt@{last_pkt:.2}s last_rec@{last_rec:.2}s",
             view.records.len(), view.retransmitted_segments, view.unique_bytes,
             view.desynced, view.contiguous_end, view.parse_ptr
@@ -88,27 +95,34 @@ fn main() {
         use h2priv_core::metrics::entities;
         let ents = entities(&trial.result.wire_map);
         for e in ents.iter().filter(|e| e.id.object == trial.iw.html) {
-            println!(
+            oinfo!(
                 "\n-- html copy{} offsets [{}, {}) bytes={}",
-                e.id.copy, e.start, e.end, e.bytes
+                e.id.copy,
+                e.start,
+                e.end,
+                e.bytes
             );
             for o in ents
                 .iter()
                 .filter(|o| o.id != e.id && o.start < e.end && o.end > e.start)
             {
-                println!(
+                oinfo!(
                     "     overlapped by obj{} copy{} [{}, {}) bytes={}",
-                    o.id.object.0, o.id.copy, o.start, o.end, o.bytes
+                    o.id.object.0,
+                    o.id.copy,
+                    o.start,
+                    o.end,
+                    o.bytes
                 );
             }
         }
     }
-    println!("\n-- server diag: {:?}", trial.result.server_diag);
-    println!(
+    oinfo!("\n-- server diag: {:?}", trial.result.server_diag);
+    oinfo!(
         "-- blocked log (first/last 6): {:?}",
         trial.result.server_diag2.iter().take(6).collect::<Vec<_>>()
     );
-    println!(
+    oinfo!(
         "--                        tail: {:?}",
         trial
             .result
@@ -118,7 +132,7 @@ fn main() {
             .take(6)
             .collect::<Vec<_>>()
     );
-    println!("\n-- client request records (objects of interest) --");
+    oinfo!("\n-- client request records (objects of interest) --");
     for (obj, label) in &interest {
         for r in trial
             .result
@@ -127,7 +141,7 @@ fn main() {
             .iter()
             .filter(|r| r.object == *obj)
         {
-            println!(
+            oinfo!(
                 "  {label:<24} a{} {} iss@{:.2}s hdr@{} data@{} done@{} reset={}",
                 r.attempt,
                 r.stream,
@@ -145,9 +159,9 @@ fn main() {
             );
         }
     }
-    println!("\n-- predictor units --");
+    oinfo!("\n-- predictor units --");
     for u in &trial.prediction.units {
-        println!(
+        oinfo!(
             "  [{:>8.3}s..{:>8.3}s] est={:>6} recs={:>3} -> {:?}",
             u.unit.start.as_secs_f64(),
             u.unit.end.as_secs_f64(),
@@ -157,7 +171,7 @@ fn main() {
         );
     }
 
-    println!(
+    oinfo!(
         "\npredicted order: {:?}",
         trial
             .predicted_order()
@@ -165,7 +179,7 @@ fn main() {
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
     );
-    println!(
+    oinfo!(
         "truth order:     {:?}",
         trial
             .iw
@@ -174,6 +188,7 @@ fn main() {
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
     );
-    println!("sequence success: {:?}", trial.sequence_success());
-    println!("html outcome: {:?}", trial.html_outcome());
+    oinfo!("sequence success: {:?}", trial.sequence_success());
+    oinfo!("html outcome: {:?}", trial.html_outcome());
+    obs::finish(&o);
 }

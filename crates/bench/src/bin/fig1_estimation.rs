@@ -3,21 +3,23 @@
 //! multiplexed ones.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin fig1_estimation -- [--jobs N]
+//! cargo run --release -p h2priv-bench --bin fig1_estimation -- [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::jobs_arg;
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo};
 use h2priv_core::experiments::fig1;
 use h2priv_core::report::to_json;
 
 fn main() {
+    let o = obs::init();
     for row in fig1(61_000, jobs_arg()) {
-        println!("case: {}", row.scenario);
-        println!("  true sizes:      O1={} O2={}", row.truth.0, row.truth.1);
-        println!("  unit estimates:  {:?}", row.estimates);
-        println!("  both identified: {}", row.both_identified);
-        eprintln!("{}", to_json(&row));
+        oinfo!("case: {}", row.scenario);
+        oinfo!("  true sizes:      O1={} O2={}", row.truth.0, row.truth.1);
+        oinfo!("  unit estimates:  {:?}", row.estimates);
+        oinfo!("  both identified: {}", row.both_identified);
+        odetail!("{}", to_json(&row));
     }
-    println!("\npaper Fig. 1: delimiting packets reveal sizes in case 1 (serial);");
-    println!("interleaved segments defeat the estimation in case 2 (multiplexed).");
+    oinfo!("\npaper Fig. 1: delimiting packets reveal sizes in case 1 (serial);");
+    oinfo!("interleaved segments defeat the estimation in case 2 (multiplexed).");
+    obs::finish(&o);
 }

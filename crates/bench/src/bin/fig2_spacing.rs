@@ -2,22 +2,25 @@
 //! spacing eliminates multiplexing.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin fig2_spacing -- [trials=20] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin fig2_spacing -- [trials=20] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, oinfo, trials_arg};
 use h2priv_core::experiments::two_object_degrees;
 use h2priv_core::report::{pct, pct_opt, render_table};
 use h2priv_netsim::time::SimDuration;
-use h2priv_util::pool;
+use h2priv_util::{pool, telemetry};
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(20);
     let jobs = jobs_arg();
     let gaps_ms = [0u64, 25, 50, 100, 200, 400, 800];
     let mut rows = Vec::new();
     for gap in gaps_ms {
+        let batch = telemetry::open_batch(&format!("fig2/gap_{gap}ms"));
         let per_trial = pool::run_indexed(jobs, trials, |t| {
+            let _tele = telemetry::trial_slot(batch, t as u64);
             two_object_degrees(SimDuration::from_millis(gap), 71_000 + gap * 100 + t as u64).0
         });
         let mut d1_sum = 0.0;
@@ -37,7 +40,7 @@ fn main() {
             pct(100.0 * serial as f64 / trials as f64),
         ]);
     }
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -48,6 +51,7 @@ fn main() {
             &rows
         )
     );
-    println!("paper Figs. 2-3: spacing the second GET past O1's service time");
-    println!("lets the server finish O1 in single-threaded mode.");
+    oinfo!("paper Figs. 2-3: spacing the second GET past O1's service time");
+    oinfo!("lets the server finish O1 in single-threaded mode.");
+    obs::finish(&o);
 }

@@ -2,17 +2,18 @@
 //! jitter) on retransmissions and attack success.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin fig5_bandwidth -- [trials=100] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin fig5_bandwidth -- [trials=100] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
 use h2priv_core::experiments::fig5;
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(100);
     let jobs = jobs_arg();
-    eprintln!("Fig. 5: {trials} downloads per bandwidth...");
+    odetail!("Fig. 5: {trials} downloads per bandwidth...");
     let rows = fig5(trials, 21_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -25,7 +26,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -37,7 +38,8 @@ fn main() {
             &table
         )
     );
-    println!("paper Fig. 5 shape: retransmissions fall monotonically 1000->1 Mbps;");
-    println!("success rises to a peak at 800 Mbps, then declines at lower bandwidths.");
-    eprintln!("{}", to_json(&rows));
+    oinfo!("paper Fig. 5 shape: retransmissions fall monotonically 1000->1 Mbps;");
+    oinfo!("success rises to a peak at 800 Mbps, then declines at lower bandwidths.");
+    odetail!("{}", to_json(&rows));
+    obs::finish(&o);
 }

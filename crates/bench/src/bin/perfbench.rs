@@ -8,15 +8,15 @@
 //! baseline doubles as a determinism check.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin perfbench -- [trials=100] [out-path]
+//! cargo run --release -p h2priv-bench --bin perfbench -- [trials=100] [out-path] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::trials_arg;
+use h2priv_bench::{obs, odetail, trials_arg};
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::{run_isidewith_h3_trial, run_isidewith_trial};
 use h2priv_core::report::to_json;
 use h2priv_util::impl_to_json;
-use h2priv_util::pool;
+use h2priv_util::{pool, telemetry};
 use std::time::Instant;
 
 /// One (scenario, jobs) measurement.
@@ -56,11 +56,21 @@ struct PerfReport {
 
 impl_to_json!(struct PerfReport { host_parallelism, trials, rows });
 
+/// Elapsed seconds for rate computation, floored at one microsecond so
+/// a degenerate measurement (a scheduler hiccup rounding a tiny batch
+/// to zero, or a clock with coarse resolution) yields a huge-but-finite
+/// rate instead of `inf`/`NaN` poisoning the JSON report.
+fn elapsed_secs_clamped(wall_ms: f64) -> f64 {
+    (wall_ms / 1e3).max(1e-6)
+}
+
 /// Runs `trials` seeds of `scenario` across `jobs` workers, returning
 /// (wall milliseconds, total simulator events dispatched).
 fn measure(scenario: &str, trials: usize, jobs: usize) -> (f64, u64) {
+    let batch = telemetry::open_batch(&format!("perf/{scenario}/jobs_{jobs}"));
     let t0 = Instant::now();
     let events = pool::run_indexed(jobs, trials, |t| {
+        let _tele = telemetry::trial_slot(batch, t as u64);
         let seed = 91_000 + t as u64;
         match scenario {
             "h2_baseline" => run_isidewith_trial(seed, None).result.sim_events,
@@ -82,16 +92,15 @@ fn measure(scenario: &str, trials: usize, jobs: usize) -> (f64, u64) {
 }
 
 fn main() {
+    let o = obs::init();
     // Keep the trial count non-zero so even the smoke run is meaningful.
     let trials = trials_arg(100).max(1);
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simperf.json");
-    let out_path = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| default_out.to_string());
+    let out_path = h2priv_bench::positional(2).unwrap_or_else(|| default_out.to_string());
 
     let host = pool::available_jobs();
     let jobs_max = pool::resolve_jobs(0);
-    eprintln!("perfbench: {trials} trials/scenario, host parallelism {host}...");
+    odetail!("perfbench: {trials} trials/scenario, host parallelism {host}...");
 
     let scenarios = ["h2_baseline", "h2_full_attack", "h3_full_attack"];
     let mut rows = Vec::new();
@@ -103,7 +112,7 @@ fn main() {
             "{scenario}: event counts diverged between jobs=1 and jobs={jobs_max}"
         );
         for (jobs, wall_ms, events) in [(1, wall_1, events_1), (jobs_max, wall_n, events_n)] {
-            let secs = wall_ms / 1e3;
+            let secs = elapsed_secs_clamped(wall_ms);
             rows.push(PerfRow {
                 scenario: scenario.to_string(),
                 jobs,
@@ -112,14 +121,14 @@ fn main() {
                 trials_per_sec: trials as f64 / secs,
                 events_total: events,
                 events_per_sec: events as f64 / secs,
-                speedup_vs_jobs1: wall_1 / wall_ms,
+                speedup_vs_jobs1: elapsed_secs_clamped(wall_1) / secs,
             });
         }
-        eprintln!(
+        odetail!(
             "  {scenario:<16} jobs=1 {:>9.1} ms | jobs={jobs_max} {:>9.1} ms | speedup {:.2}x",
             wall_1,
             wall_n,
-            wall_1 / wall_n
+            elapsed_secs_clamped(wall_1) / elapsed_secs_clamped(wall_n)
         );
     }
 
@@ -130,6 +139,32 @@ fn main() {
     };
     let json = to_json(&report) + "\n";
     std::fs::write(&out_path, &json).expect("write perf report");
-    eprintln!("wrote {out_path}");
+    odetail!("wrote {out_path}");
     print!("{json}");
+    obs::finish(&o);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::elapsed_secs_clamped;
+
+    #[test]
+    fn zero_elapsed_is_clamped_to_a_finite_floor() {
+        assert_eq!(elapsed_secs_clamped(0.0), 1e-6);
+        // A rate over the clamped duration is finite.
+        let rate = 100.0 / elapsed_secs_clamped(0.0);
+        assert!(rate.is_finite());
+    }
+
+    #[test]
+    fn near_zero_elapsed_is_clamped_up() {
+        assert_eq!(elapsed_secs_clamped(1e-9), 1e-6);
+        assert_eq!(elapsed_secs_clamped(-1.0), 1e-6);
+    }
+
+    #[test]
+    fn normal_elapsed_passes_through() {
+        assert_eq!(elapsed_secs_clamped(1_000.0), 1.0);
+        assert_eq!(elapsed_secs_clamped(250.0), 0.25);
+    }
 }

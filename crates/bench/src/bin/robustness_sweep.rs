@@ -5,19 +5,20 @@
 //! figures.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin robustness_sweep -- [trials=50] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin robustness_sweep -- [trials=50] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
 use h2priv_core::experiments::robustness_sweep;
 use h2priv_core::report::{pct, pct_opt, render_table, to_json};
 
 const INTENSITIES: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(50);
     let jobs = jobs_arg();
-    eprintln!("robustness sweep: {trials} attacked downloads per intensity...");
+    odetail!("robustness sweep: {trials} attacked downloads per intensity...");
     let rows = robustness_sweep(trials, 81_000, &INTENSITIES, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -38,7 +39,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -55,9 +56,9 @@ fn main() {
             &table
         )
     );
-    println!("reading: the attack's forced serialization should survive mild");
-    println!("impairment and decay gracefully — every degraded trial is classified,");
-    println!("never silently folded into a success percentage.");
+    oinfo!("reading: the attack's forced serialization should survive mild");
+    oinfo!("impairment and decay gracefully — every degraded trial is classified,");
+    oinfo!("never silently folded into a success percentage.");
 
     let json: String = rows.iter().map(|r| to_json(r) + "\n").collect();
     let out_path = concat!(
@@ -65,6 +66,7 @@ fn main() {
         "/../../results/robustness_sweep.json"
     );
     std::fs::write(out_path, &json).expect("write robustness_sweep.json");
-    eprintln!("wrote {out_path}");
+    odetail!("wrote {out_path}");
     eprint!("{json}");
+    obs::finish(&o);
 }

@@ -3,17 +3,18 @@
 //! the broken-connection cliff).
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin section4d_drops -- [trials=100] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin section4d_drops -- [trials=100] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
 use h2priv_core::experiments::{section4d, section4d_timer_only};
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(100);
     let jobs = jobs_arg();
-    eprintln!("Section IV-D: {trials} downloads per drop rate...");
+    odetail!("Section IV-D: {trials} downloads per drop rate...");
     let rows = section4d(trials, 31_000, &[0.5, 0.7, 0.8, 0.9, 0.97], jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -26,7 +27,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -38,10 +39,10 @@ fn main() {
             &table
         )
     );
-    println!("paper: 80% drops for 6 s -> ~90% success; higher rates break the connection.");
-    eprintln!("{}", to_json(&rows));
+    oinfo!("paper: 80% drops for 6 s -> ~90% success; higher rates break the connection.");
+    odetail!("{}", to_json(&rows));
 
-    eprintln!("timer-only drop window (no early stop on reset)...");
+    odetail!("timer-only drop window (no early stop on reset)...");
     let rows2 = section4d_timer_only(trials, 32_000, &[0.8, 0.9, 0.97], jobs);
     let table: Vec<Vec<String>> = rows2
         .iter()
@@ -54,8 +55,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("\nvariant: fixed 6 s drop window (paper's timer mechanism):");
-    println!(
+    oinfo!("\nvariant: fixed 6 s drop window (paper's timer mechanism):");
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -67,5 +68,6 @@ fn main() {
             &table
         )
     );
-    eprintln!("{}", to_json(&rows2));
+    odetail!("{}", to_json(&rows2));
+    obs::finish(&o);
 }

@@ -1,15 +1,21 @@
 //! Per-trial survey for calibration: `survey [mode] [trials]` where mode
-//! is `full`, `baseline`, or a jitter in ms (e.g. `j50`).
+//! is `full`, `baseline`, or a jitter in ms (e.g. `j50`). Accepts
+//! `--trace out.jsonl` / `--metrics` like the experiment binaries.
 
+use h2priv_bench::{obs, oinfo};
 use h2priv_core::attack::{AttackConfig, AttackEvent};
 use h2priv_core::experiment::run_isidewith_trial;
 use h2priv_core::metrics::entities;
 use h2priv_netsim::time::SimDuration;
+use h2priv_util::telemetry;
 
 fn main() {
+    let o = obs::init();
     let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
     let trials: u64 = h2priv_bench::count_arg(2, "trials", 30, "[full|baseline|jNN] [trials=30]");
+    let batch = telemetry::open_batch(&format!("survey/{mode}"));
     for t in 0..trials {
+        let _tele = telemetry::trial_slot(batch, t);
         let attack = match mode.as_str() {
             "baseline" => None,
             "full" => Some(AttackConfig::full_attack()),
@@ -49,7 +55,7 @@ fn main() {
                 }
             }
         }
-        println!(
+        oinfo!(
             "seed {t:>2}: html succ={} deg={:.2} id={} | single={single} seq={seq} | resets={} rereq={} stop@{:.1}s | brack={:?}",
             h.success,
             h.best_degree,
@@ -60,4 +66,5 @@ fn main() {
             bracketers
         );
     }
+    obs::finish(&o);
 }

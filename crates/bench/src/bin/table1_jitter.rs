@@ -2,17 +2,18 @@
 //! the 6th object (the result HTML).
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin table1_jitter -- [trials=100] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin table1_jitter -- [trials=100] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
 use h2priv_core::experiments::table1;
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(100);
     let jobs = jobs_arg();
-    eprintln!("Table I: {trials} downloads per jitter value...");
+    odetail!("Table I: {trials} downloads per jitter value...");
     let rows = table1(trials, 11_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -25,7 +26,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -37,6 +38,7 @@ fn main() {
             &table
         )
     );
-    println!("paper Table I: 0/25/50/100 ms -> 32/46/54/54 % ; retrans +0/+33/+130/+194 %");
-    eprintln!("{}", to_json(&rows));
+    oinfo!("paper Table I: 0/25/50/100 ms -> 32/46/54/54 % ; retrans +0/+33/+130/+194 %");
+    odetail!("{}", to_json(&rows));
+    obs::finish(&o);
 }

@@ -2,17 +2,18 @@
 //! attack on the isidewith model.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin table2_accuracy -- [trials=100] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin table2_accuracy -- [trials=100] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
 use h2priv_core::experiments::table2;
 use h2priv_core::report::{pct, pct_opt, render_table, to_json};
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(100);
     let jobs = jobs_arg();
-    eprintln!("Table II: {trials} attacked downloads...");
+    odetail!("Table II: {trials} attacked downloads...");
     let cols = table2(trials, 41_000, jobs);
     let table: Vec<Vec<String>> = cols
         .iter()
@@ -25,7 +26,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -37,7 +38,8 @@ fn main() {
             &table
         )
     );
-    println!("paper Table II: single-target 100% everywhere;");
-    println!("all-targets 90/90/85/81/80/62/64/78/64 (HTML, I1..I8).");
-    eprintln!("{}", to_json(&cols));
+    oinfo!("paper Table II: single-target 100% everywhere;");
+    oinfo!("all-targets 90/90/85/81/80/62/64/78/64 (HTML, I1..I8).");
+    odetail!("{}", to_json(&cols));
+    obs::finish(&o);
 }

@@ -1,0 +1,56 @@
+//! Validates a `--trace` jsonl file with the in-tree JSON parser: every
+//! line must parse and carry the schema's required keys (`batch`,
+//! `trial`, `t_ns`, `component`, `kind`). Used by `scripts/verify.sh`
+//! to smoke the observability layer without any external tooling.
+//!
+//! ```sh
+//! cargo run --release -p h2priv-bench --bin trace_check -- trace.jsonl
+//! ```
+//!
+//! Prints `trace_check: N lines OK` and exits 0, or reports the first
+//! offending line and exits 1.
+
+use h2priv_bench::{oerror, oinfo};
+use h2priv_util::json::Json;
+
+fn main() {
+    let path = match h2priv_bench::positional(1) {
+        Some(p) => p,
+        None => {
+            oerror!("usage: trace_check trace.jsonl");
+            std::process::exit(2);
+        }
+    };
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            oerror!("error: reading {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut lines = 0usize;
+    for (i, line) in content.lines().enumerate() {
+        let n = i + 1;
+        let json = match Json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                oerror!("error: {path}:{n}: not valid JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        for key in ["batch", "component", "kind"] {
+            if json.get(key).and_then(Json::as_str).is_none() {
+                oerror!("error: {path}:{n}: missing string field {key:?}");
+                std::process::exit(1);
+            }
+        }
+        for key in ["trial", "t_ns"] {
+            if json.get(key).and_then(Json::as_u64).is_none() {
+                oerror!("error: {path}:{n}: missing integer field {key:?}");
+                std::process::exit(1);
+            }
+        }
+        lines += 1;
+    }
+    oinfo!("trace_check: {lines} lines OK");
+}

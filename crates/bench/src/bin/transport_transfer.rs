@@ -4,17 +4,18 @@
 //! the move off TCP? Writes the JSON report next to the other figures.
 //!
 //! ```sh
-//! cargo run --release -p h2priv-bench --bin transport_transfer -- [trials=30] [--jobs N]
+//! cargo run --release -p h2priv-bench --bin transport_transfer -- [trials=30] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
 use h2priv_core::experiments::transport_transfer;
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
+    let o = obs::init();
     let trials = trials_arg(30);
     let jobs = jobs_arg();
-    eprintln!("transport transfer: {trials} downloads per (attack, transport) cell...");
+    odetail!("transport transfer: {trials} downloads per (attack, transport) cell...");
     let rows = transport_transfer(trials, 82_000, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -31,7 +32,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    oinfo!(
         "{}",
         render_table(
             &[
@@ -47,10 +48,10 @@ fn main() {
             &table
         )
     );
-    println!("reading: each attack runs on the same seeds over H2/TCP and H3/QUIC,");
-    println!("so any gap between the paired rows is attributable to the transport");
-    println!("substrate alone — per-stream delivery, datagram framing, and QUIC's");
-    println!("loss recovery replacing the TCP bytestream and TLS record headers.");
+    oinfo!("reading: each attack runs on the same seeds over H2/TCP and H3/QUIC,");
+    oinfo!("so any gap between the paired rows is attributable to the transport");
+    oinfo!("substrate alone — per-stream delivery, datagram framing, and QUIC's");
+    oinfo!("loss recovery replacing the TCP bytestream and TLS record headers.");
 
     let json: String = rows.iter().map(|r| to_json(r) + "\n").collect();
     let out_path = concat!(
@@ -58,6 +59,7 @@ fn main() {
         "/../../results/h3_transfer.json"
     );
     std::fs::write(out_path, &json).expect("write h3_transfer.json");
-    eprintln!("wrote {out_path}");
+    odetail!("wrote {out_path}");
     eprint!("{json}");
+    obs::finish(&o);
 }

@@ -2,7 +2,45 @@
 
 #![warn(missing_docs)]
 
+pub mod obs;
+pub mod oplog;
 pub mod timing;
+
+/// Prints an operator-facing info line through the leveled sink
+/// ([`oplog`]); suppressed by `--quiet`.
+#[macro_export]
+macro_rules! oinfo {
+    ($($arg:tt)*) => {
+        $crate::oplog::log($crate::oplog::Level::Info, &format!($($arg)*))
+    };
+}
+
+/// Prints an operator-facing warning line through the leveled sink
+/// ([`oplog`]); survives `--quiet`.
+#[macro_export]
+macro_rules! owarn {
+    ($($arg:tt)*) => {
+        $crate::oplog::log($crate::oplog::Level::Warn, &format!($($arg)*))
+    };
+}
+
+/// Prints an operator-facing error line through the leveled sink
+/// ([`oplog`]); never filtered.
+#[macro_export]
+macro_rules! oerror {
+    ($($arg:tt)*) => {
+        $crate::oplog::log($crate::oplog::Level::Error, &format!($($arg)*))
+    };
+}
+
+/// Prints progress chatter or a machine-readable dump (stderr) through
+/// the leveled sink ([`oplog`]); dropped by `--quiet`.
+#[macro_export]
+macro_rules! odetail {
+    ($($arg:tt)*) => {
+        $crate::oplog::log($crate::oplog::Level::Detail, &format!($($arg)*))
+    };
+}
 
 /// Parses the positional CLI argument at `position` (1-based argv index)
 /// as a non-negative integer, with `default` when the argument is
@@ -19,16 +57,17 @@ pub fn count_arg(position: usize, name: &str, default: u64, usage_tail: &str) ->
                 .as_deref()
                 .and_then(|p| p.rsplit('/').next().map(str::to_string))
                 .unwrap_or_else(|| "bench".to_string());
-            eprintln!("error: invalid {name} {s:?} (expected a non-negative integer)");
-            eprintln!("usage: {bin} {usage_tail}");
+            oerror!("error: invalid {name} {s:?} (expected a non-negative integer)");
+            oerror!("usage: {bin} {usage_tail}");
             std::process::exit(2);
         }),
     }
 }
 
-/// The command line with the `--jobs N` / `--jobs=N` flag (and its
-/// value) removed, so positional parsing ([`count_arg`]) and the jobs
-/// flag compose in any order.
+/// The command line with every flag removed — `--jobs N`/`--jobs=N`,
+/// `--trace FILE`/`--trace=FILE`, `--metrics` and `--quiet` — so
+/// positional parsing ([`count_arg`]) and the flags compose in any
+/// order.
 fn positional_args() -> Vec<String> {
     let args: Vec<String> = std::env::args().collect();
     let mut out = Vec::with_capacity(args.len());
@@ -38,11 +77,14 @@ fn positional_args() -> Vec<String> {
             skip_next = false;
             continue;
         }
-        if a == "--jobs" {
+        if a == "--jobs" || a == "--trace" {
             skip_next = true;
             continue;
         }
-        if a.starts_with("--jobs=") {
+        if a.starts_with("--jobs=") || a.starts_with("--trace=") {
+            continue;
+        }
+        if a == "--metrics" || a == "--quiet" {
             continue;
         }
         out.push(a);
@@ -54,6 +96,13 @@ fn positional_args() -> Vec<String> {
 /// Non-numeric input prints usage and exits with status 2.
 pub fn trials_arg(default: usize) -> usize {
     count_arg(1, "trials", default as u64, &format!("[trials={default}]")) as usize
+}
+
+/// The positional CLI argument at `position` (1-based argv index), with
+/// every flag (`--jobs`, `--trace`, `--metrics`, `--quiet`) already
+/// stripped, so flags and positionals compose in any order.
+pub fn positional(position: usize) -> Option<String> {
+    positional_args().into_iter().nth(position)
 }
 
 /// Parses the worker count for the parallel trial executor: an optional
@@ -72,8 +121,8 @@ pub fn jobs_arg() -> usize {
         };
         if let Some(v) = value {
             return v.parse().unwrap_or_else(|_| {
-                eprintln!("error: invalid jobs {v:?} (expected a non-negative integer)");
-                eprintln!("usage: [--jobs N]   (0 = all cores, 1 = sequential)");
+                oerror!("error: invalid jobs {v:?} (expected a non-negative integer)");
+                oerror!("usage: [--jobs N]   (0 = all cores, 1 = sequential)");
                 std::process::exit(2);
             });
         }
@@ -81,7 +130,7 @@ pub fn jobs_arg() -> usize {
     0
 }
 
-/// Prints a section banner.
+/// Prints a section banner through the leveled sink.
 pub fn banner(title: &str) {
-    println!("\n=== {title} ===");
+    oinfo!("\n=== {title} ===");
 }

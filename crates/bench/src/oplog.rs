@@ -1,0 +1,74 @@
+//! The one leveled sink for operator-facing output.
+//!
+//! Every experiment binary routes its `println!`/`eprintln!` lines
+//! through here (via the [`oinfo!`](crate::oinfo), [`owarn!`](crate::owarn),
+//! [`oerror!`](crate::oerror) and [`odetail!`](crate::odetail) macros),
+//! so verbosity is controlled in exactly one place: `--quiet` drops the
+//! [`Level::Detail`] chatter, and errors always print. Each level keeps
+//! the stream the raw macro used, so piped output is unchanged at the
+//! default threshold.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity of one operator-output line, ordered from most to least
+/// urgent. The stream is part of the contract: at the default
+/// threshold every line reaches the same fd the old raw macro wrote
+/// to, so redirections (`2> results/x.json`) see identical bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A failure the operator must see (stderr); never filtered.
+    Error = 0,
+    /// A degradation worth flagging (stderr); survives `--quiet`.
+    Warn = 1,
+    /// Result tables and paper comparisons (stdout); survives
+    /// `--quiet`.
+    Info = 2,
+    /// Progress chatter and machine-readable JSON dumps (stderr);
+    /// `--quiet` drops these.
+    Detail = 3,
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Detail as u8);
+
+/// Sets the most-verbose level that still prints.
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The most-verbose level that still prints.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Detail,
+    }
+}
+
+/// Writes one line through the sink, if `level` passes the threshold.
+pub fn log(level: Level, line: &str) {
+    if (level as u8) > MAX_LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    match level {
+        Level::Info => println!("{line}"),
+        Level::Warn | Level::Error | Level::Detail => eprintln!("{line}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_round_trips() {
+        set_max_level(Level::Warn);
+        assert_eq!(max_level(), Level::Warn);
+        set_max_level(Level::Error);
+        assert_eq!(max_level(), Level::Error);
+        set_max_level(Level::Info);
+        assert_eq!(max_level(), Level::Info);
+        set_max_level(Level::Detail);
+        assert_eq!(max_level(), Level::Detail);
+    }
+}

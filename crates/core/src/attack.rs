@@ -24,6 +24,7 @@ use h2priv_netsim::packet::Direction;
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_netsim::units::Bandwidth;
 use h2priv_util::json::{Json, ToJson};
+use h2priv_util::telemetry;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -315,6 +316,9 @@ impl AttackPolicy {
     fn fire_trigger(&mut self, ctx: &mut PolicyCtx<'_, '_>, now: SimTime) {
         self.triggered = true;
         let at_ms = now.as_millis();
+        telemetry::emit("attack", "trigger", |ev| {
+            ev.fields.push(("gets_seen", self.counter.gets().into()));
+        });
         self.state
             .borrow_mut()
             .events
@@ -322,6 +326,7 @@ impl AttackPolicy {
         if let Some(bw) = self.cfg.throttle {
             ctx.set_bandwidth(Direction::ClientToServer, Some(bw));
             ctx.set_bandwidth(Direction::ServerToClient, Some(bw));
+            telemetry::emit("attack", "throttle_applied", |_| {});
             self.state
                 .borrow_mut()
                 .events
@@ -332,6 +337,10 @@ impl AttackPolicy {
             self.drops_started_at = Some(now);
             self.small_record_times.clear();
             ctx.schedule_token(self.cfg.drop_duration, TOKEN_STOP_DROPS);
+            telemetry::emit("attack", "drops_started", |ev| {
+                ev.fields
+                    .push(("duration_ms", self.cfg.drop_duration.as_millis().into()));
+            });
             self.state
                 .borrow_mut()
                 .events
@@ -345,6 +354,9 @@ impl AttackPolicy {
         }
         self.drops.close();
         let at_ms = now.as_millis();
+        telemetry::emit("attack", "drops_stopped", |ev| {
+            ev.fields.push(("dropped", self.drops.dropped().into()));
+        });
         let mut st = self.state.borrow_mut();
         st.events.push(AttackEvent::DropsStopped { at_ms });
         if let Some(spacing) = self.cfg.spacing_after_drops {
@@ -369,6 +381,11 @@ impl MiddleboxPolicy for AttackPolicy {
             Direction::ClientToServer => {
                 let new_gets = self.counter.on_packet(&pkt);
                 if new_gets > 0 {
+                    telemetry::emit("monitor", "get_counted", |ev| {
+                        ev.seq = Some(self.counter.gets());
+                        ev.fields.push(("new_gets", new_gets.into()));
+                    });
+                    telemetry::count("monitor.gets", new_gets);
                     self.state.borrow_mut().gets_seen = self.counter.gets();
                     if !self.triggered && self.counter.gets() >= self.cfg.trigger_get {
                         self.fire_trigger(ctx, now);
@@ -413,6 +430,7 @@ impl MiddleboxPolicy for AttackPolicy {
             }
             Direction::ServerToClient => {
                 if self.drops.should_drop(ctx.rng(), pkt.payload_len()) {
+                    telemetry::count("attack.packets_dropped", 1);
                     self.state.borrow_mut().packets_dropped = self.drops.dropped();
                     Verdict::Drop
                 } else {

@@ -21,6 +21,7 @@ use h2priv_trace::analysis::UnitConfig;
 use h2priv_trace::capture::{shared_trace, Trace};
 use h2priv_trace::datagram::DatagramUnitConfig;
 use h2priv_util::impl_to_json;
+use h2priv_util::telemetry;
 use h2priv_web::{IsideWith, ObjectId, Party, Site};
 
 /// Fault configurations for the two halves of the path; each applies to
@@ -268,7 +269,11 @@ pub fn run_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
         sim.attach_faults(topo.server_to_mbox, cfg.clone());
     }
 
-    let (outcome, stall_detected_at) = run_with_watchdog(&mut sim, topo.client, opts);
+    let (outcome, stall_detected_at) = {
+        let _sp = telemetry::span("trial.sim_ns");
+        run_with_watchdog(&mut sim, topo.client, opts)
+    };
+    telemetry::gauge("trial.sim_events", sim.stats().events);
 
     let client_node = sim.node_ref::<ClientNode>(topo.client);
     let server_node = sim.node_ref::<ServerNode>(topo.server);
@@ -365,9 +370,13 @@ pub fn run_h3_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
         sim.attach_faults(topo.server_to_mbox, cfg.clone());
     }
 
-    let (outcome, stall_detected_at) = run_with_watchdog_probed(&mut sim, opts, |sim| {
-        sim.node_ref::<H3ClientNode>(topo.client).progress_probe()
-    });
+    let (outcome, stall_detected_at) = {
+        let _sp = telemetry::span("trial.sim_ns");
+        run_with_watchdog_probed(&mut sim, opts, |sim| {
+            sim.node_ref::<H3ClientNode>(topo.client).progress_probe()
+        })
+    };
+    telemetry::gauge("trial.sim_events", sim.stats().events);
 
     let client_node = sim.node_ref::<H3ClientNode>(topo.client);
     let server_node = sim.node_ref::<H3ServerNode>(topo.server);
@@ -438,6 +447,21 @@ fn run_with_watchdog_probed(
     opts: &TrialOptions,
     probe_fn: impl Fn(&Simulator) -> (u64, u64, bool, bool),
 ) -> (TrialOutcome, Option<SimTime>) {
+    let (outcome, stall_detected_at) = watchdog_loop(sim, opts, probe_fn);
+    telemetry::emit("watchdog", "outcome", |ev| {
+        ev.fields.push(("outcome", outcome.label().into()));
+        if let Some(t) = stall_detected_at {
+            ev.fields.push(("stall_detected_ns", t.as_nanos().into()));
+        }
+    });
+    (outcome, stall_detected_at)
+}
+
+fn watchdog_loop(
+    sim: &mut Simulator,
+    opts: &TrialOptions,
+    probe_fn: impl Fn(&Simulator) -> (u64, u64, bool, bool),
+) -> (TrialOutcome, Option<SimTime>) {
     let horizon = SimTime::ZERO + opts.horizon;
     let window = if opts.stall_window.is_zero() {
         opts.horizon
@@ -470,9 +494,18 @@ fn run_with_watchdog_probed(
         }
         let progressed = probe != last_probe || delivered != last_delivered;
         if progressed {
+            if stall_detected_at.is_some() {
+                telemetry::emit("watchdog", "stall_recovered", |_| {});
+            }
             stall_detected_at = None; // transient stall; progress resumed
         } else if stall_detected_at.is_none() {
             stall_detected_at = Some(sim.now());
+            telemetry::emit("watchdog", "stall_detected", |ev| {
+                ev.fields.push(("delivered", delivered.into()));
+                ev.fields
+                    .push(("pending_events", sim.pending_events().into()));
+            });
+            telemetry::count("watchdog.stalls", 1);
         }
         if chunk_end == horizon {
             let outcome = if page_done {
@@ -673,6 +706,16 @@ pub fn run_isidewith_trial_retrying(opts: TrialOptions, max_retries: u32) -> Ret
                 failed_attempts,
             };
         }
+        telemetry::emit("harness", "retry", |ev| {
+            ev.seq = Some(attempt as u64);
+            ev.fields
+                .push(("outcome", trial.result.outcome.label().into()));
+            ev.fields.push((
+                "next_seed",
+                derive_retry_seed(base_seed, attempt + 1).into(),
+            ));
+        });
+        telemetry::count("harness.retries", 1);
         failed_attempts.push(trial.result.outcome);
     }
     unreachable!("loop always returns on the last attempt");

@@ -26,6 +26,7 @@ use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_netsim::units::Bandwidth;
 use h2priv_util::impl_to_json;
 use h2priv_util::pool;
+use h2priv_util::telemetry;
 use h2priv_web::sites::two_object_site;
 use h2priv_web::ObjectId;
 
@@ -68,7 +69,9 @@ pub fn table1(trials: usize, base_seed: u64, jobs: usize) -> Vec<Table1Row> {
     let mut rows = Vec::new();
     let mut baseline_retrans = None;
     for (ji, jitter_ms) in jitters.iter().enumerate() {
+        let batch = telemetry::open_batch(&format!("table1/jitter_{jitter_ms}ms"));
         let per_trial = pool::run_indexed(jobs, trials, |t| {
+            let _tele = telemetry::trial_slot(batch, t as u64);
             let seed = base_seed + (ji as u64) * 10_000 + t as u64;
             let attack = AttackConfig::jitter_only(SimDuration::from_millis(*jitter_ms));
             let trial = run_isidewith_trial(seed, Some(attack));
@@ -127,7 +130,9 @@ pub fn fig5(trials: usize, base_seed: u64, jobs: usize) -> Vec<Fig5Row> {
     let bandwidths = [1_000u64, 800, 500, 100, 1];
     let mut rows = Vec::new();
     for (bi, mbps) in bandwidths.iter().enumerate() {
+        let batch = telemetry::open_batch(&format!("fig5/bandwidth_{mbps}mbps"));
         let per_trial = pool::run_indexed(jobs, trials, |t| {
+            let _tele = telemetry::trial_slot(batch, t as u64);
             let seed = base_seed + 1_000_000 + (bi as u64) * 10_000 + t as u64;
             let attack = AttackConfig::jitter_and_bandwidth(
                 SimDuration::from_millis(50),
@@ -206,7 +211,9 @@ fn section4d_with(
     }
     let mut rows = Vec::new();
     for (di, rate) in drop_rates.iter().enumerate() {
+        let batch = telemetry::open_batch(&format!("section4d/drop_rate_{rate}"));
         let per_trial = pool::run_indexed(jobs, trials, |t| {
+            let _tele = telemetry::trial_slot(batch, t as u64);
             let seed = base_seed + 2_000_000 + (di as u64) * 10_000 + t as u64;
             let mut attack = AttackConfig::with_drops(*rate, SimDuration::from_secs(6));
             attack.stop_drops_on_reset = stop_on_reset;
@@ -269,7 +276,9 @@ pub fn table2(trials: usize, base_seed: u64, jobs: usize) -> Vec<Table2Column> {
         gaps: [Option<f64>; 9],
     }
 
+    let batch = telemetry::open_batch("table2/full_attack");
     let per_trial = pool::run_indexed(jobs, trials, |t| {
+        let _tele = telemetry::trial_slot(batch, t as u64);
         let seed = base_seed + 3_000_000 + t as u64;
         let trial = run_isidewith_trial(seed, Some(AttackConfig::full_attack()));
         let mut summary = Table2Trial {
@@ -369,7 +378,9 @@ pub fn baseline(trials: usize, base_seed: u64, jobs: usize) -> Vec<BaselineRow> 
     if trials == 0 {
         return Vec::new();
     }
+    let batch = telemetry::open_batch("baseline/no_attack");
     let per_trial = pool::run_indexed(jobs, trials, |t| {
+        let _tele = telemetry::trial_slot(batch, t as u64);
         let seed = base_seed + 4_000_000 + t as u64;
         let trial = run_isidewith_trial(seed, None);
         let mut interest = vec![trial.iw.html];
@@ -444,7 +455,11 @@ pub fn fig1(base_seed: u64, jobs: usize) -> Vec<Fig1Row> {
         ("multiplexed (IAT ~ 0)", 0u64),
         ("serial (IAT > service time)", 700),
     ];
+    let batch = telemetry::open_batch("fig1/size_estimation");
     pool::map_ordered(jobs, scenarios, |(label, gap_ms)| {
+        // The gap is unique per scenario and sorts in submission order,
+        // so it doubles as the trial id for the telemetry slot.
+        let _tele = telemetry::trial_slot(batch, gap_ms);
         let site = two_object_site(o1, o2, SimDuration::from_millis(gap_ms));
         let opts = TrialOptions::new(base_seed + gap_ms, None);
         let result = run_site_trial(site, &opts);
@@ -584,7 +599,9 @@ pub fn robustness_sweep(
     let mut rows = Vec::new();
     for (ii, &intensity) in intensities.iter().enumerate() {
         let plan = robustness_fault_plan(intensity);
+        let batch = telemetry::open_batch(&format!("robustness/intensity_{intensity}"));
         let per_trial = pool::run_indexed(jobs, trials, |t| {
+            let _tele = telemetry::trial_slot(batch, t as u64);
             let seed = base_seed + 5_000_000 + (ii as u64) * 10_000 + t as u64;
             let mut opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
             opts.faults = plan.clone();
@@ -722,7 +739,9 @@ pub fn transport_transfer(trials: usize, base_seed: u64, jobs: usize) -> Vec<Tra
     let mut rows = Vec::new();
     for (cfg_idx, (label, attack)) in transfer_attack_configs().into_iter().enumerate() {
         for transport in ["h2-tcp", "h3-quic"] {
+            let batch = telemetry::open_batch(&format!("transfer/{label}/{transport}"));
             let per_trial = pool::run_indexed(jobs, trials, |t| {
+                let _tele = telemetry::trial_slot(batch, t as u64);
                 let seed = base_seed + 6_000_000 + (cfg_idx as u64) * 10_000 + t as u64;
                 let trial = if transport == "h2-tcp" {
                     run_isidewith_trial(seed, Some(attack.clone()))

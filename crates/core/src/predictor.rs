@@ -15,6 +15,7 @@ use h2priv_trace::capture::Trace;
 use h2priv_trace::datagram::{segment_datagram_units, DatagramUnitConfig};
 use h2priv_trace::reassembly::{reassemble_with, ReassemblyScratch};
 use h2priv_util::impl_to_json;
+use h2priv_util::telemetry;
 use h2priv_web::isidewith::{PARTY_IMAGE_SIZES, RESULT_HTML_SIZE};
 use h2priv_web::Party;
 
@@ -220,7 +221,7 @@ pub fn predict_from_trace(
         )
     });
     let units = segment_units(&view.records, unit_cfg);
-    let units = units
+    let units: Vec<IdentifiedUnit> = units
         .into_iter()
         .filter(|u| from.is_none_or(|t| u.start >= t))
         .map(|unit| IdentifiedUnit {
@@ -228,7 +229,32 @@ pub fn predict_from_trace(
             unit,
         })
         .collect();
+    emit_prediction_telemetry(&units);
     Prediction { units }
+}
+
+/// Records each unit-identification decision: how many transmission
+/// units the segmenter produced and which of them matched a size-map
+/// label — the predictor's entire decision surface.
+fn emit_prediction_telemetry(units: &[IdentifiedUnit]) {
+    telemetry::count("predictor.units", units.len() as u64);
+    telemetry::count(
+        "predictor.identified",
+        units.iter().filter(|u| u.label.is_some()).count() as u64,
+    );
+    if telemetry::trace_enabled() {
+        for (i, u) in units.iter().enumerate() {
+            telemetry::emit("predictor", "unit", |ev| {
+                ev.seq = Some(i as u64);
+                ev.fields
+                    .push(("estimated_payload", u.unit.estimated_payload.into()));
+                ev.fields.push((
+                    "label",
+                    u.label.clone().unwrap_or_else(|| "unmatched".into()).into(),
+                ));
+            });
+        }
+    }
 }
 
 /// Runs the prediction pipeline over a QUIC trace using the
@@ -242,7 +268,7 @@ pub fn predict_from_datagram_trace(
     from: Option<SimTime>,
 ) -> Prediction {
     let units = segment_datagram_units(trace, Direction::ServerToClient, unit_cfg);
-    let units = units
+    let units: Vec<IdentifiedUnit> = units
         .into_iter()
         .filter(|u| from.is_none_or(|t| u.start >= t))
         .map(|unit| IdentifiedUnit {
@@ -250,6 +276,7 @@ pub fn predict_from_datagram_trace(
             unit,
         })
         .collect();
+    emit_prediction_telemetry(&units);
     Prediction { units }
 }
 

@@ -241,7 +241,7 @@ impl ClientNode {
     }
 
     fn write_frame(&mut self, frame: Frame, tag: RecordTag) {
-        let bytes = frame.encode();
+        let bytes = frame.encode().expect("frame within RFC 7540 payload limit");
         self.stack
             .write_record(ContentType::ApplicationData, &bytes, tag);
     }

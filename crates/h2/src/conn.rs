@@ -5,6 +5,7 @@
 use crate::frame::Frame;
 use crate::stream::StreamId;
 use h2priv_tls::RecordTag;
+use h2priv_util::telemetry;
 use std::collections::{HashMap, VecDeque};
 
 /// RFC 7540 initial connection flow-control window.
@@ -71,11 +72,21 @@ impl OutputScheduler {
     pub fn pop_next(&mut self, conn_window: u64) -> Option<QueuedFrame> {
         let mut tried = 0;
         let total = self.rotation.len();
+        let mut first_blocked: Option<(StreamId, u32)> = None;
         while tried < total {
             let stream = *self.rotation.front().expect("rotation non-empty");
             let q = self.queues.get_mut(&stream).expect("queue exists");
             let eligible = match q.front().expect("queue non-empty").frame {
-                Frame::Data { len, .. } => len as u64 <= conn_window,
+                Frame::Data { len, .. } => {
+                    if len as u64 <= conn_window {
+                        true
+                    } else {
+                        if first_blocked.is_none() {
+                            first_blocked = Some((stream, len));
+                        }
+                        false
+                    }
+                }
                 _ => true,
             };
             if eligible {
@@ -91,6 +102,17 @@ impl OutputScheduler {
             // Blocked by flow control: rotate and try the next stream.
             self.rotation.rotate_left(1);
             tried += 1;
+        }
+        if let Some((stream, len)) = first_blocked {
+            // The whole rotation is DATA blocked behind the connection
+            // window — the flow-control serialization the attack exploits.
+            telemetry::emit("h2", "flow_blocked", |ev| {
+                ev.stream = Some(stream.0 as u64);
+                ev.fields.push(("frame_len", len.into()));
+                ev.fields.push(("conn_window", conn_window.into()));
+                ev.fields.push(("blocked_streams", total.into()));
+            });
+            telemetry::count("h2.flow_blocked", 1);
         }
         None
     }
@@ -193,6 +215,65 @@ mod tests {
         assert!(s.pop_next(1_000).is_none(), "DATA must stay blocked");
         let second = s.pop_next(5_000).expect("window now fits");
         assert!(matches!(second.frame, Frame::Data { .. }));
+    }
+
+    #[test]
+    fn control_frames_mid_rotation_do_not_reset_fairness() {
+        // Regression pin for round-robin rotation under connection-window
+        // blocking: while DATA on streams 1 and 3 is blocked, control
+        // frames (stream 0) passing mid-rotation must neither starve a
+        // data stream nor reorder the blocked streams' rotation.
+        let mut s = OutputScheduler::new();
+        s.enqueue(data(1, 5_000), RecordTag::NONE);
+        s.enqueue(data(3, 5_000), RecordTag::NONE);
+        s.enqueue(data(1, 5_000), RecordTag::NONE);
+        s.enqueue(data(3, 5_000), RecordTag::NONE);
+        s.enqueue(Frame::Ping { ack: false }, RecordTag::NONE);
+        s.enqueue(
+            Frame::WindowUpdate {
+                stream: StreamId(0),
+                increment: 100,
+            },
+            RecordTag::NONE,
+        );
+
+        // Window too small for any DATA: the two control frames drain
+        // first, in FIFO order, with a scan over the blocked streams
+        // in between.
+        let first = s.pop_next(1_000).expect("ping passes");
+        assert!(matches!(first.frame, Frame::Ping { .. }));
+        let second = s.pop_next(1_000).expect("window update passes");
+        assert!(matches!(second.frame, Frame::WindowUpdate { .. }));
+        assert!(s.pop_next(1_000).is_none(), "all DATA still blocked");
+
+        // Window opens: stream 1 queued first, so it must come out
+        // first — the control frames must not have rotated it away —
+        // and strict alternation resumes.
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop_next(u64::MAX))
+            .map(|qf| qf.frame.stream_id().0)
+            .collect();
+        assert_eq!(order, vec![1, 3, 1, 3]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn partial_window_serves_only_fitting_streams_without_starvation() {
+        // A window that fits stream 3's small frames but not stream 1's
+        // large ones must keep serving stream 3 while stream 1 stays
+        // queued (not dropped), and release stream 1 once it fits.
+        let mut s = OutputScheduler::new();
+        s.enqueue(data(1, 5_000), RecordTag::NONE);
+        s.enqueue(data(3, 100), RecordTag::NONE);
+        s.enqueue(data(3, 100), RecordTag::NONE);
+        let a = s.pop_next(1_000).expect("small frame fits");
+        assert_eq!(a.frame.stream_id().0, 3);
+        let b = s.pop_next(1_000).expect("second small frame fits");
+        assert_eq!(b.frame.stream_id().0, 3);
+        assert!(s.pop_next(1_000).is_none());
+        assert_eq!(s.queued_data_bytes(), 5_000, "blocked frame retained");
+        let c = s.pop_next(5_000).expect("large frame fits now");
+        assert_eq!(c.frame.stream_id().0, 1);
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -11,6 +11,33 @@ use h2priv_util::bytes::{Bytes, BytesMut};
 /// Length of the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 9;
 
+/// Largest payload the 24-bit frame-header length field can carry
+/// (RFC 7540 §4.1 — also the cap on SETTINGS_MAX_FRAME_SIZE, §6.5.2).
+pub const MAX_FRAME_PAYLOAD: usize = (1 << 24) - 1;
+
+/// A frame's payload exceeded the 24-bit wire length field.
+///
+/// Before this error existed the encoder cast `payload.len()` to `u32`
+/// and shifted the low 24 bits into the header — a ≥ 16 MiB payload
+/// would silently truncate on the wire and desynchronize the peer's
+/// framing. Oversized frames are a caller bug here (the model never
+/// builds them), but they must fail loudly, not corrupt the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameEncodeError {
+    /// The offending payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl fmt::Display for FrameEncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame payload of {} bytes exceeds the 24-bit length field (max {MAX_FRAME_PAYLOAD})",
+            self.payload_len
+        )
+    }
+}
+
 /// Frame type codes (RFC 7540 §6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -194,7 +221,11 @@ impl Frame {
     }
 
     /// Serializes the frame (header + payload).
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// Fails with [`FrameEncodeError`] when the payload does not fit the
+    /// 24-bit length field ([`MAX_FRAME_PAYLOAD`]); nothing is written
+    /// in that case.
+    pub fn encode(&self) -> Result<Bytes, FrameEncodeError> {
         let (ty, flags, payload): (FrameType, u8, Bytes) = match self {
             Frame::Data {
                 len, end_stream, ..
@@ -262,6 +293,11 @@ impl Frame {
                 (FrameType::PushPromise, FLAG_END_HEADERS, b.freeze())
             }
         };
+        if payload.len() > MAX_FRAME_PAYLOAD {
+            return Err(FrameEncodeError {
+                payload_len: payload.len(),
+            });
+        }
         let mut out = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
         let len = payload.len() as u32;
         out.put_u8((len >> 16) as u8);
@@ -271,7 +307,7 @@ impl Frame {
         out.put_u8(flags);
         out.put_u32(self.stream_id().0 & 0x7fff_ffff);
         out.extend_from_slice(&payload);
-        out.freeze()
+        Ok(out.freeze())
     }
 
     /// Parses one complete frame from `bytes`.
@@ -425,7 +461,7 @@ mod tests {
     use h2priv_util::check::{self, Gen};
 
     fn roundtrip(f: Frame) {
-        let enc = f.encode();
+        let enc = f.encode().expect("encodes");
         let (dec, used) = Frame::decode(&enc).expect("decodes");
         assert_eq!(used, enc.len());
         assert_eq!(dec, f);
@@ -483,14 +519,15 @@ mod tests {
             len: 100,
             end_stream: false,
         }
-        .encode();
+        .encode()
+        .expect("encodes");
         assert!(Frame::decode(&enc[..enc.len() - 1]).is_none());
         assert!(Frame::decode(&enc[..4]).is_none());
     }
 
     #[test]
     fn decode_consumes_exact_length_with_trailing_bytes() {
-        let enc = Frame::Ping { ack: false }.encode();
+        let enc = Frame::Ping { ack: false }.encode().expect("encodes");
         let mut buf = enc.to_vec();
         buf.extend_from_slice(&[1, 2, 3]);
         let (f, used) = Frame::decode(&buf).unwrap();
@@ -505,13 +542,17 @@ mod tests {
             len: 2048,
             end_stream: false,
         }
-        .encode();
+        .encode()
+        .expect("encodes");
         assert_eq!(enc.len(), FRAME_HEADER_LEN + 2048);
     }
 
     #[test]
     fn unknown_type_rejected() {
-        let mut enc = Frame::Ping { ack: false }.encode().to_vec();
+        let mut enc = Frame::Ping { ack: false }
+            .encode()
+            .expect("encodes")
+            .to_vec();
         enc[3] = 0x9; // CONTINUATION unsupported in the model
         assert!(Frame::decode(&enc).is_none());
     }
@@ -528,6 +569,56 @@ mod tests {
                 end_stream: es,
             });
         });
+    }
+
+    #[test]
+    fn payload_roundtrips_at_length_field_boundaries() {
+        // DATA lengths straddling the u16 boundary and up to the 24-bit
+        // maximum must round-trip exactly; one past the maximum must be
+        // an encode error, not a silent truncation to `len & 0xffffff`.
+        for len in [(1u32 << 16) - 1, 1 << 16, (1 << 24) - 1] {
+            roundtrip(Frame::Data {
+                stream: StreamId(1),
+                len,
+                end_stream: false,
+            });
+        }
+        let err = Frame::Data {
+            stream: StreamId(1),
+            len: 1 << 24,
+            end_stream: false,
+        }
+        .encode()
+        .expect_err("2^24-byte payload exceeds the length field");
+        assert_eq!(err.payload_len, 1 << 24);
+    }
+
+    #[test]
+    fn oversized_header_block_is_an_encode_error() {
+        // A HEADERS block of exactly MAX_FRAME_PAYLOAD encodes; one byte
+        // more errors. Before the guard this truncated the length field.
+        roundtrip(Frame::Headers {
+            stream: StreamId(1),
+            block: Bytes::from(vec![0x82u8; MAX_FRAME_PAYLOAD]),
+            end_stream: false,
+        });
+        let err = Frame::Headers {
+            stream: StreamId(1),
+            block: Bytes::from(vec![0x82u8; MAX_FRAME_PAYLOAD + 1]),
+            end_stream: false,
+        }
+        .encode()
+        .expect_err("oversized block must not truncate");
+        assert_eq!(err.payload_len, MAX_FRAME_PAYLOAD + 1);
+        // PUSH_PROMISE adds 4 bytes of promised-stream id to the block.
+        let err = Frame::PushPromise {
+            stream: StreamId(1),
+            promised: StreamId(2),
+            block: Bytes::from(vec![0x82u8; MAX_FRAME_PAYLOAD]),
+        }
+        .encode()
+        .expect_err("promised-id prefix pushes the payload past the cap");
+        assert_eq!(err.payload_len, MAX_FRAME_PAYLOAD + 4);
     }
 
     #[test]

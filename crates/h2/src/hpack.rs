@@ -76,13 +76,49 @@ const STATIC_TABLE: &[(&str, &str)] = &[
     ("www-authenticate", ""),
 ];
 
+/// Largest continuation value (beyond the prefix limit) this codec's
+/// decoder accepts: five 7-bit groups, i.e. `2^35 − 1`. The encoder
+/// refuses anything larger so every encoded integer round-trips.
+pub const MAX_INT_CONTINUATION: usize = (1usize << 35) - 1;
+
+/// An integer too large for the bounded HPACK varint.
+///
+/// [`decode_int`] rejects continuations past five 7-bit groups as
+/// corrupt, so an unbounded encoder would happily emit integers its own
+/// decoder refuses — an encode-side error, not a silent truncation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntEncodeError {
+    /// The value that did not fit.
+    pub value: usize,
+}
+
+impl core::fmt::Display for IntEncodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "HPACK integer {} exceeds the bounded varint range",
+            self.value
+        )
+    }
+}
+
 /// Encodes an HPACK integer with an `n`-bit prefix into `out`, with
-/// `mask` providing the pattern bits above the prefix.
-fn encode_int(out: &mut BytesMut, mask: u8, n: u8, mut value: usize) {
+/// `mask` providing the pattern bits above the prefix. Fails (writing
+/// nothing) when the continuation would exceed what [`decode_int`]
+/// accepts.
+fn try_encode_int(
+    out: &mut BytesMut,
+    mask: u8,
+    n: u8,
+    mut value: usize,
+) -> Result<(), IntEncodeError> {
     let limit = (1usize << n) - 1;
     if value < limit {
         out.put_u8(mask | value as u8);
-        return;
+        return Ok(());
+    }
+    if value - limit > MAX_INT_CONTINUATION {
+        return Err(IntEncodeError { value });
     }
     out.put_u8(mask | limit as u8);
     value -= limit;
@@ -91,6 +127,13 @@ fn encode_int(out: &mut BytesMut, mask: u8, n: u8, mut value: usize) {
         value /= 128;
     }
     out.put_u8(value as u8);
+    Ok(())
+}
+
+/// Infallible wrapper for call sites whose values are bounded by
+/// construction (static-table indices, header string lengths).
+fn encode_int(out: &mut BytesMut, mask: u8, n: u8, value: usize) {
+    try_encode_int(out, mask, n, value).expect("HPACK integer within bounded varint range");
 }
 
 /// Decodes an HPACK integer with an `n`-bit prefix. Returns (value,
@@ -349,6 +392,45 @@ mod tests {
             encode_int(&mut b, 0, n, v);
             prop_assert_eq!(decode_int(&b, n), Some((v, b.len())));
         });
+    }
+
+    #[test]
+    fn int_roundtrip_at_power_of_two_boundaries() {
+        // The narrowing-cast audit's boundary values: every one must
+        // round-trip exactly at every prefix width, on both sides of
+        // each power of two.
+        check::run("int_boundaries", 64, |g: &mut Gen| {
+            let n = g.u8(1, 7);
+            for v in [
+                (1usize << 16) - 1,
+                1usize << 16,
+                (1usize << 24) - 1,
+                1usize << 24,
+            ] {
+                let mut b = BytesMut::new();
+                encode_int(&mut b, 0, n, v);
+                prop_assert_eq!(decode_int(&b, n), Some((v, b.len())));
+            }
+        });
+    }
+
+    #[test]
+    fn int_encode_rejects_what_decode_rejects() {
+        // The largest encodable value round-trips; one past it errors
+        // out instead of emitting bytes the decoder calls corrupt.
+        for n in 1..=7u8 {
+            let limit = (1usize << n) - 1;
+            let max = limit + MAX_INT_CONTINUATION;
+            let mut b = BytesMut::new();
+            try_encode_int(&mut b, 0, n, max).expect("max value encodes");
+            assert_eq!(decode_int(&b, n), Some((max, b.len())));
+            let mut b = BytesMut::new();
+            assert_eq!(
+                try_encode_int(&mut b, 0, n, max + 1),
+                Err(IntEncodeError { value: max + 1 })
+            );
+            assert!(b.is_empty(), "failed encode must write nothing");
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use h2priv_netsim::packet::{FlowId, Packet};
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_tcp::{TcpConnection, TcpStats};
 use h2priv_tls::{ContentType, OpenedRecord, RecordTag, TrafficClass, WireMap};
+use h2priv_util::telemetry;
 use h2priv_web::{ObjectId, Site};
 use std::collections::{HashMap, VecDeque};
 
@@ -465,6 +466,11 @@ impl ServerNode {
                 if end_stream {
                     self.workers[idx].state = WorkerState::Done;
                     self.serve_log[idx].completed_at = Some(ctx.now());
+                    let requested = self.serve_log[idx].requested_at;
+                    telemetry::observe(
+                        "h2.serve_ns",
+                        ctx.now().as_nanos().saturating_sub(requested.as_nanos()),
+                    );
                     if self.cfg.mux == MuxPolicy::Serial {
                         self.start_next_serial(ctx);
                     }
@@ -484,6 +490,7 @@ impl ServerNode {
             let Some(qf) = self.sched.pop_next(self.conn_send_window) else {
                 if self.sched.queued_data_bytes() > 0 {
                     self.window_blocked_events += 1;
+                    telemetry::count("h2.window_blocked_events", 1);
                     if self.blocked_log.len() < 256 {
                         self.blocked_log.push((
                             now,
@@ -497,7 +504,10 @@ impl ServerNode {
             if let Frame::Data { len, .. } = qf.frame {
                 self.conn_send_window = self.conn_send_window.saturating_sub(len as u64);
             }
-            let bytes = qf.frame.encode();
+            let bytes = qf
+                .frame
+                .encode()
+                .expect("frame within RFC 7540 payload limit");
             self.stack
                 .write_record(ContentType::ApplicationData, &bytes, qf.tag);
         }

@@ -49,7 +49,7 @@ fn frame_roundtrip_with_trailing_garbage() {
                 len,
                 end_stream: es,
             };
-            let mut buf = f.encode().to_vec();
+            let mut buf = f.encode().expect("encodes").to_vec();
             let framed = buf.len();
             buf.extend_from_slice(&garbage);
             let (decoded, used) = Frame::decode(&buf).expect("well-formed prefix");
@@ -191,7 +191,7 @@ fn settings_frame_with_many_params_roundtrips() {
         ack: false,
         params: params.clone(),
     };
-    let enc = f.encode();
+    let enc = f.encode().expect("encodes");
     let (dec, _) = Frame::decode(&enc).expect("decodes");
     match dec {
         Frame::Settings { ack, params: p } => {
@@ -209,7 +209,7 @@ fn data_frame_payload_is_zeroed_synthetic_bytes() {
         len: 64,
         end_stream: false,
     };
-    let enc = f.encode();
+    let enc = f.encode().expect("encodes");
     assert_eq!(enc.len(), 9 + 64);
     assert!(
         enc[9..].iter().all(|b| *b == 0),
@@ -227,7 +227,8 @@ fn hpack_block_sizes_separate_gets_from_control_frames() {
         stream: StreamId(0),
         increment: 1,
     }
-    .encode();
+    .encode()
+    .expect("encodes");
     let wu_record_body = wu.len() + 16;
     assert!(get_record_body >= 120, "GET body {get_record_body}");
     assert!(wu_record_body <= 40, "control body {wu_record_body}");

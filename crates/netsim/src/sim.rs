@@ -11,6 +11,7 @@ use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::stats::SimStats;
 use crate::time::SimTime;
+use h2priv_util::telemetry;
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -40,6 +41,11 @@ impl World {
         match self.faults.evaluate(link_id) {
             FaultVerdict::Pass => self.submit_direct(now, link_id, pkt),
             FaultVerdict::PassAndDuplicate(delay) => {
+                telemetry::emit("netsim", "fault_duplicate", |ev| {
+                    ev.seq = Some(pkt.id.0);
+                    ev.fields.push(("link", link_id.0.into()));
+                    ev.fields.push(("delay_ns", delay.as_nanos().into()));
+                });
                 let copy = pkt.clone();
                 self.queue.push(
                     now + delay,
@@ -51,10 +57,21 @@ impl World {
                 self.submit_direct(now, link_id, pkt);
             }
             FaultVerdict::Hold(delay) => {
+                telemetry::emit("netsim", "fault_hold", |ev| {
+                    ev.seq = Some(pkt.id.0);
+                    ev.fields.push(("link", link_id.0.into()));
+                    ev.fields.push(("delay_ns", delay.as_nanos().into()));
+                });
                 self.queue
                     .push(now + delay, EventKind::FaultRelease { link: link_id, pkt });
             }
             FaultVerdict::Drop => {
+                telemetry::emit("netsim", "fault_drop", |ev| {
+                    ev.seq = Some(pkt.id.0);
+                    ev.fields.push(("link", link_id.0.into()));
+                    ev.fields.push(("wire_size", pkt.wire_size().into()));
+                });
+                telemetry::count("netsim.fault_drops", 1);
                 self.stats.packets_dropped += 1;
                 self.capture(
                     CapturePoint::LinkDrop(link_id),
@@ -90,6 +107,16 @@ impl World {
             SubmitOutcome::DroppedLoss | SubmitOutcome::DroppedQueue => {
                 self.stats.packets_dropped += 1;
                 let pkt = returned.expect("drop returns packet");
+                let kind = match outcome {
+                    SubmitOutcome::DroppedLoss => "drop_loss",
+                    _ => "drop_queue",
+                };
+                telemetry::emit("netsim", kind, |ev| {
+                    ev.seq = Some(pkt.id.0);
+                    ev.fields.push(("link", link_id.0.into()));
+                    ev.fields.push(("wire_size", pkt.wire_size().into()));
+                });
+                telemetry::count("netsim.link_drops", 1);
                 self.capture(
                     CapturePoint::LinkDrop(link_id),
                     CaptureEvent {
@@ -289,6 +316,7 @@ impl Simulator {
         };
         debug_assert!(ev.time >= self.now, "time went backwards");
         self.now = ev.time;
+        telemetry::set_sim_now(self.now.as_nanos());
         self.world.stats.events += 1;
         match ev.kind {
             EventKind::NodeTimer { node, timer } => {

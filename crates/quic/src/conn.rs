@@ -22,6 +22,7 @@ use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_tcp::TcpStats;
 use h2priv_tls::{RecordTag, TrafficClass, WireMap, WireSpan};
 use h2priv_util::bytes::Bytes;
+use h2priv_util::telemetry;
 
 use crate::frame::{
     decode_datagram, encode_datagram, QuicFrame, MAX_CRYPTO_CHUNK, MAX_DATAGRAM, SHORT_HEADER_LEN,
@@ -349,7 +350,18 @@ impl QuicConnection {
             };
             let n = self.requeue_frames(frames);
             self.stats.pto_retransmits += n;
+            telemetry::emit("quic", "pto", |ev| {
+                ev.fields
+                    .push(("pto_count", self.recovery.pto_count().into()));
+                ev.fields.push(("retransmits", n.into()));
+            });
+            telemetry::count("quic.pto_events", 1);
             if self.recovery.pto_count() >= self.cfg.max_pto_count {
+                telemetry::emit("quic", "abort", |ev| {
+                    ev.fields
+                        .push(("pto_count", self.recovery.pto_count().into()));
+                });
+                telemetry::count("quic.aborts", 1);
                 self.state = ConnState::Dead;
                 self.events.push_back(QuicEvent::Aborted);
                 return;
@@ -421,6 +433,12 @@ impl QuicConnection {
                 let out = self.recovery.on_ack(now, &ranges);
                 let n = self.requeue_frames(out.lost);
                 self.stats.loss_retransmits += n;
+                if n > 0 {
+                    telemetry::emit("quic", "loss_retransmit", |ev| {
+                        ev.fields.push(("frames", n.into()));
+                    });
+                    telemetry::count("quic.loss_retransmits", n);
+                }
             }
             QuicFrame::Crypto { offset, len } => {
                 if len > 0 {

@@ -22,6 +22,7 @@ use crate::stats::TcpStats;
 use h2priv_netsim::packet::{FlowId, TcpFlags, TcpHeader};
 use h2priv_netsim::time::SimTime;
 use h2priv_util::bytes::Bytes;
+use h2priv_util::telemetry;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Connection lifecycle states (condensed RFC 793 set).
@@ -307,6 +308,16 @@ impl TcpConnection {
         }
         self.stats.rto_events += 1;
         self.rto_backoffs += 1;
+        telemetry::emit("tcp", "rto", |ev| {
+            ev.seq = Some(self.snd_una);
+            ev.fields.push(("backoffs", self.rto_backoffs.into()));
+            ev.fields.push(("in_flight", self.bytes_in_flight().into()));
+            ev.fields.push((
+                "rto_ns",
+                self.rtt.rto_backed_off(self.rto_backoffs).as_nanos().into(),
+            ));
+        });
+        telemetry::count("tcp.rto_events", 1);
         if self.rto_backoffs > self.cfg.max_rto_retries {
             self.enter_abort(AbortReason::RetriesExceeded);
             return;
@@ -337,6 +348,11 @@ impl TcpConnection {
                 // Timeout loss recovery: collapse the window and go back
                 // to the first unacked byte (go-back-N without SACK).
                 self.cc.on_timeout(self.bytes_in_flight());
+                telemetry::emit("tcp", "cwnd_collapse", |ev| {
+                    ev.seq = Some(self.snd_una);
+                    ev.fields.push(("cwnd", self.cc.cwnd().into()));
+                });
+                telemetry::gauge("tcp.cwnd", self.cc.cwnd());
                 self.dup_acks = 0;
                 self.snd_nxt = self.snd_una;
                 if self.fin_sent && self.snd_una >= self.data_end() {
@@ -510,6 +526,10 @@ impl TcpConnection {
     }
 
     fn enter_abort(&mut self, reason: AbortReason) {
+        telemetry::emit("tcp", "abort", |ev| {
+            ev.fields.push(("reason", format!("{reason:?}").into()));
+        });
+        telemetry::count("tcp.aborts", 1);
         self.state = TcpState::Aborted;
         self.rto_deadline = None;
         self.events.push_back(TcpEvent::Aborted(reason));
@@ -580,6 +600,12 @@ impl TcpConnection {
             } else if self.dup_acks == self.cfg.dup_ack_threshold {
                 self.recover = self.snd_nxt;
                 self.cc.on_fast_retransmit(self.bytes_in_flight());
+                telemetry::emit("tcp", "fast_retransmit", |ev| {
+                    ev.seq = Some(self.snd_una);
+                    ev.fields.push(("dup_acks", self.dup_acks.into()));
+                    ev.fields.push(("cwnd", self.cc.cwnd().into()));
+                });
+                telemetry::count("tcp.fast_retransmits", 1);
                 self.retransmit_front(false);
                 self.arm_rto(now);
             }

@@ -133,4 +133,43 @@ mod tests {
         assert_eq!(e.rto_backed_off(2), SimDuration::from_millis(1_200));
         assert_eq!(e.rto_backed_off(30), SimDuration::from_secs(60));
     }
+
+    #[test]
+    fn backoff_count_is_clamped_above_sixteen() {
+        // Past the doubling clamp every backoff count yields the same
+        // RTO — including absurd counts that would overflow if the loop
+        // actually ran that many doublings.
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        let at_clamp = e.rto_backed_off(16);
+        assert_eq!(e.rto_backed_off(17), at_clamp);
+        assert_eq!(e.rto_backed_off(1_000), at_clamp);
+        assert_eq!(e.rto_backed_off(u32::MAX), at_clamp);
+    }
+
+    #[test]
+    fn backoff_saturates_at_rto_max() {
+        // 300 ms doubles past 60 s after 8 backoffs; from there on the
+        // cap holds exactly.
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        for backoffs in 8..=16 {
+            assert_eq!(e.rto_backed_off(backoffs), SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn backoff_with_rto_already_at_max_stays_at_max() {
+        // rto_min == rto_max pins the base RTO at the cap; backoff must
+        // not push it beyond.
+        let mut e = RttEstimator::new(
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(60),
+        );
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+        assert_eq!(e.rto_backed_off(0), SimDuration::from_secs(60));
+        assert_eq!(e.rto_backed_off(u32::MAX), SimDuration::from_secs(60));
+    }
 }

@@ -15,6 +15,10 @@
 //!   [`bytes::BytesMut`] built on `Arc<[u8]>`/`Vec<u8>`.
 //! * [`check`] — a seeded, shrink-free property-test harness replacing the
 //!   `proptest` dev-dependency.
+//! * [`telemetry`] — a deterministic observability layer: structured
+//!   trace events timestamped in simulation time, per-trial metric
+//!   registries, and sim-time spans, all off by default and folded in
+//!   submission order so traces are byte-identical at any `--jobs` level.
 //! * [`pool`] — a deterministic `std::thread::scope` work pool that fans
 //!   independent seed-keyed jobs across cores and returns results in
 //!   submission order, so parallel experiment runs stay byte-identical
@@ -25,3 +29,4 @@ pub mod check;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod telemetry;

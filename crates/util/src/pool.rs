@@ -154,4 +154,36 @@ mod tests {
         let out = run_indexed(64, 3, |i| i * 10);
         assert_eq!(out, vec![0, 10, 20]);
     }
+
+    #[test]
+    fn zero_trials_never_calls_the_job_body() {
+        // trials == 0 must return immediately without invoking f, at
+        // any job count (including "all cores").
+        for jobs in [0, 1, 4, 64] {
+            let empty: Vec<u64> = run_indexed(jobs, 0, |_| panic!("job body must not run"));
+            assert!(empty.is_empty(), "jobs={jobs}");
+        }
+        let none: Vec<u64> = map_ordered(8, Vec::<u64>::new(), |_| panic!("no items"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn jobs_exceeding_trials_still_runs_each_exactly_once() {
+        // With far more workers than items, every index must run exactly
+        // once and land in its own slot — excess workers exit idle.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed(64, 5, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 7
+        });
+        assert_eq!(out, vec![0, 7, 14, 21, 28]);
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn map_ordered_with_more_jobs_than_items() {
+        let out = map_ordered(32, vec![1u64, 2, 3], |v| v * v);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
 }

@@ -1,0 +1,714 @@
+//! Deterministic observability: structured trace events, per-trial
+//! metric registries, and sim-time spans.
+//!
+//! Everything here is driven by **virtual simulation time** — no wall
+//! clocks anywhere — so a trace collected at `--jobs 8` is byte-identical
+//! to the same seeds at `--jobs 1`. The design has three layers:
+//!
+//! * A pair of global enable flags ([`set_trace_enabled`],
+//!   [`set_metrics_enabled`]), both off by default. With both off, every
+//!   emission call is a thread-local read and a branch; no allocation, no
+//!   locking, and no RNG perturbation, so default runs keep producing the
+//!   exact bytes recorded in `results/*.json`.
+//! * A thread-local **trial collector** ([`trial_slot`]) installed for
+//!   the duration of one trial closure. The simulator publishes the
+//!   virtual clock through [`set_sim_now`]; instrumented components call
+//!   [`emit`]/[`count`]/[`observe`] without threading a handle through
+//!   every constructor. Trials run whole on one pool worker, so the
+//!   thread-local is never shared.
+//! * A global **registry** keyed by `(batch, trial)` — batches are opened
+//!   on the main thread in program order ([`open_batch`]), trial indices
+//!   are the pool submission indices — so draining the registry sorted by
+//!   key reproduces submission order no matter which worker finished
+//!   first. This is the same fold discipline the result aggregates use.
+
+use crate::json::Json;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A structured field value on a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (owned; use sparingly on hot paths).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::U64(v) => Json::UInt(*v),
+            Value::I64(v) => Json::Int(*v),
+            Value::F64(v) => Json::Float(*v),
+            Value::Bool(v) => Json::Bool(*v),
+            Value::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+/// One structured trace event, timestamped in virtual nanoseconds.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time (nanoseconds since trial start).
+    pub t_ns: u64,
+    /// Emitting component ("netsim", "tcp", "quic", "h2", "attack", …).
+    pub component: &'static str,
+    /// Event kind within the component ("rto", "drop_loss", …).
+    pub kind: &'static str,
+    /// HTTP/2- or QUIC-stream id, when the event concerns one.
+    pub stream: Option<u64>,
+    /// Sequence/packet number, when the event concerns one.
+    pub seq: Option<u64>,
+    /// Additional key/value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one compact JSON object (a jsonl line,
+    /// without the trailing newline), tagged with its registry slot.
+    pub fn to_json_line(&self, label: &str, trial: u64) -> String {
+        let mut obj = vec![
+            ("batch".to_string(), Json::Str(label.to_string())),
+            ("trial".to_string(), Json::UInt(trial)),
+            ("t_ns".to_string(), Json::UInt(self.t_ns)),
+            (
+                "component".to_string(),
+                Json::Str(self.component.to_string()),
+            ),
+            ("kind".to_string(), Json::Str(self.kind.to_string())),
+        ];
+        if let Some(s) = self.stream {
+            obj.push(("stream".to_string(), Json::UInt(s)));
+        }
+        if let Some(s) = self.seq {
+            obj.push(("seq".to_string(), Json::UInt(s)));
+        }
+        if !self.fields.is_empty() {
+            let fields = self
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect();
+            obj.push(("fields".to_string(), Json::Obj(fields)));
+        }
+        Json::Obj(obj).to_string_compact()
+    }
+}
+
+/// A fixed-bucket (powers of two) histogram of `u64` observations —
+/// deterministic to merge and cheap to update, no quantile estimation
+/// heuristics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Minimum observation (0 when empty).
+    pub min: u64,
+    /// Maximum observation.
+    pub max: u64,
+    /// `buckets[i]` counts observations with `bit_length == i`.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        self.max = self.max.max(v);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Counters, gauges and histograms keyed by static names. Keys are
+/// `&'static str` so the hot-path update is a `BTreeMap` probe with no
+/// allocation; `BTreeMap` keeps every report iteration sorted and
+/// therefore byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Histograms.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Adds `n` to counter `name`.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge(&mut self, name: &'static str, v: u64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().observe(v);
+    }
+
+    /// Folds `other` into `self` (counters add, gauges take `other`'s
+    /// value, histograms merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Everything one trial collected.
+#[derive(Debug, Clone, Default)]
+pub struct TrialTelemetry {
+    /// Trace events in emission order.
+    pub events: Vec<TraceEvent>,
+    /// The trial's metric registry.
+    pub metrics: Metrics,
+}
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_BATCH: AtomicU64 = AtomicU64::new(0);
+
+/// Batch labels and per-(batch, trial) collectors, keyed so that sorted
+/// iteration reproduces submission order.
+struct Registry {
+    labels: BTreeMap<u64, String>,
+    slots: BTreeMap<(u64, u64), TrialTelemetry>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+thread_local! {
+    static ACTIVE: RefCell<Option<TrialTelemetry>> = const { RefCell::new(None) };
+    static SIM_NOW: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turns trace-event collection on or off globally (off by default).
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Turns metric collection on or off globally (off by default).
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when trace events are being collected.
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// `true` when metrics are being collected.
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+fn enabled() -> bool {
+    trace_enabled() || metrics_enabled()
+}
+
+/// Publishes the virtual clock; the simulator calls this as it advances
+/// so emission sites don't need to thread `now` through every layer.
+#[inline]
+pub fn set_sim_now(ns: u64) {
+    SIM_NOW.with(|c| c.set(ns));
+}
+
+/// The last published virtual time on this thread.
+#[inline]
+pub fn sim_now() -> u64 {
+    SIM_NOW.with(|c| c.get())
+}
+
+/// Opens a new batch (one experiment phase / one `pool::run_indexed`
+/// call) and returns its id. Call from the main thread, in program
+/// order — the id is the primary sort key of the trace output.
+pub fn open_batch(label: &str) -> u64 {
+    let id = NEXT_BATCH.fetch_add(1, Ordering::Relaxed);
+    if enabled() {
+        let mut reg = REGISTRY.lock().expect("telemetry registry poisoned");
+        reg.get_or_insert_with(|| Registry {
+            labels: BTreeMap::new(),
+            slots: BTreeMap::new(),
+        })
+        .labels
+        .insert(id, label.to_string());
+    }
+    id
+}
+
+/// Scopes a trial collector to the current closure: construction
+/// installs a fresh thread-local collector (when collection is enabled),
+/// drop moves whatever was collected into the registry under
+/// `(batch, trial)`. A disabled slot is a no-op on both ends.
+pub struct TrialSlot {
+    batch: u64,
+    trial: u64,
+    active: bool,
+}
+
+/// Installs a trial collector for the rest of the enclosing scope.
+pub fn trial_slot(batch: u64, trial: u64) -> TrialSlot {
+    let active = enabled();
+    if active {
+        ACTIVE.with(|a| *a.borrow_mut() = Some(TrialTelemetry::default()));
+        set_sim_now(0);
+    }
+    TrialSlot {
+        batch,
+        trial,
+        active,
+    }
+}
+
+impl Drop for TrialSlot {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let collected = ACTIVE.with(|a| a.borrow_mut().take());
+        if let Some(t) = collected {
+            let mut reg = REGISTRY.lock().expect("telemetry registry poisoned");
+            reg.get_or_insert_with(|| Registry {
+                labels: BTreeMap::new(),
+                slots: BTreeMap::new(),
+            })
+            .slots
+            .insert((self.batch, self.trial), t);
+        }
+    }
+}
+
+/// Emits a trace event. `build` runs only when a collector is installed
+/// *and* tracing is enabled, so disabled runs pay one thread-local read.
+/// The timestamp is the last [`set_sim_now`] value on this thread.
+#[inline]
+pub fn emit(component: &'static str, kind: &'static str, build: impl FnOnce(&mut TraceEvent)) {
+    if !trace_enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            let mut ev = TraceEvent {
+                t_ns: sim_now(),
+                component,
+                kind,
+                stream: None,
+                seq: None,
+                fields: Vec::new(),
+            };
+            build(&mut ev);
+            t.events.push(ev);
+        }
+    });
+}
+
+/// Adds `n` to the active trial's counter `name` (no-op when inactive).
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            t.metrics.count(name, n);
+        }
+    });
+}
+
+/// Sets the active trial's gauge `name` to `v` (no-op when inactive).
+#[inline]
+pub fn gauge(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            t.metrics.gauge(name, v);
+        }
+    });
+}
+
+/// Records `v` into the active trial's histogram `name` (no-op when
+/// inactive).
+#[inline]
+pub fn observe(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            t.metrics.observe(name, v);
+        }
+    });
+}
+
+/// A sim-time span: captures [`sim_now`] at creation and, on drop,
+/// records the elapsed virtual time into histogram `name` and counter
+/// `name` (suffix-free). Wall clocks never enter the measurement.
+pub struct Span {
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// Opens a sim-time span ending (and recording) when the guard drops.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start_ns: sim_now(),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        observe(self.name, sim_now().saturating_sub(self.start_ns));
+    }
+}
+
+/// One drained registry slot.
+pub struct SlotRecord {
+    /// The batch label given to [`open_batch`].
+    pub label: String,
+    /// The trial (submission) index within the batch.
+    pub trial: u64,
+    /// What the trial collected.
+    pub telemetry: TrialTelemetry,
+}
+
+/// Drains every collected slot, sorted by `(batch, trial)` — i.e. in
+/// submission order. Returns an empty vector when nothing was collected.
+pub fn drain_slots() -> Vec<SlotRecord> {
+    let mut reg = REGISTRY.lock().expect("telemetry registry poisoned");
+    let Some(reg) = reg.take() else {
+        return Vec::new();
+    };
+    reg.slots
+        .into_iter()
+        .map(|((batch, trial), telemetry)| SlotRecord {
+            label: reg
+                .labels
+                .get(&batch)
+                .cloned()
+                .unwrap_or_else(|| format!("batch-{batch}")),
+            trial,
+            telemetry,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use std::sync::{Mutex as TestMutex, MutexGuard};
+
+    // The enable flags and registry are process-global; serialize the
+    // tests that flip them so `cargo test`'s parallel runner can't
+    // interleave two collection windows.
+    static TEST_LOCK: TestMutex<()> = TestMutex::new(());
+
+    fn locked() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn reset() {
+        set_trace_enabled(false);
+        set_metrics_enabled(false);
+        drain_slots();
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+    }
+
+    #[test]
+    fn disabled_by_default_everything_is_a_noop() {
+        let _g = locked();
+        reset();
+        emit("tcp", "rto", |_| panic!("build closure must not run"));
+        count("tcp.rto", 1);
+        observe("span", 10);
+        let batch = open_batch("noop");
+        {
+            let _slot = trial_slot(batch, 0);
+            emit("tcp", "rto", |_| panic!("still disabled"));
+        }
+        assert!(drain_slots().is_empty());
+    }
+
+    #[test]
+    fn events_and_metrics_land_in_the_active_slot() {
+        let _g = locked();
+        reset();
+        set_trace_enabled(true);
+        set_metrics_enabled(true);
+        let batch = open_batch("exp/phase=1");
+        {
+            let _slot = trial_slot(batch, 3);
+            set_sim_now(1_500);
+            emit("tcp", "rto", |ev| {
+                ev.seq = Some(42);
+                ev.fields.push(("backoffs", Value::U64(2)));
+            });
+            count("tcp.rto", 1);
+            gauge("tcp.cwnd", 2_920);
+            observe("h2.serve_ns", 7);
+        }
+        reset();
+        // Drained after reset — the slot was recorded while enabled.
+        set_trace_enabled(true);
+        let batch2 = open_batch("exp/phase=2");
+        {
+            let _slot = trial_slot(batch2, 0);
+        }
+        let slots = drain_slots();
+        // Only the second window survives the drain inside reset();
+        // its slot is empty but present.
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].label, "exp/phase=2");
+        reset();
+    }
+
+    #[test]
+    fn slot_contents_round_trip() {
+        let _g = locked();
+        reset();
+        set_trace_enabled(true);
+        set_metrics_enabled(true);
+        let batch = open_batch("roundtrip");
+        {
+            let _slot = trial_slot(batch, 7);
+            set_sim_now(2_000);
+            emit("h2", "flow_blocked", |ev| {
+                ev.stream = Some(5);
+                ev.fields.push(("window", Value::U64(0)));
+            });
+            count("h2.window_blocked", 2);
+        }
+        let slots = drain_slots();
+        assert_eq!(slots.len(), 1);
+        let s = &slots[0];
+        assert_eq!(s.trial, 7);
+        assert_eq!(s.telemetry.events.len(), 1);
+        let ev = &s.telemetry.events[0];
+        assert_eq!(ev.t_ns, 2_000);
+        assert_eq!(ev.component, "h2");
+        assert_eq!(ev.stream, Some(5));
+        assert_eq!(s.telemetry.metrics.counters["h2.window_blocked"], 2);
+        reset();
+    }
+
+    #[test]
+    fn drain_is_sorted_by_batch_then_trial() {
+        let _g = locked();
+        reset();
+        set_trace_enabled(true);
+        let b0 = open_batch("first");
+        let b1 = open_batch("second");
+        // Fill out of submission order, as racing workers would.
+        for (batch, trial) in [(b1, 1u64), (b0, 2), (b1, 0), (b0, 0), (b0, 1)] {
+            let _slot = trial_slot(batch, trial);
+            emit("x", "y", |_| {});
+        }
+        let slots = drain_slots();
+        let order: Vec<(String, u64)> = slots.into_iter().map(|s| (s.label, s.trial)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("first".to_string(), 0),
+                ("first".to_string(), 1),
+                ("first".to_string(), 2),
+                ("second".to_string(), 0),
+                ("second".to_string(), 1),
+            ]
+        );
+        reset();
+    }
+
+    #[test]
+    fn span_records_sim_time_not_wall_time() {
+        let _g = locked();
+        reset();
+        set_metrics_enabled(true);
+        let batch = open_batch("span");
+        {
+            let _slot = trial_slot(batch, 0);
+            set_sim_now(1_000);
+            {
+                let _sp = span("trial.sim_ns");
+                // Virtual clock advances 500 ns; wall time is irrelevant.
+                set_sim_now(1_500);
+            }
+        }
+        let slots = drain_slots();
+        let h = &slots[0].telemetry.metrics.histograms["trial.sim_ns"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (1, 500, 500, 500));
+        reset();
+    }
+
+    #[test]
+    fn histogram_observe_and_merge() {
+        let mut a = Histogram::default();
+        a.observe(0);
+        a.observe(7);
+        a.observe(1 << 20);
+        let mut b = Histogram::default();
+        b.observe(3);
+        b.merge(&a);
+        assert_eq!(b.count, 4);
+        assert_eq!(b.sum, 3 + 7 + (1 << 20));
+        assert_eq!(b.min, 0);
+        assert_eq!(b.max, 1 << 20);
+        assert_eq!(b.buckets[0], 1); // the zero observation
+        assert_eq!(b.buckets[2], 1); // 3
+        assert_eq!(b.buckets[3], 1); // 7
+        assert_eq!(b.buckets[21], 1); // 2^20
+        assert_eq!(b.mean(), Some((3.0 + 7.0 + (1u64 << 20) as f64) / 4.0));
+        assert_eq!(Histogram::default().mean(), None);
+    }
+
+    #[test]
+    fn metrics_merge_adds_counters_and_merges_histograms() {
+        let mut a = Metrics::default();
+        a.count("x", 2);
+        a.gauge("g", 1);
+        a.observe("h", 10);
+        let mut b = Metrics::default();
+        b.count("x", 3);
+        b.count("y", 1);
+        b.gauge("g", 9);
+        b.observe("h", 20);
+        a.merge(&b);
+        assert_eq!(a.counters["x"], 5);
+        assert_eq!(a.counters["y"], 1);
+        assert_eq!(a.gauges["g"], 9);
+        assert_eq!(a.histograms["h"].count, 2);
+        assert!(!a.is_empty());
+        assert!(Metrics::default().is_empty());
+    }
+
+    #[test]
+    fn jsonl_line_parses_with_the_in_tree_parser() {
+        let ev = TraceEvent {
+            t_ns: 123_456,
+            component: "netsim",
+            kind: "drop_loss",
+            stream: None,
+            seq: Some(99),
+            fields: vec![("link", Value::U64(2)), ("policy", Value::Bool(false))],
+        };
+        let line = ev.to_json_line("robustness/intensity=0.8", 4);
+        let parsed = Json::parse(&line).expect("line parses");
+        let Json::Obj(fields) = parsed else {
+            panic!("not an object")
+        };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(
+            get("batch"),
+            Some(Json::Str("robustness/intensity=0.8".to_string()))
+        );
+        assert_eq!(get("trial"), Some(Json::UInt(4)));
+        assert_eq!(get("seq"), Some(Json::UInt(99)));
+        assert_eq!(get("component"), Some(Json::Str("netsim".to_string())));
+        assert!(get("stream").is_none(), "absent ids are omitted");
+    }
+}

@@ -25,4 +25,13 @@ cargo run --release --offline -p h2priv-bench --bin perfbench -- 2 /tmp/h2priv_p
 echo "== parallel executor smoke (--jobs 2)"
 cargo run --release --offline -p h2priv-bench --bin table1_jitter -- 2 --jobs 2 >/dev/null
 
+echo "== trace smoke (--trace jsonl parses and is byte-identical across --jobs)"
+cargo run --release --offline -p h2priv-bench --bin table1_jitter -- 2 --jobs 1 \
+    --trace /tmp/h2priv_trace_j1.jsonl >/dev/null 2>&1
+cargo run --release --offline -p h2priv-bench --bin table1_jitter -- 2 --jobs 2 \
+    --trace /tmp/h2priv_trace_j2.jsonl >/dev/null 2>&1
+test -s /tmp/h2priv_trace_j1.jsonl
+cmp /tmp/h2priv_trace_j1.jsonl /tmp/h2priv_trace_j2.jsonl
+cargo run --release --offline -p h2priv-bench --bin trace_check -- /tmp/h2priv_trace_j1.jsonl
+
 echo "verify: OK"
