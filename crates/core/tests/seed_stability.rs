@@ -6,7 +6,7 @@
 //! silently invalidate the published numbers fails here first.
 
 use h2priv_core::attack::AttackConfig;
-use h2priv_core::experiment::run_isidewith_trial;
+use h2priv_core::experiment::{run_isidewith_h3_trial, run_isidewith_trial};
 use h2priv_core::experiments::robustness_sweep;
 use h2priv_web::Party;
 
@@ -82,6 +82,34 @@ fn pinned_robustness_sweep_seeds_are_stable() {
         (2, 0, 0)
     );
     assert_eq!(impaired.retries_used, 1);
+}
+
+/// Pins the exact total event count of every perfbench scenario over the
+/// same 100 seeds (`91_000..91_100`) the committed `BENCH_simperf.json`
+/// baseline reports. The event-core overhaul (timer-wheel scheduler,
+/// slab events) is required to be a drop-in replacement: any change to
+/// event push order, timer semantics, or the shared world-RNG interleave
+/// shifts these totals long before a figure or golden fixture notices.
+#[test]
+fn pinned_perfbench_scenario_event_totals_are_stable() {
+    let totals = |run: &dyn Fn(u64) -> u64| (91_000u64..91_100).map(run).sum::<u64>();
+
+    let h2_baseline = totals(&|s| run_isidewith_trial(s, None).result.sim_events);
+    assert_eq!(h2_baseline, 796_330, "h2_baseline events_total");
+
+    let h2_full_attack = totals(&|s| {
+        run_isidewith_trial(s, Some(AttackConfig::full_attack()))
+            .result
+            .sim_events
+    });
+    assert_eq!(h2_full_attack, 1_214_110, "h2_full_attack events_total");
+
+    let h3_full_attack = totals(&|s| {
+        run_isidewith_h3_trial(s, Some(AttackConfig::full_attack()))
+            .result
+            .sim_events
+    });
+    assert_eq!(h3_full_attack, 387_693, "h3_full_attack events_total");
 }
 
 #[test]

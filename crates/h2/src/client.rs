@@ -25,8 +25,8 @@ use h2priv_netsim::packet::{FlowId, Packet};
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_tcp::{TcpConnection, TcpStats};
 use h2priv_tls::{ContentType, OpenedRecord, RecordTag, TrafficClass, WireMap};
+use h2priv_util::fxhash::FxHashMap;
 use h2priv_web::{ObjectId, Site, Trigger};
-use std::collections::HashMap;
 
 use crate::server::{CLIENT_PORT, SERVER_PORT};
 
@@ -131,8 +131,8 @@ pub struct ClientNode {
     step_scheduled: Vec<bool>,
     objects: Vec<ObjState>,
     requests: Vec<RequestRecord>,
-    stream_map: HashMap<StreamId, usize>,
-    timers: HashMap<TimerId, TimerPurpose>,
+    stream_map: FxHashMap<StreamId, usize>,
+    timers: FxHashMap<TimerId, TimerPurpose>,
     consumed_since_update: u64,
     h2_rerequests: u64,
     resets_sent: u64,
@@ -163,8 +163,8 @@ impl ClientNode {
             step_scheduled: vec![false; n_steps],
             objects: vec![ObjState::default(); n_objects],
             requests: Vec::new(),
-            stream_map: HashMap::new(),
-            timers: HashMap::new(),
+            stream_map: FxHashMap::default(),
+            timers: FxHashMap::default(),
             consumed_since_update: 0,
             h2_rerequests: 0,
             resets_sent: 0,

@@ -5,8 +5,9 @@
 use crate::frame::Frame;
 use crate::stream::StreamId;
 use h2priv_tls::RecordTag;
+use h2priv_util::fxhash::FxHashMap;
 use h2priv_util::telemetry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// RFC 7540 initial connection flow-control window.
 pub const INITIAL_CONNECTION_WINDOW: u64 = 65_535;
@@ -29,9 +30,13 @@ pub struct QueuedFrame {
 /// stream (paper Section IV-D).
 #[derive(Debug, Default)]
 pub struct OutputScheduler {
-    queues: HashMap<StreamId, VecDeque<QueuedFrame>>,
+    queues: FxHashMap<StreamId, VecDeque<QueuedFrame>>,
     /// Round-robin rotation of streams with queued frames.
     rotation: VecDeque<StreamId>,
+    /// Running total of queued DATA payload bytes, maintained on
+    /// enqueue/pop/clear so the send watermark check is O(1) — it runs
+    /// on every packet and timer dispatch.
+    queued_data: u64,
 }
 
 impl OutputScheduler {
@@ -43,6 +48,9 @@ impl OutputScheduler {
     /// Queues `frame` on its stream.
     pub fn enqueue(&mut self, frame: Frame, tag: RecordTag) {
         let stream = frame.stream_id();
+        if let Frame::Data { len, .. } = frame {
+            self.queued_data += len as u64;
+        }
         let q = self.queues.entry(stream).or_default();
         if q.is_empty() && !self.rotation.contains(&stream) {
             self.rotation.push_back(stream);
@@ -61,6 +69,7 @@ impl OutputScheduler {
                 }
             }
         }
+        self.queued_data -= flushed;
         self.rotation.retain(|s| *s != stream);
         flushed
     }
@@ -91,6 +100,9 @@ impl OutputScheduler {
             };
             if eligible {
                 let qf = q.pop_front().expect("non-empty");
+                if let Frame::Data { len, .. } = qf.frame {
+                    self.queued_data -= len as u64;
+                }
                 self.rotation.pop_front();
                 if q.is_empty() {
                     self.queues.remove(&stream);
@@ -124,14 +136,7 @@ impl OutputScheduler {
 
     /// Total queued DATA payload bytes (for tests and watermarks).
     pub fn queued_data_bytes(&self) -> u64 {
-        self.queues
-            .values()
-            .flatten()
-            .map(|qf| match qf.frame {
-                Frame::Data { len, .. } => len as u64,
-                _ => 0,
-            })
-            .sum()
+        self.queued_data
     }
 
     /// Streams currently holding queued frames.

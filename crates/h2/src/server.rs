@@ -25,9 +25,10 @@ use h2priv_netsim::packet::{FlowId, Packet};
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_tcp::{TcpConnection, TcpStats};
 use h2priv_tls::{ContentType, OpenedRecord, RecordTag, TrafficClass, WireMap};
+use h2priv_util::fxhash::FxHashMap;
 use h2priv_util::telemetry;
 use h2priv_web::{ObjectId, Site};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The client's source port in the single-connection model.
 pub const CLIENT_PORT: u16 = 40_000;
@@ -105,9 +106,9 @@ pub struct ServerNode {
     workers: Vec<Worker>,
     serve_log: Vec<ServeRecord>,
     serial_queue: VecDeque<usize>,
-    copies: HashMap<ObjectId, u16>,
+    copies: FxHashMap<ObjectId, u16>,
     push_alloc: StreamIdAllocator,
-    timers: HashMap<TimerId, TimerPurpose>,
+    timers: FxHashMap<TimerId, TimerPurpose>,
     dead: bool,
     min_window_seen: u64,
     window_blocked_events: u64,
@@ -135,9 +136,9 @@ impl ServerNode {
             workers: Vec::new(),
             serve_log: Vec::new(),
             serial_queue: VecDeque::new(),
-            copies: HashMap::new(),
+            copies: FxHashMap::default(),
             push_alloc: StreamIdAllocator::server_push(),
-            timers: HashMap::new(),
+            timers: FxHashMap::default(),
             dead: false,
             min_window_seen: u64::MAX,
             window_blocked_events: 0,

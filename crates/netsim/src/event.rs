@@ -4,14 +4,23 @@
 //! monotone counter assigned at scheduling time, so simultaneous events are
 //! dispatched in the order they were scheduled. This tie-break makes the
 //! whole simulation deterministic.
+//!
+//! The queue is backed by the hierarchical timer wheel in [`crate::queue`];
+//! building with the `reference-queue` cargo feature swaps in the
+//! `BinaryHeap`-backed reference implementation instead, which is how the
+//! verify gate proves both schedulers produce byte-identical results.
 
 use crate::faults;
 use crate::link::LinkId;
 use crate::node::{NodeId, TimerId};
 use crate::packet::Packet;
+use crate::queue::{Handle, Queue};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+
+#[cfg(not(feature = "reference-queue"))]
+type Inner = crate::queue::TimerWheel<EventKind>;
+#[cfg(feature = "reference-queue")]
+type Inner = crate::queue::ReferenceQueue<EventKind>;
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -35,72 +44,84 @@ pub(crate) enum EventKind {
 #[derive(Debug)]
 pub(crate) struct ScheduledEvent {
     pub time: SimTime,
+    #[allow(dead_code)] // kept for tests asserting the tie-break order
     pub seq: u64,
     pub kind: EventKind,
 }
 
-impl PartialEq for ScheduledEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for ScheduledEvent {}
-
-impl PartialOrd for ScheduledEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for ScheduledEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// A min-ordered queue of scheduled events.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
-    next_seq: u64,
+    inner: Inner,
 }
 
 impl EventQueue {
-    /// A queue whose heap storage is preallocated for `cap` events, so
+    /// A queue whose slab storage is preallocated for `cap` events, so
     /// the steady-state event population never reallocates mid-run.
     pub fn with_capacity(cap: usize) -> EventQueue {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
+            inner: Inner::with_capacity(cap),
         }
     }
 
     /// Schedules `kind` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, kind });
+        self.inner.push(time, kind);
+    }
+
+    /// Schedules a `NodeTimer` event for `node` at `time`; the returned
+    /// [`TimerId`] wraps the slab handle, so it can later be cancelled in
+    /// O(1) via [`EventQueue::cancel`].
+    pub fn push_timer(&mut self, time: SimTime, node: NodeId) -> TimerId {
+        let handle = self.inner.push_with(time, |handle| EventKind::NodeTimer {
+            node,
+            timer: TimerId(handle.raw()),
+        });
+        TimerId(handle.raw())
+    }
+
+    /// Cancels a pending timer event. Stale ids (already fired or already
+    /// cancelled) are a no-op; returns whether a live event was removed.
+    pub fn cancel(&mut self, timer: TimerId) -> bool {
+        self.inner.cancel(Handle::from_raw(timer.0)).is_some()
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        self.inner.pop().map(|p| ScheduledEvent {
+            time: p.time,
+            seq: p.seq,
+            kind: p.payload,
+        })
     }
 
     /// The time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.inner.peek_time()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.inner.len()
+    }
+
+    /// Number of cancelled events still occupying queue storage (always 0
+    /// for the timer wheel; the reference queue counts heap tombstones).
+    pub fn dead(&self) -> usize {
+        self.inner.dead()
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.inner.is_empty()
+    }
+}
+
+impl core::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -164,5 +185,22 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn timer_events_cancel_exactly_once() {
+        let mut q = EventQueue::default();
+        let a = q.push_timer(SimTime::from_millis(1), NodeId(0));
+        let b = q.push_timer(SimTime::from_millis(2), NodeId(0));
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        let fired = q.pop().expect("b still pending");
+        match fired.kind {
+            EventKind::NodeTimer { timer, .. } => assert_eq!(timer, b),
+            _ => unreachable!(),
+        }
+        assert!(!q.cancel(b), "cancel after fire is a no-op");
+        assert!(q.is_empty());
     }
 }

@@ -15,9 +15,12 @@
 //! * **Virtual time.** [`time::SimTime`] is a nanosecond counter; nothing in
 //!   the simulation reads the wall clock, so every run is exactly
 //!   reproducible from its RNG seed.
-//! * **Event queue.** A binary heap of scheduled events ordered by
-//!   `(time, sequence)`; ties are broken by insertion order so iteration is
-//!   deterministic.
+//! * **Event queue.** A hierarchical timer wheel ([`queue`]) of scheduled
+//!   events ordered by `(time, sequence)`; ties are broken by insertion
+//!   order so iteration is deterministic. Events are slab-allocated with
+//!   generation-tagged handles, so timer cancellation is an O(1) unlink.
+//!   A `BinaryHeap`-backed reference queue (cargo feature
+//!   `reference-queue`) serves as the differential oracle.
 //! * **Nodes and links.** [`node::Node`]s exchange [`packet::Packet`]s over
 //!   unidirectional [`link::Link`]s that model serialization delay
 //!   (bandwidth), propagation delay, a drop-tail queue, and random loss.
@@ -64,6 +67,7 @@ pub mod link;
 pub mod middlebox;
 pub mod node;
 pub mod packet;
+pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod stats;

@@ -7,7 +7,6 @@
 //! keeps the borrow structure simple and the simulation deterministic.
 
 use crate::capture::{CaptureEvent, CapturePoint};
-use crate::event::EventKind;
 use crate::link::LinkId;
 use crate::packet::{Packet, PacketId};
 use crate::rng::SimRng;
@@ -35,6 +34,11 @@ impl fmt::Display for NodeId {
 
 /// Identifies a scheduled timer; returned by [`Ctx::schedule`] and passed
 /// back to [`Node::on_timer`] when it fires.
+///
+/// Internally this is a generation-tagged slab handle into the event
+/// queue, which is what makes [`Ctx::cancel`] an O(1) removal instead of
+/// a tombstone: a stale id (already fired or already cancelled) simply
+/// fails the generation check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
 
@@ -108,22 +112,14 @@ impl<'a> Ctx<'a> {
     /// Schedules a timer at the absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: SimTime) -> TimerId {
         let at = at.max(self.now);
-        let id = TimerId(self.world.next_timer_id);
-        self.world.next_timer_id += 1;
-        self.world.queue.push(
-            at,
-            EventKind::NodeTimer {
-                node: self.node,
-                timer: id,
-            },
-        );
-        id
+        self.world.queue.push_timer(at, self.node)
     }
 
-    /// Cancels a previously scheduled timer. Cancelling an already-fired or
-    /// unknown timer is a no-op.
+    /// Cancels a previously scheduled timer, removing its event from the
+    /// queue in O(1). Cancelling an already-fired or unknown timer is a
+    /// no-op.
     pub fn cancel(&mut self, timer: TimerId) {
-        self.world.cancelled_timers.insert(timer.0);
+        self.world.queue.cancel(timer);
     }
 
     /// The link carrying traffic in the opposite direction of `link`, if

@@ -14,7 +14,6 @@ use crate::time::SimTime;
 use h2priv_util::telemetry;
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::rc::Rc;
 
 /// Everything a node can reach through its [`Ctx`]: links, event queue,
@@ -24,8 +23,6 @@ pub(crate) struct World {
     pub queue: EventQueue,
     pub links: Links,
     pub rng: SimRng,
-    pub cancelled_timers: HashSet<u64>,
-    pub next_timer_id: u64,
     pub next_packet_id: u64,
     pub stats: SimStats,
     pub sink: Option<Rc<RefCell<dyn CaptureSink>>>,
@@ -178,8 +175,6 @@ impl Simulator {
                 queue: EventQueue::with_capacity(EVENT_QUEUE_CAPACITY),
                 links: Links::new(),
                 rng: SimRng::new(seed),
-                cancelled_timers: HashSet::new(),
-                next_timer_id: 0,
                 next_packet_id: 0,
                 stats: SimStats::default(),
                 sink: None,
@@ -320,9 +315,8 @@ impl Simulator {
         self.world.stats.events += 1;
         match ev.kind {
             EventKind::NodeTimer { node, timer } => {
-                if self.world.cancelled_timers.remove(&timer.0) {
-                    return true;
-                }
+                // Cancelled timers were unlinked from the queue eagerly,
+                // so every timer event that surfaces here is live.
                 self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
             }
             EventKind::LinkTxComplete { link } => {
@@ -393,6 +387,13 @@ impl Simulator {
     /// Number of pending events (for tests).
     pub fn pending_events(&self) -> usize {
         self.world.queue.len()
+    }
+
+    /// Number of cancelled events still occupying queue storage. The
+    /// timer wheel unlinks cancelled timers eagerly so this is always 0;
+    /// under the `reference-queue` feature it counts heap tombstones.
+    pub fn pending_dead_events(&self) -> usize {
+        self.world.queue.dead()
     }
 }
 

@@ -56,9 +56,16 @@ impl Bandwidth {
 
     /// The time needed to serialize `bytes` bytes onto the wire at this rate.
     pub fn transmit_time(self, bytes: u32) -> SimDuration {
-        // nanos = bytes * 8 * 1e9 / bps; compute in u128 to avoid overflow.
-        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.0 as u128;
-        SimDuration::from_nanos(nanos as u64)
+        // nanos = bytes * 8 * 1e9 / bps. Every real frame keeps the
+        // numerator inside u64 (bytes < 2^31), which avoids the u128
+        // software-division intrinsic on the per-packet hot path; the
+        // u128 fallback only exists for pathological sizes and produces
+        // the same quotient.
+        let nanos = match (bytes as u64).checked_mul(8_000_000_000) {
+            Some(num) => num / self.0,
+            None => ((bytes as u128 * 8 * 1_000_000_000) / self.0 as u128) as u64,
+        };
+        SimDuration::from_nanos(nanos)
     }
 
     /// The bandwidth-delay product for a given round-trip delay, in bytes.

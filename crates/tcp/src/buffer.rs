@@ -52,21 +52,31 @@ impl SendBuffer {
         );
         let mut skip = (offset - self.base) as usize;
         let want = max.min((self.end_offset() - offset) as usize);
-        let mut out = BytesMut::with_capacity(want);
-        for chunk in &self.chunks {
+        let mut chunks = self.chunks.iter();
+        // Fast path: the whole range lies inside one chunk — return a
+        // zero-copy slice sharing that chunk's allocation. Segment-sized
+        // reads out of record-sized chunks hit this almost always.
+        for chunk in chunks.by_ref() {
             if skip >= chunk.len() {
                 skip -= chunk.len();
                 continue;
             }
-            let avail = &chunk[skip..];
-            skip = 0;
-            let take = avail.len().min(want - out.len());
-            out.extend_from_slice(&avail[..take]);
-            if out.len() == want {
-                break;
+            if chunk.len() - skip >= want {
+                return chunk.slice(skip..skip + want);
             }
+            // Range spans a chunk boundary: assemble a copy.
+            let mut out = BytesMut::with_capacity(want);
+            out.extend_from_slice(&chunk[skip..]);
+            for chunk in chunks {
+                let take = chunk.len().min(want - out.len());
+                out.extend_from_slice(&chunk[..take]);
+                if out.len() == want {
+                    break;
+                }
+            }
+            return out.freeze();
         }
-        out.freeze()
+        unreachable!("read range verified against end_offset");
     }
 
     /// Discards all bytes below absolute offset `upto` (clamped to the

@@ -91,9 +91,17 @@ pub struct OpenedRecord {
 }
 
 /// Decrypt-direction half: wire bytes in, records out.
+///
+/// The stream buffer is head-indexed: consuming a record advances a
+/// cursor instead of shifting the tail down, so parsing a burst of n
+/// records costs O(n) rather than O(n²). The consumed prefix is
+/// reclaimed lazily, only when the live suffix is a small fraction of
+/// the buffer.
 #[derive(Debug, Default)]
 pub struct RecordOpener {
-    buf: BytesMut,
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`.
+    head: usize,
 }
 
 impl RecordOpener {
@@ -104,6 +112,12 @@ impl RecordOpener {
 
     /// Appends received stream bytes.
     pub fn push(&mut self, data: &[u8]) {
+        if self.head == self.buf.len() {
+            // Everything consumed: restart at the front so the buffer
+            // never grows past one burst's worth of bytes.
+            self.buf.clear();
+            self.head = 0;
+        }
         self.buf.extend_from_slice(data);
     }
 
@@ -114,22 +128,23 @@ impl RecordOpener {
     /// shorter than the AEAD tag) — in this simulation that indicates a
     /// bug, not an attack, so failing fast is correct.
     pub fn poll_record(&mut self) -> Option<OpenedRecord> {
-        if self.buf.len() < RECORD_HEADER_LEN {
+        let pending = &self.buf[self.head..];
+        if pending.len() < RECORD_HEADER_LEN {
             return None;
         }
-        let header = RecordHeader::decode(&self.buf[..RECORD_HEADER_LEN])
+        let header = RecordHeader::decode(&pending[..RECORD_HEADER_LEN])
             .expect("corrupt TLS stream: bad record header");
         let body_len = header.length as usize;
         assert!(
             body_len >= AEAD_TAG_LEN,
             "corrupt TLS stream: body shorter than AEAD tag"
         );
-        if self.buf.len() < RECORD_HEADER_LEN + body_len {
+        if pending.len() < RECORD_HEADER_LEN + body_len {
             return None;
         }
-        let mut rec = self.buf.split_to(RECORD_HEADER_LEN + body_len);
-        let _ = rec.split_to(RECORD_HEADER_LEN);
-        let plaintext = rec.split_to(body_len - AEAD_TAG_LEN).freeze();
+        let body = &pending[RECORD_HEADER_LEN..RECORD_HEADER_LEN + body_len - AEAD_TAG_LEN];
+        let plaintext = Bytes::copy_from_slice(body);
+        self.head += RECORD_HEADER_LEN + body_len;
         Some(OpenedRecord {
             content_type: header.content_type,
             plaintext,
@@ -138,7 +153,7 @@ impl RecordOpener {
 
     /// Bytes buffered but not yet forming a complete record.
     pub fn pending_bytes(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.head
     }
 }
 

@@ -9,9 +9,14 @@ use std::sync::Arc;
 
 /// The backing storage of a [`Bytes`]: either a shared heap allocation
 /// or a borrowed `'static` slice (no allocation, no copy).
+///
+/// `Shared` wraps `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// `Bytes::from(vec)` / `BytesMut::freeze` adopt the vector's existing
+/// allocation instead of copying it into a fresh slice allocation —
+/// freezing is the hottest constructor on the simulator's packet path.
 #[derive(Clone)]
 enum Repr {
-    Shared(Arc<[u8]>),
+    Shared(Arc<Vec<u8>>),
     Static(&'static [u8]),
 }
 
@@ -115,7 +120,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Repr::Shared(v.into()),
+            data: Repr::Shared(Arc::new(v)),
             start: 0,
             end,
         }
@@ -374,6 +379,21 @@ mod tests {
             s.as_ref().as_ptr(),
             DATA.as_ptr().wrapping_add(1)
         ));
+    }
+
+    #[test]
+    fn freeze_adopts_the_vec_allocation() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"payload bytes");
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        // Zero-copy: the frozen buffer points at the Vec's storage.
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), p));
+        let mut m = BytesMut::with_capacity(32);
+        m.put_slice(b"abc");
+        let p = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), p));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! A fast, non-cryptographic hasher for hot-path maps keyed by small
+//! integers (timer handles, stream ids).
+//!
+//! `std`'s default SipHash is DoS-resistant but costs tens of
+//! nanoseconds per lookup; the simulator's inner loop does several map
+//! operations per event on keys an attacker cannot choose, so a
+//! multiply-rotate hash (the `FxHash` scheme used by rustc and Firefox)
+//! is safe and markedly faster.
+//!
+//! Determinism note: hash values depend only on the key bytes — no
+//! per-process random seed — so map *iteration* order is stable across
+//! runs. Hot-path users must still never let iteration order become
+//! observable (sort first), because the order changes whenever the
+//! hasher or capacity schedule does.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher over the key's bytes.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth's multiplicative constant (2^64 / golden ratio, odd).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (word, tail) = rest.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips_integer_keys() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for k in 0..1_000u64 {
+            m.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k as u32);
+        }
+        assert_eq!(m.len(), 1_000);
+        for k in 0..1_000u64 {
+            assert_eq!(
+                m.remove(&k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                Some(k as u32)
+            );
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_hasher_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello world, longer than 8");
+        let mut d = FxHasher::default();
+        d.write(b"hello world, longer than 8");
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn nearby_integers_spread() {
+        // Consecutive keys must not collapse onto consecutive buckets'
+        // low bits (the failure mode of an identity hash).
+        let hashes: Vec<u64> = (0..16u64)
+            .map(|k| {
+                let mut h = FxHasher::default();
+                h.write_u64(k);
+                h.finish()
+            })
+            .collect();
+        let distinct_high: FxHashSet<u64> = hashes.iter().map(|h| h >> 32).collect();
+        assert_eq!(distinct_high.len(), 16, "high bits must differ");
+    }
+}

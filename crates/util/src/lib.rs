@@ -26,6 +26,7 @@
 
 pub mod bytes;
 pub mod check;
+pub mod fxhash;
 pub mod json;
 pub mod pool;
 pub mod rng;

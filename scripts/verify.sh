@@ -19,8 +19,32 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "== cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+echo "== event core: differential oracle suite (wheel vs reference heap)"
+cargo test -q --offline -p h2priv-netsim --test queue_differential
+
+echo "== event core: full suite under the reference BinaryHeap queue"
+# The timer wheel must be a drop-in replacement: every pinned outcome
+# (seed stability, events_total, golden fixtures) has to pass untouched
+# with the oracle queue swapped in.
+cargo test -q --offline --features h2priv-netsim/reference-queue
+
+echo "== event core: cancel/rearm leaves no tombstones"
+cargo test -q --offline -p h2priv-netsim --test cancel_rearm
+cargo test -q --offline -p h2priv-tcp --test rto_restart
+cargo test -q --offline -p h2priv-quic --test pto_rearm
+
 echo "== perfbench smoke (tiny trial budget, throwaway output)"
-cargo run --release --offline -p h2priv-bench --bin perfbench -- 2 /tmp/h2priv_perf_smoke.json >/dev/null
+PERFBENCH_REPS=1 cargo run --release --offline -p h2priv-bench --bin perfbench -- 2 /tmp/h2priv_perf_smoke.json >/dev/null
+
+echo "== perfbench events/sec floor (warn-only)"
+# Regenerating BENCH_simperf.json on wildly different hosts is expected;
+# this only warns when the committed h2_baseline jobs=1 throughput drops
+# below the floor recorded at the time of the event-core overhaul.
+FLOOR_EVS=2600000
+COMMITTED_EVS=$(sed -n 's/.*"events_per_sec": \([0-9]*\)\..*/\1/p' BENCH_simperf.json | head -1)
+if [ -n "$COMMITTED_EVS" ] && [ "$COMMITTED_EVS" -lt "$FLOOR_EVS" ]; then
+    echo "WARN: committed h2_baseline events/sec ($COMMITTED_EVS) is below the $FLOOR_EVS floor" >&2
+fi
 
 echo "== parallel executor smoke (--jobs 2)"
 cargo run --release --offline -p h2priv-bench --bin table1_jitter -- 2 --jobs 2 >/dev/null
