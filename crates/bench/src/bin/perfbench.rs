@@ -14,7 +14,7 @@
 //! cargo run --release -p h2priv-bench --bin perfbench -- [trials=100] [out-path] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{obs, odetail, trials_arg};
+use h2priv_bench::{obs, odetail, out, trials_arg};
 use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::{run_isidewith_h3_trial, run_isidewith_trial};
 use h2priv_core::report::to_json;
@@ -176,9 +176,9 @@ fn main() {
         rows,
     };
     let json = to_json(&report) + "\n";
-    std::fs::write(&out_path, &json).expect("write perf report");
+    out::write_result_file(&out_path, &json);
     odetail!("wrote {out_path}");
-    print!("{json}");
+    out::stdout_str(&json);
     obs::finish(&o);
 }
 

@@ -8,18 +8,20 @@
 //! cargo run --release -p h2priv-bench --bin robustness_sweep -- [trials=50] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
-use h2priv_core::experiments::robustness_sweep;
-use h2priv_core::report::{pct, pct_opt, render_table, to_json};
-
-const INTENSITIES: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, out, shard, trials_arg};
+use h2priv_core::campaign::robustness_report;
+use h2priv_core::experiments::{robustness_sweep, ROBUSTNESS_INTENSITIES};
+use h2priv_core::report::{pct, pct_opt, render_table};
 
 fn main() {
+    if shard::maybe_worker("robustness_sweep", 50) {
+        return;
+    }
     let o = obs::init();
     let trials = trials_arg(50);
     let jobs = jobs_arg();
     odetail!("robustness sweep: {trials} attacked downloads per intensity...");
-    let rows = robustness_sweep(trials, 81_000, &INTENSITIES, jobs);
+    let rows = robustness_sweep(trials, 81_000, &ROBUSTNESS_INTENSITIES, jobs);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -60,13 +62,13 @@ fn main() {
     oinfo!("impairment and decay gracefully — every degraded trial is classified,");
     oinfo!("never silently folded into a success percentage.");
 
-    let json: String = rows.iter().map(|r| to_json(r) + "\n").collect();
+    let json = robustness_report(&rows);
     let out_path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/robustness_sweep.json"
     );
-    std::fs::write(out_path, &json).expect("write robustness_sweep.json");
+    out::write_result_file(out_path, &json);
     odetail!("wrote {out_path}");
-    eprint!("{json}");
+    out::stderr_str(&json);
     obs::finish(&o);
 }

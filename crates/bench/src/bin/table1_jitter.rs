@@ -5,11 +5,14 @@
 //! cargo run --release -p h2priv-bench --bin table1_jitter -- [trials=100] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, shard, trials_arg};
 use h2priv_core::experiments::table1;
 use h2priv_core::report::{pct, render_table, to_json};
 
 fn main() {
+    if shard::maybe_worker("table1", 100) {
+        return;
+    }
     let o = obs::init();
     let trials = trials_arg(100);
     let jobs = jobs_arg();

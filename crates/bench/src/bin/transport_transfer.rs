@@ -7,7 +7,7 @@
 //! cargo run --release -p h2priv-bench --bin transport_transfer -- [trials=30] [--jobs N] [--trace out.jsonl] [--metrics]
 //! ```
 
-use h2priv_bench::{jobs_arg, obs, odetail, oinfo, trials_arg};
+use h2priv_bench::{jobs_arg, obs, odetail, oinfo, out, trials_arg};
 use h2priv_core::experiments::transport_transfer;
 use h2priv_core::report::{pct, render_table, to_json};
 
@@ -58,8 +58,8 @@ fn main() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/h3_transfer.json"
     );
-    std::fs::write(out_path, &json).expect("write h3_transfer.json");
+    out::write_result_file(out_path, &json);
     odetail!("wrote {out_path}");
-    eprint!("{json}");
+    out::stderr_str(&json);
     obs::finish(&o);
 }

@@ -4,6 +4,8 @@
 
 pub mod obs;
 pub mod oplog;
+pub mod out;
+pub mod shard;
 pub mod timing;
 
 /// Prints an operator-facing info line through the leveled sink
@@ -64,10 +66,34 @@ pub fn count_arg(position: usize, name: &str, default: u64, usage_tail: &str) ->
     }
 }
 
-/// The command line with every flag removed — `--jobs N`/`--jobs=N`,
-/// `--trace FILE`/`--trace=FILE`, `--metrics` and `--quiet` — so
-/// positional parsing ([`count_arg`]) and the flags compose in any
-/// order.
+/// Flags that take a value (`--flag V` / `--flag=V`), shared by
+/// positional stripping and flag lookup so the two can never disagree.
+const VALUE_FLAGS: &[&str] = &[
+    "--jobs",
+    "--trace",
+    "--shards",
+    "--journal",
+    "--out",
+    "--heartbeat-ms",
+    "--max-respawns",
+    "--inject-kill",
+    "--inject-stall",
+    "--cells",
+];
+
+/// Flags that are bare booleans.
+const BOOL_FLAGS: &[&str] = &[
+    "--metrics",
+    "--quiet",
+    "--resume",
+    "--fail-on-crash",
+    "--shard-worker",
+];
+
+/// The command line with every flag removed — value flags (`--jobs N`,
+/// `--trace FILE`, the campaign runner's `--shards`/`--journal`/…) and
+/// boolean flags (`--metrics`, `--quiet`, `--resume`, …) — so positional
+/// parsing ([`count_arg`]) and the flags compose in any order.
 fn positional_args() -> Vec<String> {
     let args: Vec<String> = std::env::args().collect();
     let mut out = Vec::with_capacity(args.len());
@@ -77,19 +103,63 @@ fn positional_args() -> Vec<String> {
             skip_next = false;
             continue;
         }
-        if a == "--jobs" || a == "--trace" {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             skip_next = true;
             continue;
         }
-        if a.starts_with("--jobs=") || a.starts_with("--trace=") {
+        if VALUE_FLAGS
+            .iter()
+            .any(|f| a.len() > f.len() && a.starts_with(f) && a.as_bytes()[f.len()] == b'=')
+        {
             continue;
         }
-        if a == "--metrics" || a == "--quiet" {
+        if BOOL_FLAGS.contains(&a.as_str()) {
             continue;
         }
         out.push(a);
     }
     out
+}
+
+/// The value of a `--name V` / `--name=V` flag, when present. `name`
+/// must be listed in the crate's value-flag table so positional
+/// stripping agrees with it.
+pub fn flag_value(name: &str) -> Option<String> {
+    flag_values(name).into_iter().next()
+}
+
+/// Every occurrence of a repeatable `--name V` / `--name=V` flag, in
+/// command-line order.
+pub fn flag_values(name: &str) -> Vec<String> {
+    debug_assert!(VALUE_FLAGS.contains(&name), "unregistered flag {name}");
+    let args: Vec<String> = std::env::args().collect();
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            out.push(args.get(i + 1).cloned().unwrap_or_default());
+        } else if a.len() > name.len() && a.starts_with(name) && a.as_bytes()[name.len()] == b'=' {
+            out.push(a[name.len() + 1..].to_string());
+        }
+    }
+    out
+}
+
+/// True when a boolean `--name` flag is on the command line.
+pub fn flag_present(name: &str) -> bool {
+    debug_assert!(BOOL_FLAGS.contains(&name), "unregistered flag {name}");
+    std::env::args().any(|a| a == name)
+}
+
+/// Parses a numeric flag value, with a default when absent. Malformed
+/// input prints usage and exits with status 2, like [`count_arg`].
+pub fn flag_u64(name: &str, default: u64) -> u64 {
+    match flag_value(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            oerror!("error: invalid {name} {v:?} (expected a non-negative integer)");
+            std::process::exit(2);
+        }),
+    }
 }
 
 /// Parses the first CLI argument as a trial count, with a default.

@@ -46,13 +46,15 @@ pub fn max_level() -> Level {
 }
 
 /// Writes one line through the sink, if `level` passes the threshold.
+/// Delivery goes through [`crate::out`], so a broken pipe or failed
+/// write is a clean nonzero exit, never a panic.
 pub fn log(level: Level, line: &str) {
     if (level as u8) > MAX_LEVEL.load(Ordering::Relaxed) {
         return;
     }
     match level {
-        Level::Info => println!("{line}"),
-        Level::Warn | Level::Error | Level::Detail => eprintln!("{line}"),
+        Level::Info => crate::out::stdout_line(line),
+        Level::Warn | Level::Error | Level::Detail => crate::out::stderr_line(line),
     }
 }
 

@@ -1,0 +1,197 @@
+//! Resume-identity regression for the sharded campaign runner: whatever
+//! happens to a campaign — run at any shard count, killed at any batch
+//! boundary and resumed — the journal and the folded report must come
+//! out **byte-identical** to an uninterrupted single-shard run. This is
+//! the process-level extension of `parallel_identity.rs`: scheduling
+//! (and now crashing) is invisible in the results.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const TRIALS: &str = "2";
+/// A robustness_sweep campaign with 2 trials has 6 batches of 2 cells;
+/// these are the first cells of each batch (the batch boundaries).
+const BATCH_BOUNDARIES: [u64; 6] = [0, 2, 4, 6, 8, 10];
+
+fn temp_base(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("h2priv_resume_{}_{tag}_{n}", std::process::id()))
+}
+
+struct CampaignRun {
+    status: std::process::ExitStatus,
+    stderr: String,
+}
+
+fn campaign(journal: &PathBuf, out: &PathBuf, extra: &[&str]) -> CampaignRun {
+    let output = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .arg("robustness_sweep")
+        .arg(TRIALS)
+        .arg("--journal")
+        .arg(journal)
+        .arg("--out")
+        .arg(out)
+        .arg("--quiet")
+        .args(extra)
+        .output()
+        .expect("campaign binary runs");
+    CampaignRun {
+        status: output.status,
+        stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+    }
+}
+
+fn read(path: &PathBuf) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn cleanup(paths: &[&PathBuf]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// The uninterrupted single-shard journal and report bytes.
+fn baseline() -> (Vec<u8>, Vec<u8>) {
+    let journal = temp_base("baseline").with_extension("jsonl");
+    let out = temp_base("baseline").with_extension("json");
+    let run = campaign(&journal, &out, &["--shards", "1"]);
+    assert!(run.status.success(), "baseline failed: {}", run.stderr);
+    let bytes = (read(&journal), read(&out));
+    cleanup(&[&journal, &out]);
+    bytes
+}
+
+#[test]
+fn journal_and_report_are_byte_identical_across_shard_counts() {
+    let (ref_journal, ref_report) = baseline();
+    for shards in ["1", "2", "4"] {
+        let journal = temp_base("shards").with_extension("jsonl");
+        let out = temp_base("shards").with_extension("json");
+        let run = campaign(&journal, &out, &["--shards", shards]);
+        assert!(run.status.success(), "shards={shards}: {}", run.stderr);
+        assert_eq!(
+            read(&journal),
+            ref_journal,
+            "journal differs at {shards} shard(s)"
+        );
+        assert_eq!(
+            read(&out),
+            ref_report,
+            "report differs at {shards} shard(s)"
+        );
+        cleanup(&[&journal, &out]);
+    }
+}
+
+#[test]
+fn kill_at_every_batch_boundary_then_resume_is_byte_identical() {
+    let (ref_journal, ref_report) = baseline();
+    for boundary in BATCH_BOUNDARIES {
+        let journal = temp_base("kill").with_extension("jsonl");
+        let out = temp_base("kill").with_extension("json");
+        let kill = format!("trial={boundary}");
+        let interrupted = campaign(
+            &journal,
+            &out,
+            &["--shards", "2", "--fail-on-crash", "--inject-kill", &kill],
+        );
+        assert!(
+            !interrupted.status.success(),
+            "kill at cell {boundary} should abort the campaign"
+        );
+        assert!(
+            interrupted.stderr.contains("fail-on-crash"),
+            "cell {boundary}: {}",
+            interrupted.stderr
+        );
+        // The journal must already be a valid prefix: strictly the
+        // header plus cells [0, k) for some k <= boundary's position.
+        let prefix = read(&journal);
+        assert!(
+            ref_journal.starts_with(&prefix),
+            "cell {boundary}: interrupted journal is not a prefix of the reference"
+        );
+
+        let resumed = campaign(&journal, &out, &["--shards", "2", "--resume"]);
+        assert!(
+            resumed.status.success(),
+            "resume after kill at {boundary}: {}",
+            resumed.stderr
+        );
+        assert_eq!(
+            read(&journal),
+            ref_journal,
+            "journal differs after kill at cell {boundary} + resume"
+        );
+        assert_eq!(
+            read(&out),
+            ref_report,
+            "report differs after kill at cell {boundary} + resume"
+        );
+        cleanup(&[&journal, &out]);
+    }
+}
+
+#[test]
+fn resume_recovers_a_torn_final_journal_line() {
+    let (ref_journal, ref_report) = baseline();
+    let journal = temp_base("torn").with_extension("jsonl");
+    let out = temp_base("torn").with_extension("json");
+    let run = campaign(
+        &journal,
+        &out,
+        &[
+            "--shards",
+            "1",
+            "--fail-on-crash",
+            "--inject-kill",
+            "trial=9",
+        ],
+    );
+    assert!(!run.status.success());
+    // Simulate the crash happening mid-append: tear the last line.
+    let mut bytes = read(&journal);
+    bytes.truncate(bytes.len() - 37);
+    assert!(
+        bytes.last() != Some(&b'\n'),
+        "tear must land mid-line for this test"
+    );
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let resumed = campaign(&journal, &out, &["--shards", "2", "--resume"]);
+    assert!(resumed.status.success(), "{}", resumed.stderr);
+    assert!(
+        resumed.stderr.contains("partial final line"),
+        "tail drop should be reported: {}",
+        resumed.stderr
+    );
+    assert_eq!(read(&journal), ref_journal);
+    assert_eq!(read(&out), ref_report);
+    cleanup(&[&journal, &out]);
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_campaign() {
+    let journal = temp_base("mismatch").with_extension("jsonl");
+    let out = temp_base("mismatch").with_extension("json");
+    let run = campaign(&journal, &out, &["--shards", "1"]);
+    assert!(run.status.success(), "{}", run.stderr);
+
+    // Same journal, different trial budget -> different campaign.
+    let output = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["robustness_sweep", "3", "--journal"])
+        .arg(&journal)
+        .args(["--resume", "--quiet"])
+        .output()
+        .expect("campaign binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("different campaign"),
+        "unexpected error: {stderr}"
+    );
+    cleanup(&[&journal, &out]);
+}

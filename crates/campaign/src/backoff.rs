@@ -1,0 +1,93 @@
+//! Bounded, seed-deterministic exponential respawn backoff.
+//!
+//! A crashed worker is not respawned immediately — a worker that dies on
+//! startup (bad binary, exhausted fd table) would otherwise pin a core
+//! in a spawn loop. The delay doubles per respawn attempt of the slot,
+//! is capped at [`MAX_DELAY_MS`], and carries a small deterministic
+//! jitter derived by hashing `(seed, shard, attempt)` with a
+//! splitmix64-style mixer — no RNG state, so a campaign run with a fixed
+//! backoff seed schedules respawns identically every time (the property
+//! the supervisor policy tests pin).
+
+/// Delay for the first respawn attempt, in milliseconds.
+pub const BASE_DELAY_MS: u64 = 25;
+
+/// Upper bound on any respawn delay, in milliseconds.
+pub const MAX_DELAY_MS: u64 = 2_000;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The respawn delay for `shard`'s `attempt`-th respawn (1-based), in
+/// milliseconds.
+///
+/// Pure in its arguments: exponential base `BASE_DELAY_MS * 2^(attempt-1)`
+/// capped at [`MAX_DELAY_MS`], plus a jitter of at most a quarter of the
+/// base drawn from a hash of `(seed, shard, attempt)`. The total is also
+/// capped at [`MAX_DELAY_MS`].
+pub fn respawn_delay_ms(seed: u64, shard: u64, attempt: u32) -> u64 {
+    let doublings = attempt.saturating_sub(1).min(16);
+    let base = BASE_DELAY_MS
+        .saturating_mul(1u64 << doublings)
+        .min(MAX_DELAY_MS);
+    let mixed =
+        splitmix64(seed ^ shard.wrapping_mul(0x1000_0000_01B3) ^ (u64::from(attempt) << 32));
+    let jitter = mixed % (base / 4).max(1);
+    (base + jitter).min(MAX_DELAY_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_all_arguments() {
+        for attempt in 1..8 {
+            assert_eq!(
+                respawn_delay_ms(42, 3, attempt),
+                respawn_delay_ms(42, 3, attempt)
+            );
+        }
+        // Different seeds and shards draw different jitter for at least
+        // one attempt (the schedules are not all identical).
+        let a: Vec<u64> = (1..8).map(|n| respawn_delay_ms(1, 0, n)).collect();
+        let b: Vec<u64> = (1..8).map(|n| respawn_delay_ms(2, 0, n)).collect();
+        let c: Vec<u64> = (1..8).map(|n| respawn_delay_ms(1, 1, n)).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounded_for_all_attempts() {
+        for shard in 0..4 {
+            for attempt in 1..100 {
+                let d = respawn_delay_ms(7, shard, attempt);
+                assert!(d >= BASE_DELAY_MS, "attempt {attempt}: {d}");
+                assert!(d <= MAX_DELAY_MS, "attempt {attempt}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_nondecreasing_until_the_cap() {
+        // Base doubles while jitter stays under a quarter of the base,
+        // so successive delays never shrink below the cap.
+        for shard in 0..4 {
+            let mut prev = 0;
+            for attempt in 1..12 {
+                let d = respawn_delay_ms(99, shard, attempt);
+                assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+                prev = d.min(MAX_DELAY_MS - MAX_DELAY_MS / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        assert!(respawn_delay_ms(0, 0, u32::MAX) <= MAX_DELAY_MS);
+    }
+}

@@ -1,0 +1,127 @@
+//! A reorder buffer that releases values strictly in index order.
+//!
+//! Workers race: shard 2 can finish cell 40 while shard 1 is still on
+//! cell 3. The journal and the incremental fold both require records in
+//! global cell order, so every record passes through an [`OrderedSink`]
+//! keyed by its cell index. Values at the next expected index drain
+//! immediately (together with any directly following pending run);
+//! everything else waits in a `BTreeMap`. Duplicates — a cell below the
+//! watermark or already pending, which respawned workers can legally
+//! re-emit — are counted and dropped, never released twice.
+
+use std::collections::BTreeMap;
+
+/// Reorder buffer releasing `(index, value)` pairs in strict index order.
+#[derive(Debug)]
+pub struct OrderedSink<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+    duplicates_dropped: u64,
+    max_pending: usize,
+}
+
+impl<T> OrderedSink<T> {
+    /// A sink whose first released index will be `start`.
+    pub fn new(start: u64) -> Self {
+        OrderedSink {
+            next: start,
+            pending: BTreeMap::new(),
+            duplicates_dropped: 0,
+            max_pending: 0,
+        }
+    }
+
+    /// Offers a value; returns the (possibly empty) run of values that
+    /// became releasable, in index order. Duplicate indices are dropped.
+    pub fn push(&mut self, index: u64, value: T) -> Vec<(u64, T)> {
+        if index < self.next || self.pending.contains_key(&index) {
+            self.duplicates_dropped += 1;
+            return Vec::new();
+        }
+        self.pending.insert(index, value);
+        self.max_pending = self.max_pending.max(self.pending.len());
+        let mut released = Vec::new();
+        while let Some(value) = self.pending.remove(&self.next) {
+            released.push((self.next, value));
+            self.next += 1;
+        }
+        released
+    }
+
+    /// The next index that has not been released yet (the watermark).
+    pub fn next_index(&self) -> u64 {
+        self.next
+    }
+
+    /// Number of values currently buffered out of order.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total duplicate offers dropped so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// High-water mark of the pending buffer.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indices(run: &[(u64, &'static str)]) -> Vec<u64> {
+        run.iter().map(|&(i, _)| i).collect()
+    }
+
+    #[test]
+    fn in_order_values_release_immediately() {
+        let mut sink = OrderedSink::new(0);
+        assert_eq!(indices(&sink.push(0, "a")), [0]);
+        assert_eq!(indices(&sink.push(1, "b")), [1]);
+        assert_eq!(sink.next_index(), 2);
+        assert_eq!(sink.pending_len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_values_wait_for_the_gap() {
+        let mut sink = OrderedSink::new(0);
+        assert!(sink.push(2, "c").is_empty());
+        assert!(sink.push(1, "b").is_empty());
+        assert_eq!(sink.pending_len(), 2);
+        // Filling the gap releases the whole contiguous run.
+        assert_eq!(indices(&sink.push(0, "a")), [0, 1, 2]);
+        assert_eq!(sink.next_index(), 3);
+        assert_eq!(sink.max_pending(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_and_counted() {
+        let mut sink = OrderedSink::new(0);
+        sink.push(0, "a");
+        assert!(sink.push(0, "again").is_empty());
+        sink.push(2, "c");
+        assert!(sink.push(2, "again").is_empty());
+        assert_eq!(sink.duplicates_dropped(), 2);
+        assert_eq!(indices(&sink.push(1, "b")), [1, 2]);
+    }
+
+    #[test]
+    fn nonzero_start_acts_as_watermark() {
+        let mut sink = OrderedSink::new(10);
+        assert!(sink.push(9, "stale").is_empty());
+        assert_eq!(sink.duplicates_dropped(), 1);
+        assert_eq!(indices(&sink.push(10, "a")), [10]);
+    }
+
+    #[test]
+    fn released_values_arrive_with_their_index() {
+        let mut sink = OrderedSink::new(0);
+        sink.push(1, "b");
+        let run = sink.push(0, "a");
+        assert_eq!(run, [(0, "a"), (1, "b")]);
+    }
+}

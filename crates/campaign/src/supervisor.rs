@@ -1,0 +1,626 @@
+//! The shard supervisor: spawns worker processes over cell ranges,
+//! enforces heartbeats, respawns crashed workers with bounded backoff,
+//! reassigns ranges of permanently dead shards, and releases records to
+//! the caller strictly in global cell order.
+//!
+//! Topology: `shards` slots, each running at most one child process at a
+//! time over one contiguous cell range. The remaining cell space is
+//! split into one chunk per slot up front; a slot that finishes early
+//! pulls the next queued range (ranges re-enter the queue when their
+//! shard retires). One reader thread per child forwards stdout lines to
+//! the supervisor over a channel, tagged with a per-slot generation
+//! counter so lines from a killed child cannot be attributed to its
+//! replacement.
+//!
+//! Failure policy, in the order checks apply when a worker dies:
+//!
+//! 1. **Poisoned range** — the slot's first missing cell has now crashed
+//!    a worker [`SupervisorConfig::max_cell_attempts`] times; the
+//!    campaign fails with [`SupervisorError::PoisonedRange`] naming the
+//!    unfinished range. Retrying forever would never converge.
+//! 2. **Fail-on-crash** — with [`SupervisorConfig::fail_on_crash`], the
+//!    first crash aborts the campaign ([`SupervisorError::CrashAborted`])
+//!    with the journal prefix intact; the resume tests and the verify
+//!    gate use this to stop a campaign at an exact injected point.
+//! 3. **Retire** — the slot exhausted its respawn budget; its unfinished
+//!    range goes back on the queue for a surviving slot. If every slot
+//!    is retired, [`SupervisorError::AllShardsDead`].
+//! 4. **Respawn** — otherwise the slot restarts its unfinished range
+//!    after a [`backoff`](crate::backoff) delay (non-blocking: other
+//!    slots keep streaming while one waits out its backoff).
+//!
+//! A worker that stops emitting lines for longer than the heartbeat
+//! timeout (e.g. an injected stall) is killed and handled exactly like a
+//! crash.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::backoff::respawn_delay_ms;
+use crate::inject::{InjectKind, InjectSchedule};
+use crate::order::OrderedSink;
+use crate::record::{self, LineBody};
+
+/// How a worker process is launched; the supervisor appends
+/// `--cells A-B` and any `--inject-*` flags per spawn.
+#[derive(Debug, Clone)]
+pub struct WorkerCmd {
+    /// Path to the worker binary.
+    pub program: PathBuf,
+    /// Base arguments common to every spawn.
+    pub args: Vec<String>,
+}
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Number of shard slots (concurrent worker processes).
+    pub shards: usize,
+    /// Kill a worker that has been silent this long.
+    pub heartbeat: Duration,
+    /// Respawns a single slot may consume before it is retired and its
+    /// range is reassigned.
+    pub max_respawns_per_slot: u32,
+    /// Crashes attributable to the same first-missing cell before the
+    /// campaign fails with a poisoned-range error.
+    pub max_cell_attempts: u32,
+    /// Abort the campaign on the first worker crash instead of
+    /// respawning (used to stop exactly at an injected kill).
+    pub fail_on_crash: bool,
+    /// Seed for the deterministic respawn backoff schedule.
+    pub backoff_seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            shards: 1,
+            heartbeat: Duration::from_millis(10_000),
+            max_respawns_per_slot: 3,
+            max_cell_attempts: 3,
+            fail_on_crash: false,
+            backoff_seed: 0,
+        }
+    }
+}
+
+/// Counters describing what a campaign run had to do.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Records released to the caller (cells newly completed).
+    pub cells_run: u64,
+    /// Worker respawns after crashes or stalls.
+    pub respawns: u64,
+    /// Workers killed for missing the heartbeat.
+    pub stall_kills: u64,
+    /// Ranges reassigned from a retired slot to survivors.
+    pub reassigned_ranges: u64,
+    /// Duplicate records dropped by the ordering sink.
+    pub duplicates_dropped: u64,
+    /// High-water mark of the reorder buffer.
+    pub max_pending: usize,
+}
+
+/// Why a campaign run failed.
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// Filesystem/process-management failure.
+    Io(std::io::Error),
+    /// A worker violated the line protocol (bad checksum, out-of-range
+    /// cell, unexpected kind).
+    Protocol {
+        /// Slot the offending worker ran on.
+        shard: usize,
+        /// What it did wrong.
+        message: String,
+    },
+    /// The record sink (journal append / fold) rejected a record.
+    Sink(String),
+    /// Cells `start..end` cannot make progress: the first of them has
+    /// crashed a worker `attempts` times.
+    PoisonedRange {
+        /// First unfinished (and repeatedly crashing) cell.
+        start: u64,
+        /// End of the unfinished range (exclusive).
+        end: u64,
+        /// Crash count attributed to `start`.
+        attempts: u32,
+    },
+    /// Every slot exhausted its respawn budget with work remaining.
+    AllShardsDead {
+        /// Cells still unfinished when the last slot retired.
+        remaining: u64,
+    },
+    /// `fail_on_crash` was set and a worker crashed.
+    CrashAborted {
+        /// Slot whose worker crashed.
+        shard: usize,
+        /// First cell the crashed worker left unfinished.
+        cell: u64,
+    },
+}
+
+impl std::fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisorError::Io(e) => write!(f, "campaign I/O error: {e}"),
+            SupervisorError::Protocol { shard, message } => {
+                write!(f, "protocol violation from shard {shard}: {message}")
+            }
+            SupervisorError::Sink(message) => write!(f, "record sink error: {message}"),
+            SupervisorError::PoisonedRange {
+                start,
+                end,
+                attempts,
+            } => write!(
+                f,
+                "poisoned trial range: cells {start}..{end} cannot complete \
+                 (cell {start} crashed its worker {attempts} times)"
+            ),
+            SupervisorError::AllShardsDead { remaining } => write!(
+                f,
+                "all shards exhausted their respawn budget with {remaining} cells unfinished"
+            ),
+            SupervisorError::CrashAborted { shard, cell } => write!(
+                f,
+                "worker on shard {shard} crashed before cell {cell} (fail-on-crash set)"
+            ),
+        }
+    }
+}
+
+impl From<std::io::Error> for SupervisorError {
+    fn from(e: std::io::Error) -> Self {
+        SupervisorError::Io(e)
+    }
+}
+
+enum Event {
+    Line { slot: usize, gen: u64, line: String },
+    Eof { slot: usize, gen: u64 },
+}
+
+#[derive(Debug, PartialEq)]
+enum SlotState {
+    Idle,
+    Running,
+    Backoff { until: Instant },
+    Retired,
+}
+
+struct Slot {
+    state: SlotState,
+    gen: u64,
+    respawns_used: u32,
+    child: Option<Child>,
+    /// Current assignment `[start, end)`; kept through Backoff.
+    range: Option<(u64, u64)>,
+    /// First cell not yet received from the current worker.
+    next_cell: u64,
+    last_seen: Instant,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            state: SlotState::Idle,
+            gen: 0,
+            respawns_used: 0,
+            child: None,
+            range: None,
+            next_cell: 0,
+            last_seen: Instant::now(),
+        }
+    }
+
+    fn reap(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Splits `[start, end)` into up to `shards` contiguous chunks, longer
+/// chunks first, covering every cell exactly once.
+fn split_ranges(start: u64, end: u64, shards: usize) -> VecDeque<(u64, u64)> {
+    let total = end - start;
+    let shards = (shards as u64).max(1).min(total.max(1));
+    let mut out = VecDeque::new();
+    let mut at = start;
+    for i in 0..shards {
+        let len = total / shards + u64::from(i < total % shards);
+        if len > 0 {
+            out.push_back((at, at + len));
+            at += len;
+        }
+    }
+    out
+}
+
+/// Runs the campaign's remaining cells `[start_cell, total_cells)`
+/// across supervised workers, invoking `on_record(cell, raw_line, body)`
+/// strictly in cell order exactly once per cell.
+///
+/// # Errors
+/// See [`SupervisorError`]; on any error, all live workers are killed
+/// first, and anything already passed to `on_record` remains valid (the
+/// journal keeps its good prefix).
+pub fn run<F>(
+    cfg: &SupervisorConfig,
+    cmd: &WorkerCmd,
+    start_cell: u64,
+    total_cells: u64,
+    inject: &mut InjectSchedule,
+    mut on_record: F,
+) -> Result<RunStats, SupervisorError>
+where
+    F: FnMut(u64, &str, &LineBody) -> Result<(), String>,
+{
+    let mut stats = RunStats::default();
+    if start_cell >= total_cells {
+        return Ok(stats);
+    }
+    let mut slots: Vec<Slot> = (0..cfg.shards.max(1)).map(|_| Slot::new()).collect();
+    let mut queue = split_ranges(start_cell, total_cells, slots.len());
+    let mut sink: OrderedSink<(String, LineBody)> = OrderedSink::new(start_cell);
+    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    let (tx, rx) = mpsc::channel();
+
+    let result = drive(
+        cfg,
+        cmd,
+        total_cells,
+        inject,
+        &mut on_record,
+        &mut stats,
+        &mut slots,
+        &mut queue,
+        &mut sink,
+        &mut attempts,
+        &tx,
+        &rx,
+    );
+    for slot in &mut slots {
+        slot.reap();
+    }
+    stats.duplicates_dropped = sink.duplicates_dropped();
+    stats.max_pending = sink.max_pending();
+    result.map(|()| stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive<F>(
+    cfg: &SupervisorConfig,
+    cmd: &WorkerCmd,
+    total_cells: u64,
+    inject: &mut InjectSchedule,
+    on_record: &mut F,
+    stats: &mut RunStats,
+    slots: &mut [Slot],
+    queue: &mut VecDeque<(u64, u64)>,
+    sink: &mut OrderedSink<(String, LineBody)>,
+    attempts: &mut HashMap<u64, u32>,
+    tx: &mpsc::Sender<Event>,
+    rx: &mpsc::Receiver<Event>,
+) -> Result<(), SupervisorError>
+where
+    F: FnMut(u64, &str, &LineBody) -> Result<(), String>,
+{
+    let tick = Duration::from_millis(10);
+    loop {
+        // Assign work: idle slots pull queued ranges; slots whose
+        // backoff expired restart their own unfinished range.
+        for (s, slot) in slots.iter_mut().enumerate() {
+            let start_own = match slot.state {
+                SlotState::Backoff { until } if Instant::now() >= until => true,
+                SlotState::Idle => {
+                    if let Some(range) = queue.pop_front() {
+                        slot.range = Some(range);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            };
+            if start_own {
+                spawn_worker(cmd, inject, slot, s, tx)?;
+            }
+        }
+
+        if sink.next_index() >= total_cells {
+            return Ok(());
+        }
+
+        // Stuck detector: nothing running, nothing waiting to run, yet
+        // cells remain — a logic error, not a worker failure.
+        let anyone_active = slots
+            .iter()
+            .any(|s| matches!(s.state, SlotState::Running | SlotState::Backoff { .. }));
+        if !anyone_active && queue.is_empty() {
+            return Err(SupervisorError::Protocol {
+                shard: 0,
+                message: format!(
+                    "no active workers but {} cells unfinished",
+                    total_cells - sink.next_index()
+                ),
+            });
+        }
+
+        match rx.recv_timeout(tick) {
+            Ok(Event::Line { slot, gen, line }) => {
+                if gen == slots[slot].gen && slots[slot].state == SlotState::Running {
+                    handle_line(cfg, total_cells, on_record, stats, slots, sink, slot, &line)?;
+                }
+            }
+            Ok(Event::Eof { slot, gen }) => {
+                if gen == slots[slot].gen && slots[slot].state == SlotState::Running {
+                    handle_crash(cfg, total_cells, stats, slots, queue, sink, attempts, slot)?;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("supervisor holds a sender"),
+        }
+
+        // Heartbeat sweep.
+        for s in 0..slots.len() {
+            if slots[s].state == SlotState::Running && slots[s].last_seen.elapsed() > cfg.heartbeat
+            {
+                stats.stall_kills += 1;
+                slots[s].gen += 1; // orphan the reader before killing
+                slots[s].reap();
+                handle_crash(cfg, total_cells, stats, slots, queue, sink, attempts, s)?;
+            }
+        }
+    }
+}
+
+fn spawn_worker(
+    cmd: &WorkerCmd,
+    inject: &mut InjectSchedule,
+    slot: &mut Slot,
+    index: usize,
+    tx: &mpsc::Sender<Event>,
+) -> Result<(), SupervisorError> {
+    let (a, b) = slot.range.expect("spawn_worker needs an assigned range");
+    let mut command = Command::new(&cmd.program);
+    command
+        .args(&cmd.args)
+        .arg("--cells")
+        .arg(format!("{a}-{b}"))
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped());
+    for (kind, cell) in inject.take(index, (a, b)) {
+        let flag = match kind {
+            InjectKind::Kill => "--inject-kill",
+            InjectKind::Stall => "--inject-stall",
+        };
+        command.arg(flag).arg(cell.to_string());
+    }
+    let mut child = command.spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    slot.gen += 1;
+    slot.child = Some(child);
+    slot.next_cell = a;
+    slot.last_seen = Instant::now();
+    slot.state = SlotState::Running;
+
+    let gen = slot.gen;
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            match reader.read_line(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    // A partial final line (no newline) is the residue of
+                    // a crash mid-write; drop it and let Eof report.
+                    if buf.ends_with('\n') {
+                        let line = buf.trim_end_matches('\n').to_string();
+                        if tx
+                            .send(Event::Line {
+                                slot: index,
+                                gen,
+                                line,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = tx.send(Event::Eof { slot: index, gen });
+    });
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_line<F>(
+    cfg: &SupervisorConfig,
+    total_cells: u64,
+    on_record: &mut F,
+    stats: &mut RunStats,
+    slots: &mut [Slot],
+    sink: &mut OrderedSink<(String, LineBody)>,
+    s: usize,
+    line: &str,
+) -> Result<(), SupervisorError>
+where
+    F: FnMut(u64, &str, &LineBody) -> Result<(), String>,
+{
+    let _ = cfg;
+    let protocol = |message: String| SupervisorError::Protocol { shard: s, message };
+    let body = record::parse_line(line).map_err(protocol)?;
+    slots[s].last_seen = Instant::now();
+    let (a, b) = slots[s].range.expect("running slot has a range");
+    match body {
+        LineBody::Hello { start, end } => {
+            if (start, end) != (a, b) {
+                return Err(protocol(format!(
+                    "hello claims cells {start}-{end}, assigned {a}-{b}"
+                )));
+            }
+        }
+        LineBody::Record { cell, .. } => {
+            if cell != slots[s].next_cell || cell >= b {
+                return Err(protocol(format!(
+                    "record for cell {cell}, expected {} in range {a}-{b}",
+                    slots[s].next_cell
+                )));
+            }
+            slots[s].next_cell = cell + 1;
+            if cell >= total_cells {
+                return Err(protocol(format!("cell {cell} beyond campaign end")));
+            }
+            for (index, (raw, decoded)) in sink.push(cell, (line.to_string(), body.clone())) {
+                on_record(index, &raw, &decoded).map_err(SupervisorError::Sink)?;
+                stats.cells_run += 1;
+            }
+        }
+        LineBody::Done { cells } => {
+            if slots[s].next_cell != b {
+                return Err(protocol(format!(
+                    "done after cell {}, assigned through {b}",
+                    slots[s].next_cell
+                )));
+            }
+            if cells != b - a {
+                return Err(protocol(format!(
+                    "done reports {cells} cells, range {a}-{b} has {}",
+                    b - a
+                )));
+            }
+            slots[s].reap();
+            slots[s].range = None;
+            slots[s].state = SlotState::Idle;
+        }
+        LineBody::Header { .. } => {
+            return Err(protocol("worker sent a header line".to_string()));
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_crash(
+    cfg: &SupervisorConfig,
+    total_cells: u64,
+    stats: &mut RunStats,
+    slots: &mut [Slot],
+    queue: &mut VecDeque<(u64, u64)>,
+    sink: &OrderedSink<(String, LineBody)>,
+    attempts: &mut HashMap<u64, u32>,
+    s: usize,
+) -> Result<(), SupervisorError> {
+    slots[s].reap();
+    let (_, b) = slots[s].range.expect("crashed slot has a range");
+    let first_missing = slots[s].next_cell;
+    if first_missing >= b {
+        // Crashed after emitting every assigned cell but before Done —
+        // the work is all in hand, so treat the range as complete.
+        slots[s].range = None;
+        slots[s].state = SlotState::Idle;
+        return Ok(());
+    }
+
+    let cell_attempts = attempts.entry(first_missing).or_insert(0);
+    *cell_attempts += 1;
+    if *cell_attempts >= cfg.max_cell_attempts {
+        return Err(SupervisorError::PoisonedRange {
+            start: first_missing,
+            end: b,
+            attempts: *cell_attempts,
+        });
+    }
+    if cfg.fail_on_crash {
+        return Err(SupervisorError::CrashAborted {
+            shard: s,
+            cell: first_missing,
+        });
+    }
+    if slots[s].respawns_used >= cfg.max_respawns_per_slot {
+        slots[s].range = None;
+        slots[s].state = SlotState::Retired;
+        queue.push_back((first_missing, b));
+        stats.reassigned_ranges += 1;
+        if slots.iter().all(|sl| sl.state == SlotState::Retired) {
+            return Err(SupervisorError::AllShardsDead {
+                remaining: total_cells - sink.next_index(),
+            });
+        }
+        return Ok(());
+    }
+    slots[s].respawns_used += 1;
+    stats.respawns += 1;
+    let delay = respawn_delay_ms(cfg.backoff_seed, s as u64, slots[s].respawns_used);
+    slots[s].range = Some((first_missing, b));
+    slots[s].state = SlotState::Backoff {
+        until: Instant::now() + Duration::from_millis(delay),
+    };
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_cells_exactly_once() {
+        for (start, end, shards) in [(0u64, 12u64, 4usize), (3, 10, 2), (0, 5, 8), (7, 7, 3)] {
+            let ranges = split_ranges(start, end, shards);
+            let mut at = start;
+            for &(a, b) in &ranges {
+                assert_eq!(a, at, "contiguous");
+                assert!(b > a, "non-empty");
+                at = b;
+            }
+            assert_eq!(at, end, "covers everything");
+            assert!(ranges.len() <= shards.max(1));
+        }
+    }
+
+    #[test]
+    fn split_ranges_balances_within_one_cell() {
+        let ranges = split_ranges(0, 10, 3);
+        let lens: Vec<u64> = ranges.iter().map(|&(a, b)| b - a).collect();
+        assert_eq!(lens.iter().sum::<u64>(), 10);
+        assert!(lens.iter().all(|&l| l == 3 || l == 4), "{lens:?}");
+    }
+
+    #[test]
+    fn empty_campaign_returns_immediately() {
+        let cfg = SupervisorConfig::default();
+        let cmd = WorkerCmd {
+            program: PathBuf::from("/nonexistent"),
+            args: vec![],
+        };
+        let stats = run(&cfg, &cmd, 5, 5, &mut InjectSchedule::new(), |_, _, _| {
+            panic!("no records expected")
+        })
+        .unwrap();
+        assert_eq!(stats.cells_run, 0);
+    }
+
+    #[test]
+    fn unspawnable_worker_reports_io_error() {
+        let cfg = SupervisorConfig::default();
+        let cmd = WorkerCmd {
+            program: PathBuf::from("/nonexistent/worker/binary"),
+            args: vec![],
+        };
+        let err = run(&cfg, &cmd, 0, 4, &mut InjectSchedule::new(), |_, _, _| {
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, SupervisorError::Io(_)), "{err}");
+    }
+}

@@ -58,6 +58,74 @@ impl_to_json!(struct Table1Row {
     trials,
 });
 
+/// The jitter values (ms) swept by Table I.
+pub const TABLE1_JITTERS_MS: [u64; 4] = [0, 25, 50, 100];
+
+/// Compact per-trial summary of one Table I cell — everything the row
+/// aggregation needs, in exactly-representable types, so a summary that
+/// round-trips through the campaign journal folds to the same bytes as
+/// the in-process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Trial {
+    /// Whether the HTML was fully serialized.
+    pub serialized: bool,
+    /// Wire retransmissions in the trial.
+    pub retrans: u64,
+    /// Application-layer re-requests in the trial.
+    pub rerequests: u64,
+}
+
+/// Runs one Table I cell: jitter batch `ji` (an index into
+/// [`TABLE1_JITTERS_MS`]), trial `t`. Pure function of its arguments —
+/// the seed layout matches the original in-line loop.
+pub fn table1_trial(base_seed: u64, ji: usize, t: usize) -> Table1Trial {
+    let jitter_ms = TABLE1_JITTERS_MS[ji];
+    let seed = base_seed + (ji as u64) * 10_000 + t as u64;
+    let attack = AttackConfig::jitter_only(SimDuration::from_millis(jitter_ms));
+    let trial = run_isidewith_trial(seed, Some(attack));
+    Table1Trial {
+        serialized: crate::metrics::is_serialized(trial.html_outcome().best_degree),
+        retrans: trial.result.total_retransmissions(),
+        rerequests: trial.result.client.h2_rerequests,
+    }
+}
+
+/// Streaming per-batch accumulator for Table I. `baseline_retrans` is
+/// cross-batch state (the 0 ms row sets the denominator for the
+/// increase column), so batches must be folded in sweep order.
+#[derive(Debug, Default)]
+pub struct Table1Accum {
+    serialized: usize,
+    retrans_total: u64,
+    rereq_total: u64,
+    trials: usize,
+}
+
+impl Table1Accum {
+    /// Folds one trial summary in.
+    pub fn add(&mut self, t: &Table1Trial) {
+        self.serialized += usize::from(t.serialized);
+        self.retrans_total += t.retrans;
+        self.rereq_total += t.rerequests;
+        self.trials += 1;
+    }
+
+    /// Emits the batch's row and updates the cross-batch baseline.
+    pub fn row(&self, jitter_ms: u64, baseline_retrans: &mut Option<f64>) -> Table1Row {
+        let trials = self.trials;
+        let retransmissions_avg = self.retrans_total as f64 / trials as f64;
+        let base = *baseline_retrans.get_or_insert(retransmissions_avg.max(1e-9));
+        Table1Row {
+            jitter_ms,
+            pct_not_multiplexed: 100.0 * self.serialized as f64 / trials as f64,
+            retransmissions_avg,
+            retrans_increase_pct: 100.0 * (retransmissions_avg - base) / base,
+            rerequests_avg: self.rereq_total as f64 / trials as f64,
+            trials,
+        }
+    }
+}
+
 /// Regenerates Table I (jitter ∈ {0, 25, 50, 100} ms). An empty trial
 /// budget yields no rows — "no data" is explicit, never a fabricated
 /// percentage.
@@ -65,40 +133,19 @@ pub fn table1(trials: usize, base_seed: u64, jobs: usize) -> Vec<Table1Row> {
     if trials == 0 {
         return Vec::new();
     }
-    let jitters = [0u64, 25, 50, 100];
     let mut rows = Vec::new();
     let mut baseline_retrans = None;
-    for (ji, jitter_ms) in jitters.iter().enumerate() {
+    for (ji, jitter_ms) in TABLE1_JITTERS_MS.iter().enumerate() {
         let batch = telemetry::open_batch(&format!("table1/jitter_{jitter_ms}ms"));
         let per_trial = pool::run_indexed(jobs, trials, |t| {
             let _tele = telemetry::trial_slot(batch, t as u64);
-            let seed = base_seed + (ji as u64) * 10_000 + t as u64;
-            let attack = AttackConfig::jitter_only(SimDuration::from_millis(*jitter_ms));
-            let trial = run_isidewith_trial(seed, Some(attack));
-            (
-                crate::metrics::is_serialized(trial.html_outcome().best_degree),
-                trial.result.total_retransmissions(),
-                trial.result.client.h2_rerequests,
-            )
+            table1_trial(base_seed, ji, t)
         });
-        let mut serialized = 0usize;
-        let mut retrans_total = 0u64;
-        let mut rereq_total = 0u64;
-        for (ser, retrans, rereq) in per_trial {
-            serialized += usize::from(ser);
-            retrans_total += retrans;
-            rereq_total += rereq;
+        let mut accum = Table1Accum::default();
+        for summary in &per_trial {
+            accum.add(summary);
         }
-        let retransmissions_avg = retrans_total as f64 / trials as f64;
-        let base = *baseline_retrans.get_or_insert(retransmissions_avg.max(1e-9));
-        rows.push(Table1Row {
-            jitter_ms: *jitter_ms,
-            pct_not_multiplexed: 100.0 * serialized as f64 / trials as f64,
-            retransmissions_avg,
-            retrans_increase_pct: 100.0 * (retransmissions_avg - base) / base,
-            rerequests_avg: rereq_total as f64 / trials as f64,
-            trials,
-        });
+        rows.push(accum.row(*jitter_ms, &mut baseline_retrans));
     }
     rows
 }
@@ -572,6 +619,119 @@ pub fn robustness_fault_plan(intensity: f64) -> FaultPlan {
     }
 }
 
+/// The fault-intensity points swept by the robustness experiment.
+pub const ROBUSTNESS_INTENSITIES: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Compact per-trial summary of one robustness cell, in
+/// exactly-representable types (see [`Table1Trial`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustTrial {
+    /// Outcome of the final attempt, as an index:
+    /// completed/stalled/aborted/horizon-exhausted.
+    pub outcome_idx: usize,
+    /// Retry attempts consumed before the final one.
+    pub retries: u64,
+    /// HTML fully serialized (completed trials only).
+    pub serialized: bool,
+    /// HTML identified by the predictor (completed trials only).
+    pub identified: bool,
+    /// The paper's success criterion held.
+    pub success: bool,
+    /// Wire retransmissions.
+    pub retrans: u64,
+    /// Fault-layer drops (burst + outage) across all faulted links.
+    pub fault_drops: u64,
+}
+
+/// Runs one robustness cell: batch `ii` at fault `intensity`, trial
+/// `t`. Pure function of its arguments — the seed layout (keyed by the
+/// batch *index*) and watchdog/retry policy match the original in-line
+/// loop, so any slicing of the sweep that preserves indices lands on
+/// identical seeds.
+pub fn robustness_trial(base_seed: u64, ii: usize, intensity: f64, t: usize) -> RobustTrial {
+    let plan = robustness_fault_plan(intensity);
+    let seed = base_seed + 5_000_000 + (ii as u64) * 10_000 + t as u64;
+    let mut opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
+    opts.faults = plan;
+    opts.fail_fast = true;
+    opts.stall_window = SimDuration::from_secs(15);
+    let retried = run_isidewith_trial_retrying(opts, 1);
+    let trial = &retried.trial;
+    let outcome_idx = match trial.result.outcome {
+        TrialOutcome::Completed => 0,
+        TrialOutcome::Stalled => 1,
+        TrialOutcome::ConnectionAborted => 2,
+        TrialOutcome::HorizonExhausted => 3,
+    };
+    let completed = trial.result.outcome == TrialOutcome::Completed;
+    let out = trial.html_outcome();
+    RobustTrial {
+        outcome_idx,
+        retries: u64::from(retried.retries_used()),
+        serialized: completed && crate::metrics::is_serialized(out.best_degree),
+        identified: completed && out.identified,
+        success: completed && out.success,
+        retrans: trial.result.total_retransmissions(),
+        fault_drops: trial
+            .result
+            .fault_stats
+            .iter()
+            .map(|s| s.dropped())
+            .sum::<u64>(),
+    }
+}
+
+/// Streaming per-batch accumulator for the robustness sweep.
+#[derive(Debug, Default)]
+pub struct RobustnessAccum {
+    serialized: usize,
+    identified: usize,
+    success: usize,
+    outcome_counts: [usize; 4],
+    retries_used: u64,
+    retrans_total: u64,
+    fault_drops_total: u64,
+    trials: usize,
+}
+
+impl RobustnessAccum {
+    /// Folds one trial summary in.
+    pub fn add(&mut self, s: &RobustTrial) {
+        self.outcome_counts[s.outcome_idx.min(3)] += 1;
+        self.retries_used += s.retries;
+        self.serialized += usize::from(s.serialized);
+        self.identified += usize::from(s.identified);
+        self.success += usize::from(s.success);
+        self.retrans_total += s.retrans;
+        self.fault_drops_total += s.fault_drops;
+        self.trials += 1;
+    }
+
+    /// Emits the batch's row.
+    pub fn row(&self, intensity: f64) -> RobustnessRow {
+        let trials = self.trials;
+        let pct = |n: usize| Some(100.0 * n as f64 / trials as f64);
+        RobustnessRow {
+            intensity,
+            burst_loss_pct: 100.0 * 0.05 * intensity.clamp(0.0, 1.0),
+            reorder_pct: 100.0 * 0.3 * intensity.clamp(0.0, 1.0),
+            duplicate_pct: 100.0 * 0.02 * intensity.clamp(0.0, 1.0),
+            flap: intensity >= 0.8,
+            pct_html_serialized: pct(self.serialized),
+            pct_html_identified: pct(self.identified),
+            pct_success: pct(self.success),
+            retransmissions_avg: Some(self.retrans_total as f64 / trials as f64),
+            fault_drops_avg: Some(self.fault_drops_total as f64 / trials as f64),
+            completed: self.outcome_counts[0],
+            stalled: self.outcome_counts[1],
+            aborted: self.outcome_counts[2],
+            horizon_exhausted: self.outcome_counts[3],
+            retries_used: self.retries_used,
+            trials,
+        }
+    }
+}
+
 /// Sweeps the full attack across fault intensities, reporting attack
 /// serialization/identification rates against impairment level. Each
 /// trial runs with the stall watchdog in fail-fast mode and one retry on
@@ -585,86 +745,18 @@ pub fn robustness_sweep(
     if trials == 0 {
         return Vec::new();
     }
-    // Per-trial summary for the retry/watchdog path.
-    struct RobustTrial {
-        outcome_idx: usize,
-        retries: u64,
-        serialized: bool,
-        identified: bool,
-        success: bool,
-        retrans: u64,
-        fault_drops: u64,
-    }
-
     let mut rows = Vec::new();
     for (ii, &intensity) in intensities.iter().enumerate() {
-        let plan = robustness_fault_plan(intensity);
         let batch = telemetry::open_batch(&format!("robustness/intensity_{intensity}"));
         let per_trial = pool::run_indexed(jobs, trials, |t| {
             let _tele = telemetry::trial_slot(batch, t as u64);
-            let seed = base_seed + 5_000_000 + (ii as u64) * 10_000 + t as u64;
-            let mut opts = TrialOptions::new(seed, Some(AttackConfig::full_attack()));
-            opts.faults = plan.clone();
-            opts.fail_fast = true;
-            opts.stall_window = SimDuration::from_secs(15);
-            let retried = run_isidewith_trial_retrying(opts, 1);
-            let trial = &retried.trial;
-            let outcome_idx = match trial.result.outcome {
-                TrialOutcome::Completed => 0,
-                TrialOutcome::Stalled => 1,
-                TrialOutcome::ConnectionAborted => 2,
-                TrialOutcome::HorizonExhausted => 3,
-            };
-            let completed = trial.result.outcome == TrialOutcome::Completed;
-            let out = trial.html_outcome();
-            RobustTrial {
-                outcome_idx,
-                retries: u64::from(retried.retries_used()),
-                serialized: completed && crate::metrics::is_serialized(out.best_degree),
-                identified: completed && out.identified,
-                success: completed && out.success,
-                retrans: trial.result.total_retransmissions(),
-                fault_drops: trial
-                    .result
-                    .fault_stats
-                    .iter()
-                    .map(|s| s.dropped())
-                    .sum::<u64>(),
-            }
+            robustness_trial(base_seed, ii, intensity, t)
         });
-        let (mut serialized, mut identified, mut success) = (0usize, 0usize, 0usize);
-        let mut outcome_counts = [0usize; 4]; // completed/stalled/aborted/horizon
-        let mut retries_used = 0u64;
-        let mut retrans_total = 0u64;
-        let mut fault_drops_total = 0u64;
-        for s in per_trial {
-            outcome_counts[s.outcome_idx] += 1;
-            retries_used += s.retries;
-            serialized += usize::from(s.serialized);
-            identified += usize::from(s.identified);
-            success += usize::from(s.success);
-            retrans_total += s.retrans;
-            fault_drops_total += s.fault_drops;
+        let mut accum = RobustnessAccum::default();
+        for summary in &per_trial {
+            accum.add(summary);
         }
-        let pct = |n: usize| Some(100.0 * n as f64 / trials as f64);
-        rows.push(RobustnessRow {
-            intensity,
-            burst_loss_pct: 100.0 * 0.05 * intensity.clamp(0.0, 1.0),
-            reorder_pct: 100.0 * 0.3 * intensity.clamp(0.0, 1.0),
-            duplicate_pct: 100.0 * 0.02 * intensity.clamp(0.0, 1.0),
-            flap: intensity >= 0.8,
-            pct_html_serialized: pct(serialized),
-            pct_html_identified: pct(identified),
-            pct_success: pct(success),
-            retransmissions_avg: Some(retrans_total as f64 / trials as f64),
-            fault_drops_avg: Some(fault_drops_total as f64 / trials as f64),
-            completed: outcome_counts[0],
-            stalled: outcome_counts[1],
-            aborted: outcome_counts[2],
-            horizon_exhausted: outcome_counts[3],
-            retries_used,
-            trials,
-        });
+        rows.push(accum.row(intensity));
     }
     rows
 }

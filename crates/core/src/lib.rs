@@ -52,6 +52,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod attack;
+pub mod campaign;
 pub mod controller;
 pub mod defense;
 pub mod experiment;

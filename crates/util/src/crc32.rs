@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, the zlib/`cksum -o 3` polynomial) over byte
+//! slices. The campaign journal stamps every record with this checksum
+//! so a resumed run can distinguish "the tail of the file is a partial
+//! append" (recoverable) from "a record was corrupted in place" (fatal).
+//!
+//! Table-driven, one table, built at first use; this is nowhere near a
+//! hot path (one call per journal record).
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0u32;
+        while i < 256 {
+            let mut c = i;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i as usize] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"{\"batch\":1,\"trial\":7}");
+        assert_ne!(base, crc32(b"{\"batch\":1,\"trial\":6}"));
+        assert_ne!(base, crc32(b"{\"batch\":0,\"trial\":7}"));
+    }
+}

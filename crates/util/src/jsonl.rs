@@ -1,0 +1,189 @@
+//! A jsonl (one JSON document per line) reader that tolerates a
+//! truncated final line.
+//!
+//! Both jsonl surfaces of the workspace — `--trace` archives checked by
+//! `trace_check`, and the campaign journal replayed on `--resume` — are
+//! written by append-and-flush loops. A crash (power loss, `kill -9`, a
+//! full disk) can leave a *partial final line*: bytes of a record whose
+//! terminating newline never made it to disk, possibly cut mid-record or
+//! even mid-UTF-8-codepoint. That is a recoverable condition — every
+//! newline-terminated line before it is intact — and must be reported as
+//! such (with the byte offset where the partial write starts, so a
+//! recovery path can truncate to it), not as a hard parse error.
+//!
+//! A *complete* line that fails to parse is different: the file was
+//! corrupted in place, and [`read_tolerant`] reports it as a fatal
+//! [`JsonlError`].
+
+use crate::json::Json;
+
+/// A partial final line: bytes after the last newline that do not form a
+/// complete record. Recovery = truncate the file to `byte_offset` and
+/// re-append.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedTail {
+    /// Byte offset where the partial line starts (== the file's "good"
+    /// length).
+    pub byte_offset: usize,
+    /// Length of the partial tail in bytes.
+    pub len: usize,
+}
+
+/// The successfully-read portion of a jsonl file.
+#[derive(Debug)]
+pub struct JsonlRead {
+    /// One parsed value per complete line, in file order.
+    pub records: Vec<Json>,
+    /// The partial final line, when the file ends mid-record; `None`
+    /// for a cleanly-terminated file.
+    pub truncated: Option<TruncatedTail>,
+}
+
+/// A fatal jsonl defect: a *complete* line that is not a valid JSON
+/// document (or not valid UTF-8). `line` is 1-based; `byte_offset` is
+/// where the offending line starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number of the corrupt line.
+    pub line: usize,
+    /// Byte offset where the corrupt line starts.
+    pub byte_offset: usize,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {} (byte {}): {}",
+            self.line, self.byte_offset, self.message
+        )
+    }
+}
+
+/// Reads a jsonl buffer, tolerating a truncated final line.
+///
+/// Every newline-terminated line must be valid UTF-8 and parse as one
+/// JSON document — a violation is a fatal [`JsonlError`] (the file was
+/// corrupted in place, not merely cut short). Bytes after the last
+/// newline are reported as a recoverable [`TruncatedTail`] instead of
+/// being parsed: a record is not complete until its newline is on disk,
+/// and the tail may end mid-record or mid-codepoint (it is never
+/// UTF-8-decoded at all).
+///
+/// # Errors
+/// Returns the first corrupt complete line.
+pub fn read_tolerant(bytes: &[u8]) -> Result<JsonlRead, JsonlError> {
+    let mut records = Vec::new();
+    let mut line_start = 0usize;
+    let mut line_no = 0usize;
+    while let Some(nl) = bytes[line_start..].iter().position(|&b| b == b'\n') {
+        let line = &bytes[line_start..line_start + nl];
+        line_no += 1;
+        // Tolerate blank lines (a flush boundary artifact), but a
+        // non-empty complete line must parse.
+        if !line.is_empty() {
+            let text = std::str::from_utf8(line).map_err(|_| JsonlError {
+                line: line_no,
+                byte_offset: line_start,
+                message: "complete line is not valid UTF-8".to_string(),
+            })?;
+            let value = Json::parse(text).map_err(|e| JsonlError {
+                line: line_no,
+                byte_offset: line_start,
+                message: format!("not valid JSON: {e}"),
+            })?;
+            records.push(value);
+        }
+        line_start += nl + 1;
+    }
+    let truncated = if line_start < bytes.len() {
+        Some(TruncatedTail {
+            byte_offset: line_start,
+            len: bytes.len() - line_start,
+        })
+    } else {
+        None
+    };
+    Ok(JsonlRead { records, truncated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_file_has_no_tail() {
+        let read = read_tolerant(b"{\"a\":1}\n{\"a\":2}\n").unwrap();
+        assert_eq!(read.records.len(), 2);
+        assert_eq!(read.records[1].get("a").and_then(Json::as_u64), Some(2));
+        assert!(read.truncated.is_none());
+    }
+
+    #[test]
+    fn empty_file_is_clean() {
+        let read = read_tolerant(b"").unwrap();
+        assert!(read.records.is_empty());
+        assert!(read.truncated.is_none());
+    }
+
+    #[test]
+    fn mid_record_truncation_is_recoverable() {
+        // The writer died after 9 bytes of the second record.
+        let read = read_tolerant(b"{\"a\":1}\n{\"a\":222").unwrap();
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(
+            read.truncated,
+            Some(TruncatedTail {
+                byte_offset: 8,
+                len: 8
+            })
+        );
+    }
+
+    #[test]
+    fn unterminated_but_parseable_tail_is_still_truncated() {
+        // Even a tail that happens to parse is not a committed record:
+        // its newline never hit the disk, so it may be a prefix of a
+        // longer record (e.g. `{"a":2}` of `{"a":27}`).
+        let read = read_tolerant(b"{\"a\":1}\n{\"a\":2}").unwrap();
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(read.truncated.unwrap().byte_offset, 8);
+    }
+
+    #[test]
+    fn mid_codepoint_truncation_is_recoverable() {
+        // "é" is 0xC3 0xA9; cut between the two bytes. The tail must
+        // not be UTF-8-decoded, only measured.
+        let mut bytes = b"{\"s\":\"ok\"}\n{\"s\":\"".to_vec();
+        bytes.push(0xC3);
+        let read = read_tolerant(&bytes).unwrap();
+        assert_eq!(read.records.len(), 1);
+        let tail = read.truncated.unwrap();
+        assert_eq!(tail.byte_offset, 11);
+        assert_eq!(tail.len, bytes.len() - 11);
+    }
+
+    #[test]
+    fn corrupt_complete_line_is_fatal() {
+        let err = read_tolerant(b"{\"a\":1}\nnot json\n{\"a\":3}\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.byte_offset, 8);
+        assert!(err.message.contains("not valid JSON"), "{}", err.message);
+    }
+
+    #[test]
+    fn invalid_utf8_in_complete_line_is_fatal() {
+        let err = read_tolerant(&[0xFF, 0xFE, b'\n']).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("UTF-8"));
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let read = read_tolerant(b"{\"a\":1}\n\n{\"a\":2}\n").unwrap();
+        assert_eq!(read.records.len(), 2);
+        assert!(read.truncated.is_none());
+    }
+}

@@ -23,11 +23,18 @@
 //!   independent seed-keyed jobs across cores and returns results in
 //!   submission order, so parallel experiment runs stay byte-identical
 //!   to sequential ones.
+//! * [`jsonl`] — a jsonl reader that tolerates a truncated final line
+//!   (a crashed writer's partial append), reporting it as recoverable
+//!   with a byte offset instead of a hard parse error.
+//! * [`crc32`] — CRC-32 (IEEE) for the campaign journal's per-record
+//!   checksums.
 
 pub mod bytes;
 pub mod check;
+pub mod crc32;
 pub mod fxhash;
 pub mod json;
+pub mod jsonl;
 pub mod pool;
 pub mod rng;
 pub mod telemetry;

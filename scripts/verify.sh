@@ -58,4 +58,26 @@ test -s /tmp/h2priv_trace_j1.jsonl
 cmp /tmp/h2priv_trace_j1.jsonl /tmp/h2priv_trace_j2.jsonl
 cargo run --release --offline -p h2priv-bench --bin trace_check -- /tmp/h2priv_trace_j1.jsonl
 
+echo "== campaign gate (sharded run + injected kill + resume == sequential run)"
+# The sharded campaign runner must be invisible in the results: a 2-shard
+# run that is killed at an injected crash point and then resumed has to
+# produce byte-identical journal and report to an uninterrupted 1-shard
+# run. Small trial budget keeps this under a minute.
+CAMPAIGN=target/release/campaign
+rm -f /tmp/h2priv_camp_seq.jsonl /tmp/h2priv_camp_seq.json \
+      /tmp/h2priv_camp_shard.jsonl /tmp/h2priv_camp_shard.json
+"$CAMPAIGN" robustness_sweep 2 --shards 1 --quiet \
+    --journal /tmp/h2priv_camp_seq.jsonl --out /tmp/h2priv_camp_seq.json
+if "$CAMPAIGN" robustness_sweep 2 --shards 2 --quiet --fail-on-crash \
+    --inject-kill trial=6 \
+    --journal /tmp/h2priv_camp_shard.jsonl --out /tmp/h2priv_camp_shard.json \
+    2>/dev/null; then
+    echo "ERROR: injected kill did not abort the campaign" >&2
+    exit 1
+fi
+"$CAMPAIGN" robustness_sweep 2 --shards 2 --quiet --resume \
+    --journal /tmp/h2priv_camp_shard.jsonl --out /tmp/h2priv_camp_shard.json
+cmp /tmp/h2priv_camp_seq.jsonl /tmp/h2priv_camp_shard.jsonl
+cmp /tmp/h2priv_camp_seq.json /tmp/h2priv_camp_shard.json
+
 echo "verify: OK"
