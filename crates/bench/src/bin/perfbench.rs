@@ -19,8 +19,15 @@ use h2priv_core::attack::AttackConfig;
 use h2priv_core::experiment::{run_isidewith_h3_trial, run_isidewith_trial};
 use h2priv_core::report::to_json;
 use h2priv_util::impl_to_json;
-use h2priv_util::{pool, telemetry};
+use h2priv_util::json::ToJson;
+use h2priv_util::{alloc, pool, telemetry};
 use std::time::Instant;
+
+/// Count every allocation the trial loop makes. The counter bump is a
+/// thread-local add (~1 ns), invisible next to a malloc, so the timed
+/// rows stay comparable with historical numbers.
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc::new();
 
 /// One (scenario, jobs) measurement.
 #[derive(Debug, Clone)]
@@ -47,6 +54,26 @@ impl_to_json!(struct PerfRow {
     speedup_vs_jobs1,
 });
 
+/// Per-scenario allocation audit: total allocations across the trial
+/// sweep and the per-trial average, measured single-threaded with the
+/// counting global allocator.
+#[derive(Debug, Clone)]
+struct AllocRow {
+    scenario: String,
+    trials: usize,
+    allocs_total: u64,
+    allocs_per_trial: f64,
+    alloc_bytes_per_trial: f64,
+}
+
+impl_to_json!(struct AllocRow {
+    scenario,
+    trials,
+    allocs_total,
+    allocs_per_trial,
+    alloc_bytes_per_trial,
+});
+
 /// The full report written to `BENCH_simperf.json`.
 #[derive(Debug, Clone)]
 struct PerfReport {
@@ -55,9 +82,31 @@ struct PerfReport {
     host_parallelism: usize,
     trials: usize,
     rows: Vec<PerfRow>,
+    allocs: Vec<AllocRow>,
 }
 
-impl_to_json!(struct PerfReport { host_parallelism, trials, rows });
+impl_to_json!(struct PerfReport { host_parallelism, trials, rows, allocs });
+
+/// One appended line of `BENCH_history.jsonl`: the perf trajectory of a
+/// scenario across commits. `events_per_sec` is the sequential
+/// (`jobs = 1`) rate so lines from hosts with different core counts
+/// stay comparable.
+#[derive(Debug, Clone)]
+struct HistoryLine {
+    git: String,
+    scenario: String,
+    trials: usize,
+    events_per_sec: f64,
+    allocs_per_trial: f64,
+}
+
+impl_to_json!(struct HistoryLine {
+    git,
+    scenario,
+    trials,
+    events_per_sec,
+    allocs_per_trial,
+});
 
 /// Elapsed seconds for rate computation, floored at one microsecond so
 /// a degenerate measurement (a scheduler hiccup rounding a tiny batch
@@ -67,6 +116,25 @@ fn elapsed_secs_clamped(wall_ms: f64) -> f64 {
     (wall_ms / 1e3).max(1e-6)
 }
 
+/// Runs one trial of `scenario` at `seed`, returning the simulator
+/// event count.
+fn run_scenario_trial(scenario: &str, seed: u64) -> u64 {
+    match scenario {
+        "h2_baseline" => run_isidewith_trial(seed, None).result.sim_events,
+        "h2_full_attack" => {
+            run_isidewith_trial(seed, Some(AttackConfig::full_attack()))
+                .result
+                .sim_events
+        }
+        "h3_full_attack" => {
+            run_isidewith_h3_trial(seed, Some(AttackConfig::full_attack()))
+                .result
+                .sim_events
+        }
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
 /// Runs `trials` seeds of `scenario` across `jobs` workers, returning
 /// (wall milliseconds, total simulator events dispatched).
 fn measure(scenario: &str, trials: usize, jobs: usize) -> (f64, u64) {
@@ -74,24 +142,50 @@ fn measure(scenario: &str, trials: usize, jobs: usize) -> (f64, u64) {
     let t0 = Instant::now();
     let events = pool::run_indexed(jobs, trials, |t| {
         let _tele = telemetry::trial_slot(batch, t as u64);
-        let seed = 91_000 + t as u64;
-        match scenario {
-            "h2_baseline" => run_isidewith_trial(seed, None).result.sim_events,
-            "h2_full_attack" => {
-                run_isidewith_trial(seed, Some(AttackConfig::full_attack()))
-                    .result
-                    .sim_events
-            }
-            "h3_full_attack" => {
-                run_isidewith_h3_trial(seed, Some(AttackConfig::full_attack()))
-                    .result
-                    .sim_events
-            }
-            other => unreachable!("unknown scenario {other}"),
-        }
+        run_scenario_trial(scenario, 91_000 + t as u64)
     });
     let wall_ms = t0.elapsed().as_nanos() as f64 / 1e6;
     (wall_ms, events.iter().sum())
+}
+
+/// Counts allocations across a sequential run of all `trials` seeds on
+/// the calling thread (per-thread counters, so the parallel timing
+/// passes don't pollute the figure). One warm-up trial precedes the
+/// count so lazily initialised statics — telemetry sinks, thread-local
+/// scratch — don't inflate the steady-state number.
+fn measure_allocs(scenario: &str, trials: usize) -> AllocRow {
+    run_scenario_trial(scenario, 91_000);
+    let ((), allocs, bytes) = alloc::counting(|| {
+        for t in 0..trials {
+            run_scenario_trial(scenario, 91_000 + t as u64);
+        }
+    });
+    let per_trial = trials.max(1) as f64;
+    AllocRow {
+        scenario: scenario.to_string(),
+        trials,
+        allocs_total: allocs,
+        allocs_per_trial: allocs as f64 / per_trial,
+        alloc_bytes_per_trial: bytes as f64 / per_trial,
+    }
+}
+
+/// `git describe --always --dirty` of the checkout this binary was
+/// built from, or `"unknown"` when git is unavailable (e.g. a source
+/// tarball). History lines are only comparable across commits if each
+/// records which commit produced it.
+fn git_describe() -> String {
+    let repo = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(repo)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Runs `measure` `reps` times and returns the median wall time plus the
@@ -142,6 +236,7 @@ fn main() {
 
     let scenarios = ["h2_baseline", "h2_full_attack", "h3_full_attack"];
     let mut rows = Vec::new();
+    let mut allocs = Vec::new();
     for scenario in scenarios {
         let (wall_1, events_1) = measure_median(scenario, trials, 1, reps);
         let (wall_n, events_n) = measure_median(scenario, trials, jobs_max, reps);
@@ -162,22 +257,50 @@ fn main() {
                 speedup_vs_jobs1: elapsed_secs_clamped(wall_1) / secs,
             });
         }
+        let audit = measure_allocs(scenario, trials);
         odetail!(
-            "  {scenario:<16} jobs=1 {:>9.1} ms | jobs={jobs_max} {:>9.1} ms | speedup {:.2}x",
+            "  {scenario:<16} jobs=1 {:>9.1} ms | jobs={jobs_max} {:>9.1} ms | speedup {:.2}x | {:.0} allocs/trial",
             wall_1,
             wall_n,
-            elapsed_secs_clamped(wall_1) / elapsed_secs_clamped(wall_n)
+            elapsed_secs_clamped(wall_1) / elapsed_secs_clamped(wall_n),
+            audit.allocs_per_trial
         );
+        allocs.push(audit);
     }
 
     let report = PerfReport {
         host_parallelism: host,
         trials,
         rows,
+        allocs,
     };
     let json = to_json(&report) + "\n";
     out::write_result_file(&out_path, &json);
     odetail!("wrote {out_path}");
+
+    // Append one trajectory line per scenario next to the report file.
+    // The sequential (jobs=1) rate is recorded so lines from hosts with
+    // different core counts stay comparable across commits.
+    let history_path = match out_path.rsplit_once('/') {
+        Some((dir, _)) => format!("{dir}/BENCH_history.jsonl"),
+        None => "BENCH_history.jsonl".to_string(),
+    };
+    let git = git_describe();
+    for audit in &report.allocs {
+        let seq = report
+            .rows
+            .iter()
+            .find(|r| r.scenario == audit.scenario && r.jobs == 1);
+        let line = HistoryLine {
+            git: git.clone(),
+            scenario: audit.scenario.clone(),
+            trials,
+            events_per_sec: seq.map_or(0.0, |r| r.events_per_sec),
+            allocs_per_trial: audit.allocs_per_trial,
+        };
+        out::append_result_line(&history_path, &line.to_json().to_string_compact());
+    }
+    odetail!("appended {} lines to {history_path}", report.allocs.len());
     out::stdout_str(&json);
     obs::finish(&o);
 }

@@ -279,7 +279,7 @@ pub fn run_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
     let server_node = sim.node_ref::<ServerNode>(topo.server);
     let mbox = sim.node_ref::<Middlebox>(topo.middlebox);
 
-    let trace = collector.borrow().trace().clone();
+    let trace = collector.borrow_mut().take_trace();
     let attack = attack_state
         .map(|s| {
             let s = s.borrow();
@@ -378,11 +378,12 @@ pub fn run_h3_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
     };
     telemetry::gauge("trial.sim_events", sim.stats().events);
 
+    let client_report = sim.node_mut::<H3ClientNode>(topo.client).take_report();
     let client_node = sim.node_ref::<H3ClientNode>(topo.client);
     let server_node = sim.node_ref::<H3ServerNode>(topo.server);
     let mbox = sim.node_ref::<Middlebox>(topo.middlebox);
 
-    let trace = collector.borrow().trace().clone();
+    let trace = collector.borrow_mut().take_trace();
     let attack = attack_state
         .map(|s| {
             let s = s.borrow();
@@ -396,7 +397,7 @@ pub fn run_h3_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
         .unwrap_or_default();
 
     TrialResult {
-        client: client_node.report(),
+        client: client_report,
         serve_log: server_node.serve_log().to_vec(),
         wire_map: server_node.wire_map().clone(),
         trace,

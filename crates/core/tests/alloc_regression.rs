@@ -1,0 +1,85 @@
+//! Allocation-regression pins for the simulator hot paths.
+//!
+//! Counts every heap allocation one steady-state trial makes (per
+//! scenario, fixed seed) and pins the exact number. Allocation counts
+//! are fully deterministic for a given seed and build profile, so any
+//! drift here is a real behavioural change on the packet path — not
+//! noise.
+//!
+//! If a pin fails after an intentional change (a new feature that
+//! legitimately allocates, a data-structure swap, a changed buffer
+//! strategy), re-baseline by running this test and copying the number
+//! from the assertion message into the constant below — but first make
+//! sure the delta is the size you expected. A surprise increase of
+//! hundreds of allocations usually means a per-event or per-chunk
+//! allocation sneaked back into the hot path; that is exactly what this
+//! test exists to catch.
+
+use h2priv_core::attack::AttackConfig;
+use h2priv_core::experiment::{run_isidewith_h3_trial, run_isidewith_trial};
+use h2priv_util::alloc;
+
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc::new();
+
+/// Steady-state allocations for one run of `f`: two warm-up runs first,
+/// so lazily-initialised statics (telemetry sinks, thread-local buffer
+/// pools) are counted as the one-time costs they are, then a counted
+/// run.
+fn steady_state_allocs(f: impl Fn()) -> u64 {
+    f();
+    f();
+    let ((), allocs, _bytes) = alloc::counting(f);
+    allocs
+}
+
+/// Debug builds allocate more (debug_assertions enable extra sanity
+/// decodes on the client response path), so each scenario pins both
+/// profiles.
+#[cfg(debug_assertions)]
+const H2_BASELINE_PIN: u64 = 8_290;
+#[cfg(not(debug_assertions))]
+const H2_BASELINE_PIN: u64 = 8_290;
+
+#[cfg(debug_assertions)]
+const H3_FULL_ATTACK_PIN: u64 = 2_947;
+#[cfg(not(debug_assertions))]
+const H3_FULL_ATTACK_PIN: u64 = 2_863;
+
+/// Exact pins hold for the default timer-wheel scheduler. The
+/// `reference-queue` oracle build allocates a handful more (BinaryHeap
+/// growth, cancel tombstones), and the oracle suite only promises
+/// byte-identical *results*, not identical allocator traffic — so under
+/// that feature the pin relaxes to a ceiling that still catches a
+/// per-chunk allocation sneaking back in.
+fn assert_pinned(scenario: &str, allocs: u64, pin: u64) {
+    if h2priv_netsim::REFERENCE_QUEUE {
+        assert!(
+            allocs <= pin + 256,
+            "{scenario} steady-state allocations under the reference queue grew \
+             past the slack band: {allocs} (wheel pin {pin})"
+        );
+    } else {
+        assert_eq!(
+            allocs, pin,
+            "{scenario} steady-state allocations changed: {allocs} (pinned {pin}); \
+             see the module docs before re-baselining"
+        );
+    }
+}
+
+#[test]
+fn h2_baseline_steady_state_allocs_are_pinned() {
+    let allocs = steady_state_allocs(|| {
+        run_isidewith_trial(91_000, None);
+    });
+    assert_pinned("h2_baseline", allocs, H2_BASELINE_PIN);
+}
+
+#[test]
+fn h3_full_attack_steady_state_allocs_are_pinned() {
+    let allocs = steady_state_allocs(|| {
+        run_isidewith_h3_trial(91_000, Some(AttackConfig::full_attack()));
+    });
+    assert_pinned("h3_full_attack", allocs, H3_FULL_ATTACK_PIN);
+}

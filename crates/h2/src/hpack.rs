@@ -164,7 +164,7 @@ fn encode_string(out: &mut BytesMut, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn decode_string(buf: &[u8]) -> Option<(String, usize)> {
+fn decode_str(buf: &[u8]) -> Option<(&str, usize)> {
     let huffman = *buf.first()? & 0x80 != 0;
     if huffman {
         return None; // not produced by this encoder
@@ -174,8 +174,40 @@ fn decode_string(buf: &[u8]) -> Option<(String, usize)> {
     if buf.len() < end {
         return None;
     }
-    let s = String::from_utf8(buf[used..end].to_vec()).ok()?;
+    let s = std::str::from_utf8(&buf[used..end]).ok()?;
     Some((s, end))
+}
+
+/// Decodes one field, borrowing literal strings from the block (static
+/// table entries borrow `'static`). Returns ((name, value), bytes used).
+fn decode_field(buf: &[u8]) -> Option<((&str, &str), usize)> {
+    let b = *buf.first()?;
+    if b & 0x80 != 0 {
+        // Indexed field.
+        let (idx, used) = decode_int(buf, 7)?;
+        if idx == 0 || idx > STATIC_TABLE.len() {
+            return None;
+        }
+        Some((STATIC_TABLE[idx - 1], used))
+    } else if b & 0xf0 == 0x00 {
+        // Literal without indexing.
+        let (idx, mut used) = decode_int(buf, 4)?;
+        let name = if idx == 0 {
+            let (n, u) = decode_str(&buf[used..])?;
+            used += u;
+            n
+        } else {
+            if idx > STATIC_TABLE.len() {
+                return None;
+            }
+            STATIC_TABLE[idx - 1].0
+        };
+        let (value, u) = decode_str(&buf[used..])?;
+        used += u;
+        Some(((name, value), used))
+    } else {
+        None // encodings we never produce
+    }
 }
 
 fn find_exact(name: &str, value: &str) -> Option<usize> {
@@ -195,23 +227,33 @@ fn find_name(name: &str) -> Option<usize> {
 /// Encodes a header list into an HPACK block (stateless; never updates a
 /// dynamic table).
 pub fn encode(headers: &[(&str, &str)]) -> Bytes {
-    let mut out = BytesMut::new();
+    // Over-estimate the block size (prefix bytes are at most a few per
+    // field) so the whole build is a single allocation.
+    let cap = headers.iter().map(|(n, v)| n.len() + v.len() + 6).sum();
+    let mut out = BytesMut::with_capacity(cap);
+    encode_into(&mut out, headers);
+    out.freeze()
+}
+
+/// Appends the HPACK encoding of a header list to `out` — the zero-copy
+/// core of [`encode`], for callers that embed the block in a larger
+/// frame without an intermediate buffer.
+pub fn encode_into(out: &mut BytesMut, headers: &[(&str, &str)]) {
     for (name, value) in headers {
         if let Some(idx) = find_exact(name, value) {
             // Indexed field: '1' + 7-bit index.
-            encode_int(&mut out, 0x80, 7, idx);
+            encode_int(out, 0x80, 7, idx);
         } else if let Some(idx) = find_name(name) {
             // Literal without indexing, indexed name: '0000' + 4-bit index.
-            encode_int(&mut out, 0x00, 4, idx);
-            encode_string(&mut out, value);
+            encode_int(out, 0x00, 4, idx);
+            encode_string(out, value);
         } else {
             // Literal without indexing, new name.
             out.put_u8(0x00);
-            encode_string(&mut out, name);
-            encode_string(&mut out, value);
+            encode_string(out, name);
+            encode_string(out, value);
         }
     }
-    out.freeze()
 }
 
 /// Decodes an HPACK block produced by [`encode`].
@@ -222,36 +264,9 @@ pub fn decode(block: &[u8]) -> Option<Vec<(String, String)>> {
     let mut out = Vec::new();
     let mut buf = block;
     while !buf.is_empty() {
-        let b = buf[0];
-        if b & 0x80 != 0 {
-            // Indexed field.
-            let (idx, used) = decode_int(buf, 7)?;
-            if idx == 0 || idx > STATIC_TABLE.len() {
-                return None;
-            }
-            let (n, v) = STATIC_TABLE[idx - 1];
-            out.push((n.to_string(), v.to_string()));
-            buf = &buf[used..];
-        } else if b & 0xf0 == 0x00 {
-            // Literal without indexing.
-            let (idx, used) = decode_int(buf, 4)?;
-            buf = &buf[used..];
-            let name = if idx == 0 {
-                let (n, used) = decode_string(buf)?;
-                buf = &buf[used..];
-                n
-            } else {
-                if idx > STATIC_TABLE.len() {
-                    return None;
-                }
-                STATIC_TABLE[idx - 1].0.to_string()
-            };
-            let (value, used) = decode_string(buf)?;
-            buf = &buf[used..];
-            out.push((name, value));
-        } else {
-            return None; // encodings we never produce
-        }
+        let ((name, value), used) = decode_field(buf)?;
+        out.push((name.to_string(), value.to_string()));
+        buf = &buf[used..];
     }
     Some(out)
 }
@@ -267,42 +282,106 @@ pub struct Request {
 
 /// Encodes a Firefox-like GET request header block.
 pub fn encode_request(authority: &str, path: &str) -> Bytes {
-    encode(&[
-        (":method", "GET"),
-        (":scheme", "https"),
-        (":authority", authority),
-        (":path", path),
-        ("accept-encoding", "gzip, deflate"),
-        (
-            "user-agent",
-            "Mozilla/5.0 (X11; Linux x86_64; rv:74.0) Gecko/20100101 Firefox/74.0",
-        ),
-    ])
+    let mut out = BytesMut::with_capacity(64 + authority.len() + path.len());
+    encode_request_into(&mut out, authority, path);
+    out.freeze()
+}
+
+/// Appends a Firefox-like GET request header block to `out`.
+pub fn encode_request_into(out: &mut BytesMut, authority: &str, path: &str) {
+    encode_into(
+        out,
+        &[
+            (":method", "GET"),
+            (":scheme", "https"),
+            (":authority", authority),
+            (":path", path),
+            ("accept-encoding", "gzip, deflate"),
+            (
+                "user-agent",
+                "Mozilla/5.0 (X11; Linux x86_64; rv:74.0) Gecko/20100101 Firefox/74.0",
+            ),
+        ],
+    );
+}
+
+/// A parsed GET request whose strings borrow from the block — the
+/// hot-path variant of [`decode_request`] (no per-header `String`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRef<'a> {
+    /// `:authority` pseudo-header.
+    pub authority: &'a str,
+    /// `:path` pseudo-header.
+    pub path: &'a str,
+}
+
+/// Parses a request block produced by [`encode_request`] without
+/// allocating. Like [`decode_request`], the whole block must decode
+/// cleanly (a malformed trailing field rejects the request).
+pub fn decode_request_ref(block: &[u8]) -> Option<RequestRef<'_>> {
+    let (mut method, mut authority, mut path) = (None, None, None);
+    let mut buf = block;
+    while !buf.is_empty() {
+        let ((name, value), used) = decode_field(buf)?;
+        match name {
+            ":method" => method = Some(value),
+            ":authority" => authority = Some(value),
+            ":path" => path = Some(value),
+            _ => {}
+        }
+        buf = &buf[used..];
+    }
+    if method? != "GET" {
+        return None;
+    }
+    Some(RequestRef {
+        authority: authority?,
+        path: path?,
+    })
 }
 
 /// Parses a request block produced by [`encode_request`].
 pub fn decode_request(block: &[u8]) -> Option<Request> {
-    let headers = decode(block)?;
-    let get = |k: &str| headers.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
-    if get(":method")? != "GET" {
-        return None;
-    }
+    let req = decode_request_ref(block)?;
     Some(Request {
-        authority: get(":authority")?,
-        path: get(":path")?,
+        authority: req.authority.to_string(),
+        path: req.path.to_string(),
     })
 }
 
 /// Encodes a 200 response header block with a content length.
 pub fn encode_response(content_length: u64, content_type: &str) -> Bytes {
-    let cl = content_length.to_string();
-    encode(&[
-        (":status", "200"),
-        ("content-type", content_type),
-        ("content-length", &cl),
-        ("server", "nginx/1.16.1"),
-        ("cache-control", "no-cache"),
-    ])
+    let mut out = BytesMut::with_capacity(64 + content_type.len());
+    encode_response_into(&mut out, content_length, content_type);
+    out.freeze()
+}
+
+/// Appends a 200 response header block to `out`. The content length is
+/// formatted into a stack buffer, so the only allocations are `out`'s
+/// own growth.
+pub fn encode_response_into(out: &mut BytesMut, content_length: u64, content_type: &str) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = content_length;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    let cl = std::str::from_utf8(&digits[i..]).expect("decimal digits are ASCII");
+    encode_into(
+        out,
+        &[
+            (":status", "200"),
+            ("content-type", content_type),
+            ("content-length", cl),
+            ("server", "nginx/1.16.1"),
+            ("cache-control", "no-cache"),
+        ],
+    );
 }
 
 /// A parsed response.

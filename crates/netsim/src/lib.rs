@@ -75,6 +75,13 @@ pub mod time;
 pub mod topology;
 pub mod units;
 
+/// True when the `reference-queue` cargo feature swapped the timer wheel
+/// for the `BinaryHeap` oracle scheduler. Results are byte-identical
+/// either way, but incidental observables that the oracle suite does not
+/// pin — exact allocation counts, chiefly — differ between the two
+/// queues, and tests that assert them consult this to relax.
+pub const REFERENCE_QUEUE: bool = cfg!(feature = "reference-queue");
+
 /// Convenient glob-import of the most commonly used simulator types.
 pub mod prelude {
     pub use crate::capture::{CaptureEvent, CapturePoint, CaptureSink, SharedSink};

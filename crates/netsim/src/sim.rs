@@ -12,6 +12,7 @@ use crate::rng::SimRng;
 use crate::stats::SimStats;
 use crate::time::SimTime;
 use h2priv_util::telemetry;
+
 use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -9,8 +9,6 @@
 //! stream. Reports reuse the H2 report types so the experiment harness
 //! is transport-agnostic.
 
-use std::collections::HashMap;
-
 use h2priv_h2::hpack;
 use h2priv_h2::server::{CLIENT_PORT, SERVER_PORT};
 use h2priv_h2::{ClientConfig, ClientReport, ObjectOutcome, RequestRecord, StreamId};
@@ -20,10 +18,11 @@ use h2priv_netsim::packet::{FlowId, Packet};
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_tcp::TcpStats;
 use h2priv_tls::{RecordTag, TrafficClass, WireMap};
+use h2priv_util::fxhash::FxHashMap;
 use h2priv_web::{ObjectId, Site, Trigger};
 
 use crate::conn::{QuicConfig, QuicConnection, QuicEvent, QuicStats};
-use crate::h3::{headers_frame, H3Event, H3FrameReader};
+use crate::h3::{headers_frame_with, H3Event, H3FrameReader};
 use crate::stack::QuicStack;
 
 /// Derives transport tunables from the (transport-agnostic parts of the)
@@ -75,9 +74,13 @@ pub struct H3ClientNode {
     step_scheduled: Vec<bool>,
     objects: Vec<ObjState>,
     requests: Vec<RequestRecord>,
-    stream_map: HashMap<u32, usize>,
-    readers: HashMap<u32, H3FrameReader>,
-    timers: HashMap<TimerId, TimerPurpose>,
+    stream_map: FxHashMap<u32, usize>,
+    readers: FxHashMap<u32, H3FrameReader>,
+    timers: FxHashMap<TimerId, TimerPurpose>,
+    /// Reusable transport-event buffer (cleared before each use).
+    event_scratch: Vec<QuicEvent>,
+    /// Reusable H3-event buffer (cleared before each use).
+    h3_scratch: Vec<H3Event>,
     h2_rerequests: u64,
     resets_sent: u64,
     broken: bool,
@@ -107,9 +110,11 @@ impl H3ClientNode {
             step_scheduled: vec![false; n_steps],
             objects: vec![ObjState::default(); n_objects],
             requests: Vec::new(),
-            stream_map: HashMap::new(),
-            readers: HashMap::new(),
-            timers: HashMap::new(),
+            stream_map: FxHashMap::default(),
+            readers: FxHashMap::default(),
+            timers: FxHashMap::default(),
+            event_scratch: Vec::new(),
+            h3_scratch: Vec::new(),
             h2_rerequests: 0,
             resets_sent: 0,
             broken: false,
@@ -119,12 +124,15 @@ impl H3ClientNode {
         }
     }
 
-    /// Builds the post-run report (same shape as the H2 client's).
-    pub fn report(&self) -> ClientReport {
+    /// Builds the post-run report (same shape as the H2 client's),
+    /// taking ownership of the accumulated request records — callers
+    /// read the report once, at end of trial, so there is no reason to
+    /// clone the records.
+    pub fn take_report(&mut self) -> ClientReport {
         ClientReport {
             page_started_at: self.page_started_at,
             page_completed_at: self.page_completed_at,
-            requests: self.requests.clone(),
+            requests: std::mem::take(&mut self.requests),
             objects: self
                 .objects
                 .iter()
@@ -256,8 +264,13 @@ impl H3ClientNode {
         let attempt = self.obj(object).attempts;
         self.obj(object).attempts += 1;
         let stream = self.alloc_stream();
-        let path = self.site.object(object).path.clone();
-        let block = hpack::encode_request(&self.cfg.authority, &path);
+        let frame = {
+            let authority = &self.cfg.authority;
+            let path = &self.site.object(object).path;
+            headers_frame_with(96 + authority.len() + path.len(), |out| {
+                hpack::encode_request_into(out, authority, path)
+            })
+        };
         let req_idx = self.requests.len();
         self.requests.push(RequestRecord {
             object,
@@ -276,7 +289,7 @@ impl H3ClientNode {
         // datagram (this is what the adversary's pacer keys on).
         self.stack.quic.stream_send(
             stream.0,
-            headers_frame(&block),
+            frame,
             true,
             RecordTag {
                 stream_id: stream.0,
@@ -307,8 +320,8 @@ impl H3ClientNode {
         }
     }
 
-    fn handle_quic_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<QuicEvent>) {
-        for ev in events {
+    fn handle_quic_events(&mut self, ctx: &mut Ctx<'_>, events: &mut Vec<QuicEvent>) {
+        for ev in events.drain(..) {
             match ev {
                 QuicEvent::Connected => {
                     if self.page_started_at.is_none() {
@@ -316,7 +329,7 @@ impl H3ClientNode {
                     }
                 }
                 QuicEvent::Stream { id, data, fin } => {
-                    self.on_stream_data(ctx, id, &data.to_vec(), fin);
+                    self.on_stream_data(ctx, id, &data, fin);
                 }
                 QuicEvent::StreamReset { id } => {
                     if let Some(&idx) = self.stream_map.get(&id) {
@@ -338,19 +351,27 @@ impl H3ClientNode {
         if self.requests[idx].reset {
             return; // bytes of a cancelled copy still in flight
         }
-        let mut events = Vec::new();
+        let mut events = std::mem::take(&mut self.h3_scratch);
+        events.clear();
         if let Some(reader) = self.readers.get_mut(&id) {
             reader.push(data, &mut events);
         }
         let now = ctx.now();
         let object = self.requests[idx].object;
-        for ev in events {
+        for ev in events.drain(..) {
             match ev {
                 H3Event::Headers(block) => {
                     self.requests[idx].headers_at = Some(now);
                     self.obj(object).last_progress = Some(now);
-                    if let Some(resp) = hpack::decode_response(&block) {
-                        debug_assert_eq!(resp.status, 200);
+                    // Decoding the response is a sanity check only; skip the
+                    // String allocations in release builds.
+                    #[cfg(debug_assertions)]
+                    {
+                        let resp = hpack::decode_response(&block);
+                        debug_assert_eq!(resp.map(|r| r.status), Some(200));
+                    }
+                    if let Some(reader) = self.readers.get_mut(&id) {
+                        reader.recycle(block);
                     }
                 }
                 H3Event::Data { len } => {
@@ -366,6 +387,7 @@ impl H3ClientNode {
                 }
             }
         }
+        self.h3_scratch = events;
         if fin {
             self.complete_request(ctx, idx);
         }
@@ -431,14 +453,12 @@ impl H3ClientNode {
             // Reset *all* ongoing streams (paper Fig. 6) — over QUIC each
             // becomes a small RESET_STREAM + STOP_SENDING datagram, the
             // burst the adversary's reset-signature detector watches for.
-            let streams: Vec<StreamId> = self
-                .requests
-                .iter()
-                .filter(|r| r.completed_at.is_none() && !r.reset)
-                .map(|r| r.stream)
-                .collect();
-            for s in &streams {
-                self.stack.quic.reset_stream(s.0);
+            for i in 0..self.requests.len() {
+                let r = &self.requests[i];
+                if r.completed_at.is_none() && !r.reset {
+                    let stream: StreamId = r.stream;
+                    self.stack.quic.reset_stream(stream.0);
+                }
             }
             for r in self.requests.iter_mut() {
                 if r.completed_at.is_none() {
@@ -447,14 +467,12 @@ impl H3ClientNode {
             }
             self.resets_sent += 1;
             self.timeout_scale = self.cfg.reset.post_reset_timeout_scale;
-            let incomplete: Vec<ObjectId> = (0..self.objects.len() as u32)
-                .map(ObjectId)
-                .filter(|o| {
-                    let st = self.objects[o.0 as usize];
-                    st.requested_at.is_some() && st.completed_at.is_none() && !st.gave_up
-                })
-                .collect();
-            for o in incomplete {
+            for idx in 0..self.objects.len() {
+                let o = ObjectId(idx as u32);
+                let st = self.objects[idx];
+                if st.requested_at.is_none() || st.completed_at.is_some() || st.gave_up {
+                    continue;
+                }
                 self.obj(o).resets += 1;
                 self.obj(o).last_progress = Some(now);
                 let backoff = if self.is_document(o) {
@@ -493,8 +511,15 @@ impl Node for H3ClientNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: LinkId, pkt: Packet) {
-        let events = self.stack.on_packet(ctx.now(), &pkt);
-        self.handle_quic_events(ctx, events);
+        let mut events = std::mem::take(&mut self.event_scratch);
+        events.clear();
+        self.stack.on_packet_into(ctx.now(), &pkt, &mut events);
+        self.handle_quic_events(ctx, &mut events);
+        self.event_scratch = events;
+        // Every slice of this datagram has been consumed (or parked in a
+        // reassembly buffer, in which case reclaim is a no-op): offer the
+        // buffer to the send path before pumping responses out.
+        self.stack.quic.reclaim_payload(pkt.payload);
         self.after_activity(ctx);
     }
 
@@ -502,8 +527,11 @@ impl Node for H3ClientNode {
         match self.timers.remove(&timer) {
             Some(TimerPurpose::TransportTick) => {
                 self.stack.tick_at = None;
-                let events = self.stack.on_transport_timer(ctx.now());
-                self.handle_quic_events(ctx, events);
+                let mut events = std::mem::take(&mut self.event_scratch);
+                events.clear();
+                self.stack.on_transport_timer_into(ctx.now(), &mut events);
+                self.handle_quic_events(ctx, &mut events);
+                self.event_scratch = events;
             }
             Some(TimerPurpose::IssueStep(step)) => {
                 let object = self.site.plan[step].object;

@@ -14,22 +14,48 @@
 //! frames, with the client's first flight padded to a full datagram as
 //! RFC 9000 requires of Initial packets.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use h2priv_h2::stack::handshake_sizes;
 use h2priv_netsim::packet::{FlowId, TcpFlags, TcpHeader};
 use h2priv_netsim::time::{SimDuration, SimTime};
 use h2priv_tcp::TcpStats;
 use h2priv_tls::{RecordTag, TrafficClass, WireMap, WireSpan};
-use h2priv_util::bytes::Bytes;
-use h2priv_util::telemetry;
+use h2priv_util::bytes::{Bytes, BytesPool};
+use h2priv_util::{smallvec, telemetry};
 
 use crate::frame::{
-    decode_datagram, encode_datagram, QuicFrame, MAX_CRYPTO_CHUNK, MAX_DATAGRAM, SHORT_HEADER_LEN,
-    STREAM_FRAME_HEADER_LEN,
+    decode_datagram_into, encode_datagram_pooled, FrameVec, QuicFrame, MAX_CRYPTO_CHUNK,
+    MAX_DATAGRAM, SHORT_HEADER_LEN, STREAM_FRAME_HEADER_LEN,
 };
-use crate::recovery::{AckRanges, Recovery, SentFrame};
+use crate::recovery::{AckRanges, Recovery, SentFrame, SentVec};
 use crate::streams::{RecvStream, SendStream};
+use crate::table::StreamTable;
+
+/// Datagram payload buffers kept warm per worker thread. In steady state
+/// the send paths cycle buffers with the peers' receive paths, so a pool
+/// sized to the aggregate in-flight window covers all connections.
+const PAYLOAD_POOL_BUFFERS: usize = 512;
+
+thread_local! {
+    /// Shared datagram-payload recycling pool. The simulation runs one
+    /// trial per thread, and payload buffers migrate between endpoints
+    /// (a buffer allocated by the server's send path is reclaimed by the
+    /// client's receive path), so per-connection pools drain in one
+    /// direction and refill in the other. A thread-local pool lets every
+    /// connection on the thread draw from the same recycled stock; it
+    /// stays warm across trials on long-lived worker threads.
+    static PAYLOAD_POOL: std::cell::RefCell<BytesPool> =
+        std::cell::RefCell::new(BytesPool::new(PAYLOAD_POOL_BUFFERS, MAX_DATAGRAM));
+}
+
+/// Runs `f` with the thread's payload pool. Crate-internal so the
+/// stream layer can serve segment-spanning chunk copies from the same
+/// recycled stock (those buffers round-trip through
+/// [`QuicConnection::poll_datagram`] and come back via reclaim below).
+pub(crate) fn with_payload_pool<R>(f: impl FnOnce(&mut BytesPool) -> R) -> R {
+    PAYLOAD_POOL.with(|p| f(&mut p.borrow_mut()))
+}
 
 /// Which end of the connection this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,10 +207,10 @@ pub struct QuicConnection {
     queued_server_flight: bool,
     queued_client_finish: bool,
     queued_server_finish: bool,
-    send_streams: BTreeMap<u32, SendStream>,
-    recv_streams: BTreeMap<u32, RecvStream>,
+    send_streams: StreamTable<SendStream>,
+    recv_streams: StreamTable<RecvStream>,
     last_sent_stream: Option<u32>,
-    control_queue: VecDeque<Vec<QuicFrame>>,
+    control_queue: VecDeque<FrameVec>,
     /// Connection-level flow control, send side.
     peer_max_data: u64,
     conn_data_sent: u64,
@@ -195,6 +221,10 @@ pub struct QuicConnection {
     stats: QuicStats,
     wire_map: WireMap,
     wire_offset: u64,
+    /// Reusable frame buffer for datagram decoding.
+    decode_scratch: Vec<QuicFrame>,
+    /// Reusable tag-run buffer for wire-map bookkeeping.
+    runs_scratch: Vec<(u64, u32, RecordTag)>,
 }
 
 impl QuicConnection {
@@ -214,8 +244,8 @@ impl QuicConnection {
             queued_server_flight: false,
             queued_client_finish: false,
             queued_server_finish: false,
-            send_streams: BTreeMap::new(),
-            recv_streams: BTreeMap::new(),
+            send_streams: StreamTable::new(),
+            recv_streams: StreamTable::new(),
             last_sent_stream: None,
             control_queue: VecDeque::new(),
             peer_max_data: cfg.initial_max_data,
@@ -226,6 +256,8 @@ impl QuicConnection {
             stats: QuicStats::default(),
             wire_map: WireMap::new(),
             wire_offset: 0,
+            decode_scratch: Vec::new(),
+            runs_scratch: Vec::new(),
             cfg,
         }
     }
@@ -290,8 +322,7 @@ impl QuicConnection {
     pub fn stream_send(&mut self, id: u32, data: Bytes, fin: bool, tag: RecordTag) {
         let max = self.cfg.initial_max_stream_data;
         self.send_streams
-            .entry(id)
-            .or_insert_with(|| SendStream::new(max))
+            .get_or_insert_with(id, || SendStream::new(max))
             .push(data, fin, tag);
     }
 
@@ -301,11 +332,12 @@ impl QuicConnection {
     pub fn reset_stream(&mut self, id: u32) {
         let max = self.cfg.initial_max_stream_data;
         self.send_streams
-            .entry(id)
-            .or_insert_with(|| SendStream::new(max))
+            .get_or_insert_with(id, || SendStream::new(max))
             .reset();
-        self.recv_streams.entry(id).or_default().stop();
-        self.control_queue.push_back(vec![
+        self.recv_streams
+            .get_or_insert_with(id, RecvStream::new)
+            .stop();
+        self.control_queue.push_back(smallvec![
             QuicFrame::ResetStream { id },
             QuicFrame::StopSending { id },
         ]);
@@ -314,7 +346,7 @@ impl QuicConnection {
     /// Queues a CONNECTION_CLOSE to the peer.
     pub fn close(&mut self) {
         self.control_queue
-            .push_back(vec![QuicFrame::ConnectionClose]);
+            .push_back(smallvec![QuicFrame::ConnectionClose]);
     }
 
     /// Next application event, if any.
@@ -371,7 +403,7 @@ impl QuicConnection {
 
     /// Requeues retransmittable frames (from loss or PTO); returns how
     /// many stream/crypto frames were actually requeued.
-    fn requeue_frames(&mut self, frames: Vec<SentFrame>) -> u64 {
+    fn requeue_frames(&mut self, frames: impl IntoIterator<Item = SentFrame>) -> u64 {
         let mut n = 0;
         for f in frames {
             match f {
@@ -381,7 +413,7 @@ impl QuicConnection {
                     len,
                     fin,
                 } => {
-                    if let Some(s) = self.send_streams.get_mut(&id) {
+                    if let Some(s) = self.send_streams.get_mut(id) {
                         if s.on_frame_lost(offset, len, fin) {
                             n += 1;
                         }
@@ -391,26 +423,33 @@ impl QuicConnection {
                     self.crypto_retransmit.push_back((offset, len));
                     n += 1;
                 }
-                SentFrame::Control(frame) => self.control_queue.push_back(vec![frame]),
+                SentFrame::Control(frame) => self.control_queue.push_back(smallvec![frame]),
                 SentFrame::AckOnly => {}
             }
         }
         n
     }
 
-    /// Ingests one received datagram payload.
-    pub fn on_datagram(&mut self, now: SimTime, payload: &[u8]) {
+    /// Ingests one received datagram payload. Stream data in `payload`
+    /// is delivered as zero-copy slices of it, so the `Bytes` handle's
+    /// buffer stays referenced until the resulting events are consumed.
+    pub fn on_datagram(&mut self, now: SimTime, payload: &Bytes) {
         if self.state == ConnState::Dead {
             return;
         }
-        let Some((pn, frames)) = decode_datagram(payload) else {
+        let mut frames = std::mem::take(&mut self.decode_scratch);
+        frames.clear();
+        let decoded = decode_datagram_into(payload, &mut frames);
+        let Some(pn) = decoded else {
             debug_assert!(false, "malformed QUIC-lite datagram");
+            self.decode_scratch = frames;
             return;
         };
         self.stats.datagrams_received += 1;
         self.stats.bytes_received += payload.len() as u64;
         if !self.recv_ranges.insert(pn) {
             self.stats.duplicate_datagrams += 1;
+            self.decode_scratch = frames;
             return;
         }
         let ack_eliciting = frames.iter().any(QuicFrame::is_ack_eliciting);
@@ -421,9 +460,18 @@ impl QuicConnection {
                 now
             });
         }
-        for frame in frames {
+        for frame in frames.drain(..) {
             self.on_frame(now, frame);
         }
+        self.decode_scratch = frames;
+    }
+
+    /// Offers a fully-processed received payload buffer back to the
+    /// thread's send pool. A no-op (the buffer is simply dropped)
+    /// when something still references it — e.g. out-of-order stream
+    /// data parked in a reassembly buffer.
+    pub fn reclaim_payload(&mut self, payload: Bytes) {
+        PAYLOAD_POOL.with(|p| p.borrow_mut().reclaim(payload));
     }
 
     fn on_frame(&mut self, now: SimTime, frame: QuicFrame) {
@@ -457,19 +505,20 @@ impl QuicConnection {
                 self.peer_max_data = self.peer_max_data.max(max);
             }
             QuicFrame::MaxStreamData { id, max } => {
-                if let Some(s) = self.send_streams.get_mut(&id) {
+                if let Some(s) = self.send_streams.get_mut(id) {
                     s.on_max_stream_data(max);
                 }
             }
             QuicFrame::ResetStream { id } => {
-                self.recv_streams.entry(id).or_default().stop();
+                self.recv_streams
+                    .get_or_insert_with(id, RecvStream::new)
+                    .stop();
                 self.events.push_back(QuicEvent::StreamReset { id });
             }
             QuicFrame::StopSending { id } => {
                 let max = self.cfg.initial_max_stream_data;
                 self.send_streams
-                    .entry(id)
-                    .or_insert_with(|| SendStream::new(max))
+                    .get_or_insert_with(id, || SendStream::new(max))
                     .reset();
                 self.events.push_back(QuicEvent::StreamStopped { id });
             }
@@ -481,7 +530,7 @@ impl QuicConnection {
     }
 
     fn on_stream_frame(&mut self, id: u32, offset: u64, data: Bytes, fin: bool) {
-        let stream = self.recv_streams.entry(id).or_default();
+        let stream = self.recv_streams.get_or_insert_with(id, RecvStream::new);
         let advance = stream.on_frame(offset, data, fin);
         self.conn_bytes_seen += advance;
         if !stream.is_stopped() {
@@ -495,7 +544,7 @@ impl QuicConnection {
             self.granted_marker = self.conn_bytes_seen;
             let max = self.conn_bytes_seen + self.cfg.initial_max_data;
             self.control_queue
-                .push_back(vec![QuicFrame::MaxData { max }]);
+                .push_back(smallvec![QuicFrame::MaxData { max }]);
         }
     }
 
@@ -552,13 +601,14 @@ impl QuicConnection {
     fn emit(
         &mut self,
         now: SimTime,
-        frames: Vec<QuicFrame>,
-        sent: Vec<SentFrame>,
+        frames: &[QuicFrame],
+        sent: SentVec,
         ack_eliciting: bool,
         pad_to: Option<usize>,
     ) -> (TcpHeader, Bytes) {
         let pn = self.recovery.peek_pn();
-        let payload = encode_datagram(pn, &frames, pad_to);
+        let payload =
+            PAYLOAD_POOL.with(|p| encode_datagram_pooled(pn, frames, pad_to, &mut p.borrow_mut()));
         let assigned = self
             .recovery
             .on_packet_sent(now, payload.len() as u64, ack_eliciting, sent);
@@ -580,8 +630,8 @@ impl QuicConnection {
         }
         // 1. Control frames (reset volleys, flow-control grants, close).
         if let Some(frames) = self.control_queue.pop_front() {
-            let sent = frames.iter().cloned().map(SentFrame::Control).collect();
-            return Some(self.emit(now, frames, sent, true, None));
+            let sent: SentVec = frames.iter().cloned().map(SentFrame::Control).collect();
+            return Some(self.emit(now, &frames, sent, true, None));
         }
         // 2. Due delayed ACK.
         if self.ack_at.is_some_and(|t| t <= now) {
@@ -595,8 +645,8 @@ impl QuicConnection {
             let ranges = self.recv_ranges.encode_rotating(&mut self.ack_rotation);
             return Some(self.emit(
                 now,
-                vec![QuicFrame::Ack { ranges }],
-                vec![SentFrame::AckOnly],
+                &[QuicFrame::Ack { ranges }],
+                smallvec![SentFrame::AckOnly],
                 false,
                 None,
             ));
@@ -609,8 +659,8 @@ impl QuicConnection {
         // would deadlock the connection into PTO-abort.
         if let Some((offset, len)) = self.crypto_retransmit.pop_front() {
             let frame = QuicFrame::Crypto { offset, len };
-            let sent = vec![SentFrame::Crypto { offset, len }];
-            return Some(self.emit(now, vec![frame], sent, true, None));
+            let sent = smallvec![SentFrame::Crypto { offset, len }];
+            return Some(self.emit(now, &[frame], sent, true, None));
         }
         let window_open = self.recovery.can_send(MAX_DATAGRAM as u64);
         if window_open && self.crypto_sent < self.crypto_queued {
@@ -621,8 +671,8 @@ impl QuicConnection {
             // full datagram as RFC 9000 §8.1 requires.
             let pad = (self.role == Role::Client && offset == 0).then_some(MAX_DATAGRAM);
             let frame = QuicFrame::Crypto { offset, len };
-            let sent = vec![SentFrame::Crypto { offset, len }];
-            return Some(self.emit(now, vec![frame], sent, true, pad));
+            let sent = smallvec![SentFrame::Crypto { offset, len }];
+            return Some(self.emit(now, &[frame], sent, true, pad));
         }
         // 4. Application streams, deterministic round-robin.
         self.poll_stream_datagram(now, window_open)
@@ -638,29 +688,28 @@ impl QuicConnection {
         }
         let conn_credit = self.peer_max_data.saturating_sub(self.conn_data_sent);
         // Round-robin: first sendable stream strictly after the cursor,
-        // wrapping; deterministic because BTreeMap iterates in id order.
+        // wrapping; deterministic because the table iterates in id order
+        // (the same order the former BTreeMap ranges walked).
         // With the window shut only probe-class retransmissions go out
         // (and `next_chunk` serves a stream's retransmissions first).
         let after = self.last_sent_stream.map_or(0, |id| id + 1);
-        let pick = self
-            .send_streams
-            .range(after..)
-            .chain(self.send_streams.range(..after))
-            .find(|(_, s)| {
-                if window_open {
-                    s.has_sendable(conn_credit)
-                } else {
-                    s.has_retransmit()
-                }
-            })
-            .map(|(&id, _)| id)?;
-        let stream = self.send_streams.get_mut(&pick)?;
+        let pick = self.send_streams.next_matching(after, |s| {
+            if window_open {
+                s.has_sendable(conn_credit)
+            } else {
+                s.has_retransmit()
+            }
+        })?;
+        let stream = self.send_streams.get_mut(pick)?;
         let chunk = stream.next_chunk(conn_credit)?;
-        let runs = if chunk.retransmit {
-            Vec::new()
-        } else {
-            stream.tag_runs(chunk.offset, chunk.data.len() as u32)
-        };
+        self.runs_scratch.clear();
+        if !chunk.retransmit {
+            stream.tag_runs_into(
+                chunk.offset,
+                chunk.data.len() as u32,
+                &mut self.runs_scratch,
+            );
+        }
         self.last_sent_stream = Some(pick);
         if !chunk.retransmit {
             self.conn_data_sent += chunk.data.len() as u64;
@@ -668,7 +717,7 @@ impl QuicConnection {
             // Map the chunk's bytes to their datagram payload offsets:
             // short header + STREAM frame header precede the data.
             let base = self.wire_offset + (SHORT_HEADER_LEN + STREAM_FRAME_HEADER_LEN) as u64;
-            for (run_offset, run_len, tag) in runs {
+            for &(run_offset, run_len, tag) in &self.runs_scratch {
                 let start = base + (run_offset - chunk.offset);
                 self.wire_map.push(WireSpan {
                     start,
@@ -677,19 +726,26 @@ impl QuicConnection {
                 });
             }
         }
-        let sent = vec![SentFrame::Stream {
+        let sent = smallvec![SentFrame::Stream {
             id: pick,
             offset: chunk.offset,
             len: chunk.data.len() as u32,
             fin: chunk.fin,
         }];
+        let data_handle = chunk.data.clone();
         let frame = QuicFrame::Stream {
             id: pick,
             offset: chunk.offset,
             data: chunk.data,
             fin: chunk.fin,
         };
-        Some(self.emit(now, vec![frame], sent, true, None))
+        let result = self.emit(now, &[frame], sent, true, None);
+        // The chunk's bytes were copied into the datagram above; a
+        // segment-spanning copy (whose only other owner was the frame,
+        // just dropped) goes back to the pool, while segment-backed
+        // slices still have owners in the send queue and are dropped.
+        with_payload_pool(|p| p.reclaim(data_handle));
+        Some(result)
     }
 }
 

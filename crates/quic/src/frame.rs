@@ -17,7 +17,17 @@
 //! record header to parse, which is exactly the property the H3 arm of
 //! the experiments studies.
 
-use h2priv_util::bytes::{Bytes, BytesMut};
+use h2priv_util::bytes::{Bytes, BytesPool};
+use h2priv_util::smallvec::SmallVec;
+
+/// A per-datagram frame list. Steady-state datagrams carry one frame
+/// (stream chunk, crypto chunk or ACK) and the largest control volley
+/// carries two, so two inline slots keep the packet path off the heap.
+pub type FrameVec = SmallVec<QuicFrame, 2>;
+/// ACK ranges as they go on the wire, sized to [`MAX_ACK_RANGES`] so a
+/// well-formed sender never spills to the heap (hostile input with more
+/// ranges still decodes — the vector spills).
+pub type RangeVec = SmallVec<(u64, u64), MAX_ACK_RANGES>;
 
 /// Bytes of the short packet header (type byte + 8-byte packet number).
 pub const SHORT_HEADER_LEN: usize = 9;
@@ -70,7 +80,7 @@ pub enum QuicFrame {
     /// Acknowledgement: inclusive packet-number ranges, ascending.
     Ack {
         /// Acknowledged `[start, end]` ranges, ascending and disjoint.
-        ranges: Vec<(u64, u64)>,
+        ranges: RangeVec,
     },
     /// Handshake bytes (content is opaque zeros, only sizes matter).
     Crypto {
@@ -139,30 +149,28 @@ impl QuicFrame {
     }
 
     /// Appends the wire encoding to `out`.
-    pub fn encode_into(&self, out: &mut BytesMut) {
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             QuicFrame::Padding { len } => {
-                for _ in 0..*len {
-                    out.put_u8(TYPE_PADDING);
-                }
+                let at = out.len();
+                out.resize(at + *len as usize, TYPE_PADDING);
             }
-            QuicFrame::Ping => out.put_u8(TYPE_PING),
+            QuicFrame::Ping => out.push(TYPE_PING),
             QuicFrame::Ack { ranges } => {
                 debug_assert!(ranges.len() <= u8::MAX as usize);
-                out.put_u8(TYPE_ACK);
-                out.put_u8(ranges.len() as u8);
-                for (start, end) in ranges {
-                    out.put_u64(*start);
-                    out.put_u64(*end);
+                out.push(TYPE_ACK);
+                out.push(ranges.len() as u8);
+                for (start, end) in ranges.iter() {
+                    out.extend_from_slice(&start.to_be_bytes());
+                    out.extend_from_slice(&end.to_be_bytes());
                 }
             }
             QuicFrame::Crypto { offset, len } => {
-                out.put_u8(TYPE_CRYPTO);
-                out.put_u64(*offset);
-                out.put_u32(*len);
-                for _ in 0..*len {
-                    out.put_u8(0);
-                }
+                out.push(TYPE_CRYPTO);
+                out.extend_from_slice(&offset.to_be_bytes());
+                out.extend_from_slice(&len.to_be_bytes());
+                let at = out.len();
+                out.resize(at + *len as usize, 0);
             }
             QuicFrame::Stream {
                 id,
@@ -170,112 +178,115 @@ impl QuicFrame {
                 data,
                 fin,
             } => {
-                out.put_u8(TYPE_STREAM | u8::from(*fin));
-                out.put_u32(*id);
-                out.put_u64(*offset);
-                out.put_u32(data.len() as u32);
-                out.put_slice(data);
+                out.push(TYPE_STREAM | u8::from(*fin));
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&offset.to_be_bytes());
+                out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+                out.extend_from_slice(data);
             }
             QuicFrame::MaxData { max } => {
-                out.put_u8(TYPE_MAX_DATA);
-                out.put_u64(*max);
+                out.push(TYPE_MAX_DATA);
+                out.extend_from_slice(&max.to_be_bytes());
             }
             QuicFrame::MaxStreamData { id, max } => {
-                out.put_u8(TYPE_MAX_STREAM_DATA);
-                out.put_u32(*id);
-                out.put_u64(*max);
+                out.push(TYPE_MAX_STREAM_DATA);
+                out.extend_from_slice(&id.to_be_bytes());
+                out.extend_from_slice(&max.to_be_bytes());
             }
             QuicFrame::ResetStream { id } => {
-                out.put_u8(TYPE_RESET_STREAM);
-                out.put_u32(*id);
+                out.push(TYPE_RESET_STREAM);
+                out.extend_from_slice(&id.to_be_bytes());
             }
             QuicFrame::StopSending { id } => {
-                out.put_u8(TYPE_STOP_SENDING);
-                out.put_u32(*id);
+                out.push(TYPE_STOP_SENDING);
+                out.extend_from_slice(&id.to_be_bytes());
             }
-            QuicFrame::ConnectionClose => out.put_u8(TYPE_CONNECTION_CLOSE),
+            QuicFrame::ConnectionClose => out.push(TYPE_CONNECTION_CLOSE),
         }
     }
+}
 
-    /// Decodes one frame from the front of `buf`; returns the frame and
-    /// bytes consumed. `None` on malformed input.
-    pub fn decode(buf: &[u8]) -> Option<(QuicFrame, usize)> {
-        let ty = *buf.first()?;
-        match ty {
-            TYPE_PADDING => {
-                let len = buf.iter().take_while(|&&b| b == TYPE_PADDING).count();
-                Some((QuicFrame::Padding { len: len as u32 }, len))
-            }
-            TYPE_PING => Some((QuicFrame::Ping, 1)),
-            TYPE_ACK => {
-                let count = *buf.get(1)? as usize;
-                let need = 2 + 16 * count;
-                if buf.len() < need {
-                    return None;
-                }
-                let mut ranges = Vec::with_capacity(count);
-                for i in 0..count {
-                    let at = 2 + 16 * i;
-                    ranges.push((read_u64(buf, at)?, read_u64(buf, at + 8)?));
-                }
-                Some((QuicFrame::Ack { ranges }, need))
-            }
-            TYPE_CRYPTO => {
-                let offset = read_u64(buf, 1)?;
-                let len = read_u32(buf, 9)?;
-                let need = CRYPTO_FRAME_HEADER_LEN + len as usize;
-                if buf.len() < need {
-                    return None;
-                }
-                Some((QuicFrame::Crypto { offset, len }, need))
-            }
-            t if t & !0x01 == TYPE_STREAM => {
-                let id = read_u32(buf, 1)?;
-                let offset = read_u64(buf, 5)?;
-                let len = read_u32(buf, 13)?;
-                let need = STREAM_FRAME_HEADER_LEN + len as usize;
-                if buf.len() < need {
-                    return None;
-                }
-                let data = Bytes::copy_from_slice(&buf[STREAM_FRAME_HEADER_LEN..need]);
-                Some((
-                    QuicFrame::Stream {
-                        id,
-                        offset,
-                        data,
-                        fin: t & 0x01 != 0,
-                    },
-                    need,
-                ))
-            }
-            TYPE_MAX_DATA => Some((
-                QuicFrame::MaxData {
-                    max: read_u64(buf, 1)?,
-                },
-                9,
-            )),
-            TYPE_MAX_STREAM_DATA => Some((
-                QuicFrame::MaxStreamData {
-                    id: read_u32(buf, 1)?,
-                    max: read_u64(buf, 5)?,
-                },
-                13,
-            )),
-            TYPE_RESET_STREAM => Some((
-                QuicFrame::ResetStream {
-                    id: read_u32(buf, 1)?,
-                },
-                5,
-            )),
-            TYPE_STOP_SENDING => Some((
-                QuicFrame::StopSending {
-                    id: read_u32(buf, 1)?,
-                },
-                5,
-            )),
-            TYPE_CONNECTION_CLOSE => Some((QuicFrame::ConnectionClose, 1)),
-            _ => None,
+/// Decodes one frame starting at byte `at` of `payload` (frames end at
+/// `limit`, which excludes the AEAD tag); returns the frame and bytes
+/// consumed. `None` on malformed input. Stream data is a zero-copy
+/// slice of `payload` — no per-frame heap allocation.
+fn decode_frame(payload: &Bytes, at: usize, limit: usize) -> Option<(QuicFrame, usize)> {
+    let buf = &payload[at..limit];
+    let ty = *buf.first()?;
+    match ty {
+        TYPE_PADDING => {
+            let len = buf.iter().take_while(|&&b| b == TYPE_PADDING).count();
+            Some((QuicFrame::Padding { len: len as u32 }, len))
         }
+        TYPE_PING => Some((QuicFrame::Ping, 1)),
+        TYPE_ACK => {
+            let count = *buf.get(1)? as usize;
+            let need = 2 + 16 * count;
+            if buf.len() < need {
+                return None;
+            }
+            let mut ranges = RangeVec::new();
+            for i in 0..count {
+                let off = 2 + 16 * i;
+                ranges.push((read_u64(buf, off)?, read_u64(buf, off + 8)?));
+            }
+            Some((QuicFrame::Ack { ranges }, need))
+        }
+        TYPE_CRYPTO => {
+            let offset = read_u64(buf, 1)?;
+            let len = read_u32(buf, 9)?;
+            let need = CRYPTO_FRAME_HEADER_LEN + len as usize;
+            if buf.len() < need {
+                return None;
+            }
+            Some((QuicFrame::Crypto { offset, len }, need))
+        }
+        t if t & !0x01 == TYPE_STREAM => {
+            let id = read_u32(buf, 1)?;
+            let offset = read_u64(buf, 5)?;
+            let len = read_u32(buf, 13)?;
+            let need = STREAM_FRAME_HEADER_LEN + len as usize;
+            if buf.len() < need {
+                return None;
+            }
+            let data = payload.slice(at + STREAM_FRAME_HEADER_LEN..at + need);
+            Some((
+                QuicFrame::Stream {
+                    id,
+                    offset,
+                    data,
+                    fin: t & 0x01 != 0,
+                },
+                need,
+            ))
+        }
+        TYPE_MAX_DATA => Some((
+            QuicFrame::MaxData {
+                max: read_u64(buf, 1)?,
+            },
+            9,
+        )),
+        TYPE_MAX_STREAM_DATA => Some((
+            QuicFrame::MaxStreamData {
+                id: read_u32(buf, 1)?,
+                max: read_u64(buf, 5)?,
+            },
+            13,
+        )),
+        TYPE_RESET_STREAM => Some((
+            QuicFrame::ResetStream {
+                id: read_u32(buf, 1)?,
+            },
+            5,
+        )),
+        TYPE_STOP_SENDING => Some((
+            QuicFrame::StopSending {
+                id: read_u32(buf, 1)?,
+            },
+            5,
+        )),
+        TYPE_CONNECTION_CLOSE => Some((QuicFrame::ConnectionClose, 1)),
+        _ => None,
     }
 }
 
@@ -287,17 +298,13 @@ fn read_u64(buf: &[u8], at: usize) -> Option<u64> {
     Some(u64::from_be_bytes(buf.get(at..at + 8)?.try_into().ok()?))
 }
 
-/// Encodes one datagram: short header, frames, optional padding up to
-/// `pad_to` total bytes, then the AEAD tag.
-///
-/// # Panics
-/// Panics if the encoded datagram would exceed [`MAX_DATAGRAM`].
-pub fn encode_datagram(pn: u64, frames: &[QuicFrame], pad_to: Option<usize>) -> Bytes {
-    let mut out = BytesMut::with_capacity(MAX_DATAGRAM);
-    out.put_u8(0x40);
-    out.put_u64(pn);
+/// Shared encode body: short header, frames, optional padding up to
+/// `pad_to` total bytes, then the AEAD tag, appended to `out`.
+fn encode_datagram_into(pn: u64, frames: &[QuicFrame], pad_to: Option<usize>, out: &mut Vec<u8>) {
+    out.push(0x40);
+    out.extend_from_slice(&pn.to_be_bytes());
     for f in frames {
-        f.encode_into(&mut out);
+        f.encode_into(out);
     }
     if let Some(target) = pad_to {
         let with_tag = out.len() + TAG_LEN;
@@ -305,35 +312,73 @@ pub fn encode_datagram(pn: u64, frames: &[QuicFrame], pad_to: Option<usize>) -> 
             QuicFrame::Padding {
                 len: (target - with_tag) as u32,
             }
-            .encode_into(&mut out);
+            .encode_into(out);
         }
     }
-    for _ in 0..TAG_LEN {
-        out.put_u8(0);
-    }
-    let bytes = out.freeze();
+    let at = out.len();
+    out.resize(at + TAG_LEN, 0);
     assert!(
-        bytes.len() <= MAX_DATAGRAM,
+        out.len() <= MAX_DATAGRAM,
         "datagram overflow: {}",
-        bytes.len()
+        out.len()
     );
-    bytes
 }
 
-/// Decodes a datagram into its packet number and frames. `None` when the
-/// payload is not a well-formed QUIC-lite datagram.
-pub fn decode_datagram(payload: &[u8]) -> Option<(u64, Vec<QuicFrame>)> {
+/// Encodes one datagram into a freshly allocated buffer. The connection
+/// hot path uses [`encode_datagram_pooled`] instead.
+///
+/// # Panics
+/// Panics if the encoded datagram would exceed [`MAX_DATAGRAM`].
+pub fn encode_datagram(pn: u64, frames: &[QuicFrame], pad_to: Option<usize>) -> Bytes {
+    let mut out = Vec::with_capacity(MAX_DATAGRAM);
+    encode_datagram_into(pn, frames, pad_to, &mut out);
+    Bytes::from(out)
+}
+
+/// Encodes one datagram into a buffer drawn from `pool` — zero
+/// allocations once the pool is warm (the `Arc` control block is
+/// recycled along with the storage).
+///
+/// # Panics
+/// Panics if the encoded datagram would exceed [`MAX_DATAGRAM`].
+pub fn encode_datagram_pooled(
+    pn: u64,
+    frames: &[QuicFrame],
+    pad_to: Option<usize>,
+    pool: &mut BytesPool,
+) -> Bytes {
+    let mut buf = pool.acquire();
+    encode_datagram_into(pn, frames, pad_to, buf.buf());
+    buf.freeze()
+}
+
+/// Decodes a datagram, appending its frames to `frames` and returning
+/// the packet number. `None` when the payload is not a well-formed
+/// QUIC-lite datagram (`frames` may then hold a partial prefix — callers
+/// clear their scratch buffer before reuse). Stream frame data borrows
+/// `payload` — no copies.
+pub fn decode_datagram_into(payload: &Bytes, frames: &mut Vec<QuicFrame>) -> Option<u64> {
     if payload.len() < DATAGRAM_OVERHEAD || payload[0] != 0x40 {
         return None;
     }
     let pn = read_u64(payload, 1)?;
-    let mut frames = Vec::new();
-    let mut buf = &payload[SHORT_HEADER_LEN..payload.len() - TAG_LEN];
-    while !buf.is_empty() {
-        let (frame, used) = QuicFrame::decode(buf)?;
+    let limit = payload.len() - TAG_LEN;
+    let mut at = SHORT_HEADER_LEN;
+    while at < limit {
+        let (frame, used) = decode_frame(payload, at, limit)?;
         frames.push(frame);
-        buf = &buf[used..];
+        at += used;
     }
+    Some(pn)
+}
+
+/// Decodes a datagram into its packet number and frames (copying the
+/// payload; the connection hot path uses [`decode_datagram_into`]).
+/// `None` when the payload is not a well-formed QUIC-lite datagram.
+pub fn decode_datagram(payload: &[u8]) -> Option<(u64, Vec<QuicFrame>)> {
+    let owned = Bytes::copy_from_slice(payload);
+    let mut frames = Vec::new();
+    let pn = decode_datagram_into(&owned, &mut frames)?;
     Some((pn, frames))
 }
 
@@ -352,7 +397,7 @@ mod tests {
     fn datagram_roundtrip() {
         let frames = vec![
             QuicFrame::Ack {
-                ranges: vec![(0, 3), (7, 9)],
+                ranges: vec![(0, 3), (7, 9)].into(),
             },
             QuicFrame::Stream {
                 id: 4,
@@ -422,5 +467,50 @@ mod tests {
             let wire = encode_datagram(9, &[QuicFrame::Ack { ranges }], None);
             assert_eq!(wire.len(), expect);
         }
+    }
+
+    #[test]
+    fn pooled_encode_is_byte_identical_and_reuses_buffers() {
+        let mut pool = BytesPool::new(2, MAX_DATAGRAM);
+        let frames = [
+            QuicFrame::Stream {
+                id: 4,
+                offset: 7,
+                data: Bytes::from(vec![3u8; 64]),
+                fin: false,
+            },
+            QuicFrame::MaxData { max: 99 },
+        ];
+        let plain = encode_datagram(5, &frames, Some(200));
+        let pooled = encode_datagram_pooled(5, &frames, Some(200), &mut pool);
+        assert_eq!(&plain[..], &pooled[..]);
+        let p = pooled.as_ref().as_ptr();
+        pool.reclaim(pooled);
+        // A second pooled encode reuses the same storage.
+        let again = encode_datagram_pooled(6, &frames, None, &mut pool);
+        assert!(std::ptr::eq(again.as_ref().as_ptr(), p));
+        assert_eq!(&again[..], &encode_datagram(6, &frames, None)[..]);
+    }
+
+    #[test]
+    fn zero_copy_decode_borrows_the_payload() {
+        let wire = encode_datagram(
+            1,
+            &[QuicFrame::Stream {
+                id: 0,
+                offset: 0,
+                data: Bytes::from(vec![9u8; 50]),
+                fin: true,
+            }],
+            None,
+        );
+        let mut frames = Vec::new();
+        assert_eq!(decode_datagram_into(&wire, &mut frames), Some(1));
+        let QuicFrame::Stream { data, .. } = &frames[0] else {
+            panic!("expected stream frame");
+        };
+        // The decoded data points into the datagram payload itself.
+        let expect = wire.as_ref()[SHORT_HEADER_LEN + STREAM_FRAME_HEADER_LEN..].as_ptr();
+        assert!(std::ptr::eq(data.as_ref().as_ptr(), expect));
     }
 }

@@ -34,12 +34,27 @@ pub fn headers_frame(block: &[u8]) -> Bytes {
     out.freeze()
 }
 
+/// Encodes a HEADERS frame whose block is written directly into the
+/// frame buffer by `fill` — no intermediate block allocation. `cap_hint`
+/// sizes the buffer so a good estimate makes the build a single
+/// allocation (plus the `Bytes` control block).
+pub fn headers_frame_with(cap_hint: usize, fill: impl FnOnce(&mut BytesMut)) -> Bytes {
+    let mut out = BytesMut::with_capacity(H3_FRAME_HEADER_LEN + cap_hint);
+    out.put_u8(H3_FRAME_HEADERS);
+    out.put_zeros(H3_FRAME_HEADER_LEN - 1);
+    fill(&mut out);
+    let len = out.len() - H3_FRAME_HEADER_LEN;
+    debug_assert!(len < 1 << 24, "H3-lite frame too large: {len}");
+    out[1] = (len >> 16) as u8;
+    out[2] = (len >> 8) as u8;
+    out[3] = len as u8;
+    out.freeze()
+}
+
 /// Encodes a DATA frame carrying `len` opaque (zero) body bytes.
 pub fn data_frame(len: usize) -> Bytes {
     let mut out = frame_header(H3_FRAME_DATA, len);
-    for _ in 0..len {
-        out.put_u8(0);
-    }
+    out.put_zeros(len);
     out.freeze()
 }
 
@@ -58,8 +73,14 @@ pub enum H3Event {
 
 #[derive(Debug)]
 enum ReaderState {
-    Header { buf: Vec<u8> },
-    Body { ty: u8, remaining: usize },
+    Header {
+        buf: [u8; H3_FRAME_HEADER_LEN],
+        have: usize,
+    },
+    Body {
+        ty: u8,
+        remaining: usize,
+    },
 }
 
 /// Incremental H3-lite frame parser for one stream.
@@ -82,7 +103,10 @@ impl H3FrameReader {
     /// New parser at a frame boundary.
     pub fn new() -> Self {
         Self {
-            state: ReaderState::Header { buf: Vec::new() },
+            state: ReaderState::Header {
+                buf: [0; H3_FRAME_HEADER_LEN],
+                have: 0,
+            },
             headers_buf: Vec::new(),
         }
     }
@@ -91,12 +115,13 @@ impl H3FrameReader {
     pub fn push(&mut self, mut data: &[u8], events: &mut Vec<H3Event>) {
         while !data.is_empty() {
             match &mut self.state {
-                ReaderState::Header { buf } => {
-                    let need = H3_FRAME_HEADER_LEN - buf.len();
+                ReaderState::Header { buf, have } => {
+                    let need = H3_FRAME_HEADER_LEN - *have;
                     let take = need.min(data.len());
-                    buf.extend_from_slice(&data[..take]);
+                    buf[*have..*have + take].copy_from_slice(&data[..take]);
+                    *have += take;
                     data = &data[take..];
-                    if buf.len() == H3_FRAME_HEADER_LEN {
+                    if *have == H3_FRAME_HEADER_LEN {
                         let ty = buf[0];
                         let len =
                             ((buf[1] as usize) << 16) | ((buf[2] as usize) << 8) | buf[3] as usize;
@@ -126,7 +151,19 @@ impl H3FrameReader {
             if ty == H3_FRAME_HEADERS {
                 events.push(H3Event::Headers(std::mem::take(&mut self.headers_buf)));
             }
-            self.state = ReaderState::Header { buf: Vec::new() };
+            self.state = ReaderState::Header {
+                buf: [0; H3_FRAME_HEADER_LEN],
+                have: 0,
+            };
+        }
+    }
+
+    /// Hands a consumed [`H3Event::Headers`] buffer back for reuse, so the
+    /// next HEADERS frame on this stream extends it instead of allocating.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.headers_buf.is_empty() && self.headers_buf.capacity() < buf.capacity() {
+            buf.clear();
+            self.headers_buf = buf;
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod recovery;
 pub mod server;
 pub mod stack;
 pub mod streams;
+pub mod table;
 
 pub use client::H3ClientNode;
 pub use conn::{QuicConfig, QuicConnection, QuicEvent, QuicStats, Role};

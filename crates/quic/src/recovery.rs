@@ -14,8 +14,14 @@
 use std::collections::BTreeMap;
 
 use h2priv_netsim::time::{SimDuration, SimTime};
+use h2priv_util::smallvec::SmallVec;
 
-use crate::frame::{QuicFrame, MAX_ACK_RANGES};
+use crate::frame::{QuicFrame, RangeVec, MAX_ACK_RANGES};
+
+/// Inline frame list for one sent packet. Packets carry one stream or
+/// crypto frame (occasionally plus a control frame), so two inline slots
+/// cover the steady state without a heap allocation per packet.
+pub type SentVec = SmallVec<SentFrame, 2>;
 
 /// Packets reordered beyond this threshold are declared lost
 /// (RFC 9002 §6.1.1). This is the *initial* threshold: acknowledgements
@@ -142,22 +148,26 @@ impl AckRanges {
     /// it lost and respawning it. Cycling the older ranges guarantees
     /// every range is reported within `range_count - 1` ACKs while the
     /// ACK datagram stays at its fixed two-range size.
-    pub fn encode_rotating(&self, cursor: &mut usize) -> Vec<(u64, u64)> {
+    pub fn encode_rotating(&self, cursor: &mut usize) -> RangeVec {
         let n = self.ranges.len();
         if n <= MAX_ACK_RANGES {
             return self.iter().collect();
         }
         let older = n - 1;
-        let mut out = Vec::with_capacity(MAX_ACK_RANGES);
-        let mut picks: Vec<usize> = (0..MAX_ACK_RANGES - 1)
+        let mut out = RangeVec::new();
+        let mut picks: SmallVec<usize, MAX_ACK_RANGES> = (0..MAX_ACK_RANGES - 1)
             .map(|k| (*cursor + k) % older)
             .collect();
         *cursor = (*cursor + MAX_ACK_RANGES - 1) % older;
         picks.sort_unstable();
-        picks.dedup();
         let mut it = self.ranges.iter();
         let mut at = 0usize;
-        for idx in picks {
+        let mut last = None;
+        for &idx in picks.iter() {
+            if last == Some(idx) {
+                continue; // duplicate pick (sorted, so dups are adjacent)
+            }
+            last = Some(idx);
             if let Some((&s, &e)) = it.nth(idx - at) {
                 out.push((s, e));
             }
@@ -207,7 +217,7 @@ pub struct SentPacket {
     /// Whether it elicits an acknowledgement.
     pub ack_eliciting: bool,
     /// Retransmittable contents.
-    pub frames: Vec<SentFrame>,
+    pub frames: SentVec,
 }
 
 /// Outcome of processing one ACK frame.
@@ -237,6 +247,9 @@ pub struct Recovery {
     pto_count: u32,
     packet_threshold: u64,
     declared_lost: std::collections::BTreeSet<u64>,
+    /// Reusable packet-number buffer for `on_ack`'s collect-then-mutate
+    /// passes, so steady-state ACK processing stays allocation-free.
+    pn_scratch: Vec<u64>,
 }
 
 impl Recovery {
@@ -258,6 +271,7 @@ impl Recovery {
             pto_count: 0,
             packet_threshold: PACKET_THRESHOLD,
             declared_lost: std::collections::BTreeSet::new(),
+            pn_scratch: Vec::new(),
         }
     }
 
@@ -272,7 +286,7 @@ impl Recovery {
         now: SimTime,
         size: u64,
         ack_eliciting: bool,
-        frames: Vec<SentFrame>,
+        frames: SentVec,
     ) -> u64 {
         let pn = self.next_pn;
         self.next_pn += 1;
@@ -355,8 +369,11 @@ impl Recovery {
         // reordering distance, bounded above.
         let mut observed = self.packet_threshold;
         for &(start, end) in ranges {
-            let hits: Vec<u64> = self.declared_lost.range(start..=end).copied().collect();
-            for pn in hits {
+            self.pn_scratch.clear();
+            self.pn_scratch
+                .extend(self.declared_lost.range(start..=end).copied());
+            for i in 0..self.pn_scratch.len() {
+                let pn = self.pn_scratch[i];
                 self.declared_lost.remove(&pn);
                 observed = observed.max((largest_acked - pn) + 1);
             }
@@ -364,8 +381,11 @@ impl Recovery {
         self.packet_threshold = observed.min(MAX_PACKET_THRESHOLD);
         // Remove acked packets and credit the congestion window.
         for &(start, end) in ranges {
-            let acked: Vec<u64> = self.sent.range(start..=end).map(|(&pn, _)| pn).collect();
-            for pn in acked {
+            self.pn_scratch.clear();
+            self.pn_scratch
+                .extend(self.sent.range(start..=end).map(|(&pn, _)| pn));
+            for i in 0..self.pn_scratch.len() {
+                let pn = self.pn_scratch[i];
                 if let Some(pkt) = self.sent.remove(&pn) {
                     out.newly_acked = true;
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(pkt.size);
@@ -384,9 +404,12 @@ impl Recovery {
         // (adaptive) threshold below the largest acked packet is lost.
         if largest_acked >= self.packet_threshold {
             let lost_below = largest_acked - self.packet_threshold;
-            let lost: Vec<u64> = self.sent.range(..=lost_below).map(|(&pn, _)| pn).collect();
+            self.pn_scratch.clear();
+            self.pn_scratch
+                .extend(self.sent.range(..=lost_below).map(|(&pn, _)| pn));
             let mut loss_event_pn = None;
-            for pn in lost {
+            for i in 0..self.pn_scratch.len() {
+                let pn = self.pn_scratch[i];
                 if let Some(pkt) = self.sent.remove(&pn) {
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(pkt.size);
                     out.lost.extend(pkt.frames);
@@ -403,7 +426,13 @@ impl Recovery {
         // ACK-range encoding, so forgetting them is safe and keeps the set
         // from growing over a long connection.
         let floor = largest_acked.saturating_sub(4_096);
-        self.declared_lost = self.declared_lost.split_off(&floor);
+        if self
+            .declared_lost
+            .first()
+            .is_some_and(|&oldest| oldest < floor)
+        {
+            self.declared_lost = self.declared_lost.split_off(&floor);
+        }
         out
     }
 
@@ -437,7 +466,7 @@ impl Recovery {
     /// Fires a probe timeout: the oldest ack-eliciting packet is requeued
     /// and the window collapses to its floor (see module docs).
     /// Returns the frames to retransmit, or `None` if nothing is in flight.
-    pub fn on_pto(&mut self) -> Option<Vec<SentFrame>> {
+    pub fn on_pto(&mut self) -> Option<SentVec> {
         let (&pn, _) = self.sent.first_key_value()?;
         let pkt = self.sent.remove(&pn)?;
         self.bytes_in_flight = self.bytes_in_flight.saturating_sub(pkt.size);
@@ -525,7 +554,8 @@ mod tests {
                     offset: i * 1_158,
                     len: 1_158,
                     fin: false,
-                }],
+                }]
+                .into(),
             );
             assert_eq!(pn, i);
         }
@@ -540,7 +570,7 @@ mod tests {
     fn spurious_retransmit_raises_packet_threshold() {
         let mut rec = Recovery::new(SimDuration::from_millis(100), SimDuration::from_millis(25));
         for i in 0..5u64 {
-            rec.on_packet_sent(t(i), 1_200, true, vec![SentFrame::AckOnly]);
+            rec.on_packet_sent(t(i), 1_200, true, vec![SentFrame::AckOnly].into());
         }
         assert_eq!(rec.packet_threshold(), PACKET_THRESHOLD);
         // Ack 2..=4: pn 0 and 1 declared lost (reordering, not loss).
@@ -553,7 +583,7 @@ mod tests {
         assert_eq!(rec.packet_threshold(), 5);
         // A repeat of the same reordering pattern no longer declares loss.
         for i in 5..10u64 {
-            rec.on_packet_sent(t(i + 100), 1_200, true, vec![SentFrame::AckOnly]);
+            rec.on_packet_sent(t(i + 100), 1_200, true, vec![SentFrame::AckOnly].into());
         }
         let out = rec.on_ack(t(220), &[(9, 9)]);
         assert!(out.lost.is_empty());
@@ -566,7 +596,7 @@ mod tests {
     fn packet_threshold_is_capped() {
         let mut rec = Recovery::new(SimDuration::from_millis(100), SimDuration::from_millis(25));
         for i in 0..300u64 {
-            rec.on_packet_sent(t(i), 100, true, vec![SentFrame::AckOnly]);
+            rec.on_packet_sent(t(i), 100, true, vec![SentFrame::AckOnly].into());
         }
         // Ack only the newest packet, declaring the rest lost, then ack
         // the "lost" packets to prove the loss spurious.
@@ -606,7 +636,7 @@ mod tests {
     fn loss_events_dedupe_within_recovery_period() {
         let mut rec = Recovery::new(SimDuration::from_millis(100), SimDuration::from_millis(25));
         for i in 0..10u64 {
-            rec.on_packet_sent(t(i), 1_200, true, vec![SentFrame::AckOnly]);
+            rec.on_packet_sent(t(i), 1_200, true, vec![SentFrame::AckOnly].into());
         }
         let cwnd0 = rec.cwnd();
         rec.on_ack(t(50), &[(8, 8)]);
@@ -629,7 +659,8 @@ mod tests {
             vec![SentFrame::Crypto {
                 offset: 0,
                 len: 475,
-            }],
+            }]
+            .into(),
         );
         let dl = rec.pto_deadline().expect("deadline");
         // initial srtt 100ms + max(4*50ms,1ms) + 25ms = 325ms
@@ -644,10 +675,10 @@ mod tests {
     #[test]
     fn rtt_smoothing_follows_rfc_formula() {
         let mut rec = Recovery::new(SimDuration::from_millis(100), SimDuration::from_millis(25));
-        rec.on_packet_sent(t(0), 100, true, vec![SentFrame::AckOnly]);
+        rec.on_packet_sent(t(0), 100, true, vec![SentFrame::AckOnly].into());
         rec.on_ack(t(80), &[(0, 0)]);
         assert_eq!(rec.srtt(), Some(SimDuration::from_millis(80)));
-        rec.on_packet_sent(t(100), 100, true, vec![SentFrame::AckOnly]);
+        rec.on_packet_sent(t(100), 100, true, vec![SentFrame::AckOnly].into());
         rec.on_ack(t(260), &[(1, 1)]);
         // srtt = 7/8*80 + 1/8*160 = 90ms
         assert_eq!(rec.srtt(), Some(SimDuration::from_millis(90)));

@@ -12,7 +12,7 @@
 //! Server push is not modelled for H3-lite (no PUSH_PROMISE analogue):
 //! a `push_manifest` in the config is ignored.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use h2priv_h2::hpack;
 use h2priv_h2::server::{CLIENT_PORT, SERVER_PORT};
@@ -23,11 +23,13 @@ use h2priv_netsim::packet::{FlowId, Packet};
 use h2priv_netsim::time::SimDuration;
 use h2priv_tcp::TcpStats;
 use h2priv_tls::{RecordTag, TrafficClass, WireMap};
+use h2priv_util::bytes::Bytes;
+use h2priv_util::fxhash::FxHashMap;
 use h2priv_web::{ObjectId, Site};
 
 use crate::client::quic_config_from;
 use crate::conn::{QuicConnection, QuicEvent, QuicStats};
-use crate::h3::{data_frame, headers_frame, H3Event, H3FrameReader};
+use crate::h3::{data_frame, headers_frame_with, H3Event, H3FrameReader};
 use crate::stack::QuicStack;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,9 +73,17 @@ pub struct H3ServerNode {
     workers: Vec<Worker>,
     serve_log: Vec<ServeRecord>,
     serial_queue: VecDeque<usize>,
-    copies: HashMap<ObjectId, u16>,
-    readers: HashMap<u32, H3FrameReader>,
-    timers: HashMap<TimerId, TimerPurpose>,
+    copies: FxHashMap<ObjectId, u16>,
+    readers: FxHashMap<u32, H3FrameReader>,
+    timers: FxHashMap<TimerId, TimerPurpose>,
+    /// DATA-frame wire images keyed by body length. Bodies are opaque
+    /// zeros, so every frame of a given length is byte-identical; caching
+    /// replaces two allocations per streamed chunk with an `Arc` clone.
+    data_frames: FxHashMap<u64, Bytes>,
+    /// Reusable transport-event buffer (cleared before each use).
+    event_scratch: Vec<QuicEvent>,
+    /// Reusable H3-event buffer (cleared before each use).
+    h3_scratch: Vec<H3Event>,
     dead: bool,
 }
 
@@ -99,9 +109,12 @@ impl H3ServerNode {
             workers: Vec::new(),
             serve_log: Vec::new(),
             serial_queue: VecDeque::new(),
-            copies: HashMap::new(),
-            readers: HashMap::new(),
-            timers: HashMap::new(),
+            copies: FxHashMap::default(),
+            readers: FxHashMap::default(),
+            timers: FxHashMap::default(),
+            data_frames: FxHashMap::default(),
+            event_scratch: Vec::new(),
+            h3_scratch: Vec::new(),
             dead: false,
         }
     }
@@ -139,11 +152,11 @@ impl H3ServerNode {
         self.stack.quic.send_credit()
     }
 
-    fn handle_quic_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<QuicEvent>) {
-        for ev in events {
+    fn handle_quic_events(&mut self, ctx: &mut Ctx<'_>, events: &mut Vec<QuicEvent>) {
+        for ev in events.drain(..) {
             match ev {
                 QuicEvent::Stream { id, data, fin } => {
-                    self.on_stream_data(ctx, id, &data.to_vec(), fin);
+                    self.on_stream_data(ctx, id, &data, fin);
                 }
                 QuicEvent::StreamReset { id } | QuicEvent::StreamStopped { id } => {
                     self.kill_stream_workers(ctx, id);
@@ -157,13 +170,18 @@ impl H3ServerNode {
     }
 
     fn on_stream_data(&mut self, ctx: &mut Ctx<'_>, id: u32, data: &[u8], _fin: bool) {
-        let mut events = Vec::new();
+        let mut events = std::mem::take(&mut self.h3_scratch);
+        events.clear();
         self.readers.entry(id).or_default().push(data, &mut events);
-        for ev in events {
+        for ev in events.drain(..) {
             if let H3Event::Headers(block) = ev {
                 self.handle_request(ctx, StreamId(id), &block);
+                if let Some(reader) = self.readers.get_mut(&id) {
+                    reader.recycle(block);
+                }
             }
         }
+        self.h3_scratch = events;
     }
 
     /// Kills workers for a stream the client abandoned. The transport
@@ -184,11 +202,11 @@ impl H3ServerNode {
     }
 
     fn handle_request(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, block: &[u8]) {
-        let Some(req) = hpack::decode_request(block) else {
+        let Some(req) = hpack::decode_request_ref(block) else {
             self.stack.quic.reset_stream(stream.0);
             return;
         };
-        let Some(object) = self.site.by_path(&req.path).map(|o| o.id) else {
+        let Some(object) = self.site.by_path(req.path).map(|o| o.id) else {
             self.stack.quic.reset_stream(stream.0);
             return;
         };
@@ -275,10 +293,12 @@ impl H3ServerNode {
                     h2priv_web::MediaType::Json => "application/json",
                     h2priv_web::MediaType::Font => "font/woff2",
                 };
-                let block = hpack::encode_response(obj.size, media);
+                let frame = headers_frame_with(96 + media.len(), |out| {
+                    hpack::encode_response_into(out, obj.size, media)
+                });
                 self.stack.quic.stream_send(
                     stream.0,
-                    headers_frame(&block),
+                    frame,
                     false,
                     RecordTag {
                         stream_id: stream.0,
@@ -296,9 +316,14 @@ impl H3ServerNode {
                 let chunk = (obj.service.chunk_size as u64).min(self.workers[idx].remaining);
                 self.workers[idx].remaining -= chunk;
                 let end_stream = self.workers[idx].remaining == 0;
+                let frame = self
+                    .data_frames
+                    .entry(chunk)
+                    .or_insert_with(|| data_frame(chunk as usize))
+                    .clone();
                 self.stack.quic.stream_send(
                     stream.0,
-                    data_frame(chunk as usize),
+                    frame,
                     end_stream,
                     RecordTag {
                         stream_id: stream.0,
@@ -341,8 +366,15 @@ impl Node for H3ServerNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: LinkId, pkt: Packet) {
-        let events = self.stack.on_packet(ctx.now(), &pkt);
-        self.handle_quic_events(ctx, events);
+        let mut events = std::mem::take(&mut self.event_scratch);
+        events.clear();
+        self.stack.on_packet_into(ctx.now(), &pkt, &mut events);
+        self.handle_quic_events(ctx, &mut events);
+        self.event_scratch = events;
+        // Every slice of this datagram has been consumed (or parked in a
+        // reassembly buffer, in which case reclaim is a no-op): offer the
+        // buffer to the send path before pumping responses out.
+        self.stack.quic.reclaim_payload(pkt.payload);
         self.after_activity(ctx);
     }
 
@@ -350,8 +382,11 @@ impl Node for H3ServerNode {
         match self.timers.remove(&timer) {
             Some(TimerPurpose::TransportTick) => {
                 self.stack.tick_at = None;
-                let events = self.stack.on_transport_timer(ctx.now());
-                self.handle_quic_events(ctx, events);
+                let mut events = std::mem::take(&mut self.event_scratch);
+                events.clear();
+                self.stack.on_transport_timer_into(ctx.now(), &mut events);
+                self.handle_quic_events(ctx, &mut events);
+                self.event_scratch = events;
             }
             Some(TimerPurpose::Worker(idx)) => {
                 self.worker_tick(ctx, idx);

@@ -37,26 +37,25 @@ impl QuicStack {
         self.egress = Some(link);
     }
 
-    /// Feeds an arriving datagram into the connection; returns the
-    /// application events it produced, in order.
-    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) -> Vec<QuicEvent> {
+    /// Feeds an arriving datagram into the connection, appending the
+    /// application events it produced (in order) to a caller-provided
+    /// (reusable) buffer.
+    pub fn on_packet_into(&mut self, now: SimTime, pkt: &Packet, events: &mut Vec<QuicEvent>) {
         self.quic.on_datagram(now, &pkt.payload);
-        self.collect()
+        self.collect_into(events);
     }
 
-    /// Drives the transport timer; returns events like
-    /// [`QuicStack::on_packet`].
-    pub fn on_transport_timer(&mut self, now: SimTime) -> Vec<QuicEvent> {
+    /// Drives the transport timer; appends events like
+    /// [`QuicStack::on_packet_into`].
+    pub fn on_transport_timer_into(&mut self, now: SimTime, events: &mut Vec<QuicEvent>) {
         self.quic.on_timer(now);
-        self.collect()
+        self.collect_into(events);
     }
 
-    fn collect(&mut self) -> Vec<QuicEvent> {
-        let mut events = Vec::new();
+    fn collect_into(&mut self, events: &mut Vec<QuicEvent>) {
         while let Some(ev) = self.quic.poll_event() {
             events.push(ev);
         }
-        events
     }
 
     /// Transmits every datagram the connection has ready onto the egress

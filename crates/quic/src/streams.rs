@@ -172,27 +172,53 @@ impl SendStream {
     }
 
     /// Copies `[offset, offset + len)` out of the queued segments.
+    ///
+    /// When the range lies inside a single segment the returned `Bytes`
+    /// is a zero-copy slice of the queued buffer; only ranges spanning a
+    /// segment boundary assemble a fresh buffer.
     fn copy_range(&self, offset: u64, len: u32) -> Bytes {
-        let mut out = BytesMut::with_capacity(len as usize);
         let end = offset + len as u64;
+        let i = self
+            .segments
+            .partition_point(|(start, _, _)| *start <= offset);
+        if i > 0 {
+            let (start, data, _) = &self.segments[i - 1];
+            if start + data.len() as u64 >= end {
+                let lo = (offset - start) as usize;
+                return data.slice(lo..lo + len as usize);
+            }
+        }
+        // Spanning copies are served from the shared payload pool: a
+        // stream chunk never exceeds MAX_STREAM_CHUNK (< the pool's
+        // buffer size), and the connection returns the copy to the pool
+        // right after encoding it into a datagram.
+        let mut pooled = crate::conn::with_payload_pool(|p| p.acquire());
+        let out = pooled.buf();
         for (start, data, _) in &self.segments {
             let seg_end = start + data.len() as u64;
             if seg_end <= offset || *start >= end {
                 continue;
             }
-            let lo = offset.max(*start) - start;
-            let hi = end.min(seg_end) - start;
-            out.put_slice(&data.slice(lo as usize..hi as usize));
+            let lo = (offset.max(*start) - start) as usize;
+            let hi = (end.min(seg_end) - start) as usize;
+            out.extend_from_slice(&data[lo..hi]);
         }
         debug_assert_eq!(out.len(), len as usize, "send buffer hole");
-        out.freeze()
+        pooled.freeze()
     }
 
-    /// Splits `[offset, offset + len)` into per-tag runs for the wire map.
-    pub fn tag_runs(&self, offset: u64, len: u32) -> Vec<(u64, u32, RecordTag)> {
-        let mut runs = Vec::new();
+    /// Splits `[offset, offset + len)` into per-tag runs for the wire
+    /// map, appending to a caller-provided (reusable) buffer.
+    pub fn tag_runs_into(&self, offset: u64, len: u32, runs: &mut Vec<(u64, u32, RecordTag)>) {
         let end = offset + len as u64;
-        for (start, data, tag) in &self.segments {
+        let first = self
+            .segments
+            .partition_point(|(start, _, _)| *start <= offset)
+            .saturating_sub(1);
+        for (start, data, tag) in &self.segments[first..] {
+            if *start >= end {
+                break; // segments are contiguous ascending
+            }
             let seg_end = start + data.len() as u64;
             if seg_end <= offset || *start >= end {
                 continue;
@@ -201,6 +227,12 @@ impl SendStream {
             let hi = end.min(seg_end);
             runs.push((lo, (hi - lo) as u32, *tag));
         }
+    }
+
+    /// Splits `[offset, offset + len)` into per-tag runs for the wire map.
+    pub fn tag_runs(&self, offset: u64, len: u32) -> Vec<(u64, u32, RecordTag)> {
+        let mut runs = Vec::new();
+        self.tag_runs_into(offset, len, &mut runs);
         runs
     }
 }
@@ -209,6 +241,11 @@ impl SendStream {
 #[derive(Debug, Default)]
 pub struct RecvStream {
     buf: BTreeMap<u64, Bytes>,
+    /// In-order fast path: a frame that arrived exactly at the delivered
+    /// frontier with nothing else buffered is parked here whole, and the
+    /// next [`RecvStream::poll`] hands it back without copying. In-order
+    /// delivery (the steady state) never touches the reassembly map.
+    ready: Option<Bytes>,
     delivered: u64,
     fin_offset: Option<u64>,
     highest: u64,
@@ -227,6 +264,7 @@ impl RecvStream {
     pub fn stop(&mut self) {
         self.stopped = true;
         self.buf.clear();
+        self.ready = None;
     }
 
     /// `true` once [`RecvStream::stop`] was called.
@@ -254,9 +292,20 @@ impl RecvStream {
             // overlapping retransmissions are resolved at poll time.
             let skip = self.delivered.saturating_sub(offset);
             let insert_at = offset + skip;
-            self.buf
-                .entry(insert_at)
-                .or_insert_with(|| data.slice(skip as usize..));
+            if insert_at == self.delivered && self.buf.is_empty() && self.ready.is_none() {
+                // In-order fast path: park the frame whole and advance
+                // the frontier; `poll` hands it back without a copy.
+                self.ready = Some(if skip == 0 {
+                    data
+                } else {
+                    data.slice(skip as usize..)
+                });
+                self.delivered = end;
+            } else {
+                self.buf
+                    .entry(insert_at)
+                    .or_insert_with(|| data.slice(skip as usize..));
+            }
         }
         advance
     }
@@ -268,7 +317,30 @@ impl RecvStream {
         if self.fin_delivered {
             return None;
         }
+        let ready = self.ready.take();
+        if let Some(data) = &ready {
+            // Fast path: one in-order chunk, nothing else contiguous
+            // behind it — hand it back as-is (no copy, no allocation).
+            if self
+                .buf
+                .first_key_value()
+                .is_none_or(|(&s, _)| s > self.delivered)
+            {
+                let fin_now = self.fin_offset == Some(self.delivered)
+                    || (self.stopped && self.fin_offset.is_some());
+                if fin_now {
+                    self.fin_delivered = true;
+                }
+                return Some((data.clone(), fin_now));
+            }
+        }
         let mut out = BytesMut::with_capacity(0);
+        if let Some(data) = ready {
+            // A contiguous chunk landed in the reassembly map behind the
+            // parked frame: fold both into one delivery, preserving the
+            // drain-everything-contiguous granularity.
+            out.put_slice(&data);
+        }
         while let Some((&start, _)) = self.buf.first_key_value() {
             if start > self.delivered {
                 break;

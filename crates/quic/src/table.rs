@@ -1,0 +1,129 @@
+//! A deterministic stream table: a sorted vector keyed by stream id.
+//!
+//! Replaces the `BTreeMap<u32, …>` stream tables on the connection hot
+//! path. Lookups are a binary search over one contiguous allocation
+//! (instead of chasing tree nodes), inserts touch the heap only when the
+//! vector grows, and iteration order is ascending stream id — exactly
+//! the order `BTreeMap` iterated in, which the documented round-robin
+//! send scheduling depends on. A differential test
+//! (`tests/stream_table_order.rs`) pins that equivalence under seeded
+//! random open/close/send schedules.
+//!
+//! Connections hold a handful of streams with mostly-ascending ids, so
+//! the `O(n)` insert shift is cheaper in practice than a tree
+//! rebalance; ids are never removed (matching the old tables, which
+//! kept finished streams until the connection dropped).
+
+/// A map from stream id to `T`, ordered by id.
+#[derive(Debug, Default)]
+pub struct StreamTable<T> {
+    entries: Vec<(u32, T)>,
+}
+
+impl<T> StreamTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        StreamTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn idx(&self, id: u32) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&id, |&(k, _)| k)
+    }
+
+    /// The stream with the given id, if present.
+    pub fn get(&self, id: u32) -> Option<&T> {
+        self.idx(id).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the stream with the given id, if present.
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut T> {
+        match self.idx(id) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// The stream with the given id, inserted via `make` if absent.
+    pub fn get_or_insert_with(&mut self, id: u32, make: impl FnOnce() -> T) -> &mut T {
+        let i = match self.idx(id) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (id, make()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// All streams, ascending by id.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.entries.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// First stream id matching `pred`, searching ids `>= from` first and
+    /// wrapping to ids `< from` — the round-robin probe, replicating
+    /// `BTreeMap::range(from..).chain(range(..from)).find(pred)` exactly.
+    pub fn next_matching(&self, from: u32, pred: impl Fn(&T) -> bool) -> Option<u32> {
+        let split = match self.idx(from) {
+            Ok(i) | Err(i) => i,
+        };
+        self.entries[split..]
+            .iter()
+            .chain(&self.entries[..split])
+            .find(|(_, s)| pred(s))
+            .map(|&(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_and_order() {
+        let mut t: StreamTable<&str> = StreamTable::new();
+        assert!(t.is_empty());
+        t.get_or_insert_with(8, || "c");
+        t.get_or_insert_with(0, || "a");
+        t.get_or_insert_with(4, || "b");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(4), Some(&"b"));
+        assert_eq!(t.get(2), None);
+        *t.get_mut(0).unwrap() = "a2";
+        // Re-inserting an existing id keeps the old value.
+        assert_eq!(*t.get_or_insert_with(0, || "zz"), "a2");
+        let ids: Vec<u32> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn next_matching_wraps_like_btreemap_ranges() {
+        let mut t: StreamTable<bool> = StreamTable::new();
+        for id in [0u32, 4, 8, 12] {
+            t.get_or_insert_with(id, || true);
+        }
+        // From 5: first id >= 5 is 8.
+        assert_eq!(t.next_matching(5, |&v| v), Some(8));
+        // From 13: wraps to 0.
+        assert_eq!(t.next_matching(13, |&v| v), Some(0));
+        // From an existing id, that id itself is eligible.
+        assert_eq!(t.next_matching(8, |&v| v), Some(8));
+        // Predicate filters.
+        *t.get_mut(8).unwrap() = false;
+        assert_eq!(t.next_matching(5, |&v| v), Some(12));
+        assert_eq!(t.next_matching(13, |&v| !v), Some(8));
+        assert_eq!(t.next_matching(0, |_| false), None);
+    }
+}

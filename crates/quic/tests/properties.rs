@@ -266,9 +266,9 @@ fn h3_faulted_trial(seed: u64, target_loss: f64, burst: f64) -> FaultedTrial {
     sim.attach_faults(topo.mbox_to_server, ge.clone());
     sim.attach_faults(topo.server_to_mbox, ge);
     sim.run_until_idle(SimTime::ZERO + SimDuration::from_secs(300));
+    let report = sim.node_mut::<H3ClientNode>(topo.client).take_report();
     let client_node = sim.node_ref::<H3ClientNode>(topo.client);
     let server_node = sim.node_ref::<H3ServerNode>(topo.server);
-    let report = client_node.report();
     FaultedTrial {
         client: *client_node.quic_stats(),
         server: *server_node.quic_stats(),

@@ -6,7 +6,7 @@
 //! `cancel_rearm` suite for the event-storage side of the contract).
 
 use h2priv_netsim::time::{SimDuration, SimTime};
-use h2priv_quic::recovery::Recovery;
+use h2priv_quic::recovery::{Recovery, SentVec};
 
 const INITIAL_RTT: SimDuration = SimDuration::from_millis(100);
 const MAX_ACK_DELAY: SimDuration = SimDuration::from_millis(25);
@@ -14,7 +14,7 @@ const MAX_ACK_DELAY: SimDuration = SimDuration::from_millis(25);
 fn recovery_with_three_in_flight() -> Recovery {
     let mut rec = Recovery::new(INITIAL_RTT, MAX_ACK_DELAY);
     for ms in [0u64, 10, 20] {
-        rec.on_packet_sent(SimTime::from_millis(ms), 1_200, true, vec![]);
+        rec.on_packet_sent(SimTime::from_millis(ms), 1_200, true, SentVec::new());
     }
     rec
 }
@@ -70,7 +70,7 @@ fn newly_acked_packet_rearms_the_pto_and_resets_the_backoff() {
     // now computed from the measured 30ms sample (srtt = 30ms,
     // rttvar = 15ms) instead of the initial estimate.
     let t_send = SimTime::from_millis(60);
-    rec.on_packet_sent(t_send, 1_200, true, vec![]);
+    rec.on_packet_sent(t_send, 1_200, true, SentVec::new());
     let srtt = SimDuration::from_millis(30);
     let expected = srtt + (srtt / 2) * 4 + MAX_ACK_DELAY;
     assert_eq!(

@@ -1,0 +1,116 @@
+//! Allocation audit: a counting global allocator and per-thread counters.
+//!
+//! The zero-alloc claim on the simulator's packet path is worthless as a
+//! comment — it regresses the moment someone adds a convenient `clone()`.
+//! This module turns it into a pinned number: a binary or integration
+//! test opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: h2priv_util::alloc::CountingAlloc = h2priv_util::alloc::CountingAlloc::new();
+//! ```
+//!
+//! and then reads [`thread_allocs`] before/after the code under audit.
+//! Counters are **per thread**, so parallel trial workers and the test
+//! harness's own threads never pollute each other's measurements. When no
+//! counting allocator is installed the counters simply stay at zero —
+//! the functions are always safe to call.
+//!
+//! The counter is a `thread_local!` `Cell<u64>` with a `const` initializer,
+//! so reading or bumping it never allocates (which would recurse into the
+//! allocator).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`System`]-backed allocator that counts allocations per thread.
+///
+/// Reallocations count as one allocation (they may move the block);
+/// deallocations are not counted — the audit pins allocation *pressure*,
+/// not net leaks.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// The allocator value to install with `#[global_allocator]`.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates every operation to `System` unchanged; the only
+// addition is a thread-local counter bump, which does not allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[inline]
+fn bump(bytes: usize) {
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+    THREAD_ALLOC_BYTES.with(|c| c.set(c.get() + bytes as u64));
+}
+
+/// Allocations made by the current thread since it started (0 when no
+/// [`CountingAlloc`] is installed).
+pub fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+/// Bytes requested by the current thread's allocations since it started
+/// (0 when no [`CountingAlloc`] is installed).
+pub fn thread_alloc_bytes() -> u64 {
+    THREAD_ALLOC_BYTES.with(|c| c.get())
+}
+
+/// Runs `f` and returns `(f(), allocations, bytes)` made by this thread
+/// during the call.
+pub fn counting<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let a0 = thread_allocs();
+    let b0 = thread_alloc_bytes();
+    let out = f();
+    (out, thread_allocs() - a0, thread_alloc_bytes() - b0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // No global allocator is installed in the unit-test binary, so the
+    // counters must read zero and `counting` must still work.
+    #[test]
+    fn counters_are_zero_without_installation() {
+        let ((), allocs, bytes) = counting(|| {
+            let v = vec![1u8; 4_096];
+            std::hint::black_box(&v);
+        });
+        assert_eq!(allocs, 0);
+        assert_eq!(bytes, 0);
+    }
+}

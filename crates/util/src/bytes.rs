@@ -114,6 +114,108 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Recovers the backing `Vec` when this handle is the sole owner of a
+    /// shared allocation, for buffer pooling. Returns `None` (dropping
+    /// the handle) when other clones or slices are still alive, or when
+    /// the buffer borrows static storage. The returned `Vec` is the whole
+    /// original allocation regardless of how this handle was sliced;
+    /// callers clear it before reuse.
+    pub fn try_reclaim(self) -> Option<Vec<u8>> {
+        match self.data {
+            Repr::Shared(arc) => Arc::try_unwrap(arc).ok(),
+            Repr::Static(_) => None,
+        }
+    }
+}
+
+/// A bounded pool of uniquely-owned packet buffers.
+///
+/// `Bytes::from(vec)` costs one `Arc` control-block allocation even when
+/// the `Vec` itself is recycled; the pool therefore parks the whole
+/// `Arc<Vec<u8>>` — control block and storage together — so a pooled
+/// [`acquire`](BytesPool::acquire)/[`freeze`](PooledBuf::freeze) round
+/// trip performs **zero** allocations once warm. [`reclaim`]
+/// (BytesPool::reclaim) accepts a buffer back only when the handle is
+/// the allocation's sole owner (no live clones or slices), so a pooled
+/// buffer can never be observed mutating under a reader.
+#[derive(Debug)]
+pub struct BytesPool {
+    free: Vec<Arc<Vec<u8>>>,
+    max_buffers: usize,
+    buf_capacity: usize,
+}
+
+impl BytesPool {
+    /// A pool keeping at most `max_buffers` buffers, each created with
+    /// `buf_capacity` bytes of capacity.
+    pub fn new(max_buffers: usize, buf_capacity: usize) -> BytesPool {
+        BytesPool {
+            free: Vec::new(),
+            max_buffers,
+            buf_capacity,
+        }
+    }
+
+    /// Takes a cleared buffer from the pool, allocating a fresh one only
+    /// when the pool is empty.
+    pub fn acquire(&mut self) -> PooledBuf {
+        let mut arc = match self.free.pop() {
+            Some(arc) => arc,
+            None => Arc::new(Vec::with_capacity(self.buf_capacity)),
+        };
+        Arc::get_mut(&mut arc)
+            .expect("pooled buffer is uniquely owned")
+            .clear();
+        PooledBuf { arc }
+    }
+
+    /// Returns a buffer to the pool if `buf` is the sole owner of its
+    /// allocation; otherwise the handle is simply dropped.
+    pub fn reclaim(&mut self, buf: Bytes) {
+        if self.free.len() >= self.max_buffers {
+            return;
+        }
+        if let Repr::Shared(mut arc) = buf.data {
+            if Arc::get_mut(&mut arc).is_some() {
+                self.free.push(arc);
+            }
+        }
+    }
+
+    /// Number of parked buffers.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool holds no parked buffers.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+/// A uniquely-owned buffer checked out of a [`BytesPool`]: write into
+/// [`buf`](PooledBuf::buf), then [`freeze`](PooledBuf::freeze) into an
+/// immutable [`Bytes`] without copying or allocating.
+pub struct PooledBuf {
+    arc: Arc<Vec<u8>>,
+}
+
+impl PooledBuf {
+    /// The writable storage (starts empty).
+    pub fn buf(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.arc).expect("pooled buffer is uniquely owned")
+    }
+
+    /// Freezes into an immutable [`Bytes`] reusing this allocation.
+    pub fn freeze(self) -> Bytes {
+        let end = self.arc.len();
+        Bytes {
+            data: Repr::Shared(self.arc),
+            start: 0,
+            end,
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -263,6 +365,12 @@ impl BytesMut {
         self.vec.extend_from_slice(s);
     }
 
+    /// Appends `n` zero bytes in one resize (no per-byte pushes).
+    pub fn put_zeros(&mut self, n: usize) {
+        let len = self.vec.len();
+        self.vec.resize(len + n, 0);
+    }
+
     /// Removes and returns the first `at` bytes; `self` keeps the rest.
     ///
     /// # Panics
@@ -285,6 +393,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.vec
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
     }
 }
 
@@ -394,6 +508,68 @@ mod tests {
         let p = m.as_ref().as_ptr();
         let b = m.freeze();
         assert!(std::ptr::eq(b.as_ref().as_ptr(), p));
+    }
+
+    #[test]
+    fn try_reclaim_recovers_sole_ownership_only() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert!(b.try_reclaim().is_none(), "clone still alive");
+        let v = c.try_reclaim().expect("sole owner");
+        assert_eq!(v, vec![1, 2, 3]);
+        // A slice keeps the whole allocation alive and reclaims it whole.
+        let s = Bytes::from(vec![9, 8, 7]).slice(1..2);
+        assert_eq!(
+            s.try_reclaim().expect("sole owner via slice"),
+            vec![9, 8, 7]
+        );
+        // Static buffers are never reclaimed.
+        assert!(Bytes::from_static(b"abc").try_reclaim().is_none());
+    }
+
+    #[test]
+    fn pool_round_trip_reuses_the_allocation() {
+        let mut pool = BytesPool::new(4, 64);
+        let mut buf = pool.acquire();
+        buf.buf().extend_from_slice(b"first packet");
+        let frozen = buf.freeze();
+        let p = frozen.as_ref().as_ptr();
+        assert_eq!(&frozen[..], b"first packet");
+        pool.reclaim(frozen);
+        assert_eq!(pool.len(), 1);
+        let mut buf = pool.acquire();
+        assert!(buf.buf().is_empty());
+        buf.buf().extend_from_slice(b"xy");
+        let again = buf.freeze();
+        // Same storage, old contents cleared.
+        assert!(std::ptr::eq(again.as_ref().as_ptr(), p));
+        assert_eq!(&again[..], b"xy");
+    }
+
+    #[test]
+    fn pool_refuses_shared_and_overflowing_buffers() {
+        let mut pool = BytesPool::new(1, 16);
+        let a = pool.acquire().freeze();
+        let a_clone = a.clone();
+        pool.reclaim(a); // clone alive -> dropped, not pooled
+        assert!(pool.is_empty());
+        drop(a_clone);
+        let b = pool.acquire().freeze();
+        let c = pool.acquire().freeze();
+        pool.reclaim(b);
+        pool.reclaim(c); // over capacity -> dropped
+        assert_eq!(pool.len(), 1);
+        // Static buffers are never pooled.
+        pool.reclaim(Bytes::from_static(b"zz"));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn put_zeros_extends_with_zero_bytes() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_zeros(3);
+        assert_eq!(&m[..], &[7, 0, 0, 0]);
     }
 
     #[test]

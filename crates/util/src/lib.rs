@@ -28,7 +28,13 @@
 //!   with a byte offset instead of a hard parse error.
 //! * [`crc32`] — CRC-32 (IEEE) for the campaign journal's per-record
 //!   checksums.
+//! * [`smallvec`] — an inline-capacity vector for the packet hot path,
+//!   so per-datagram frame lists never touch the heap in steady state.
+//! * [`alloc`] — a counting global allocator (opt-in per binary) with
+//!   per-thread counters, turning "zero allocations in steady state"
+//!   into a number a regression test can pin.
 
+pub mod alloc;
 pub mod bytes;
 pub mod check;
 pub mod crc32;
@@ -37,4 +43,5 @@ pub mod json;
 pub mod jsonl;
 pub mod pool;
 pub mod rng;
+pub mod smallvec;
 pub mod telemetry;

@@ -1,0 +1,398 @@
+//! An inline-capacity vector for the simulator's packet hot path.
+//!
+//! Almost every QUIC-lite datagram carries one frame (a STREAM chunk, a
+//! CRYPTO chunk or an ACK) and the largest control volley carries two, so
+//! a `Vec` per datagram is a heap allocation spent on a payload that fits
+//! in two machine words. [`SmallVec<T, N>`] stores up to `N` elements
+//! inline and spills to a heap `Vec` only past that — in steady state the
+//! packet path never spills, which is what the allocation-audit gate
+//! (`h2priv_util::alloc`) pins.
+//!
+//! Only the surface the workspace uses is provided: `push`, iteration,
+//! `Deref` to a slice, `clear`, `FromIterator`/`Extend`, and a consuming
+//! iterator.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// A vector holding up to `N` elements inline before spilling to the
+/// heap.
+pub enum SmallVec<T, const N: usize> {
+    /// Elements live in the inline buffer; the first `len` are
+    /// initialized.
+    Inline {
+        /// Number of initialized elements.
+        len: usize,
+        /// Inline storage.
+        buf: [MaybeUninit<T>; N],
+    },
+    /// Spilled to a heap vector (len > N at some point).
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        SmallVec::Inline {
+            len: 0,
+            // SAFETY: an array of `MaybeUninit` needs no initialization.
+            buf: unsafe { MaybeUninit::uninit().assume_init() },
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Inline { len, .. } => *len,
+            SmallVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` while elements still live in the inline buffer.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, SmallVec::Inline { .. })
+    }
+
+    /// Appends an element, spilling to the heap on overflow.
+    pub fn push(&mut self, value: T) {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                if *len < N {
+                    buf[*len].write(value);
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    let n = *len;
+                    // Zero `len` before the variant switch: assigning to
+                    // `*self` drops the old Inline value, and its Drop
+                    // must not re-drop the elements being moved out.
+                    *len = 0;
+                    for slot in buf.iter_mut().take(n) {
+                        // SAFETY: the first `n` slots were initialized
+                        // and `len` is already zeroed (no double drop).
+                        v.push(unsafe { slot.assume_init_read() });
+                    }
+                    v.push(value);
+                    *self = SmallVec::Heap(v);
+                }
+            }
+            SmallVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Drops all elements. Heap storage (if any) is retained for reuse.
+    pub fn clear(&mut self) {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                let n = *len;
+                *len = 0;
+                for slot in buf.iter_mut().take(n) {
+                    // SAFETY: the first `n` slots were initialized and
+                    // `len` is already zeroed, so no double drop.
+                    unsafe { slot.assume_init_drop() };
+                }
+            }
+            SmallVec::Heap(v) => v.clear(),
+        }
+    }
+
+    fn as_slice(&self) -> &[T] {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                // SAFETY: the first `len` slots are initialized.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<T>(), *len) }
+            }
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                // SAFETY: the first `len` slots are initialized.
+                unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<T>(), *len) }
+            }
+            SmallVec::Heap(v) => v,
+        }
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T, const N: usize> Drop for SmallVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = SmallVec::new();
+        for item in iter {
+            out.push(item);
+        }
+        out
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<T, const N: usize> From<Vec<T>> for SmallVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        SmallVec::Heap(v)
+    }
+}
+
+/// Consuming iterator over a [`SmallVec`].
+pub struct IntoIter<T, const N: usize> {
+    inner: SmallVec<T, N>,
+    at: usize,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match &mut self.inner {
+            SmallVec::Inline { len, buf } => {
+                if self.at < *len {
+                    let i = self.at;
+                    self.at += 1;
+                    // SAFETY: slot `i` is initialized and `at` advances
+                    // past it, so Drop (which only drops `at..len`)
+                    // cannot double-drop it.
+                    Some(unsafe { buf[i].assume_init_read() })
+                } else {
+                    None
+                }
+            }
+            SmallVec::Heap(v) => {
+                if self.at < v.len() {
+                    let i = self.at;
+                    self.at += 1;
+                    // SAFETY: element `i` is moved out exactly once; the
+                    // Vec's length is truncated in Drop before the Vec
+                    // frees its storage.
+                    Some(unsafe { std::ptr::read(v.as_ptr().add(i)) })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Drop for IntoIter<T, N> {
+    fn drop(&mut self) {
+        match &mut self.inner {
+            SmallVec::Inline { len, buf } => {
+                let n = *len;
+                *len = 0;
+                for slot in buf.iter_mut().take(n).skip(self.at) {
+                    // SAFETY: slots `at..n` are initialized and were not
+                    // yielded; `len` is zeroed so SmallVec::drop is a
+                    // no-op afterwards.
+                    unsafe { slot.assume_init_drop() };
+                }
+            }
+            SmallVec::Heap(v) => {
+                let n = v.len();
+                // SAFETY: elements `..at` were moved out by `next`;
+                // dropping `at..n` in place then forgetting them via
+                // set_len(0) leaves the Vec free to release storage.
+                unsafe {
+                    let tail =
+                        std::slice::from_raw_parts_mut(v.as_mut_ptr().add(self.at), n - self.at);
+                    v.set_len(0);
+                    std::ptr::drop_in_place(tail);
+                }
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter { inner: self, at: 0 }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> std::slice::Iter<'a, T> {
+        self.as_slice().iter()
+    }
+}
+
+/// `smallvec![a, b, c]` — the `vec![]` idiom for [`SmallVec`].
+#[macro_export]
+macro_rules! smallvec {
+    ($($item:expr),* $(,)?) => {{
+        let mut out = $crate::smallvec::SmallVec::new();
+        $(out.push($item);)*
+        out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        assert!(v.is_empty() && v.is_inline());
+        v.push(1);
+        v.push(2);
+        assert!(v.is_inline());
+        assert_eq!(&v[..], &[1, 2]);
+        v.push(3);
+        assert!(!v.is_inline());
+        assert_eq!(&v[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn into_iter_yields_all_elements() {
+        let v: SmallVec<u32, 2> = [1, 2].into_iter().collect();
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        let v: SmallVec<u32, 2> = [1, 2, 3, 4].into_iter().collect();
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drops_every_element_exactly_once() {
+        let rc = Rc::new(());
+        // Inline drop, spilled drop, and partially-consumed IntoIter drop.
+        {
+            let mut v: SmallVec<Rc<()>, 2> = SmallVec::new();
+            v.push(rc.clone());
+            v.push(rc.clone());
+        }
+        assert_eq!(Rc::strong_count(&rc), 1);
+        {
+            let mut v: SmallVec<Rc<()>, 2> = SmallVec::new();
+            for _ in 0..5 {
+                v.push(rc.clone());
+            }
+        }
+        assert_eq!(Rc::strong_count(&rc), 1);
+        {
+            let mut v: SmallVec<Rc<()>, 2> = SmallVec::new();
+            for _ in 0..5 {
+                v.push(rc.clone());
+            }
+            let mut it = v.into_iter();
+            let _first = it.next();
+            drop(it);
+        }
+        assert_eq!(Rc::strong_count(&rc), 1);
+        {
+            let mut v: SmallVec<Rc<()>, 4> = SmallVec::new();
+            v.push(rc.clone());
+            v.push(rc.clone());
+            let mut it = v.into_iter();
+            let _first = it.next();
+            drop(it);
+        }
+        assert_eq!(Rc::strong_count(&rc), 1);
+    }
+
+    #[test]
+    fn clear_resets_and_reuses() {
+        let mut v: SmallVec<u32, 2> = smallvec![1, 2, 3];
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(&v[..], &[9]);
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let a: SmallVec<u32, 2> = smallvec![1, 2];
+        let b = a.clone();
+        assert_eq!(a, b);
+        let c: SmallVec<u32, 2> = smallvec![1, 2, 3];
+        assert_ne!(a, c);
+        assert_eq!(c.clone(), c);
+    }
+
+    #[test]
+    fn from_vec_adopts_heap_storage() {
+        let v: SmallVec<u32, 2> = vec![5, 6, 7].into();
+        assert_eq!(&v[..], &[5, 6, 7]);
+    }
+
+    #[test]
+    fn mutable_slice_access() {
+        let mut v: SmallVec<u32, 2> = smallvec![1, 2];
+        v[0] = 10;
+        assert_eq!(&v[..], &[10, 2]);
+    }
+}

@@ -36,6 +36,12 @@ cargo test -q --offline -p h2priv-quic --test pto_rearm
 echo "== perfbench smoke (tiny trial budget, throwaway output)"
 PERFBENCH_REPS=1 cargo run --release --offline -p h2priv-bench --bin perfbench -- 2 /tmp/h2priv_perf_smoke.json >/dev/null
 
+echo "== allocation-regression pins (counting allocator, exact per-trial counts)"
+# Steady-state allocations per trial are deterministic for a given seed
+# and build profile; any drift is a real hot-path change. Exact pins
+# live in crates/core/tests/alloc_regression.rs.
+cargo test -q --offline --release -p h2priv-core --test alloc_regression
+
 echo "== perfbench events/sec floor (warn-only)"
 # Regenerating BENCH_simperf.json on wildly different hosts is expected;
 # this only warns when the committed h2_baseline jobs=1 throughput drops
@@ -44,6 +50,17 @@ FLOOR_EVS=2600000
 COMMITTED_EVS=$(sed -n 's/.*"events_per_sec": \([0-9]*\)\..*/\1/p' BENCH_simperf.json | head -1)
 if [ -n "$COMMITTED_EVS" ] && [ "$COMMITTED_EVS" -lt "$FLOOR_EVS" ]; then
     echo "WARN: committed h2_baseline events/sec ($COMMITTED_EVS) is below the $FLOOR_EVS floor" >&2
+fi
+
+echo "== h3_full_attack events/sec floor (warn-only)"
+# Floor recorded after the zero-alloc QUIC/H3 hot-path pass (the gate is
+# 2x the pre-pass 790k ev/s baseline). Committed numbers from a slower
+# host only warn, never fail.
+H3_FLOOR_EVS=1600000
+H3_COMMITTED_EVS=$(grep -A 11 '"scenario": "h3_full_attack"' BENCH_simperf.json \
+    | sed -n 's/.*"events_per_sec": \([0-9]*\)\..*/\1/p' | head -1)
+if [ -n "$H3_COMMITTED_EVS" ] && [ "$H3_COMMITTED_EVS" -lt "$H3_FLOOR_EVS" ]; then
+    echo "WARN: committed h3_full_attack events/sec ($H3_COMMITTED_EVS) is below the $H3_FLOOR_EVS floor" >&2
 fi
 
 echo "== parallel executor smoke (--jobs 2)"
