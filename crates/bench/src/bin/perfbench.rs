@@ -210,10 +210,18 @@ fn measure_median(scenario: &str, trials: usize, jobs: usize, reps: usize) -> (f
     (median(&mut walls), events.unwrap_or(0))
 }
 
-/// The median of a non-empty sample (upper median for even lengths).
+/// The median of a non-empty sample. Even lengths average the two
+/// middle elements — returning the upper-middle alone would bias wall
+/// times (and therefore `speedup_vs_jobs1`) upward whenever
+/// `PERFBENCH_REPS` is even.
 fn median(walls: &mut [f64]) -> f64 {
     walls.sort_by(|a, b| a.total_cmp(b));
-    walls[walls.len() / 2]
+    let mid = walls.len() / 2;
+    if walls.len().is_multiple_of(2) {
+        (walls[mid - 1] + walls[mid]) / 2.0
+    } else {
+        walls[mid]
+    }
 }
 
 fn main() {
@@ -318,6 +326,14 @@ mod tests {
     #[test]
     fn median_of_single_sample_is_that_sample() {
         assert_eq!(median(&mut [42.0]), 42.0);
+    }
+
+    #[test]
+    fn median_of_even_sample_averages_the_middle_pair() {
+        assert_eq!(median(&mut [4.0, 1.0]), 2.5);
+        assert_eq!(median(&mut [10.0, 1.0, 2.0, 3.0]), 2.5);
+        // An upper outlier must not drag an even-length median upward.
+        assert_eq!(median(&mut [250.0, 900.0, 240.0, 245.0]), 247.5);
     }
 
     #[test]

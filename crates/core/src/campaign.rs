@@ -19,14 +19,15 @@
 //! accumulator plus the finished rows — never by the trial count.
 
 use crate::experiments::{
-    robustness_trial, table1_trial, RobustTrial, RobustnessAccum, RobustnessRow, Table1Accum,
+    defense_matrix_batches, defense_matrix_trial, robustness_trial, table1_trial, DefenseAccum,
+    DefenseMatrixRow, DefenseTrial, RobustTrial, RobustnessAccum, RobustnessRow, Table1Accum,
     Table1Row, ROBUSTNESS_INTENSITIES, TABLE1_JITTERS_MS,
 };
 use crate::report::to_json;
 use h2priv_util::json::Json;
 
 /// The experiments the campaign runner can shard, by CLI name.
-pub const CAMPAIGN_EXPERIMENTS: &[&str] = &["robustness_sweep", "table1"];
+pub const CAMPAIGN_EXPERIMENTS: &[&str] = &["robustness_sweep", "table1", "defense_matrix"];
 
 /// One batch of a campaign: a label for operators and a trial budget.
 #[derive(Debug, Clone)]
@@ -80,6 +81,18 @@ impl CampaignSpec {
                     })
                     .collect(),
             }),
+            "defense_matrix" => Some(CampaignSpec {
+                experiment: name.to_string(),
+                trials,
+                base_seed: 83_000,
+                batches: defense_matrix_batches()
+                    .iter()
+                    .map(|b| BatchSpec {
+                        label: format!("{}/{}/{}", b.attack, b.transport, b.defense.label()),
+                        trials,
+                    })
+                    .collect(),
+            }),
             _ => None,
         }
     }
@@ -90,6 +103,7 @@ impl CampaignSpec {
         match self.experiment.as_str() {
             "robustness_sweep" => "robustness_sweep",
             "table1" => "table1_jitter",
+            "defense_matrix" => "defense_matrix",
             other => unreachable!("unknown campaign experiment {other}"),
         }
     }
@@ -145,6 +159,10 @@ impl CampaignSpec {
                 let s = table1_trial(self.base_seed, batch as usize, trial as usize);
                 table1_payload(&s)
             }
+            "defense_matrix" => {
+                let s = defense_matrix_trial(self.base_seed, batch as usize, trial as usize);
+                defense_payload(&s)
+            }
             other => unreachable!("unknown campaign experiment {other}"),
         }
     }
@@ -171,6 +189,11 @@ impl CampaignSpec {
                 accum: Table1Accum::default(),
                 rows: Vec::new(),
                 baseline_retrans: None,
+            },
+            "defense_matrix" => Fold::DefenseMatrix {
+                accum: DefenseAccum::default(),
+                rows: Vec::new(),
+                baseline: None,
             },
             other => unreachable!("unknown campaign experiment {other}"),
         };
@@ -257,6 +280,46 @@ pub fn table1_report(rows: &[Table1Row]) -> String {
     to_json(&rows.to_vec()) + "\n"
 }
 
+/// Renders the defense matrix's report bytes — the exact contents the
+/// `defense_matrix` bin writes to `results/defense_matrix.json`.
+pub fn defense_matrix_report(rows: &[DefenseMatrixRow]) -> String {
+    rows.iter().map(|r| to_json(r) + "\n").collect()
+}
+
+fn defense_payload(s: &DefenseTrial) -> Json {
+    Json::Obj(vec![
+        ("completed".to_string(), Json::Bool(s.completed)),
+        ("serialized".to_string(), Json::Bool(s.serialized)),
+        ("identified".to_string(), Json::Bool(s.identified)),
+        ("success".to_string(), Json::Bool(s.success)),
+        ("full_ranking".to_string(), Json::Bool(s.full_ranking)),
+        ("wire_bytes".to_string(), Json::UInt(s.wire_bytes)),
+        ("page_ns".to_string(), Json::UInt(s.page_ns)),
+    ])
+}
+
+fn defense_from_payload(p: &Json) -> Result<DefenseTrial, String> {
+    let u = |k: &str| {
+        p.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("payload missing integer field {k:?}"))
+    };
+    let b = |k: &str| {
+        p.get(k)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("payload missing bool field {k:?}"))
+    };
+    Ok(DefenseTrial {
+        completed: b("completed")?,
+        serialized: b("serialized")?,
+        identified: b("identified")?,
+        success: b("success")?,
+        full_ranking: b("full_ranking")?,
+        wire_bytes: u("wire_bytes")?,
+        page_ns: u("page_ns")?,
+    })
+}
+
 enum Fold {
     Robustness {
         accum: RobustnessAccum,
@@ -266,6 +329,11 @@ enum Fold {
         accum: Table1Accum,
         rows: Vec<Table1Row>,
         baseline_retrans: Option<f64>,
+    },
+    DefenseMatrix {
+        accum: DefenseAccum,
+        rows: Vec<DefenseMatrixRow>,
+        baseline: Option<(f64, f64)>,
     },
 }
 
@@ -302,6 +370,7 @@ impl CampaignFolder {
         match &mut self.fold {
             Fold::Robustness { accum, .. } => accum.add(&robust_from_payload(payload)?),
             Fold::Table1 { accum, .. } => accum.add(&table1_from_payload(payload)?),
+            Fold::DefenseMatrix { accum, .. } => accum.add(&defense_from_payload(payload)?),
         }
         self.next += 1;
         // Batch boundary (or end of campaign): emit the finished row and
@@ -324,6 +393,15 @@ impl CampaignFolder {
                     rows.push(accum.row(jitter, baseline_retrans));
                     *accum = Table1Accum::default();
                 }
+                Fold::DefenseMatrix {
+                    accum,
+                    rows,
+                    baseline,
+                } => {
+                    let b = defense_matrix_batches()[batch as usize];
+                    rows.push(accum.row(&b, baseline));
+                    *accum = DefenseAccum::default();
+                }
             }
         }
         Ok(())
@@ -344,6 +422,7 @@ impl CampaignFolder {
         Ok(match self.fold {
             Fold::Robustness { rows, .. } => robustness_report(&rows),
             Fold::Table1 { rows, .. } => table1_report(&rows),
+            Fold::DefenseMatrix { rows, .. } => defense_matrix_report(&rows),
         })
     }
 }
@@ -405,5 +484,43 @@ mod tests {
         let p = robust_payload(&s);
         let parsed = Json::parse(&p.to_string_compact()).unwrap();
         assert_eq!(robust_from_payload(&parsed).unwrap(), s);
+    }
+
+    #[test]
+    fn defense_payload_roundtrip_is_exact() {
+        let s = DefenseTrial {
+            completed: true,
+            serialized: true,
+            identified: false,
+            success: false,
+            full_ranking: false,
+            wire_bytes: 1_234_567,
+            page_ns: 16_000_000_000,
+        };
+        let p = defense_payload(&s);
+        let parsed = Json::parse(&p.to_string_compact()).unwrap();
+        assert_eq!(defense_from_payload(&parsed).unwrap(), s);
+    }
+
+    #[test]
+    fn defense_matrix_spec_enumerates_all_cells_none_first() {
+        let spec = CampaignSpec::for_experiment("defense_matrix", 2).unwrap();
+        // 2 attacks x (5 H2 defenses + 5 H3 defenses) = 20 batches.
+        assert_eq!(spec.batches.len(), 20);
+        assert_eq!(spec.total_cells(), 40);
+        for i in 0..spec.total_cells() {
+            let (b, t) = spec.cell(i);
+            assert_eq!(spec.index(b, t), i);
+        }
+        // The undefended cell leads every (attack, transport) group so
+        // the streaming folder always sees its overhead baseline first.
+        for group in spec.batches.chunks(5) {
+            assert!(group[0].label.ends_with("/none"), "{}", group[0].label);
+            let prefix = |l: &str| l.rsplit_once('/').unwrap().0.to_string();
+            let head = prefix(&group[0].label);
+            for b in group {
+                assert_eq!(prefix(&b.label), head);
+            }
+        }
     }
 }

@@ -4,6 +4,7 @@
 //! adversary's capture, and the attack timeline.
 
 use crate::attack::{AttackConfig, AttackEvent, AttackPolicy};
+use crate::defense::Defense;
 use crate::metrics::{degree_of_multiplexing, is_serialized, ObjectMux};
 use crate::predictor::{
     predict_from_datagram_trace, predict_from_trace, Prediction, SizeMap, HTML_LABEL,
@@ -69,6 +70,14 @@ pub struct TrialOptions {
     /// (the default) to preserve the exact event sequence of a plain
     /// `run_until_idle(horizon)` run.
     pub fail_fast: bool,
+    /// Countermeasure under test. [`Defense::None`] (the default)
+    /// changes nothing: no config knobs move, no site transformation
+    /// runs, no extra RNG draws occur — seeded runs stay byte-identical.
+    /// Applied by the isidewith-level wrappers
+    /// ([`run_isidewith_trial_with`], [`run_isidewith_h3_trial_with`]);
+    /// callers of the raw site-trial entry points set the equivalent
+    /// config knobs themselves.
+    pub defense: Defense,
 }
 
 impl TrialOptions {
@@ -84,6 +93,7 @@ impl TrialOptions {
             faults: FaultPlan::default(),
             stall_window: SimDuration::from_secs(30),
             fail_fast: false,
+            defense: Defense::None,
         }
     }
 }
@@ -199,6 +209,14 @@ pub struct TrialResult {
     /// to, in topology order (client→mbox, mbox→client, mbox→server,
     /// server→mbox). Empty when the trial ran without faults.
     pub fault_stats: Vec<FaultStats>,
+    /// Padding bytes the server added on the wire (TLS record fill on
+    /// H2, PADDING-frame bytes on H3). 0 when padding is off.
+    pub pad_overhead_bytes: u64,
+    /// Dummy DATA cells the shaping layer emitted (H2 only).
+    pub dummy_cells_sent: u64,
+    /// Response datagrams routed over the untapped alternate path (H3
+    /// traffic splitting only).
+    pub split_alt_datagrams: u64,
 }
 
 impl TrialResult {
@@ -318,6 +336,9 @@ pub fn run_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
             .iter()
             .filter_map(|&l| sim.fault_stats(l))
             .collect(),
+        pad_overhead_bytes: server_node.pad_overhead_bytes(),
+        dummy_cells_sent: server_node.dummy_cells_sent(),
+        split_alt_datagrams: 0,
     }
 }
 
@@ -354,7 +375,15 @@ pub fn run_h3_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
         None => (Box::new(Passthrough), None),
     };
 
-    let topo = PathTopology::build(&mut sim, client, policy, server, &opts.path);
+    // Traffic splitting needs a second (untapped) gateway; the primary
+    // path is identical either way, so an unsplit trial's topology —
+    // node ids, link ids, event order — is untouched by this branch.
+    // Faults stay on the primary path only.
+    let topo = if opts.server.split_burst > 0 {
+        SplitPathTopology::build(&mut sim, client, policy, server, &opts.path).path
+    } else {
+        PathTopology::build(&mut sim, client, policy, server, &opts.path)
+    };
 
     let mut faulted_links = Vec::new();
     if let Some(cfg) = &opts.faults.client_link {
@@ -418,6 +447,9 @@ pub fn run_h3_site_trial(site: Site, opts: &TrialOptions) -> TrialResult {
             .iter()
             .filter_map(|&l| sim.fault_stats(l))
             .collect(),
+        pad_overhead_bytes: server_node.quic_stats().pad_bytes_sent,
+        dummy_cells_sent: 0,
+        split_alt_datagrams: server_node.split_alt_datagrams(),
     }
 }
 
@@ -723,7 +755,7 @@ pub fn run_isidewith_trial_retrying(opts: TrialOptions, max_retries: u32) -> Ret
 }
 
 /// Runs one isidewith trial with explicit options.
-pub fn run_isidewith_trial_with(opts: TrialOptions) -> IsideWithTrial {
+pub fn run_isidewith_trial_with(mut opts: TrialOptions) -> IsideWithTrial {
     // Derive the volunteer's survey result from the seed but on an
     // independent stream, so attack configs do not perturb it.
     let mut perm_rng = SimRng::new(
@@ -732,7 +764,13 @@ pub fn run_isidewith_trial_with(opts: TrialOptions) -> IsideWithTrial {
             .wrapping_add(1),
     );
     let iw = IsideWith::generate(&mut perm_rng);
-    let result = run_site_trial(iw.site.clone(), &opts);
+    // With Defense::None both calls are no-ops (configure leaves every
+    // knob alone; transform_site is the same site.clone() an undefended
+    // trial always performed), so legacy seeded runs stay byte-identical.
+    let defense = opts.defense;
+    defense.configure(&mut opts.server, &mut opts.client);
+    let site = defense.transform_site(&iw, opts.seed);
+    let result = run_site_trial(site, &opts);
     let prediction = result.predict(&SizeMap::isidewith());
     IsideWithTrial {
         iw,
@@ -766,7 +804,10 @@ pub fn run_isidewith_h3_trial_with(mut opts: TrialOptions) -> IsideWithTrial {
             .wrapping_add(1),
     );
     let iw = IsideWith::generate(&mut perm_rng);
-    let result = run_h3_site_trial(iw.site.clone(), &opts);
+    let defense = opts.defense;
+    defense.configure(&mut opts.server, &mut opts.client);
+    let site = defense.transform_site(&iw, opts.seed);
+    let result = run_h3_site_trial(site, &opts);
     let prediction = result.predict_datagram(&SizeMap::isidewith());
     IsideWithTrial {
         iw,

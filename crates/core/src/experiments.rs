@@ -14,10 +14,12 @@
 //! sequential run at any job count (`jobs = 1` is the legacy in-line
 //! path, `jobs = 0` means all cores).
 
-use crate::attack::AttackConfig;
+use crate::attack::{AttackConfig, TransportKind};
+use crate::defense::Defense;
 use crate::experiment::{
-    run_isidewith_h3_trial, run_isidewith_trial, run_isidewith_trial_retrying, run_site_trial,
-    FaultPlan, TrialOptions, TrialOutcome,
+    run_isidewith_h3_trial, run_isidewith_h3_trial_with, run_isidewith_trial,
+    run_isidewith_trial_retrying, run_isidewith_trial_with, run_site_trial, FaultPlan,
+    TrialOptions, TrialOutcome,
 };
 use crate::metrics::degree_of_multiplexing;
 use crate::predictor::{SizeMap, HTML_LABEL};
@@ -875,6 +877,281 @@ pub fn transport_transfer(trials: usize, base_seed: u64, jobs: usize) -> Vec<Tra
                 trials,
             });
         }
+    }
+    rows
+}
+
+/// One batch of the attack × defense × transport matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct DefenseMatrixBatch {
+    /// The countermeasure under test.
+    pub defense: Defense,
+    /// Attack configuration label (resolved by
+    /// [`defense_matrix_attack`]).
+    pub attack: &'static str,
+    /// Transport substrate label (`"h2-tcp"` or `"h3-quic"`).
+    pub transport: &'static str,
+}
+
+impl DefenseMatrixBatch {
+    /// The transport as an enum.
+    pub fn transport_kind(&self) -> TransportKind {
+        if self.transport == "h2-tcp" {
+            TransportKind::Tcp
+        } else {
+            TransportKind::Quic
+        }
+    }
+}
+
+/// The matrix's batch enumeration, grouped `(attack, transport)`-major
+/// with the undefended baseline **first in every group** — the overhead
+/// columns of later rows are computed against it, so the streaming fold
+/// only ever holds one group's baseline.
+pub fn defense_matrix_batches() -> Vec<DefenseMatrixBatch> {
+    let mut batches = Vec::new();
+    for attack in ["full_attack", "jitter_only_50ms"] {
+        for transport in ["h2-tcp", "h3-quic"] {
+            let kind = if transport == "h2-tcp" {
+                TransportKind::Tcp
+            } else {
+                TransportKind::Quic
+            };
+            for defense in Defense::ALL {
+                if defense.supported_on(kind) {
+                    batches.push(DefenseMatrixBatch {
+                        defense,
+                        attack,
+                        transport,
+                    });
+                }
+            }
+        }
+    }
+    batches
+}
+
+/// Resolves a matrix attack label to its configuration.
+///
+/// # Panics
+/// Panics on a label not produced by [`defense_matrix_batches`].
+pub fn defense_matrix_attack(label: &str) -> AttackConfig {
+    match label {
+        "full_attack" => AttackConfig::full_attack(),
+        "jitter_only_50ms" => AttackConfig::jitter_only(SimDuration::from_millis(50)),
+        other => panic!("unknown defense-matrix attack {other:?}"),
+    }
+}
+
+/// Compact per-trial summary of one defense-matrix cell, in
+/// exactly-representable types (see [`Table1Trial`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefenseTrial {
+    /// The page load finished.
+    pub completed: bool,
+    /// HTML fully serialized.
+    pub serialized: bool,
+    /// HTML identified by the predictor.
+    pub identified: bool,
+    /// The paper's success criterion (serialized *and* identified) —
+    /// judged from the adversary's capture whether or not the page
+    /// finished, matching [`transport_transfer`].
+    pub success: bool,
+    /// Every position of the 8-party ranking read correctly.
+    pub full_ranking: bool,
+    /// Server payload bytes on the wire, including padding fill and
+    /// dummy shaping cells — the defense's bandwidth cost.
+    pub wire_bytes: u64,
+    /// Page-load duration in nanoseconds (0 when not completed) — the
+    /// defense's latency cost.
+    pub page_ns: u64,
+}
+
+/// Runs one defense-matrix cell: batch `bi`, trial `t`. Pure function
+/// of its arguments; the seed layout mirrors the other experiments
+/// (`base + offset + batch_idx * 10_000 + trial`).
+pub fn defense_matrix_trial(base_seed: u64, bi: usize, t: usize) -> DefenseTrial {
+    let b = defense_matrix_batches()[bi];
+    let seed = base_seed + 7_000_000 + (bi as u64) * 10_000 + t as u64;
+    let mut opts = TrialOptions::new(seed, Some(defense_matrix_attack(b.attack)));
+    opts.defense = b.defense;
+    let trial = match b.transport_kind() {
+        TransportKind::Tcp => run_isidewith_trial_with(opts),
+        TransportKind::Quic => run_isidewith_h3_trial_with(opts),
+    };
+    let out = trial.html_outcome();
+    let completed = trial.result.outcome == TrialOutcome::Completed;
+    let page_ns = match (
+        trial.result.client.page_started_at,
+        trial.result.client.page_completed_at,
+    ) {
+        (Some(a), Some(z)) => z.as_nanos().saturating_sub(a.as_nanos()),
+        _ => 0,
+    };
+    // H2's TCP byte counter already includes TLS padding fill and dummy
+    // cells (they ride the same byte stream); QUIC's stream-byte counter
+    // excludes its datagram padding, which is accounted separately.
+    let wire_bytes = match b.transport_kind() {
+        TransportKind::Tcp => trial.result.server_tcp.bytes_sent,
+        TransportKind::Quic => trial.result.server_tcp.bytes_sent + trial.result.pad_overhead_bytes,
+    };
+    DefenseTrial {
+        completed,
+        serialized: crate::metrics::is_serialized(out.best_degree),
+        identified: out.identified,
+        success: out.success,
+        full_ranking: trial.sequence_success().iter().all(|ok| *ok),
+        wire_bytes,
+        page_ns,
+    }
+}
+
+/// One row of the attack × defense × transport matrix.
+#[derive(Debug, Clone)]
+pub struct DefenseMatrixRow {
+    /// Countermeasure label.
+    pub defense: String,
+    /// Attack configuration label.
+    pub attack: String,
+    /// Transport substrate label.
+    pub transport: String,
+    /// % of trials meeting the paper's success criterion.
+    pub pct_success: f64,
+    /// % of trials where the HTML size was identified.
+    pub pct_identified: f64,
+    /// % of trials where the full 8-party ranking was read correctly.
+    pub pct_full_ranking: f64,
+    /// % of trials whose page load finished.
+    pub pct_completed: f64,
+    /// Mean server wire bytes per trial (padding and cover traffic
+    /// included).
+    pub wire_bytes_avg: f64,
+    /// Mean page-load time over completed trials, ms (0 when none
+    /// completed).
+    pub page_ms_avg: f64,
+    /// Wire-byte overhead vs the undefended cell of the same (attack,
+    /// transport), % (0 for the baseline row itself).
+    pub bandwidth_overhead_pct: f64,
+    /// Page-time overhead vs the undefended cell, % (0 when either cell
+    /// has no completions).
+    pub latency_overhead_pct: f64,
+    /// Trials per cell.
+    pub trials: usize,
+}
+
+impl_to_json!(struct DefenseMatrixRow {
+    defense,
+    attack,
+    transport,
+    pct_success,
+    pct_identified,
+    pct_full_ranking,
+    pct_completed,
+    wire_bytes_avg,
+    page_ms_avg,
+    bandwidth_overhead_pct,
+    latency_overhead_pct,
+    trials,
+});
+
+/// Streaming per-batch accumulator for the defense matrix.
+#[derive(Debug, Default)]
+pub struct DefenseAccum {
+    success: usize,
+    identified: usize,
+    full_ranking: usize,
+    completed: usize,
+    wire_bytes_total: u64,
+    page_ns_total: u64,
+    trials: usize,
+}
+
+impl DefenseAccum {
+    /// Folds one trial summary in.
+    pub fn add(&mut self, s: &DefenseTrial) {
+        self.success += usize::from(s.success);
+        self.identified += usize::from(s.identified);
+        self.full_ranking += usize::from(s.full_ranking);
+        self.completed += usize::from(s.completed);
+        self.wire_bytes_total += s.wire_bytes;
+        self.page_ns_total += s.page_ns;
+        self.trials += 1;
+    }
+
+    /// Emits the batch's row. `baseline` carries the current (attack,
+    /// transport) group's undefended `(wire_bytes_avg, page_ms_avg)`:
+    /// the `none` batch **sets** it (each group starts with `none`, see
+    /// [`defense_matrix_batches`]), every other batch reads it for the
+    /// overhead columns — the same cross-batch pattern as Table I's
+    /// `baseline_retrans`.
+    pub fn row(
+        &self,
+        b: &DefenseMatrixBatch,
+        baseline: &mut Option<(f64, f64)>,
+    ) -> DefenseMatrixRow {
+        let trials = self.trials;
+        let pct = |n: usize| 100.0 * n as f64 / trials as f64;
+        let wire_bytes_avg = self.wire_bytes_total as f64 / trials as f64;
+        let page_ms_avg = if self.completed > 0 {
+            self.page_ns_total as f64 / self.completed as f64 / 1e6
+        } else {
+            0.0
+        };
+        if b.defense == Defense::None {
+            *baseline = Some((wire_bytes_avg, page_ms_avg));
+        }
+        let (base_bytes, base_ms) = baseline.expect("baseline batch folded first in each group");
+        let overhead = |v: f64, base: f64| {
+            if base > 0.0 && v > 0.0 {
+                100.0 * (v - base) / base
+            } else {
+                0.0
+            }
+        };
+        DefenseMatrixRow {
+            defense: b.defense.label().to_string(),
+            attack: b.attack.to_string(),
+            transport: b.transport.to_string(),
+            pct_success: pct(self.success),
+            pct_identified: pct(self.identified),
+            pct_full_ranking: pct(self.full_ranking),
+            pct_completed: pct(self.completed),
+            wire_bytes_avg,
+            page_ms_avg,
+            bandwidth_overhead_pct: overhead(wire_bytes_avg, base_bytes),
+            latency_overhead_pct: overhead(page_ms_avg, base_ms),
+            trials,
+        }
+    }
+}
+
+/// The attack × defense × transport matrix: every countermeasure preset
+/// against both matrix attacks on both transports (where supported),
+/// with bandwidth and latency overhead measured against the undefended
+/// cell of the same group.
+pub fn defense_matrix(trials: usize, base_seed: u64, jobs: usize) -> Vec<DefenseMatrixRow> {
+    if trials == 0 {
+        return Vec::new();
+    }
+    let batches = defense_matrix_batches();
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for (bi, b) in batches.iter().enumerate() {
+        let batch = telemetry::open_batch(&format!(
+            "defense/{}/{}/{}",
+            b.attack,
+            b.transport,
+            b.defense.label()
+        ));
+        let per_trial = pool::run_indexed(jobs, trials, |t| {
+            let _tele = telemetry::trial_slot(batch, t as u64);
+            defense_matrix_trial(base_seed, bi, t)
+        });
+        let mut accum = DefenseAccum::default();
+        for s in &per_trial {
+            accum.add(s);
+        }
+        rows.push(accum.row(b, &mut baseline));
     }
     rows
 }

@@ -152,12 +152,15 @@ impl_to_json!(struct ObjectMux { object, per_copy });
 
 impl ObjectMux {
     /// The copy with the lowest degree (the adversary only needs *one*
-    /// serialized copy). `None` if no copy sent data.
+    /// serialized copy). `None` if no copy sent data. Uses a total order
+    /// so a NaN degree (a degenerate zero-span unit injected by hand or
+    /// by a defense transformation) ranks above every finite value
+    /// instead of panicking mid-experiment.
     pub fn best(&self) -> Option<(u16, f64)> {
         self.per_copy
             .iter()
             .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("degrees are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// `true` if some copy transmitted essentially serialized (degree
@@ -271,6 +274,33 @@ mod tests {
         assert!(mux.per_copy.is_empty());
         assert_eq!(mux.best(), None);
         assert!(!mux.any_copy_serialized());
+    }
+
+    #[test]
+    fn nan_degree_does_not_panic_best() {
+        // A degenerate unit can surface a NaN degree (e.g. hand-built
+        // zero-span entities in analysis tooling). `best` must stay
+        // total: finite degrees win, an all-NaN list still returns.
+        let mux = ObjectMux {
+            object: ObjectId(1),
+            per_copy: vec![(0, f64::NAN), (1, 0.25)],
+        };
+        assert_eq!(mux.best(), Some((1, 0.25)));
+        let all_nan = ObjectMux {
+            object: ObjectId(2),
+            per_copy: vec![(0, f64::NAN)],
+        };
+        let best = all_nan.best().expect("one copy present");
+        assert_eq!(best.0, 0);
+        assert!(best.1.is_nan());
+    }
+
+    #[test]
+    fn zero_span_entity_yields_no_degree() {
+        // A zero-length span contributes zero bytes; the entity is
+        // reported as "no data" (None), never as a NaN degree.
+        let m = map(&[(10, 10, 1, 0)]);
+        assert_eq!(degree_of_multiplexing(&m, ObjectId(1)).best(), None);
     }
 
     #[test]

@@ -151,7 +151,11 @@ impl ClientNode {
             sport: CLIENT_PORT,
             dport: SERVER_PORT,
         };
-        let stack = Stack::new(TcpConnection::client(flow, cfg.tcp.clone()));
+        let stack = Stack::with_tls_options(
+            TcpConnection::client(flow, cfg.tcp.clone()),
+            0,
+            cfg.strip_padding,
+        );
         let n_objects = site.len();
         let n_steps = site.plan.len();
         ClientNode {

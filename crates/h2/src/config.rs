@@ -17,6 +17,32 @@ pub enum MuxPolicy {
     Serial,
 }
 
+/// Constant-rate output shaping (a BuFLO/Tamaraw-style link policy):
+/// the server releases at most one DATA cell per tick, splitting larger
+/// frames, and keeps emitting dummy cells while the connection is within
+/// the hangover of real activity — flattening the rate signature the
+/// attack's segmentation depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapingConfig {
+    /// Gap between cell emissions.
+    pub interval: SimDuration,
+    /// DATA payload bytes per cell.
+    pub cell: u32,
+    /// Keep emitting dummy cells this long after the last real activity
+    /// (GET arrival or real DATA emission), masking inter-object gaps.
+    pub hangover: SimDuration,
+}
+
+impl Default for ShapingConfig {
+    fn default() -> Self {
+        ShapingConfig {
+            interval: SimDuration::from_millis(2),
+            cell: 2_048,
+            hangover: SimDuration::from_millis(200),
+        }
+    }
+}
+
 /// Server-side configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -43,6 +69,18 @@ pub struct ServerConfig {
     /// paper's Section VII suggestion — pushed objects have no GETs for
     /// the adversary to pace). Empty = push disabled.
     pub push_manifest: Vec<(h2priv_web::ObjectId, Vec<h2priv_web::ObjectId>)>,
+    /// Pad every ApplicationData TLS record's plaintext up to a multiple
+    /// of this block size (RFC 8467 style). 0 = no padding. The client
+    /// must enable [`ClientConfig::strip_padding`] to parse the stream.
+    pub pad_block: usize,
+    /// Constant-rate output shaping. `None` = frames drain at line rate.
+    pub shaping: Option<ShapingConfig>,
+    /// Traffic splitting (H3/QUIC only): alternate response datagrams
+    /// between the primary path and an untapped second path in
+    /// deterministic bursts of this many datagrams. 0 = off. Requires a
+    /// split topology
+    /// ([`SplitPathTopology`](h2priv_netsim::topology::SplitPathTopology)).
+    pub split_burst: u32,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +93,9 @@ impl Default for ServerConfig {
             send_watermark: 32 * 1024,
             serve_duplicates: true,
             push_manifest: Vec::new(),
+            pad_block: 0,
+            shaping: None,
+            split_burst: 0,
         }
     }
 }
@@ -141,6 +182,10 @@ pub struct ClientConfig {
     pub conn_window: u64,
     /// Send a connection WINDOW_UPDATE after consuming this many bytes.
     pub window_update_threshold: u64,
+    /// Strip RFC 8467-style record padding from the server's
+    /// ApplicationData records (the server sealed with
+    /// [`ServerConfig::pad_block`] > 0).
+    pub strip_padding: bool,
 }
 
 impl Default for ClientConfig {
@@ -160,6 +205,7 @@ impl Default for ClientConfig {
             // throttles a page load.
             conn_window: 12 * 1024 * 1024,
             window_update_threshold: 256 * 1024,
+            strip_padding: false,
         }
     }
 }

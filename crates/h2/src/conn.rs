@@ -129,6 +129,68 @@ impl OutputScheduler {
         None
     }
 
+    /// Pops like [`OutputScheduler::pop_next`], but DATA payloads are
+    /// additionally capped at `cell` bytes: a larger frame at the front
+    /// of its queue is split, the remainder staying at the front (so a
+    /// shaping tick emits fixed-size cells regardless of how workers
+    /// chunked the object). Control frames pass through unchanged.
+    pub fn pop_next_shaped(&mut self, conn_window: u64, cell: u32) -> Option<QueuedFrame> {
+        assert!(cell > 0, "shaping cell must be positive");
+        let mut tried = 0;
+        let total = self.rotation.len();
+        while tried < total {
+            let stream = *self.rotation.front().expect("rotation non-empty");
+            let q = self.queues.get_mut(&stream).expect("queue exists");
+            let front = q.front().expect("queue non-empty");
+            if let Frame::Data {
+                stream: ds,
+                len,
+                end_stream,
+            } = front.frame
+            {
+                let take = len.min(cell);
+                if take as u64 > conn_window {
+                    self.rotation.rotate_left(1);
+                    tried += 1;
+                    continue;
+                }
+                let tag = front.tag;
+                if len > cell {
+                    // Split: emit one cell, leave the remainder queued.
+                    q.front_mut().expect("queue non-empty").frame = Frame::Data {
+                        stream: ds,
+                        len: len - cell,
+                        end_stream,
+                    };
+                    self.queued_data -= cell as u64;
+                    self.rotation.pop_front();
+                    self.rotation.push_back(stream);
+                    return Some(QueuedFrame {
+                        frame: Frame::Data {
+                            stream: ds,
+                            len: cell,
+                            end_stream: false,
+                        },
+                        tag,
+                    });
+                }
+            }
+            // Whole frame fits in a cell (or is control): normal pop.
+            let qf = q.pop_front().expect("non-empty");
+            if let Frame::Data { len, .. } = qf.frame {
+                self.queued_data -= len as u64;
+            }
+            self.rotation.pop_front();
+            if q.is_empty() {
+                self.queues.remove(&stream);
+            } else {
+                self.rotation.push_back(stream);
+            }
+            return Some(qf);
+        }
+        None
+    }
+
     /// `true` when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.queues.is_empty()
@@ -279,6 +341,55 @@ mod tests {
         let c = s.pop_next(5_000).expect("large frame fits now");
         assert_eq!(c.frame.stream_id().0, 1);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn shaped_pop_splits_large_frames_into_cells() {
+        let mut s = OutputScheduler::new();
+        s.enqueue(
+            Frame::Data {
+                stream: StreamId(1),
+                len: 5_000,
+                end_stream: true,
+            },
+            RecordTag::NONE,
+        );
+        let mut lens = Vec::new();
+        let mut ends = Vec::new();
+        while let Some(qf) = s.pop_next_shaped(u64::MAX, 2_048) {
+            match qf.frame {
+                Frame::Data {
+                    len, end_stream, ..
+                } => {
+                    lens.push(len);
+                    ends.push(end_stream);
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(lens, vec![2_048, 2_048, 904]);
+        // end_stream survives only on the final fragment.
+        assert_eq!(ends, vec![false, false, true]);
+        assert!(s.is_empty());
+        assert_eq!(s.queued_data_bytes(), 0);
+    }
+
+    #[test]
+    fn shaped_pop_respects_window_and_rotation() {
+        let mut s = OutputScheduler::new();
+        s.enqueue(data(1, 5_000), RecordTag::NONE);
+        s.enqueue(data(3, 5_000), RecordTag::NONE);
+        // A cell still larger than the window blocks.
+        assert!(s.pop_next_shaped(100, 2_048).is_none());
+        // Cells alternate across streams like the unshaped rotation.
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop_next_shaped(u64::MAX, 2_048))
+            .map(|qf| qf.frame.stream_id().0)
+            .collect();
+        assert_eq!(order, vec![1, 3, 1, 3, 1, 3]);
+        // Control frames pass a shaped pop untouched.
+        s.enqueue(Frame::Ping { ack: false }, RecordTag::NONE);
+        let qf = s.pop_next_shaped(0, 16).expect("control passes");
+        assert!(matches!(qf.frame, Frame::Ping { .. }));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod stack;
 pub mod stream;
 
 pub use client::{ClientNode, ClientReport, ObjectOutcome, RequestRecord};
-pub use config::{ClientConfig, MuxPolicy, ServerConfig};
+pub use config::{ClientConfig, MuxPolicy, ServerConfig, ShapingConfig};
 pub use frame::{ErrorCode, Frame, FrameType};
 pub use server::{ServeRecord, ServerNode};
 pub use stream::StreamId;

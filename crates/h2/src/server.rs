@@ -13,7 +13,7 @@
 //! additional workers serving additional *copies* — the paper's observed
 //! "intensified multiplexing" pathology (Fig. 4).
 
-use crate::config::{MuxPolicy, ServerConfig};
+use crate::config::{MuxPolicy, ServerConfig, ShapingConfig};
 use crate::conn::{OutputScheduler, INITIAL_CONNECTION_WINDOW};
 use crate::frame::{ErrorCode, Frame};
 use crate::hpack;
@@ -34,6 +34,11 @@ use std::collections::VecDeque;
 pub const CLIENT_PORT: u16 = 40_000;
 /// The server's HTTPS port.
 pub const SERVER_PORT: u16 = 443;
+
+/// Reserved server-initiated stream carrying shaping dummy cells. The
+/// client grants flow-control window for DATA on unknown streams and
+/// otherwise discards it, so dummies are stripped at the receiver.
+pub const DUMMY_STREAM: StreamId = StreamId(2_000_000_000);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TlsPhase {
@@ -89,6 +94,7 @@ pub struct ServeRecord {
 enum TimerPurpose {
     TcpTick,
     Worker(usize),
+    Shape,
 }
 
 /// The HTTP/2 server as a netsim node. Construct, hand to
@@ -113,6 +119,12 @@ pub struct ServerNode {
     min_window_seen: u64,
     window_blocked_events: u64,
     blocked_log: Vec<(SimTime, u64, u64)>,
+    /// Deadline of the currently scheduled shaping tick, if any.
+    shape_tick_at: Option<SimTime>,
+    /// Last real activity (GET arrival or real DATA emission) — the
+    /// shaping hangover is measured from here.
+    last_activity_at: Option<SimTime>,
+    dummy_cells_sent: u64,
 }
 
 impl ServerNode {
@@ -124,7 +136,11 @@ impl ServerNode {
             sport: SERVER_PORT,
             dport: CLIENT_PORT,
         };
-        let stack = Stack::new(TcpConnection::server(flow, cfg.tcp.clone()));
+        let stack = Stack::with_tls_options(
+            TcpConnection::server(flow, cfg.tcp.clone()),
+            cfg.pad_block,
+            false,
+        );
         ServerNode {
             cfg,
             site,
@@ -143,6 +159,9 @@ impl ServerNode {
             min_window_seen: u64::MAX,
             window_blocked_events: 0,
             blocked_log: Vec::new(),
+            shape_tick_at: None,
+            last_activity_at: None,
+            dummy_cells_sent: 0,
         }
     }
 
@@ -201,6 +220,16 @@ impl ServerNode {
     /// Log of pump stalls: (time, window, queued DATA bytes).
     pub fn blocked_log(&self) -> &[(SimTime, u64, u64)] {
         &self.blocked_log
+    }
+
+    /// Shaping dummy cells emitted (0 when shaping is off).
+    pub fn dummy_cells_sent(&self) -> u64 {
+        self.dummy_cells_sent
+    }
+
+    /// TLS record-padding overhead bytes sealed (0 when padding is off).
+    pub fn pad_overhead_bytes(&self) -> u64 {
+        self.stack.pad_bytes()
     }
 
     fn handle_records(&mut self, ctx: &mut Ctx<'_>, records: Vec<OpenedRecord>) {
@@ -288,6 +317,7 @@ impl ServerNode {
     }
 
     fn handle_request(&mut self, ctx: &mut Ctx<'_>, stream: StreamId, block: &[u8]) {
+        self.last_activity_at = Some(ctx.now());
         let Some(req) = hpack::decode_request(block) else {
             self.sched.enqueue(
                 Frame::RstStream {
@@ -514,8 +544,94 @@ impl ServerNode {
         }
     }
 
+    /// One shaping tick: drain control frames, emit at most one real
+    /// DATA cell, or a dummy cell while within the hangover of real
+    /// activity. All sizes and timings are deterministic (no RNG).
+    fn shape_tick(&mut self, ctx: &mut Ctx<'_>, sh: ShapingConfig) {
+        if self.dead {
+            return;
+        }
+        let mut sent_data = false;
+        while self.stack.tcp.bytes_unsent() < self.cfg.send_watermark {
+            self.min_window_seen = self.min_window_seen.min(self.conn_send_window);
+            let Some(qf) = self.sched.pop_next_shaped(self.conn_send_window, sh.cell) else {
+                break;
+            };
+            let is_data = matches!(qf.frame, Frame::Data { .. });
+            if let Frame::Data { len, .. } = qf.frame {
+                self.conn_send_window = self.conn_send_window.saturating_sub(len as u64);
+            }
+            let bytes = qf
+                .frame
+                .encode()
+                .expect("frame within RFC 7540 payload limit");
+            self.stack
+                .write_record(ContentType::ApplicationData, &bytes, qf.tag);
+            if is_data {
+                self.last_activity_at = Some(ctx.now());
+                sent_data = true;
+                break;
+            }
+        }
+        if !sent_data
+            && self.within_hangover(ctx.now(), sh)
+            && self.stack.tcp.bytes_unsent() < self.cfg.send_watermark
+            && sh.cell as u64 <= self.conn_send_window
+        {
+            self.conn_send_window -= sh.cell as u64;
+            self.dummy_cells_sent += 1;
+            let frame = Frame::Data {
+                stream: DUMMY_STREAM,
+                len: sh.cell,
+                end_stream: false,
+            };
+            let bytes = frame.encode().expect("cell within RFC 7540 payload limit");
+            self.stack.write_record(
+                ContentType::ApplicationData,
+                &bytes,
+                RecordTag {
+                    stream_id: DUMMY_STREAM.0,
+                    object_id: u32::MAX,
+                    copy: 0,
+                    class: TrafficClass::Control,
+                },
+            );
+        }
+    }
+
+    fn within_hangover(&self, now: SimTime, sh: ShapingConfig) -> bool {
+        self.last_activity_at
+            .is_some_and(|t| now <= t + sh.hangover)
+    }
+
+    fn shape_work_pending(&self, now: SimTime, sh: ShapingConfig) -> bool {
+        !self.sched.is_empty()
+            || self.workers.iter().any(|w| {
+                matches!(
+                    w.state,
+                    WorkerState::Queued | WorkerState::FirstByteWait | WorkerState::Streaming
+                )
+            })
+            || self.within_hangover(now, sh)
+    }
+
+    fn ensure_shape_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(sh) = self.cfg.shaping else { return };
+        if self.dead || self.shape_tick_at.is_some() || !self.shape_work_pending(ctx.now(), sh) {
+            return;
+        }
+        let timer = ctx.schedule(sh.interval);
+        self.shape_tick_at = Some(ctx.now() + sh.interval);
+        self.timers.insert(timer, TimerPurpose::Shape);
+    }
+
     fn after_activity(&mut self, ctx: &mut Ctx<'_>) {
-        self.pump_frames(ctx.now());
+        if self.cfg.shaping.is_some() {
+            // Shaped mode: frames leave only on the shaping tick.
+            self.ensure_shape_tick(ctx);
+        } else {
+            self.pump_frames(ctx.now());
+        }
         self.stack.pump(ctx);
         if let Some(t) = self.stack.timer_needs_rescheduling() {
             let timer = ctx.schedule_at(t);
@@ -557,6 +673,12 @@ impl Node for ServerNode {
             }
             Some(TimerPurpose::Worker(idx)) => {
                 self.worker_tick(ctx, idx);
+            }
+            Some(TimerPurpose::Shape) => {
+                self.shape_tick_at = None;
+                if let Some(sh) = self.cfg.shaping {
+                    self.shape_tick(ctx, sh);
+                }
             }
             None => {}
         }

@@ -52,13 +52,34 @@ pub struct Stack {
 impl Stack {
     /// Wraps a TCP connection.
     pub fn new(tcp: TcpConnection) -> Stack {
+        Stack::with_tls_options(tcp, 0, false)
+    }
+
+    /// Wraps a TCP connection with countermeasure TLS options:
+    /// `pad_block` > 0 pads outgoing ApplicationData records to that
+    /// block multiple; `strip_padding` strips the peer's padding from
+    /// incoming records.
+    pub fn with_tls_options(tcp: TcpConnection, pad_block: usize, strip_padding: bool) -> Stack {
         Stack {
             tcp,
-            sealer: RecordSealer::new(),
-            opener: RecordOpener::new(),
+            sealer: if pad_block > 0 {
+                RecordSealer::with_padding(pad_block)
+            } else {
+                RecordSealer::new()
+            },
+            opener: if strip_padding {
+                RecordOpener::with_padding_strip()
+            } else {
+                RecordOpener::new()
+            },
             egress: None,
             tcp_tick_at: None,
         }
+    }
+
+    /// Padding overhead bytes sealed so far (0 when padding is off).
+    pub fn pad_bytes(&self) -> u64 {
+        self.sealer.pad_bytes()
     }
 
     /// Sets the link this endpoint transmits on (discovered in

@@ -95,6 +95,6 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::sim::Simulator;
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{PathConfig, PathTopology};
+    pub use crate::topology::{PathConfig, PathTopology, SplitPathTopology};
     pub use crate::units::{Bandwidth, ByteCount};
 }

@@ -207,6 +207,7 @@ pub struct Middlebox {
     held: HashMap<u64, (Direction, Packet)>,
     tokens: HashMap<u64, u64>,
     stats: MiddleboxStats,
+    tapped: bool,
 }
 
 impl Middlebox {
@@ -218,6 +219,19 @@ impl Middlebox {
             held: HashMap::new(),
             tokens: HashMap::new(),
             stats: MiddleboxStats::default(),
+            tapped: true,
+        }
+    }
+
+    /// Creates a middlebox that forwards like [`Middlebox::new`] but
+    /// records nothing to the capture sink — a gateway the adversary has
+    /// *not* compromised. Used as the second path of a traffic-splitting
+    /// countermeasure: bytes routed through it are invisible to the
+    /// attack's trace.
+    pub fn untapped(policy: Box<dyn MiddleboxPolicy>) -> Middlebox {
+        Middlebox {
+            tapped: false,
+            ..Middlebox::new(policy)
         }
     }
 
@@ -282,15 +296,17 @@ impl Node for Middlebox {
         let verdict = self.run_policy(ctx, |p, pctx| {
             p.on_packet(pctx, dir, PacketView { pkt: &pkt })
         });
-        ctx.capture(
-            CapturePoint::Middlebox,
-            CaptureEvent {
-                time: ctx.now(),
-                direction: Some(dir),
-                packet: pkt.clone(),
-                dropped_by_policy: verdict == Verdict::Drop,
-            },
-        );
+        if self.tapped {
+            ctx.capture(
+                CapturePoint::Middlebox,
+                CaptureEvent {
+                    time: ctx.now(),
+                    direction: Some(dir),
+                    packet: pkt.clone(),
+                    dropped_by_policy: verdict == Verdict::Drop,
+                },
+            );
+        }
         match verdict {
             Verdict::Forward => {
                 self.stats.forwarded += 1;

@@ -93,6 +93,74 @@ impl PathTopology {
     }
 }
 
+/// Ids of a split path: the standard tapped path plus a second,
+/// *untapped* gateway (connection-migration style traffic splitting —
+/// bytes routed via the alternate path never reach the adversary's
+/// capture).
+#[derive(Debug, Clone, Copy)]
+pub struct SplitPathTopology {
+    /// The primary (tapped) path.
+    pub path: PathTopology,
+    /// The alternate middlebox node (untapped, always forwarding).
+    pub alt_middlebox: NodeId,
+    /// Link client → alternate middlebox.
+    pub client_to_alt: LinkId,
+    /// Link alternate middlebox → client.
+    pub alt_to_client: LinkId,
+    /// Link alternate middlebox → server.
+    pub alt_to_server: LinkId,
+    /// Link server → alternate middlebox.
+    pub server_to_alt: LinkId,
+}
+
+impl SplitPathTopology {
+    /// Like [`PathTopology::build`], plus a second client—gateway—server
+    /// path through an untapped [`Middlebox`] running
+    /// [`crate::middlebox::Passthrough`]. Endpoint egress link order:
+    /// the primary path's link first, the alternate second — endpoints
+    /// that only know one link keep working unchanged on `egress[0]`.
+    pub fn build<C, S>(
+        sim: &mut Simulator,
+        client: C,
+        policy: Box<dyn MiddleboxPolicy>,
+        server: S,
+        cfg: &PathConfig,
+    ) -> SplitPathTopology
+    where
+        C: Node + 'static,
+        S: Node + 'static,
+    {
+        let client_id = sim.add_node(client);
+        let mbox_id = sim.add_node(Middlebox::new(policy));
+        let server_id = sim.add_node(server);
+        let (c2m, m2c) = sim.connect(client_id, mbox_id, cfg.client_link);
+        let (m2s, s2m) = sim.connect(mbox_id, server_id, cfg.server_link);
+        sim.node_mut::<Middlebox>(mbox_id)
+            .set_ports(m2c, m2s, c2m, s2m);
+        let alt_id = sim.add_node(Middlebox::untapped(Box::new(crate::middlebox::Passthrough)));
+        let (c2a, a2c) = sim.connect(client_id, alt_id, cfg.client_link);
+        let (a2s, s2a) = sim.connect(alt_id, server_id, cfg.server_link);
+        sim.node_mut::<Middlebox>(alt_id)
+            .set_ports(a2c, a2s, c2a, s2a);
+        SplitPathTopology {
+            path: PathTopology {
+                client: client_id,
+                middlebox: mbox_id,
+                server: server_id,
+                client_to_mbox: c2m,
+                mbox_to_client: m2c,
+                mbox_to_server: m2s,
+                server_to_mbox: s2m,
+            },
+            alt_middlebox: alt_id,
+            client_to_alt: c2a,
+            alt_to_client: a2c,
+            alt_to_server: a2s,
+            server_to_alt: s2a,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +199,73 @@ mod tests {
                 assert_ne!(ids[i], ids[j]);
             }
         }
+    }
+
+    #[test]
+    fn split_path_adds_untapped_second_gateway() {
+        use crate::capture::{shared, CountingSink};
+        use crate::middlebox::Middlebox;
+        use crate::packet::{FlowId, Packet, TcpFlags, TcpHeader};
+        use h2priv_util::bytes::Bytes;
+
+        /// Sends one packet down each of its egress links at t=0.
+        struct Fan;
+        impl Node for Fan {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(SimDuration::ZERO);
+            }
+            fn on_packet(&mut self, _c: &mut Ctx<'_>, _f: LinkId, _p: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId) {
+                let links = ctx.egress_links();
+                for link in links {
+                    let pkt = Packet::new(
+                        TcpHeader {
+                            flow: FlowId {
+                                src: HostAddr(1),
+                                dst: HostAddr(2),
+                                sport: 40_000,
+                                dport: 443,
+                            },
+                            seq: 0,
+                            ack: 0,
+                            flags: TcpFlags::ACK,
+                            window: 0,
+                            ts_val: 0,
+                            ts_ecr: 0,
+                        },
+                        Bytes::from(vec![0u8; 64]),
+                    );
+                    ctx.send(link, pkt);
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(7);
+        let sink = shared(CountingSink::default());
+        sim.set_capture_sink(sink.clone());
+        let topo = SplitPathTopology::build(
+            &mut sim,
+            Fan,
+            Box::new(Passthrough),
+            Dummy,
+            &PathConfig::default(),
+        );
+        sim.run_until_idle(crate::time::SimTime::from_secs(5));
+        // Both gateways forwarded one packet each…
+        assert_eq!(
+            sim.node_ref::<Middlebox>(topo.path.middlebox)
+                .stats()
+                .forwarded,
+            1
+        );
+        assert_eq!(
+            sim.node_ref::<Middlebox>(topo.alt_middlebox)
+                .stats()
+                .forwarded,
+            1
+        );
+        // …but only the tapped one reached the capture sink.
+        assert_eq!(sink.borrow().middlebox, 1);
     }
 
     #[test]

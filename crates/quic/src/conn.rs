@@ -26,7 +26,7 @@ use h2priv_util::{smallvec, telemetry};
 
 use crate::frame::{
     decode_datagram_into, encode_datagram_pooled, FrameVec, QuicFrame, MAX_CRYPTO_CHUNK,
-    MAX_DATAGRAM, SHORT_HEADER_LEN, STREAM_FRAME_HEADER_LEN,
+    MAX_DATAGRAM, SHORT_HEADER_LEN, STREAM_DATAGRAM_OVERHEAD, STREAM_FRAME_HEADER_LEN,
 };
 use crate::recovery::{AckRanges, Recovery, SentFrame, SentVec};
 use crate::streams::{RecvStream, SendStream};
@@ -83,6 +83,11 @@ pub struct QuicConfig {
     pub window_update_threshold: u64,
     /// Consecutive unanswered PTOs before the connection aborts.
     pub max_pto_count: u32,
+    /// Pad stream-carrying datagrams up to a multiple of this many wire
+    /// bytes (capped at [`MAX_DATAGRAM`]) using PADDING frames. 0 = no
+    /// padding. PADDING frames are ignored on receipt, so no peer
+    /// configuration is needed.
+    pub pad_block: usize,
 }
 
 impl Default for QuicConfig {
@@ -94,6 +99,7 @@ impl Default for QuicConfig {
             initial_max_stream_data: 1024 * 1024,
             window_update_threshold: 256 * 1024,
             max_pto_count: 10,
+            pad_block: 0,
         }
     }
 }
@@ -154,6 +160,8 @@ pub struct QuicStats {
     pub pto_events: u64,
     /// Datagrams discarded as duplicates of an already-seen packet number.
     pub duplicate_datagrams: u64,
+    /// PADDING overhead bytes added by [`QuicConfig::pad_block`].
+    pub pad_bytes_sent: u64,
 }
 
 impl QuicStats {
@@ -732,6 +740,24 @@ impl QuicConnection {
             len: chunk.data.len() as u32,
             fin: chunk.fin,
         }];
+        // Countermeasure padding: round the datagram up to the next
+        // pad-block multiple (PADDING frames after the stream frame, so
+        // the wire-map spans above stay valid), capped at the MTU.
+        let pad = if self.cfg.pad_block > 0 {
+            let unpadded = chunk.data.len() + STREAM_DATAGRAM_OVERHEAD;
+            let target = unpadded
+                .div_ceil(self.cfg.pad_block)
+                .saturating_mul(self.cfg.pad_block)
+                .min(MAX_DATAGRAM);
+            if target > unpadded {
+                self.stats.pad_bytes_sent += (target - unpadded) as u64;
+                Some(target)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
         let data_handle = chunk.data.clone();
         let frame = QuicFrame::Stream {
             id: pick,
@@ -739,7 +765,7 @@ impl QuicConnection {
             data: chunk.data,
             fin: chunk.fin,
         };
-        let result = self.emit(now, &[frame], sent, true, None);
+        let result = self.emit(now, &[frame], sent, true, pad);
         // The chunk's bytes were copied into the datagram above; a
         // segment-spanning copy (whose only other owner was the frame,
         // just dropped) goes back to the pool, while segment-backed

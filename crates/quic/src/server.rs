@@ -100,7 +100,8 @@ impl H3ServerNode {
         };
         // Server-side transport tunables mirror the defaults the H2
         // server gets from its peer's grants.
-        let qcfg = quic_config_from(12 * 1024 * 1024, 256 * 1024);
+        let mut qcfg = quic_config_from(12 * 1024 * 1024, 256 * 1024);
+        qcfg.pad_block = cfg.pad_block;
         let stack = QuicStack::new(QuicConnection::server(flow, qcfg));
         H3ServerNode {
             cfg,
@@ -150,6 +151,12 @@ impl H3ServerNode {
     /// (diagnostics; the analogue of the H2 server's send window).
     pub fn conn_send_window(&self) -> u64 {
         self.stack.quic.send_credit()
+    }
+
+    /// Datagrams routed via the alternate path when traffic splitting is
+    /// enabled (0 otherwise).
+    pub fn split_alt_datagrams(&self) -> u64 {
+        self.stack.split_alt_datagrams()
     }
 
     fn handle_quic_events(&mut self, ctx: &mut Ctx<'_>, events: &mut Vec<QuicEvent>) {
@@ -361,8 +368,14 @@ impl H3ServerNode {
 impl Node for H3ServerNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let egress = ctx.egress_links();
-        assert_eq!(egress.len(), 1, "server expects exactly one egress link");
         self.stack.set_egress(egress[0]);
+        if self.cfg.split_burst > 0 && egress.len() > 1 {
+            // Split topology: responses alternate between the tapped
+            // primary path and the untapped second path.
+            self.stack.set_split(egress[1], self.cfg.split_burst);
+        } else {
+            assert_eq!(egress.len(), 1, "server expects exactly one egress link");
+        }
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: LinkId, pkt: Packet) {

@@ -17,6 +17,12 @@ pub struct QuicStack {
     /// The transport connection.
     pub quic: QuicConnection,
     egress: Option<LinkId>,
+    /// Alternate egress for connection-migration-style traffic
+    /// splitting, with the burst length (datagrams per path before
+    /// alternating).
+    split: Option<(LinkId, u32)>,
+    /// Datagrams sent since splitting was enabled.
+    split_sent: u64,
     /// Deadline currently covered by a scheduled transport tick, if any.
     pub tick_at: Option<SimTime>,
 }
@@ -27,6 +33,8 @@ impl QuicStack {
         QuicStack {
             quic,
             egress: None,
+            split: None,
+            split_sent: 0,
             tick_at: None,
         }
     }
@@ -35,6 +43,25 @@ impl QuicStack {
     /// `on_start`).
     pub fn set_egress(&mut self, link: LinkId) {
         self.egress = Some(link);
+    }
+
+    /// Enables traffic splitting: datagrams alternate between the
+    /// primary egress and `alt` in deterministic bursts of `burst`
+    /// datagrams per path (connection-migration style — no RNG).
+    pub fn set_split(&mut self, alt: LinkId, burst: u32) {
+        assert!(burst > 0, "split burst must be positive");
+        self.split = Some((alt, burst));
+    }
+
+    /// Datagrams routed via the alternate path so far.
+    pub fn split_alt_datagrams(&self) -> u64 {
+        let Some((_, burst)) = self.split else {
+            return 0;
+        };
+        // Odd-numbered bursts went to the alternate path.
+        let full = self.split_sent / burst as u64;
+        let rem = self.split_sent % burst as u64;
+        full / 2 * burst as u64 + if full % 2 == 1 { rem } else { 0 }
     }
 
     /// Feeds an arriving datagram into the connection, appending the
@@ -66,7 +93,19 @@ impl QuicStack {
     pub fn pump(&mut self, ctx: &mut Ctx<'_>) {
         let egress = self.egress.expect("stack egress not set");
         while let Some((hdr, payload)) = self.quic.poll_datagram(ctx.now()) {
-            ctx.send(egress, Packet::new(hdr, payload));
+            let link = match self.split {
+                Some((alt, burst)) => {
+                    let path = (self.split_sent / burst as u64) % 2;
+                    self.split_sent += 1;
+                    if path == 1 {
+                        alt
+                    } else {
+                        egress
+                    }
+                }
+                None => egress,
+            };
+            ctx.send(link, Packet::new(hdr, payload));
         }
     }
 

@@ -51,5 +51,5 @@ pub use record::{
     ContentType, RecordHeader, AEAD_TAG_LEN, MAX_RECORD_PLAINTEXT, RECORD_HEADER_LEN,
     RECORD_OVERHEAD,
 };
-pub use session::{OpenedRecord, RecordOpener, RecordSealer};
+pub use session::{OpenedRecord, RecordOpener, RecordSealer, PAD_PREFIX_LEN};
 pub use wire_map::{RecordTag, TrafficClass, WireMap, WireSpan};

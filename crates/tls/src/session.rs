@@ -12,12 +12,19 @@ use crate::record::{
 use crate::wire_map::{RecordTag, WireMap, WireSpan};
 use h2priv_util::bytes::{Bytes, BytesMut};
 
+/// Length of the cleartext length prefix inside a padded record body.
+pub const PAD_PREFIX_LEN: usize = 2;
+
 /// Encrypt-direction half of a session: plaintext in, wire bytes out.
 #[derive(Debug, Default)]
 pub struct RecordSealer {
     wire_offset: u64,
     map: WireMap,
     records_sealed: u64,
+    /// Pad ApplicationData record plaintexts up to a multiple of this
+    /// block size (RFC 8467 style). 0 = no padding.
+    pad_block: usize,
+    pad_bytes: u64,
 }
 
 impl RecordSealer {
@@ -26,9 +33,29 @@ impl RecordSealer {
         RecordSealer::default()
     }
 
+    /// Creates a sealer that pads every ApplicationData record's
+    /// plaintext up to a multiple of `block` bytes. Padded records carry
+    /// a [`PAD_PREFIX_LEN`]-byte cleartext length prefix inside the
+    /// (modelled) ciphertext; the peer's opener must strip it (see
+    /// [`RecordOpener::with_padding_strip`]).
+    pub fn with_padding(block: usize) -> RecordSealer {
+        assert!(block > 0, "pad block must be positive");
+        assert!(
+            block + AEAD_TAG_LEN <= MAX_RECORD_PLAINTEXT,
+            "pad block exceeds record capacity"
+        );
+        RecordSealer {
+            pad_block: block,
+            ..RecordSealer::default()
+        }
+    }
+
     /// Seals one message, fragmenting into records of at most 16 KiB
     /// plaintext. Returns the wire bytes to hand to TCP.
     pub fn seal(&mut self, ct: ContentType, plaintext: &[u8], tag: RecordTag) -> Bytes {
+        if self.pad_block > 0 && ct == ContentType::ApplicationData {
+            return self.seal_padded(plaintext, tag);
+        }
         let mut out = BytesMut::with_capacity(plaintext.len() + RECORD_HEADER_LEN + AEAD_TAG_LEN);
         let mut rest = plaintext;
         loop {
@@ -58,6 +85,54 @@ impl RecordSealer {
             }
         }
         out.freeze()
+    }
+
+    /// Padded variant: each record's plaintext is
+    /// `[2-byte payload len][payload][zero pad]`, rounded up to a
+    /// multiple of `pad_block` (capped at the record plaintext limit).
+    fn seal_padded(&mut self, plaintext: &[u8], tag: RecordTag) -> Bytes {
+        let max_inner = MAX_RECORD_PLAINTEXT - AEAD_TAG_LEN;
+        let mut out = BytesMut::with_capacity(plaintext.len() + RECORD_HEADER_LEN + AEAD_TAG_LEN);
+        let mut rest = plaintext;
+        loop {
+            let take = rest.len().min(max_inner - PAD_PREFIX_LEN);
+            let unpadded = PAD_PREFIX_LEN + take;
+            let inner = unpadded
+                .div_ceil(self.pad_block)
+                .saturating_mul(self.pad_block)
+                .min(max_inner);
+            let body_len = inner + AEAD_TAG_LEN;
+            let header = RecordHeader {
+                content_type: ContentType::ApplicationData,
+                version: WIRE_VERSION,
+                length: body_len as u16,
+            };
+            out.extend_from_slice(&header.encode());
+            out.put_u16(take as u16);
+            out.extend_from_slice(&rest[..take]);
+            out.put_zeros(inner - unpadded);
+            out.extend_from_slice(&[0u8; AEAD_TAG_LEN]);
+            self.pad_bytes += (inner - take) as u64;
+            let total = (RECORD_HEADER_LEN + body_len) as u64;
+            self.map.push(WireSpan {
+                start: self.wire_offset,
+                end: self.wire_offset + total,
+                tag,
+            });
+            self.wire_offset += total;
+            self.records_sealed += 1;
+            rest = &rest[take..];
+            if rest.is_empty() {
+                break;
+            }
+        }
+        out.freeze()
+    }
+
+    /// Total padding overhead emitted so far (prefix + zero fill), in
+    /// bytes. Always 0 for an unpadded sealer.
+    pub fn pad_bytes(&self) -> u64 {
+        self.pad_bytes
     }
 
     /// Current TCP stream offset (bytes emitted so far).
@@ -102,12 +177,25 @@ pub struct RecordOpener {
     buf: Vec<u8>,
     /// Offset of the first unconsumed byte in `buf`.
     head: usize,
+    /// Strip RFC 8467-style padding from ApplicationData records (the
+    /// peer sealed with [`RecordSealer::with_padding`]).
+    strip_padding: bool,
 }
 
 impl RecordOpener {
     /// Creates an empty opener.
     pub fn new() -> RecordOpener {
         RecordOpener::default()
+    }
+
+    /// Creates an opener that strips block padding from ApplicationData
+    /// records: the first [`PAD_PREFIX_LEN`] plaintext bytes give the
+    /// real payload length, the rest is zero fill.
+    pub fn with_padding_strip() -> RecordOpener {
+        RecordOpener {
+            strip_padding: true,
+            ..RecordOpener::default()
+        }
     }
 
     /// Appends received stream bytes.
@@ -143,7 +231,21 @@ impl RecordOpener {
             return None;
         }
         let body = &pending[RECORD_HEADER_LEN..RECORD_HEADER_LEN + body_len - AEAD_TAG_LEN];
-        let plaintext = Bytes::copy_from_slice(body);
+        let plaintext = if self.strip_padding && header.content_type == ContentType::ApplicationData
+        {
+            assert!(
+                body.len() >= PAD_PREFIX_LEN,
+                "corrupt padded record: body shorter than length prefix"
+            );
+            let real = u16::from_be_bytes([body[0], body[1]]) as usize;
+            assert!(
+                PAD_PREFIX_LEN + real <= body.len(),
+                "corrupt padded record: payload length exceeds body"
+            );
+            Bytes::copy_from_slice(&body[PAD_PREFIX_LEN..PAD_PREFIX_LEN + real])
+        } else {
+            Bytes::copy_from_slice(body)
+        };
         self.head += RECORD_HEADER_LEN + body_len;
         Some(OpenedRecord {
             content_type: header.content_type,
@@ -256,6 +358,70 @@ mod tests {
             .map(|r| r.plaintext.len())
             .collect();
         assert_eq!(lens, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn padded_records_round_up_to_block_multiple() {
+        let mut s = RecordSealer::with_padding(4096);
+        let wire = s.seal(ContentType::ApplicationData, &[9u8; 100], RecordTag::NONE);
+        // Inner plaintext = prefix(2) + 100 -> padded to 4096; body adds
+        // the AEAD tag.
+        assert_eq!(wire.len(), RECORD_HEADER_LEN + 4096 + AEAD_TAG_LEN);
+        assert_eq!(s.pad_bytes(), 4096 - 100);
+        let mut o = RecordOpener::with_padding_strip();
+        o.push(&wire);
+        let rec = o.poll_record().unwrap();
+        assert_eq!(&rec.plaintext[..], &[9u8; 100][..]);
+        assert!(o.poll_record().is_none());
+    }
+
+    #[test]
+    fn padding_leaves_handshake_records_alone() {
+        let mut s = RecordSealer::with_padding(4096);
+        let wire = s.seal(ContentType::Handshake, b"hs", RecordTag::NONE);
+        assert_eq!(wire.len(), RECORD_HEADER_LEN + 2 + AEAD_TAG_LEN);
+        let mut o = RecordOpener::with_padding_strip();
+        o.push(&wire);
+        assert_eq!(&o.poll_record().unwrap().plaintext[..], b"hs");
+    }
+
+    #[test]
+    fn strip_opener_reads_unpadded_peer_without_harm_only_when_padded() {
+        // An opener without strip mode sees padded bytes verbatim
+        // (prefix + zeros included) — the observer's view.
+        let mut s = RecordSealer::with_padding(256);
+        let wire = s.seal(ContentType::ApplicationData, &[1u8; 10], RecordTag::NONE);
+        let mut o = RecordOpener::new();
+        o.push(&wire);
+        assert_eq!(o.poll_record().unwrap().plaintext.len(), 256);
+    }
+
+    #[test]
+    fn padded_roundtrip_any_sizes_and_blocks() {
+        check::run(
+            "padded_roundtrip_any_sizes_and_blocks",
+            128,
+            |g: &mut Gen| {
+                let block = [128usize, 1024, 4096, 16_368 - 2][g.usize(0, 3)];
+                let mut s = RecordSealer::with_padding(block);
+                let mut o = RecordOpener::with_padding_strip();
+                let mut expected = Vec::new();
+                for i in 0..g.usize(1, 5) {
+                    let payload = vec![(i % 251) as u8; g.usize(0, 40_000)];
+                    let wire = s.seal(ContentType::ApplicationData, &payload, RecordTag::NONE);
+                    // Every padded record plaintext is a block multiple or
+                    // at the record cap.
+                    o.push(&wire);
+                    expected.extend_from_slice(&payload);
+                }
+                let mut got = Vec::new();
+                while let Some(rec) = o.poll_record() {
+                    got.extend_from_slice(&rec.plaintext);
+                }
+                prop_assert_eq!(got.len(), expected.len());
+                prop_assert_eq!(got == expected, true);
+            },
+        );
     }
 
     #[test]

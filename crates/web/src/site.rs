@@ -166,6 +166,52 @@ impl Site {
     pub fn plan_position(&self, object: ObjectId) -> Option<usize> {
         self.plan.iter().position(|s| s.object == object)
     }
+
+    /// Dummy-object countermeasure: returns a copy of this site with
+    /// `count` decoy objects appended. Each decoy shadows one of the
+    /// last-planned distinct objects (working backwards from the end of
+    /// the plan, where an attacked page's identifying burst lives): it
+    /// is sized 2 % above its target — inside a ±3 % size-matching
+    /// tolerance, so the adversary's size map labels the decoy like the
+    /// real object — and is requested a few milliseconds after it, so
+    /// decoy traffic lands inside the same burst and corrupts any
+    /// order/ranking inference. Deterministic: no RNG, no change to
+    /// existing objects or plan steps.
+    pub fn with_dummy_objects(&self, count: u32) -> Site {
+        if count == 0 || self.plan.is_empty() {
+            return self.clone();
+        }
+        let mut targets: Vec<ObjectId> = Vec::new();
+        for step in self.plan.iter().rev() {
+            if !targets.contains(&step.object) {
+                targets.push(step.object);
+            }
+            if targets.len() == count as usize {
+                break;
+            }
+        }
+        let mut objects = self.objects.clone();
+        let mut plan = self.plan.clone();
+        for (k, &target) in targets.iter().enumerate() {
+            let id = ObjectId(objects.len() as u32);
+            let t = self.object(target);
+            objects.push(WebObject {
+                id,
+                path: format!("/decoy/{k}.bin"),
+                media: t.media,
+                size: t.size + t.size / 50,
+                service: t.service,
+            });
+            plan.push(PlanStep {
+                object: id,
+                trigger: Trigger::AfterRequest {
+                    prev: target,
+                    gap: SimDuration::from_millis(6),
+                },
+            });
+        }
+        Site::new(format!("{}+decoys", self.name), objects, plan)
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +254,102 @@ mod tests {
         assert_eq!(site.by_path("/b").unwrap().id, ObjectId(1));
         assert_eq!(site.by_path("/missing"), None);
         assert_eq!(site.plan_position(ObjectId(1)), Some(1));
+    }
+
+    #[test]
+    fn dummy_objects_zero_is_identity() {
+        let site = Site::new(
+            "t",
+            vec![obj(0, "/a", 10_000)],
+            vec![PlanStep {
+                object: ObjectId(0),
+                trigger: Trigger::AtStart {
+                    gap: SimDuration::ZERO,
+                },
+            }],
+        );
+        let same = site.with_dummy_objects(0);
+        assert_eq!(same.len(), site.len());
+        assert_eq!(same.plan, site.plan);
+        assert_eq!(same.name, site.name);
+    }
+
+    #[test]
+    fn dummy_objects_unplanned_site_is_identity() {
+        let site = Site::new("t", vec![obj(0, "/a", 10_000)], vec![]);
+        let same = site.with_dummy_objects(3);
+        assert_eq!(same.len(), 1);
+        assert!(same.plan.is_empty());
+    }
+
+    #[test]
+    fn dummy_objects_shadow_last_planned_objects() {
+        let site = Site::new(
+            "t",
+            vec![
+                obj(0, "/a", 10_000),
+                obj(1, "/b", 6_000),
+                obj(2, "/c", 8_000),
+            ],
+            vec![
+                PlanStep {
+                    object: ObjectId(0),
+                    trigger: Trigger::AtStart {
+                        gap: SimDuration::ZERO,
+                    },
+                },
+                PlanStep {
+                    object: ObjectId(1),
+                    trigger: Trigger::AfterRequest {
+                        prev: ObjectId(0),
+                        gap: SimDuration::from_millis(5),
+                    },
+                },
+                PlanStep {
+                    object: ObjectId(2),
+                    trigger: Trigger::AfterRequest {
+                        prev: ObjectId(1),
+                        gap: SimDuration::from_millis(5),
+                    },
+                },
+            ],
+        );
+        let decoyed = site.with_dummy_objects(2);
+        assert_eq!(decoyed.len(), 5);
+        assert_eq!(decoyed.plan.len(), 5);
+        // Decoys mimic the last-planned objects, working backwards.
+        for (k, target) in [ObjectId(2), ObjectId(1)].into_iter().enumerate() {
+            let decoy = decoyed.object(ObjectId(3 + k as u32));
+            let real = site.object(target);
+            assert_eq!(decoy.path, format!("/decoy/{k}.bin"));
+            // Within the ±3 % size-identification band of its target.
+            let tol = real.size as f64 * 0.03;
+            assert!((decoy.size as f64 - real.size as f64).abs() <= tol);
+            match decoyed.plan[3 + k].trigger {
+                Trigger::AfterRequest { prev, .. } => assert_eq!(prev, target),
+                other => panic!("unexpected trigger {other:?}"),
+            }
+        }
+        // Original inventory and plan are untouched.
+        assert_eq!(&decoyed.plan[..3], &site.plan[..]);
+        assert_eq!(decoyed.objects()[..3], site.objects()[..]);
+    }
+
+    #[test]
+    fn dummy_objects_count_capped_by_distinct_planned() {
+        let site = Site::new(
+            "t",
+            vec![obj(0, "/a", 10_000)],
+            vec![PlanStep {
+                object: ObjectId(0),
+                trigger: Trigger::AtStart {
+                    gap: SimDuration::ZERO,
+                },
+            }],
+        );
+        let decoyed = site.with_dummy_objects(8);
+        assert_eq!(decoyed.len(), 2); // only one distinct planned target
+        assert_eq!(decoyed.plan.len(), 2);
     }
 
     #[test]

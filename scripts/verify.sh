@@ -97,4 +97,39 @@ fi
 cmp /tmp/h2priv_camp_seq.jsonl /tmp/h2priv_camp_shard.jsonl
 cmp /tmp/h2priv_camp_seq.json /tmp/h2priv_camp_shard.json
 
+echo "== defense matrix smoke (no-defense column pinned, --jobs identity)"
+# A 6-trial matrix must leave the undefended cells exactly at their
+# pinned success rates — the defense layer being present may not
+# perturb the Defense::None code path — and padding/shaping must still
+# zero out the H2/TCP attack. Byte-identical across --jobs levels.
+DM1=/tmp/h2priv_defense_j1.json
+DM4=/tmp/h2priv_defense_j4.json
+cargo run --release --offline -p h2priv-bench --bin defense_matrix -- 6 --jobs 1 \
+    --out "$DM1" >/dev/null 2>&1
+cargo run --release --offline -p h2priv-bench --bin defense_matrix -- 6 --jobs 4 \
+    --out "$DM4" >/dev/null 2>&1
+cmp "$DM1" "$DM4"
+awk -F'"' '
+/"defense":/   { defense = $4 }
+/"attack":/    { attack = $4 }
+/"transport":/ { transport = $4 }
+/"pct_success":/ {
+    v = $3; sub(/^: /, "", v); sub(/,$/, "", v)
+    got[attack "/" transport "/" defense] = v
+}
+END {
+    pin["full_attack/h2-tcp/none"]                = "83.33333333333333"
+    pin["full_attack/h3-quic/none"]               = "0.0"
+    pin["jitter_only_50ms/h2-tcp/none"]           = "33.333333333333336"
+    pin["jitter_only_50ms/h3-quic/none"]          = "33.333333333333336"
+    pin["full_attack/h2-tcp/record_padding"]      = "0.0"
+    pin["full_attack/h2-tcp/shaping"]             = "0.0"
+    bad = 0
+    for (k in pin) if (got[k] != pin[k]) {
+        printf "ERROR: defense_matrix pin %s: got %s, want %s\n", k, got[k], pin[k] > "/dev/stderr"
+        bad = 1
+    }
+    exit bad
+}' "$DM1"
+
 echo "verify: OK"
